@@ -1,0 +1,55 @@
+//! Ablation: bank-numbering order (§4.1 "Other Interleave Patterns").
+//!
+//! Boustrophedon (snake) numbering makes every consecutive bank pair mesh-
+//! adjacent — but it destroys the row-major property that row-multiple
+//! offsets (Δ = 8, 16, …) route straight down with no flow overlap, and the
+//! sweep's worst cases get *worse*. The ablation empirically supports the
+//! paper's conclusion that "a simple 1D linear pattern is expressive
+//! enough" (§4.1). Prints the Δ sweep under both orders, then times one
+//! run.
+
+use aff_sim_core::config::{BankOrder, MachineConfig};
+use aff_workloads::affine::run_vecadd_forced_delta;
+use aff_workloads::config::{RunConfig, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sweep(order: BankOrder) -> Vec<(u32, u64)> {
+    let mut machine = MachineConfig::paper_default();
+    machine.bank_order = order;
+    let cfg = RunConfig::new(SystemConfig::NearL3).with_machine(machine);
+    (0..=64u32)
+        .step_by(4)
+        .map(|d| (d, run_vecadd_forced_delta(1_500_000, Some(d), &cfg).cycles))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("== abl_bank_order: vec-add Δ sweep, cycles per bank order ==");
+    println!("{:>8} {:>12} {:>12}", "Δ", "row-major", "snake");
+    let rm = sweep(BankOrder::RowMajor);
+    let sn = sweep(BankOrder::Snake);
+    for ((d, a), (_, b)) in rm.iter().zip(&sn) {
+        println!("{d:>8} {a:>12} {b:>12}");
+    }
+    let worst = |v: &[(u32, u64)]| v.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    println!(
+        "worst-case Δ: row-major {} cycles, snake {} cycles",
+        worst(&rm),
+        worst(&sn)
+    );
+
+    let mut g = c.benchmark_group("abl_bank_order");
+    g.sample_size(10);
+    for order in [BankOrder::RowMajor, BankOrder::Snake] {
+        let mut machine = MachineConfig::paper_default();
+        machine.bank_order = order;
+        let cfg = RunConfig::new(SystemConfig::NearL3).with_machine(machine);
+        g.bench_function(format!("{order:?}"), move |b| {
+            b.iter(|| run_vecadd_forced_delta(200_000, Some(4), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

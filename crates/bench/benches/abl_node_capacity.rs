@@ -1,0 +1,64 @@
+//! Ablation: linked-CSR node capacity (edges per node). Smaller nodes give
+//! finer placement but more pointer chasing; the paper's 64 B line (14
+//! edges) is the design point. Prints mean indirect hops and node counts
+//! per capacity, then times the builds.
+
+use aff_ds::layout::{AllocMode, VertexArray};
+use aff_ds::linked_csr::LinkedCsr;
+use aff_sim_core::config::MachineConfig;
+use aff_workloads::suite::kron_input;
+use affinity_alloc::{AffinityAllocator, BankSelectPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let graph = kron_input(1, 2023);
+    println!("== abl_node_capacity: linked CSR node size ablation ==");
+    println!("{:>10} {:>12} {:>18}", "edges/node", "nodes", "mean indirect hops");
+    for capacity in [2usize, 4, 7, 14, 28] {
+        let mut alloc = AffinityAllocator::new(
+            MachineConfig::paper_default(),
+            BankSelectPolicy::paper_default(),
+        );
+        let props = VertexArray::new(
+            &mut alloc,
+            u64::from(graph.num_vertices()),
+            8,
+            AllocMode::Affinity,
+        )
+        .expect("props");
+        let linked =
+            LinkedCsr::build_with_capacity(&mut alloc, &graph, &props, capacity).expect("build");
+        println!(
+            "{:>10} {:>12} {:>18.3}",
+            capacity,
+            linked.num_nodes(),
+            linked.mean_indirect_hops(alloc.topo(), &graph, &props)
+        );
+    }
+    let mut g = c.benchmark_group("abl_node_capacity");
+    g.sample_size(10);
+    for capacity in [4usize, 14] {
+        let graph = graph.clone();
+        g.bench_function(format!("build_cap{capacity}"), move |b| {
+            b.iter(|| {
+                let mut alloc = AffinityAllocator::new(
+                    MachineConfig::paper_default(),
+                    BankSelectPolicy::paper_default(),
+                );
+                let props = VertexArray::new(
+                    &mut alloc,
+                    u64::from(graph.num_vertices()),
+                    8,
+                    AllocMode::Affinity,
+                )
+                .expect("props");
+                LinkedCsr::build_with_capacity(&mut alloc, &graph, &props, capacity)
+                    .expect("build")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: FIFO frontier vs spatially distributed priority queue for
+//! SSSP (§4.2's MultiQueues suggestion). The relaxed Dijkstra settles each
+//! vertex ~once (fewer edge relaxations than the label-correcting FIFO),
+//! and under Aff-Alloc its queue operations are bank-local.
+
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::graphs::{pick_source, GraphInstance};
+use aff_workloads::suite::kron_weighted_input;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let graph = kron_weighted_input(1, 2023);
+    let src = pick_source(&graph);
+    println!("== abl_priority_queue: sssp frontier structure ==");
+    println!(
+        "{:>26} {:>12} {:>14} {:>16}",
+        "config", "cycles", "flit-hops", "edges examined"
+    );
+    for (label, system, pq) in [
+        ("Near-L3 / FIFO", SystemConfig::NearL3, false),
+        ("Near-L3 / global heap", SystemConfig::NearL3, true),
+        ("Aff-Alloc / FIFO", SystemConfig::aff_alloc_default(), false),
+        ("Aff-Alloc / spatial PQ", SystemConfig::aff_alloc_default(), true),
+    ] {
+        let cfg = RunConfig::new(system);
+        let inst = GraphInstance::new(graph.clone(), &cfg);
+        let run = if pq {
+            inst.run_sssp_priority(src)
+        } else {
+            inst.run_sssp(src)
+        };
+        println!(
+            "{label:>26} {:>12} {:>14} {:>16}",
+            run.metrics.cycles,
+            run.metrics.total_hop_flits,
+            run.iters.iter().map(|i| i.examined_edges).sum::<u64>(),
+        );
+    }
+    let mut g = c.benchmark_group("abl_priority_queue");
+    g.sample_size(10);
+    for pq in [false, true] {
+        let graph = graph.clone();
+        g.bench_function(if pq { "spatial_pq" } else { "fifo" }, move |b| {
+            let cfg = RunConfig::new(SystemConfig::aff_alloc_default());
+            b.iter(|| {
+                let inst = GraphInstance::new(graph.clone(), &cfg);
+                if pq {
+                    inst.run_sssp_priority(src)
+                } else {
+                    inst.run_sssp(src)
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

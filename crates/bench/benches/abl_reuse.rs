@@ -1,0 +1,41 @@
+//! Ablation: the In-Core baseline's private-cache reuse filter. Disabling
+//! it sends every element access over the NoC — quantifying how much of the
+//! baseline's competitiveness the L1/L2 provides (and why a fair NDC
+//! comparison must model it).
+
+use aff_workloads::affine::{run_stencil_opts, Stencil};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig::new(SystemConfig::InCore);
+    println!("== abl_reuse: In-Core private-cache filter ablation ==");
+    for (name, s) in [
+        ("pathfinder", Stencil::pathfinder(1_500_000)),
+        ("hotspot", Stencil::hotspot(2048, 1024)),
+    ] {
+        let with = run_stencil_opts(&s, &cfg, true);
+        let without = run_stencil_opts(&s, &cfg, false);
+        println!(
+            "{name:12} filtered: {:>9} cycles / {:>12} flit-hops   unfiltered: {:>9} cycles / {:>13} flit-hops ({:.1}x slower)",
+            with.cycles,
+            with.total_hop_flits,
+            without.cycles,
+            without.total_hop_flits,
+            without.cycles as f64 / with.cycles as f64,
+        );
+    }
+    let mut g = c.benchmark_group("abl_reuse");
+    g.sample_size(10);
+    let s = Stencil::hotspot(512, 1024);
+    g.bench_function("incore_filtered", |b| {
+        b.iter(|| run_stencil_opts(&s, &cfg, true))
+    });
+    g.bench_function("incore_unfiltered", |b| {
+        b.iter(|| run_stencil_opts(&s, &cfg, false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig 4 regeneration + timing: vec-add speedup/traffic vs forced layout
+//! offset Δ. Prints the figure's rows, then Criterion-times representative
+//! points of the sweep.
+
+use aff_bench::figures::{fig4, HarnessOpts};
+use aff_workloads::affine::run_vecadd_forced_delta;
+use aff_workloads::config::{RunConfig, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig4(HarnessOpts::default()).render());
+    let cfg = RunConfig::new(SystemConfig::NearL3);
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    for delta in [0u32, 32] {
+        g.bench_function(format!("vecadd_delta{delta}"), |b| {
+            b.iter(|| run_vecadd_forced_delta(200_000, Some(delta), &cfg))
+        });
+    }
+    g.bench_function("vecadd_random", |b| {
+        b.iter(|| run_vecadd_forced_delta(200_000, None, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

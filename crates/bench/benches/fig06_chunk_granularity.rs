@@ -1,0 +1,28 @@
+//! Fig 6 regeneration + timing: speedup/traffic of oracle-placed CSR chunks
+//! at 4 KiB…64 B granularity versus the Near-L3 baseline.
+
+use aff_bench::figures::{fig6, HarnessOpts};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::graphs::GraphInstance;
+use aff_workloads::suite::kron_input;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig6(HarnessOpts::default()).render());
+    let graph = kron_input(1, 2023);
+    let mut g = c.benchmark_group("fig06");
+    g.sample_size(10);
+    for chunk in [4096u64, 64] {
+        let graph = graph.clone();
+        g.bench_function(format!("pr_push_oracle_{chunk}B"), move |b| {
+            let cfg = RunConfig::new(SystemConfig::aff_alloc_default());
+            b.iter(|| {
+                GraphInstance::with_chunk_oracle(graph.clone(), &cfg, chunk).run_pr_push()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig 12 regeneration + timing: the whole Table 3 suite under In-Core /
+//! Near-L3 / Aff-Alloc — the paper's headline table.
+
+use aff_bench::figures::{fig12, HarnessOpts};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::suite::{self, WorkloadName};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig12(HarnessOpts::default()).render());
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for system in [
+        SystemConfig::InCore,
+        SystemConfig::NearL3,
+        SystemConfig::aff_alloc_default(),
+    ] {
+        g.bench_function(format!("pr_{}", system.label()), move |b| {
+            let cfg = RunConfig::new(system);
+            b.iter(|| suite::run(WorkloadName::Pr, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig 13 regeneration + timing: bank-select policy sensitivity (Rnd / Lnr /
+//! Min-Hop / Hybrid-H) on the irregular workloads.
+
+use aff_bench::figures::{fig13, HarnessOpts};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::pointer::{run_bin_tree, BinTreeParams};
+use affinity_alloc::BankSelectPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig13(HarnessOpts::default()).render());
+    let params = BinTreeParams {
+        nodes: 8 * 1024,
+        lookups: 32 * 1024,
+    };
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for policy in [
+        BankSelectPolicy::Rnd,
+        BankSelectPolicy::MinHop,
+        BankSelectPolicy::Hybrid { h: 5.0 },
+    ] {
+        g.bench_function(format!("bin_tree_{}", policy.label()), move |b| {
+            let cfg = RunConfig::new(SystemConfig::AffAlloc(policy));
+            b.iter(|| run_bin_tree(params, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

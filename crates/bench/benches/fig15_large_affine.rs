@@ -1,0 +1,24 @@
+//! Fig 15 regeneration + timing: affine workloads at 1x–8x input, where the
+//! working set outgrows the L3 and the NDC advantage collapses.
+
+use aff_bench::figures::{fig15, HarnessOpts};
+use aff_workloads::affine::{run_stencil, Stencil};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig15(HarnessOpts::default()).render());
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    for scale in [1u64, 8] {
+        g.bench_function(format!("hotspot_{scale}x"), move |b| {
+            let cfg = RunConfig::new(SystemConfig::aff_alloc_default());
+            let s = Stencil::hotspot(512 * scale, 1024);
+            b.iter(|| run_stencil(&s, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

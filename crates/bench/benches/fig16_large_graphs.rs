@@ -1,0 +1,23 @@
+//! Fig 16 regeneration + timing: linked CSR on growing graphs against a
+//! capacity-matched L3.
+
+use aff_bench::figures::{fig16, HarnessOpts};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::suite::{self, WorkloadName};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig16(HarnessOpts::default()).render());
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    for scale in [1u32, 4] {
+        g.bench_function(format!("pr_push_scale{scale}"), move |b| {
+            let cfg = RunConfig::new(SystemConfig::aff_alloc_default()).with_scale(scale);
+            b.iter(|| suite::run(WorkloadName::PrPush, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

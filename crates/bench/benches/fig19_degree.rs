@@ -1,0 +1,26 @@
+//! Fig 19 regeneration + timing: speedup vs average node degree on
+//! fixed-|E| power-law graphs.
+
+use aff_bench::figures::{fig19, HarnessOpts};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::gen;
+use aff_workloads::graphs::GraphInstance;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig19(HarnessOpts::default()).render());
+    let mut g = c.benchmark_group("fig19");
+    g.sample_size(10);
+    for degree in [4u32, 128] {
+        let edges = 1usize << 17;
+        let graph = gen::power_law((edges as u32 / degree).max(64), edges, 0.8, 5);
+        g.bench_function(format!("pr_push_D{degree}"), move |b| {
+            let cfg = RunConfig::new(SystemConfig::aff_alloc_default());
+            b.iter(|| GraphInstance::new(graph.clone(), &cfg).run_pr_push())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! `affsim` — run one workload under one system configuration and print its
+//! full metrics (the single-experiment companion to `figures`).
+//!
+//! ```text
+//! affsim bfs --system aff                 # Aff-Alloc(Hybrid-5)
+//! affsim pr_push --system near --scale 2  # Near-L3, 2x input
+//! affsim bin_tree --system aff --policy min-hop
+//! affsim link_list --system incore --seed 7
+//! ```
+
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::suite::{self, WorkloadName};
+use affinity_alloc::BankSelectPolicy;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: affsim <workload> [--system incore|near|aff] [--policy rnd|lnr|min-hop|hybrid-N]\n\
+         \x20             [--scale N] [--seed N]\n\
+         workloads: pathfinder srad hotspot hotspot3d pr pr_push pr_pull bfs bfs_push\n\
+         \x20          bfs_pull sssp link_list hash_join bin_tree"
+    );
+    std::process::exit(2);
+}
+
+fn parse_workload(s: &str) -> Option<WorkloadName> {
+    Some(match s {
+        "pathfinder" => WorkloadName::Pathfinder,
+        "srad" => WorkloadName::Srad,
+        "hotspot" => WorkloadName::Hotspot,
+        "hotspot3d" | "hotspot3D" => WorkloadName::Hotspot3D,
+        "pr" => WorkloadName::Pr,
+        "pr_push" => WorkloadName::PrPush,
+        "pr_pull" => WorkloadName::PrPull,
+        "bfs" => WorkloadName::Bfs,
+        "bfs_push" => WorkloadName::BfsPush,
+        "bfs_pull" => WorkloadName::BfsPull,
+        "sssp" => WorkloadName::Sssp,
+        "link_list" => WorkloadName::LinkList,
+        "hash_join" => WorkloadName::HashJoin,
+        "bin_tree" => WorkloadName::BinTree,
+        _ => return None,
+    })
+}
+
+fn parse_policy(s: &str) -> Option<BankSelectPolicy> {
+    Some(match s {
+        "rnd" => BankSelectPolicy::Rnd,
+        "lnr" => BankSelectPolicy::Lnr,
+        "min-hop" | "minhop" => BankSelectPolicy::MinHop,
+        other => {
+            let h = other.strip_prefix("hybrid-")?.parse().ok()?;
+            BankSelectPolicy::Hybrid { h }
+        }
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(first) = args.next() else { usage() };
+    let Some(workload) = parse_workload(&first) else {
+        eprintln!("unknown workload {first:?}");
+        usage()
+    };
+    let mut system = "aff".to_string();
+    let mut policy = BankSelectPolicy::paper_default();
+    let mut scale = 1u32;
+    let mut seed = 2023u64;
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--system" => system = value("--system"),
+            "--policy" => {
+                let v = value("--policy");
+                policy = parse_policy(&v).unwrap_or_else(|| {
+                    eprintln!("unknown policy {v:?}");
+                    usage()
+                });
+            }
+            "--scale" => scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let system = match system.as_str() {
+        "incore" | "in-core" => SystemConfig::InCore,
+        "near" | "near-l3" => SystemConfig::NearL3,
+        "aff" | "aff-alloc" => SystemConfig::AffAlloc(policy),
+        other => {
+            eprintln!("unknown system {other:?}");
+            usage()
+        }
+    };
+
+    let cfg = RunConfig::new(system).with_scale(scale).with_seed(seed);
+    let start = std::time::Instant::now();
+    let run = suite::run(workload, &cfg);
+    let m = &run.metrics;
+    println!("workload        {}", workload.label());
+    println!("system          {}", system.label());
+    println!("scale / seed    {scale} / {seed}");
+    println!("cycles          {}", m.cycles);
+    println!(
+        "  bounds        core={} se={} bank={} link={} dram={} chain={}",
+        m.breakdown.core_compute,
+        m.breakdown.se_compute,
+        m.breakdown.bank_service,
+        m.breakdown.link,
+        m.breakdown.dram,
+        m.breakdown.chain,
+    );
+    println!(
+        "flit-hops       {} (offload {} / data {} / control {})",
+        m.total_hop_flits, m.hop_flits[0], m.hop_flits[1], m.hop_flits[2]
+    );
+    println!("noc utilization {:.3}", m.noc_utilization);
+    println!("l3 miss rate    {:.3}", m.l3_miss_rate);
+    println!("dram accesses   {}", m.dram_accesses);
+    println!("energy          {:.1} uJ", m.energy_pj / 1e6);
+    println!("bank imbalance  {:.2}", m.bank_imbalance);
+    if !run.iters.is_empty() {
+        println!("iterations      {}", run.iters.len());
+        for (i, it) in run.iters.iter().enumerate() {
+            println!(
+                "  iter{i:<3} {:?} active={} visited={} scout={} examined={}",
+                it.dir, it.active, it.visited, it.scout_edges, it.examined_edges
+            );
+        }
+    }
+    println!("(simulated in {:.1?})", start.elapsed());
+}

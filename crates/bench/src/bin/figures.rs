@@ -1,0 +1,50 @@
+//! `figures` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! figures all                 # every figure, harness (scaled) inputs
+//! figures fig12 fig13         # selected figures
+//! figures --full fig12        # Table 3 input sizes (slow)
+//! figures --seed 7 fig4       # change the experiment seed
+//! figures --json fig12        # machine-readable output for plotting
+//! ```
+
+use aff_bench::figures::{run_figure, HarnessOpts, ALL_FIGURES};
+
+fn main() {
+    let mut opts = HarnessOpts::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--json" => json = true,
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                opts.seed = v.parse().expect("--seed must be an integer");
+            }
+            "all" => ids.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                eprintln!("usage: figures [--full] [--seed N] (all | figN...)");
+                eprintln!("known figures: {ALL_FIGURES:?}");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: figures [--full] [--seed N] (all | figN...)");
+        eprintln!("known figures: {ALL_FIGURES:?}");
+        std::process::exit(2);
+    }
+    for id in ids {
+        let start = std::time::Instant::now();
+        let fig = run_figure(&id, opts);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&fig).expect("figures serialize"));
+        } else {
+            println!("{}", fig.render());
+            println!("  ({} took {:.1?})\n", id, start.elapsed());
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! Reproduction of every evaluation figure in the paper.
+//!
+//! Each function runs the simulated experiments and returns a
+//! [`Figure`]; `fig_all` runs the whole suite. Default inputs are the
+//! scaled-down harness sizes (see `aff_workloads::suite`); pass
+//! `HarnessOpts { full: true, .. }` for Table 3 sizes.
+
+use crate::report::Figure;
+use aff_nsc::engine::Metrics;
+use aff_sim_core::config::MachineConfig;
+use aff_sim_core::stats::geomean;
+use aff_workloads::affine::{run_stencil, run_vecadd_forced_delta, Stencil};
+use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_workloads::gen;
+use aff_workloads::graphs::{pick_source, Direction, DirectionPolicy, GraphInstance, GraphRun};
+use aff_workloads::suite::{self, WorkloadName};
+use affinity_alloc::BankSelectPolicy;
+
+/// Harness-wide options.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Use full Table 3 input sizes (slower) instead of the harness
+    /// defaults.
+    pub full: bool,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self {
+            seed: 2023,
+            full: false,
+        }
+    }
+}
+
+impl HarnessOpts {
+    fn graph_scale(&self) -> u32 {
+        if self.full {
+            8 // 2^17 vertices, Table 3
+        } else {
+            1 // 2^14
+        }
+    }
+
+    fn cfg(&self, system: SystemConfig) -> RunConfig {
+        RunConfig::new(system)
+            .with_seed(self.seed)
+            .with_scale(self.graph_scale())
+    }
+}
+
+fn hybrid5() -> SystemConfig {
+    SystemConfig::aff_alloc_default()
+}
+
+/// Fig 4: vec-add speedup and NoC hops vs forced layout offset Δ.
+pub fn fig4(opts: HarnessOpts) -> Figure {
+    // Always Table 3's 1.5M entries: smaller inputs fit in the private L2
+    // and leave the Fig 4 regime entirely (the sweep is cheap regardless).
+    let n = 1_500_000;
+    let _ = opts.full;
+    let base_cfg = RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed);
+    let incore_cfg = RunConfig::new(SystemConfig::InCore).with_seed(opts.seed);
+    let incore = run_vecadd_forced_delta(n, Some(0), &incore_cfg);
+
+    let mut fig = Figure::new(
+        "fig4",
+        "Impact of affine data layout on vec add (normalized to In-Core)",
+        vec!["speedup", "hops", "hops_offload", "hops_data", "hops_control"],
+    );
+    let mut push = |label: &str, m: &Metrics| {
+        let ih = incore.total_hop_flits.max(1) as f64;
+        fig.push(
+            label,
+            vec![
+                m.speedup_over(&incore),
+                m.total_hop_flits as f64 / ih,
+                m.hop_flits[0] as f64 / ih,
+                m.hop_flits[1] as f64 / ih,
+                m.hop_flits[2] as f64 / ih,
+            ],
+        );
+    };
+    push("In-Core", &incore);
+    for delta in (0..=64u32).step_by(4) {
+        let m = run_vecadd_forced_delta(n, Some(delta), &base_cfg);
+        push(&format!("Δ Bank {delta}"), &m);
+    }
+    let m = run_vecadd_forced_delta(n, None, &base_cfg);
+    push("Random", &m);
+    fig.note(format!("n = {n} floats, 8 iterations"));
+    fig
+}
+
+fn fig6_graph(w: &str, opts: HarnessOpts) -> aff_ds::graph::Graph {
+    let scale = opts.graph_scale();
+    if w == "sssp" {
+        suite::kron_weighted_input(scale, opts.seed)
+    } else {
+        suite::kron_input(scale, opts.seed)
+    }
+}
+
+fn fig6_run(w: &str, inst: GraphInstance) -> GraphRun {
+    let src = pick_source(inst.graph());
+    match w {
+        "pr_push" => inst.run_pr_push(),
+        "pr_pull" => inst.run_pr_pull(),
+        "bfs_push" => inst.run_bfs(src, DirectionPolicy::PushOnly),
+        "bfs_pull" => inst.run_bfs(src, DirectionPolicy::PullOnly),
+        "sssp" => inst.run_sssp(src),
+        _ => unreachable!("unknown fig6 workload"),
+    }
+}
+
+/// Fig 6: irregular-layout potential — speedup/hops when CSR edge chunks of
+/// various sizes are freely placed by the oracle (vs. the NSC baseline).
+pub fn fig6(opts: HarnessOpts) -> Figure {
+    let workloads = ["pr_push", "bfs_push", "sssp", "pr_pull", "bfs_pull"];
+    let configs: [(&str, Option<u64>); 6] = [
+        ("Base", None),
+        ("Ind-4kB", Some(4096)),
+        ("Ind-1kB", Some(1024)),
+        ("Ind-256B", Some(256)),
+        ("Ind-64B", Some(64)),
+        ("Ind-Ideal", Some(0)), // chunk = one edge
+    ];
+    let mut fig = Figure::new(
+        "fig6",
+        "Impact of irregular data layout (normalized to Base = Near-L3 CSR)",
+        vec!["speedup", "hops"],
+    );
+    let mut per_config_speedups: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for w in workloads {
+        let g = fig6_graph(w, opts);
+        let base_cfg = opts.cfg(SystemConfig::NearL3);
+        let base = fig6_run(w, GraphInstance::new(g.clone(), &base_cfg)).metrics;
+        for (ci, (label, chunk)) in configs.iter().enumerate() {
+            let m = match chunk {
+                None => base.clone(),
+                Some(bytes) => {
+                    let edge_sz = if g.is_weighted() { 8 } else { 4 };
+                    let cb = if *bytes == 0 { edge_sz } else { *bytes };
+                    let cfg = opts.cfg(hybrid5());
+                    fig6_run(w, GraphInstance::with_chunk_oracle(g.clone(), &cfg, cb)).metrics
+                }
+            };
+            let speedup = m.speedup_over(&base);
+            per_config_speedups[ci].push(speedup);
+            fig.push(
+                format!("{w}/{label}"),
+                vec![speedup, m.traffic_vs(&base)],
+            );
+        }
+    }
+    for (ci, (label, _)) in configs.iter().enumerate() {
+        fig.push(
+            format!("geomean/{label}"),
+            vec![geomean(&per_config_speedups[ci]).unwrap_or(1.0), f64::NAN],
+        );
+    }
+    fig.note("chunks placed by min-hop oracle, 2% load-imbalance cap (paper footnote 2)");
+    fig
+}
+
+/// Fig 12: overall speedup / energy efficiency (vs Near-L3) and NoC hops
+/// (vs In-Core) for the full suite.
+pub fn fig12(opts: HarnessOpts) -> Figure {
+    let systems = [SystemConfig::InCore, SystemConfig::NearL3, hybrid5()];
+    let mut fig = Figure::new(
+        "fig12",
+        "Overall performance and traffic reduction",
+        vec!["speedup_vs_nearl3", "energy_eff_vs_nearl3", "hops_vs_incore", "noc_util"],
+    );
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for w in WorkloadName::FIG12 {
+        let runs: Vec<Metrics> = systems
+            .iter()
+            .map(|&s| suite::run(w, &opts.cfg(s)).metrics)
+            .collect();
+        let near = &runs[1];
+        let incore = &runs[0];
+        for (si, (s, m)) in systems.iter().zip(&runs).enumerate() {
+            let sp = m.speedup_over(near);
+            let ee = m.energy_eff_over(near);
+            speedups[si].push(sp);
+            energies[si].push(ee);
+            fig.push(
+                format!("{}/{}", w.label(), s.label()),
+                vec![sp, ee, m.traffic_vs(incore), m.noc_utilization],
+            );
+        }
+    }
+    for (si, s) in systems.iter().enumerate() {
+        fig.push(
+            format!("geomean/{}", s.label()),
+            vec![
+                geomean(&speedups[si]).unwrap_or(1.0),
+                geomean(&energies[si]).unwrap_or(1.0),
+                f64::NAN,
+                f64::NAN,
+            ],
+        );
+    }
+    fig
+}
+
+/// The irregular workloads of Fig 13.
+pub const FIG13_WORKLOADS: [WorkloadName; 7] = [
+    WorkloadName::PrPush,
+    WorkloadName::PrPull,
+    WorkloadName::Bfs,
+    WorkloadName::Sssp,
+    WorkloadName::LinkList,
+    WorkloadName::HashJoin,
+    WorkloadName::BinTree,
+];
+
+/// The policies of Fig 13.
+pub fn fig13_policies() -> Vec<BankSelectPolicy> {
+    vec![
+        BankSelectPolicy::Rnd,
+        BankSelectPolicy::Lnr,
+        BankSelectPolicy::MinHop,
+        BankSelectPolicy::Hybrid { h: 1.0 },
+        BankSelectPolicy::Hybrid { h: 3.0 },
+        BankSelectPolicy::Hybrid { h: 5.0 },
+        BankSelectPolicy::Hybrid { h: 7.0 },
+    ]
+}
+
+/// Fig 13: bank-select policy sensitivity, normalized to Rnd.
+///
+/// The (workload x policy) grid is embarrassingly parallel; rows run on
+/// scoped crossbeam threads (each simulation is self-contained and
+/// deterministic).
+pub fn fig13(opts: HarnessOpts) -> Figure {
+    let policies = fig13_policies();
+    let mut fig = Figure::new(
+        "fig13",
+        "Sensitivity to irregular layout policies (normalized to Rnd)",
+        vec!["speedup", "hops", "noc_util"],
+    );
+    // One thread per (workload, policy) cell — every simulation is
+    // self-contained and deterministic, so the grid is embarrassingly
+    // parallel.
+    let results: Vec<Vec<Metrics>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<Vec<_>> = FIG13_WORKLOADS
+            .iter()
+            .map(|&w| {
+                policies
+                    .iter()
+                    .map(|&p| {
+                        scope.spawn(move |_| {
+                            suite::run(w, &opts.cfg(SystemConfig::AffAlloc(p))).metrics
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|row| row.into_iter().map(|h| h.join().expect("fig13 worker")).collect())
+            .collect()
+    })
+    .expect("fig13 scope");
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for (w, runs) in FIG13_WORKLOADS.iter().copied().zip(results) {
+        let rnd = &runs[0];
+        for (pi, (&p, m)) in policies.iter().zip(&runs).enumerate() {
+            let sp = m.speedup_over(rnd);
+            per_policy[pi].push(sp);
+            fig.push(
+                format!("{}/{}", w.label(), p.label()),
+                vec![sp, m.traffic_vs(rnd), m.noc_utilization],
+            );
+        }
+    }
+    for (pi, p) in policies.iter().enumerate() {
+        fig.push(
+            format!("geomean/{}", p.label()),
+            vec![geomean(&per_policy[pi]).unwrap_or(1.0), f64::NAN, f64::NAN],
+        );
+    }
+    fig
+}
+
+/// Fig 14: distribution of in-flight atomic streams per bank over the
+/// bfs_push timeline, for Rnd / Min-Hop / Hybrid-5.
+pub fn fig14(opts: HarnessOpts) -> Figure {
+    let policies = [
+        BankSelectPolicy::Rnd,
+        BankSelectPolicy::MinHop,
+        BankSelectPolicy::Hybrid { h: 5.0 },
+    ];
+    let mut fig = Figure::new(
+        "fig14",
+        "Distribution of atomic streams in bfs_push (per normalized time)",
+        vec!["min", "p25", "avg", "p75", "max"],
+    );
+    for p in policies {
+        let cfg = opts.cfg(SystemConfig::AffAlloc(p));
+        let g = suite::kron_input(cfg.scale, cfg.seed);
+        let src = pick_source(&g);
+        let r = GraphInstance::new(g, &cfg).run_bfs(src, DirectionPolicy::PushOnly);
+        for (t, fp) in r.metrics.occupancy.resample(10).into_iter().enumerate() {
+            fig.push(
+                format!("{}/t{}", p.label(), t),
+                vec![fp.min, fp.p25, fp.avg, fp.p75, fp.max],
+            );
+        }
+    }
+    fig.note("occupancy via Little's law over per-iteration atomic arrivals");
+    fig
+}
+
+/// Fig 15: affine workloads at 1×/2×/4×/8× input — speedup over In-Core and
+/// L3 miss rate.
+pub fn fig15(opts: HarnessOpts) -> Figure {
+    type StencilMaker = fn(u64) -> Stencil;
+    let base: Vec<(&str, StencilMaker)> = vec![
+        ("pathfinder", |s| Stencil::pathfinder(1_500_000 * s)),
+        ("hotspot", |s| Stencil::hotspot(2048 * s, 1024)),
+        ("srad", |s| Stencil::srad(1024 * s, 2048)),
+        ("hotspot3D", |s| Stencil::hotspot3d(256, 1024, 8 * s)),
+    ];
+    let mut fig = Figure::new(
+        "fig15",
+        "Affine layout on large inputs (speedup vs In-Core at same scale)",
+        vec!["nearl3_speedup", "aff_speedup", "aff_l3_miss"],
+    );
+    let mut ge: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (name, mk) in &base {
+        for (si, scale) in [1u64, 2, 4, 8].into_iter().enumerate() {
+            let s = mk(scale);
+            let incore = run_stencil(&s, &RunConfig::new(SystemConfig::InCore).with_seed(opts.seed));
+            let near = run_stencil(&s, &RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed));
+            let aff = run_stencil(&s, &RunConfig::new(hybrid5()).with_seed(opts.seed));
+            let sp = aff.speedup_over(&incore);
+            ge[si].push(sp);
+            fig.push(
+                format!("{name}/{scale}x"),
+                vec![near.speedup_over(&incore), sp, aff.l3_miss_rate],
+            );
+        }
+    }
+    for (si, scale) in [1u64, 2, 4, 8].into_iter().enumerate() {
+        fig.push(
+            format!("geomean/{scale}x"),
+            vec![f64::NAN, geomean(&ge[si]).unwrap_or(1.0), f64::NAN],
+        );
+    }
+    fig
+}
+
+/// Fig 16: linked CSR on growing graphs — speedup over Near-L3 and L3 miss
+/// rate. The L3 is shrunk so the scale-1 graph occupies ~half of it, which
+/// preserves the paper's footprint/capacity ratios at harness sizes.
+pub fn fig16(opts: HarnessOpts) -> Figure {
+    let mut machine = MachineConfig::paper_default();
+    if !opts.full {
+        // Preserve the paper's footprint/capacity ratios at harness sizes:
+        // the scale-1 graph (≈2.5 MiB) fits at ~30% of an 8 MiB L3; the 2×
+        // graph still fits; 4× and 8× spill for both edge formats.
+        machine.l3_bank_bytes = 128 << 10;
+    }
+    let mk_cfg = |system: SystemConfig, scale: u32| {
+        RunConfig::new(system)
+            .with_seed(opts.seed)
+            .with_scale(scale * if opts.full { 8 } else { 1 })
+            .with_machine(machine.clone())
+    };
+    let systems = [
+        ("Near-L3", SystemConfig::NearL3),
+        ("Min-Hops", SystemConfig::AffAlloc(BankSelectPolicy::MinHop)),
+        ("Hybrid-5", hybrid5()),
+    ];
+    let mut fig = Figure::new(
+        "fig16",
+        "Linked CSR on large graphs (speedup vs Near-L3 at same |V|)",
+        vec!["speedup", "l3_miss"],
+    );
+    for w in [WorkloadName::PrPush, WorkloadName::Bfs, WorkloadName::Sssp] {
+        for scale in [1u32, 2, 4, 8] {
+            let near = suite::run(w, &mk_cfg(SystemConfig::NearL3, scale)).metrics;
+            for (label, s) in systems.iter().skip(1) {
+                let m = suite::run(w, &mk_cfg(*s, scale)).metrics;
+                fig.push(
+                    format!("{}/{}/|V|x{}", w.label(), label, scale),
+                    vec![m.speedup_over(&near), m.l3_miss_rate],
+                );
+            }
+        }
+    }
+    fig.note(format!(
+        "L3 bank = {} KiB ({} mode)",
+        machine.l3_bank_bytes >> 10,
+        if opts.full { "full" } else { "scaled" }
+    ));
+    fig
+}
+
+/// Fig 17: BFS per-iteration characteristics (visited / active / scout-edge
+/// ratios).
+pub fn fig17(opts: HarnessOpts) -> Figure {
+    let cfg = opts.cfg(hybrid5());
+    let g = suite::kron_input(cfg.scale, cfg.seed);
+    let n = f64::from(g.num_vertices());
+    let m = g.num_edges() as f64;
+    let src = pick_source(&g);
+    let r = GraphInstance::new(g, &cfg).run_bfs(src, DirectionPolicy::PushOnly);
+    let mut fig = Figure::new(
+        "fig17",
+        "BFS iteration characteristics",
+        vec!["visited_nodes", "active_nodes", "scout_edges"],
+    );
+    for (i, it) in r.iters.iter().enumerate() {
+        fig.push(
+            format!("iter{i}"),
+            vec![
+                it.visited as f64 / n,
+                it.active as f64 / n,
+                it.scout_edges as f64 / m,
+            ],
+        );
+    }
+    fig
+}
+
+/// Fig 18: BFS push/pull/switch timeline per system. Each row is one
+/// iteration: direction (1 = push, 0 = pull) and its share of the run's
+/// examined-edge work (the paper's bar widths).
+pub fn fig18(opts: HarnessOpts) -> Figure {
+    let mut fig = Figure::new(
+        "fig18",
+        "BFS push vs pull timeline",
+        vec!["push", "time_share"],
+    );
+    let systems = [
+        ("In-Core", SystemConfig::InCore),
+        ("Near-L3", SystemConfig::NearL3),
+        ("Aff-Alloc", hybrid5()),
+    ];
+    for (sl, system) in systems {
+        let policies = [
+            ("Pull", DirectionPolicy::PullOnly),
+            ("Push", DirectionPolicy::PushOnly),
+            (
+                "Switch",
+                if matches!(system, SystemConfig::AffAlloc(_)) {
+                    DirectionPolicy::AffSwitch
+                } else {
+                    DirectionPolicy::GapSwitch
+                },
+            ),
+        ];
+        for (pl, policy) in policies {
+            let cfg = opts.cfg(system);
+            let g = suite::kron_input(cfg.scale, cfg.seed);
+            let src = pick_source(&g);
+            let r = GraphInstance::new(g, &cfg).run_bfs(src, policy);
+            let total: u64 = r.iters.iter().map(|i| i.examined_edges.max(1)).sum();
+            for (i, it) in r.iters.iter().enumerate() {
+                fig.push(
+                    format!("{sl}/{pl}/iter{i}"),
+                    vec![
+                        if it.dir == Direction::Push { 1.0 } else { 0.0 },
+                        it.examined_edges.max(1) as f64 / total as f64,
+                    ],
+                );
+            }
+        }
+    }
+    fig
+}
+
+/// Fig 19: speedup vs average node degree on synthesized power-law graphs
+/// with fixed |E| (normalized to Rnd).
+pub fn fig19(opts: HarnessOpts) -> Figure {
+    let total_edges: usize = if opts.full { 1 << 22 } else { 1 << 19 };
+    let degrees = [4u32, 8, 16, 32, 64, 128];
+    let systems = [
+        ("Near-L3", SystemConfig::NearL3),
+        ("Min-Hops", SystemConfig::AffAlloc(BankSelectPolicy::MinHop)),
+        ("Hybrid-5", hybrid5()),
+    ];
+    let mut fig = Figure::new(
+        "fig19",
+        "Speedup vs average node degree (normalized to Rnd)",
+        vec!["nearl3", "min_hops", "hybrid5"],
+    );
+    let mut ge: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); systems.len()]; degrees.len()];
+    for w in ["pr_push", "bfs", "sssp"] {
+        for (di, &d) in degrees.iter().enumerate() {
+            let n = (total_edges as u32 / d).max(64);
+            let base_graph = gen::power_law(n, total_edges, 0.8, opts.seed);
+            let graph = if w == "sssp" {
+                gen::with_uniform_weights(&base_graph, opts.seed)
+            } else {
+                base_graph
+            };
+            let run_one = |system: SystemConfig| {
+                let cfg = RunConfig::new(system).with_seed(opts.seed);
+                let src = pick_source(&graph);
+                let inst = GraphInstance::new(graph.clone(), &cfg);
+                match w {
+                    "pr_push" => inst.run_pr_push(),
+                    "bfs" => inst.run_bfs(src, DirectionPolicy::default_for(system)),
+                    "sssp" => inst.run_sssp(src),
+                    _ => unreachable!(),
+                }
+                .metrics
+            };
+            let rnd = run_one(SystemConfig::AffAlloc(BankSelectPolicy::Rnd));
+            let mut row = Vec::new();
+            for (si, (_, s)) in systems.iter().enumerate() {
+                let sp = run_one(*s).speedup_over(&rnd);
+                ge[di][si].push(sp);
+                row.push(sp);
+            }
+            fig.push(format!("{w}/D={d}"), row);
+        }
+    }
+    for (di, &d) in degrees.iter().enumerate() {
+        fig.push(
+            format!("geomean/D={d}"),
+            (0..systems.len())
+                .map(|si| geomean(&ge[di][si]).unwrap_or(1.0))
+                .collect(),
+        );
+    }
+    fig
+}
+
+/// Fig 20 (+ Table 4): real-world graphs — speedup and traffic vs Near-L3.
+pub fn fig20(opts: HarnessOpts) -> Figure {
+    let div = if opts.full { 1 } else { 16 };
+    let profiles = [gen::TWITCH_GAMERS, gen::GPLUS];
+    let systems = [
+        ("Min-Hops", SystemConfig::AffAlloc(BankSelectPolicy::MinHop)),
+        ("Hybrid-5", hybrid5()),
+    ];
+    let mut fig = Figure::new(
+        "fig20",
+        "Performance on real-world graphs (normalized to Near-L3)",
+        vec!["speedup", "hops", "noc_util"],
+    );
+    let mut ge: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    for profile in profiles {
+        let base_graph = gen::real_world(profile, div, opts.seed);
+        for w in ["pr_push", "bfs", "sssp"] {
+            let graph = if w == "sssp" {
+                gen::with_uniform_weights(&base_graph, opts.seed)
+            } else {
+                base_graph.clone()
+            };
+            let run_one = |system: SystemConfig| {
+                let cfg = RunConfig::new(system).with_seed(opts.seed);
+                let src = pick_source(&graph);
+                let inst = GraphInstance::new(graph.clone(), &cfg);
+                match w {
+                    "pr_push" => inst.run_pr_push(),
+                    "bfs" => inst.run_bfs(src, DirectionPolicy::default_for(system)),
+                    "sssp" => inst.run_sssp(src),
+                    _ => unreachable!(),
+                }
+                .metrics
+            };
+            let near = run_one(SystemConfig::NearL3);
+            for (si, (label, s)) in systems.iter().enumerate() {
+                let m = run_one(*s);
+                let sp = m.speedup_over(&near);
+                ge[si].push(sp);
+                fig.push(
+                    format!("{}/{}/{}", profile.name, w, label),
+                    vec![sp, m.traffic_vs(&near), m.noc_utilization],
+                );
+            }
+        }
+    }
+    for (si, (label, _)) in systems.iter().enumerate() {
+        fig.push(
+            format!("geomean/{label}"),
+            vec![geomean(&ge[si]).unwrap_or(1.0), f64::NAN, f64::NAN],
+        );
+    }
+    fig.note(format!(
+        "synthetic stand-ins matching Table 4 |V|/|E|/degree-skew, scaled 1/{div}"
+    ));
+    fig
+}
+
+/// Table 2: the simulated system parameters, as configured.
+pub fn table2(_opts: HarnessOpts) -> Figure {
+    let m = MachineConfig::paper_default();
+    let mut fig = Figure::new("table2", "System and uarch parameters (Table 2)", vec!["value"]);
+    for (k, v) in [
+        ("mesh", f64::from(m.mesh_x * 10 + m.mesh_y)),
+        ("clock_mhz", f64::from(m.clock_mhz)),
+        ("core_issue_width", f64::from(m.core_issue_width)),
+        ("l3_banks", f64::from(m.num_banks())),
+        ("l3_bank_KiB", (m.l3_bank_bytes >> 10) as f64),
+        ("l3_total_MiB", (m.l3_total_bytes() >> 20) as f64),
+        ("l3_latency_cy", m.l3_latency as f64),
+        ("default_interleave_B", m.default_interleave as f64),
+        ("l2_KiB", (m.l2_bytes >> 10) as f64),
+        ("l1_KiB", (m.l1_bytes >> 10) as f64),
+        ("link_bytes_per_cycle", m.link_bytes_per_cycle as f64),
+        ("mem_ctrls", f64::from(m.num_mem_ctrls)),
+        ("dram_bytes_per_cycle", m.dram_bytes_per_cycle as f64),
+        ("sel3_streams_total", f64::from(m.sel3_streams_per_bank * m.num_banks())),
+        ("iot_entries", f64::from(m.iot_entries)),
+    ] {
+        fig.push(k, vec![v]);
+    }
+    fig
+}
+
+/// Table 4: real-world graph profiles and their synthetic stand-ins.
+pub fn table4(opts: HarnessOpts) -> Figure {
+    let div = if opts.full { 1 } else { 16 };
+    let mut fig = Figure::new(
+        "table4",
+        "Real-world graphs (paper values and generated stand-ins)",
+        vec!["vertices", "edges", "avg_degree"],
+    );
+    for p in [gen::TWITCH_GAMERS, gen::GPLUS] {
+        fig.push(
+            format!("{} (paper)", p.name),
+            vec![f64::from(p.vertices), p.edges as f64, f64::from(p.avg_degree)],
+        );
+        let g = gen::real_world(p, div, opts.seed);
+        fig.push(
+            format!("{} (synthetic /{div})", p.name),
+            vec![f64::from(g.num_vertices()), g.num_edges() as f64, g.avg_degree()],
+        );
+    }
+    fig.note("stand-ins match |V|/|E|/degree skew; see DESIGN.md SS2");
+    fig
+}
+
+/// All figure ids the harness knows, in paper order.
+pub const ALL_FIGURES: [&str; 13] = [
+    "fig4", "fig6", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig20", "table2", "table4",
+];
+
+/// Run one figure by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (see [`ALL_FIGURES`]).
+pub fn run_figure(id: &str, opts: HarnessOpts) -> Figure {
+    match id {
+        "fig4" => fig4(opts),
+        "fig6" => fig6(opts),
+        "fig12" => fig12(opts),
+        "fig13" => fig13(opts),
+        "fig14" => fig14(opts),
+        "fig15" => fig15(opts),
+        "fig16" => fig16(opts),
+        "fig17" => fig17(opts),
+        "fig18" => fig18(opts),
+        "fig19" => fig19(opts),
+        "fig20" => fig20(opts),
+        "table2" => table2(opts),
+        "table4" => table4(opts),
+        other => panic!("unknown figure id {other:?}; known: {ALL_FIGURES:?}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! The evaluation harness: one reproduction function per figure of the
+//! paper, shared by the `figures` binary and the Criterion benches.
+//!
+//! Each `figN` function in [`figures`] runs the simulated experiments and
+//! returns a [`report::Figure`] — labeled rows of named series — which
+//! renders to the same table/series the paper plots. EXPERIMENTS.md records
+//! the paper-vs-measured comparison produced by `cargo run --release -p
+//! aff-bench --bin figures -- all`.
+
+pub mod figures;
+pub mod report;
+
+pub use report::{Figure, Row};

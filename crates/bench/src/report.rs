@@ -1,0 +1,170 @@
+//! Figure reports: labeled rows of named numeric series, rendered as text
+//! tables (and serializable to JSON for downstream plotting).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a figure: a label (workload, Δ value, policy…) plus one value
+/// per series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label.
+    pub label: String,
+    /// One value per column of the parent figure.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Construct a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A reproduced figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier ("fig4", "fig12", …).
+    pub id: String,
+    /// Human title (matches the paper's caption).
+    pub title: String,
+    /// Column (series) names.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (scale used, normalization).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Start a figure with the given columns.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<&str>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(Row::new(label, values));
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Column index by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column named {name}"))
+    }
+
+    /// Values of one column across rows.
+    pub fn column_values(&self, name: &str) -> Vec<f64> {
+        let i = self.col(name);
+        self.rows.iter().map(|r| r.values[i]).collect()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("row".len()))
+            .max()
+            .unwrap_or(3)
+            .max(3);
+        let col_w: Vec<usize> = self.columns.iter().map(|c| c.len().max(9)).collect();
+        out.push_str(&format!("{:label_w$}", ""));
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            out.push_str(&format!("  {c:>w$}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:label_w$}", r.label));
+            for (v, w) in r.values.iter().zip(&col_w) {
+                if v.abs() >= 1000.0 {
+                    out.push_str(&format!("  {v:>w$.0}"));
+                } else {
+                    out.push_str(&format!("  {v:>w$.3}"));
+                }
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("figX", "Sample", vec!["speedup", "hops"]);
+        f.push("a", vec![1.0, 0.5]);
+        f.push("b", vec![2.0, 0.25]);
+        f.note("normalized to a");
+        f
+    }
+
+    #[test]
+    fn columns_and_rows() {
+        let f = sample();
+        assert_eq!(f.col("hops"), 1);
+        assert_eq!(f.column_values("speedup"), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn renders_all_parts() {
+        let s = sample().render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("speedup"));
+        assert!(s.contains("note: normalized to a"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut f = Figure::new("f", "t", vec!["one"]);
+        f.push("bad", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn missing_column_panics() {
+        sample().col("nope");
+    }
+}

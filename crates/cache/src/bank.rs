@@ -1,0 +1,171 @@
+//! Per-bank access and residency counters.
+//!
+//! Bank-level parallelism is the second half of the paper's bank-select
+//! policy (Eq 4): affinity wants everything in one bank, throughput wants the
+//! load spread. These counters are what both the timing model (service-time
+//! bound) and the Fig 14 occupancy plots read.
+
+use serde::{Deserialize, Serialize};
+
+/// Access/residency counters for every L3 bank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankCounters {
+    accesses: Vec<u64>,
+    atomics: Vec<u64>,
+    resident_bytes: Vec<u64>,
+}
+
+impl BankCounters {
+    /// Counters for `num_banks` banks, all zero.
+    pub fn new(num_banks: u32) -> Self {
+        let n = num_banks as usize;
+        Self {
+            accesses: vec![0; n],
+            atomics: vec![0; n],
+            resident_bytes: vec![0; n],
+        }
+    }
+
+    /// Number of banks tracked.
+    pub fn num_banks(&self) -> u32 {
+        self.accesses.len() as u32
+    }
+
+    /// Record `n` plain accesses to `bank`.
+    pub fn access(&mut self, bank: u32, n: u64) {
+        self.accesses[bank as usize] += n;
+    }
+
+    /// Record `n` atomic operations (CAS / fetch-add) at `bank`. Atomics also
+    /// count as accesses.
+    pub fn atomic(&mut self, bank: u32, n: u64) {
+        self.atomics[bank as usize] += n;
+        self.accesses[bank as usize] += n;
+    }
+
+    /// Declare `bytes` of data resident in `bank` (for the capacity model).
+    pub fn add_resident(&mut self, bank: u32, bytes: u64) {
+        self.resident_bytes[bank as usize] += bytes;
+    }
+
+    /// Accesses to one bank.
+    pub fn accesses_of(&self, bank: u32) -> u64 {
+        self.accesses[bank as usize]
+    }
+
+    /// Atomics at one bank.
+    pub fn atomics_of(&self, bank: u32) -> u64 {
+        self.atomics[bank as usize]
+    }
+
+    /// Resident bytes declared for one bank.
+    pub fn resident_of(&self, bank: u32) -> u64 {
+        self.resident_bytes[bank as usize]
+    }
+
+    /// Total accesses over all banks.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+
+    /// Accesses at the busiest bank — the service-time bottleneck.
+    pub fn max_accesses(&self) -> u64 {
+        self.accesses.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total bytes declared resident.
+    pub fn total_resident(&self) -> u64 {
+        self.resident_bytes.iter().sum()
+    }
+
+    /// Resident bytes at the fullest bank.
+    pub fn max_resident(&self) -> u64 {
+        self.resident_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-bank access slice (Fig 14 style distributions).
+    pub fn accesses_per_bank(&self) -> &[u64] {
+        &self.accesses
+    }
+
+    /// Per-bank resident-bytes slice.
+    pub fn resident_per_bank(&self) -> &[u64] {
+        &self.resident_bytes
+    }
+
+    /// Load imbalance: busiest bank's accesses over the mean (1.0 = perfect).
+    /// Returns 0 for an idle system.
+    pub fn access_imbalance(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.accesses.len() as f64;
+        self.max_accesses() as f64 / mean
+    }
+
+    /// Merge another counter set (same bank count) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched bank counts.
+    pub fn merge(&mut self, other: &BankCounters) {
+        assert_eq!(self.num_banks(), other.num_banks());
+        for i in 0..self.accesses.len() {
+            self.accesses[i] += other.accesses[i];
+            self.atomics[i] += other.atomics[i];
+            self.resident_bytes[i] += other.resident_bytes[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = BankCounters::new(4);
+        c.access(0, 10);
+        c.atomic(0, 5);
+        c.access(3, 2);
+        assert_eq!(c.accesses_of(0), 15);
+        assert_eq!(c.atomics_of(0), 5);
+        assert_eq!(c.total_accesses(), 17);
+        assert_eq!(c.max_accesses(), 15);
+    }
+
+    #[test]
+    fn residency_tracking() {
+        let mut c = BankCounters::new(2);
+        c.add_resident(1, 4096);
+        c.add_resident(1, 4096);
+        assert_eq!(c.resident_of(1), 8192);
+        assert_eq!(c.total_resident(), 8192);
+        assert_eq!(c.max_resident(), 8192);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut c = BankCounters::new(4);
+        assert_eq!(c.access_imbalance(), 0.0);
+        for b in 0..4 {
+            c.access(b, 10);
+        }
+        assert!((c.access_imbalance() - 1.0).abs() < 1e-12);
+        c.access(0, 30);
+        assert!(c.access_imbalance() > 2.0);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = BankCounters::new(2);
+        let mut b = BankCounters::new(2);
+        a.access(0, 1);
+        b.access(0, 2);
+        b.add_resident(1, 64);
+        a.merge(&b);
+        assert_eq!(a.accesses_of(0), 3);
+        assert_eq!(a.resident_of(1), 64);
+    }
+}

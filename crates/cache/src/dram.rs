@@ -1,0 +1,115 @@
+//! DRAM model: four controllers at the mesh corners (Table 2).
+//!
+//! L3 capacity misses become line fetches from the controller nearest the
+//! missing bank. The model charges NoC traffic for the round trip, DRAM
+//! service bandwidth, and access latency; the analytic timing model takes
+//! the bandwidth term as one of its bottleneck candidates.
+
+use aff_noc::topology::Topology;
+use aff_noc::traffic::{TrafficClass, TrafficMatrix};
+use aff_sim_core::config::{MachineConfig, CACHE_LINE};
+
+/// Summary of DRAM activity for one kernel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramActivity {
+    /// Line accesses served.
+    pub accesses: u64,
+    /// Cycles DRAM bandwidth needs to serve them (a bottleneck candidate).
+    pub service_cycles: u64,
+}
+
+/// The corner-controller DRAM model.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    topo: Topology,
+    num_ctrls: u32,
+    bytes_per_cycle: u64,
+    accesses: u64,
+}
+
+impl DramModel {
+    /// Model for the machine's DRAM configuration.
+    pub fn new(config: &MachineConfig) -> Self {
+        Self {
+            topo: Topology::for_machine(config),
+            num_ctrls: config.num_mem_ctrls,
+            bytes_per_cycle: config.dram_bytes_per_cycle,
+            accesses: 0,
+        }
+    }
+
+    /// Record `misses` line misses at `bank`, charging request/response NoC
+    /// traffic to the nearest controller into `traffic`.
+    pub fn record_misses(&mut self, bank: u32, misses: u64, traffic: &mut TrafficMatrix) {
+        if misses == 0 {
+            return;
+        }
+        let ctrl = self.topo.nearest_mem_ctrl(bank, self.num_ctrls);
+        // Request header to the controller, full line back.
+        traffic.record_n(bank, ctrl, 0, TrafficClass::Control, misses);
+        traffic.record_n(ctrl, bank, CACHE_LINE, TrafficClass::Data, misses);
+        self.accesses += misses;
+    }
+
+    /// Total line accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Bandwidth-bound service time for everything recorded so far.
+    pub fn activity(&self) -> DramActivity {
+        DramActivity {
+            accesses: self.accesses,
+            service_cycles: (self.accesses * CACHE_LINE) / self.bytes_per_cycle.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DramModel, TrafficMatrix) {
+        let cfg = MachineConfig::paper_default();
+        let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+        (
+            DramModel::new(&cfg),
+            TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes),
+        )
+    }
+
+    #[test]
+    fn misses_generate_round_trips() {
+        let (mut dram, mut traffic) = setup();
+        dram.record_misses(9, 100, &mut traffic);
+        assert_eq!(dram.accesses(), 100);
+        // Bank 9 is nearest controller 0 (corner), distance 2:
+        // request: 1 flit * 2 hops * 100; response: 3 flits * 2 hops * 100.
+        assert_eq!(traffic.hop_flits(TrafficClass::Control), 200);
+        assert_eq!(traffic.hop_flits(TrafficClass::Data), 600);
+    }
+
+    #[test]
+    fn zero_misses_do_nothing() {
+        let (mut dram, mut traffic) = setup();
+        dram.record_misses(5, 0, &mut traffic);
+        assert_eq!(dram.accesses(), 0);
+        assert_eq!(traffic.total_hop_flits(), 0);
+    }
+
+    #[test]
+    fn service_cycles_follow_bandwidth() {
+        let (mut dram, mut traffic) = setup();
+        dram.record_misses(0, 13, &mut traffic); // 13 lines * 64B / 13 B/cy = 64 cy
+        assert_eq!(dram.activity().service_cycles, 64);
+    }
+
+    #[test]
+    fn misses_spread_to_nearest_corner() {
+        let (mut dram, mut traffic) = setup();
+        // Bank 63 is itself a controller corner: zero-hop round trip.
+        dram.record_misses(63, 10, &mut traffic);
+        assert_eq!(traffic.total_hop_flits(), 0);
+        assert_eq!(dram.accesses(), 10);
+    }
+}

@@ -1,0 +1,166 @@
+//! Private L1/L2 reuse filter.
+//!
+//! The In-Core baseline does not pay a NoC round trip for every element: the
+//! private caches (with the paper's Bingo/stride prefetchers) absorb
+//! spatial-locality hits — e.g. sixteen 4 B elements share one 64 B line, so
+//! a streaming read sends one L2 miss per line, not per element. The filter
+//! converts *element accesses* into *line-granularity L3 requests*, plus a
+//! temporal term for small working sets that fit in L2 across iterations.
+
+use aff_sim_core::config::{MachineConfig, CACHE_LINE};
+
+/// Models which accesses the private hierarchy absorbs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivateFilter {
+    l2_bytes: u64,
+    enabled: bool,
+}
+
+/// Result of filtering one access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilteredAccesses {
+    /// Accesses absorbed by L1/L2 (cost: private access energy only).
+    pub private_hits: u64,
+    /// Line-granularity requests that reach the shared L3 over the NoC.
+    pub l3_requests: u64,
+}
+
+impl PrivateFilter {
+    /// Filter for the machine's private hierarchy.
+    pub fn new(config: &MachineConfig) -> Self {
+        Self {
+            l2_bytes: config.l2_bytes,
+            enabled: true,
+        }
+    }
+
+    /// A disabled filter (every element access reaches L3) — the
+    /// `abl_reuse` ablation.
+    pub fn disabled(config: &MachineConfig) -> Self {
+        Self {
+            l2_bytes: config.l2_bytes,
+            enabled: false,
+        }
+    }
+
+    /// Whether filtering is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Filter a sequential/strided sweep: `element_accesses` touches over
+    /// `unique_bytes` of distinct data, revisited `revisits` times in a
+    /// window (e.g. a stencil reading three rows revisits each row ~3×).
+    ///
+    /// Spatial locality collapses element accesses to line requests; temporal
+    /// locality additionally absorbs revisits whose reuse distance fits in
+    /// the private L2.
+    pub fn filter_sweep(
+        &self,
+        element_accesses: u64,
+        unique_bytes: u64,
+        reuse_window_bytes: u64,
+    ) -> FilteredAccesses {
+        if !self.enabled {
+            return FilteredAccesses {
+                private_hits: 0,
+                l3_requests: element_accesses,
+            };
+        }
+        let unique_lines = unique_bytes.div_ceil(CACHE_LINE);
+        // Temporal: if the revisit window fits in L2, only the first sweep
+        // misses; otherwise every sweep misses at line granularity.
+        let l3 = if reuse_window_bytes <= self.l2_bytes {
+            unique_lines
+        } else {
+            // Each full sweep over the unique data misses once per line.
+            let sweeps = if unique_bytes == 0 {
+                0
+            } else {
+                (element_accesses * 4).div_ceil(unique_bytes).max(1)
+            };
+            unique_lines * sweeps
+        };
+        let l3 = l3.min(element_accesses);
+        FilteredAccesses {
+            private_hits: element_accesses - l3,
+            l3_requests: l3,
+        }
+    }
+
+    /// Filter a random-access stream over `unique_bytes` of data: private
+    /// caches only help if the whole structure fits in L2; otherwise every
+    /// access is an L3 request (no spatial locality to exploit).
+    pub fn filter_random(&self, element_accesses: u64, unique_bytes: u64) -> FilteredAccesses {
+        if !self.enabled || unique_bytes > self.l2_bytes {
+            return FilteredAccesses {
+                private_hits: 0,
+                l3_requests: element_accesses,
+            };
+        }
+        // Structure fits in L2: cold misses only.
+        let cold = unique_bytes.div_ceil(CACHE_LINE).min(element_accesses);
+        FilteredAccesses {
+            private_hits: element_accesses - cold,
+            l3_requests: cold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter() -> PrivateFilter {
+        PrivateFilter::new(&MachineConfig::paper_default())
+    }
+
+    #[test]
+    fn sequential_sweep_is_line_filtered() {
+        let f = filter();
+        // 1M 4-byte elements, 4MB unique, streamed once (window too large).
+        let r = f.filter_sweep(1_000_000, 4_000_000, 4_000_000);
+        // One L3 request per 64B line: 62500 lines.
+        assert_eq!(r.l3_requests, 62_500);
+        assert_eq!(r.private_hits + r.l3_requests, 1_000_000);
+    }
+
+    #[test]
+    fn small_window_absorbs_revisits() {
+        let f = filter();
+        // 3 sweeps over 64 KiB (fits in 256 KiB L2): only cold line misses.
+        let r = f.filter_sweep(48_000, 64 << 10, 64 << 10);
+        assert_eq!(r.l3_requests, 1024);
+    }
+
+    #[test]
+    fn disabled_filter_passes_everything() {
+        let f = PrivateFilter::disabled(&MachineConfig::paper_default());
+        let r = f.filter_sweep(1000, 4000, 4000);
+        assert_eq!(r.l3_requests, 1000);
+        assert_eq!(r.private_hits, 0);
+        assert!(!f.is_enabled());
+    }
+
+    #[test]
+    fn random_access_large_structure_is_unfiltered() {
+        let f = filter();
+        let r = f.filter_random(10_000, 8 << 20);
+        assert_eq!(r.l3_requests, 10_000);
+    }
+
+    #[test]
+    fn random_access_tiny_structure_hits_private() {
+        let f = filter();
+        let r = f.filter_random(10_000, 4 << 10);
+        assert_eq!(r.l3_requests, 64);
+        assert_eq!(r.private_hits, 9_936);
+    }
+
+    #[test]
+    fn l3_requests_never_exceed_accesses() {
+        let f = filter();
+        let r = f.filter_sweep(10, 64 << 10, 10 << 20);
+        assert!(r.l3_requests <= 10);
+    }
+}

@@ -1,0 +1,205 @@
+//! The affinity-alloc API surface (Fig 8(a) and Fig 10 of the paper).
+
+use aff_mem::addr::VAddr;
+use aff_mem::pool::PoolError;
+use serde::{Deserialize, Serialize};
+
+/// Maximum affinity addresses per irregular allocation (§5.1: the
+/// application samples a subset when it has more).
+pub const MAX_AFFINITY_ADDRS: usize = 32;
+
+/// The affine allocation request — the Rust rendering of the paper's
+/// `AffineArray` struct (Fig 8(a)).
+///
+/// Alignment semantics (Eq 2): element `i` of the new array aligns with
+/// element `(align_p / align_q) · i + align_x` of `align_to`.
+///
+/// # Example
+///
+/// ```
+/// use affinity_alloc::AffineArrayReq;
+///
+/// // float A[N] with default layout:
+/// let a = AffineArrayReq::new(4, 1024);
+/// // double C[N] with C[i] aligned to A[i]  (Fig 8(b)):
+/// # use affinity_alloc::{AffinityAllocator, BankSelectPolicy};
+/// # use aff_sim_core::config::MachineConfig;
+/// # let mut alloc = AffinityAllocator::new(MachineConfig::paper_default(), BankSelectPolicy::Hybrid { h: 5.0 });
+/// # let a_addr = alloc.malloc_aff_affine(&a).unwrap();
+/// let c = AffineArrayReq::new(8, 1024).align_to(a_addr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffineArrayReq {
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// Number of elements.
+    pub num_elem: u64,
+    /// The aligned-to affine array (`None` ⇒ default or intra-array layout).
+    pub align_to: Option<VAddr>,
+    /// Alignment ratio numerator (Eq 2). Default 1.
+    pub align_p: u64,
+    /// Alignment ratio denominator (Eq 2). Default 1.
+    pub align_q: u64,
+    /// Alignment offset (Eq 2); with `align_to == None`, a nonzero value
+    /// requests *intra-array* affinity between elements `i` and `i + x`
+    /// (Fig 8(c): row stride of a 2-D array accessed by column).
+    pub align_x: u64,
+    /// Force an interleave that spreads the array exactly once across all
+    /// banks (Fig 9: distributing graph partitions).
+    pub partition: bool,
+}
+
+impl AffineArrayReq {
+    /// Request with all alignment parameters at their defaults
+    /// (`p = q = 1`, `x = 0`, no partner, no partition).
+    pub fn new(elem_size: u64, num_elem: u64) -> Self {
+        Self {
+            elem_size,
+            num_elem,
+            align_to: None,
+            align_p: 1,
+            align_q: 1,
+            align_x: 0,
+            partition: false,
+        }
+    }
+
+    /// Align element-for-element with `partner` (`B[i] ↔ A[i]`).
+    pub fn align_to(mut self, partner: VAddr) -> Self {
+        self.align_to = Some(partner);
+        self
+    }
+
+    /// Align with ratio and offset: `B[i] ↔ A[(p/q)·i + x]`.
+    pub fn align_ratio(mut self, p: u64, q: u64, x: u64) -> Self {
+        self.align_p = p;
+        self.align_q = q;
+        self.align_x = x;
+        self
+    }
+
+    /// Request intra-array affinity between elements `i` and `i + row_stride`
+    /// (Fig 8(c)).
+    pub fn intra_stride(mut self, row_stride: u64) -> Self {
+        self.align_to = None;
+        self.align_x = row_stride;
+        self
+    }
+
+    /// Set the partition flag (Fig 9).
+    pub fn partitioned(mut self) -> Self {
+        self.partition = true;
+        self
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.elem_size * self.num_elem
+    }
+}
+
+/// Errors from the affinity allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Zero-sized request.
+    ZeroSize,
+    /// `align_p` or `align_q` is zero.
+    BadRatio,
+    /// More than [`MAX_AFFINITY_ADDRS`] affinity addresses.
+    TooManyAffinityAddrs {
+        /// How many were passed.
+        got: usize,
+    },
+    /// `align_to` does not name an array this allocator allocated.
+    UnknownPartner {
+        /// The unrecognized address.
+        addr: VAddr,
+    },
+    /// The address passed to `free_aff` was never allocated (or was already
+    /// freed).
+    UnknownAddress {
+        /// The unrecognized address.
+        addr: VAddr,
+    },
+    /// Pool/OS-level failure.
+    Pool(PoolError),
+    /// Intra-array request where `align_p/q ≠ 1` (§4.2 footnote: otherwise
+    /// the alignment is no longer affine).
+    NonUnitIntraRatio,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::ZeroSize => write!(f, "zero-sized allocation"),
+            AllocError::BadRatio => write!(f, "alignment ratio with zero numerator or denominator"),
+            AllocError::TooManyAffinityAddrs { got } => {
+                write!(f, "{got} affinity addresses exceeds the limit of {MAX_AFFINITY_ADDRS}")
+            }
+            AllocError::UnknownPartner { addr } => {
+                write!(f, "align_to address {addr} is not an allocated affine array")
+            }
+            AllocError::UnknownAddress { addr } => {
+                write!(f, "address {addr} was not allocated by this allocator")
+            }
+            AllocError::Pool(e) => write!(f, "pool error: {e}"),
+            AllocError::NonUnitIntraRatio => {
+                write!(f, "intra-array affinity requires align_p = align_q = 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::Pool(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PoolError> for AllocError {
+    fn from(e: PoolError) -> Self {
+        AllocError::Pool(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_fig8a() {
+        let r = AffineArrayReq::new(4, 100);
+        assert_eq!(r.align_p, 1);
+        assert_eq!(r.align_q, 1);
+        assert_eq!(r.align_x, 0);
+        assert!(r.align_to.is_none());
+        assert!(!r.partition);
+        assert_eq!(r.total_bytes(), 400);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let r = AffineArrayReq::new(4, 100)
+            .align_to(VAddr(0x40))
+            .align_ratio(4, 1, 2);
+        assert_eq!(r.align_to, Some(VAddr(0x40)));
+        assert_eq!((r.align_p, r.align_q, r.align_x), (4, 1, 2));
+        let p = AffineArrayReq::new(4, 100).partitioned();
+        assert!(p.partition);
+        let i = AffineArrayReq::new(4, 100).intra_stride(32);
+        assert_eq!(i.align_x, 32);
+        assert!(i.align_to.is_none());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(AllocError::ZeroSize.to_string().contains("zero-sized"));
+        assert!(AllocError::TooManyAffinityAddrs { got: 40 }
+            .to_string()
+            .contains("40"));
+        assert!(AllocError::Pool(PoolError::IotFull).to_string().contains("pool"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Data structures co-designed with affinity alloc (§3.3, §5.3).
+//!
+//! Each structure comes in a *baseline* layout (ordinary heap placement —
+//! what `In-Core` and `Near-L3` run on) and an *affinity* layout built
+//! through the [`affinity_alloc`] runtime:
+//!
+//! * [`graph::Graph`] — the logical graph (CSR adjacency, no placement),
+//! * [`csr::CsrLayout`] — the classic index+edge arrays, plus the Fig 6
+//!   *chunked oracle* placement study,
+//! * [`linked_csr::LinkedCsr`] — the paper's novel format (Fig 11): edges in
+//!   cache-line-sized linked nodes placed near the vertices they point to,
+//! * [`queue::SpatialQueue`] — the spatially distributed work queue (Fig 9),
+//! * [`dynamic::DynamicLinkedCsr`] — the §8 evolving-graph extension with
+//!   `realloc_aff`-based re-placement,
+//! * [`list::AffLinkedList`], [`tree::AffBinaryTree`],
+//!   [`hash::HashChainTable`] — the pointer-chasing workloads' structures.
+//!
+//! Layouts record, for every element, which L3 bank owns it — that is the
+//! only placement fact the stream executors need.
+
+pub mod csr;
+pub mod dynamic;
+pub mod graph;
+pub mod hash;
+pub mod layout;
+pub mod linked_csr;
+pub mod list;
+pub mod pqueue;
+pub mod queue;
+pub mod tree;
+
+pub use graph::Graph;
+pub use layout::{AllocMode, VertexArray};
+pub use linked_csr::LinkedCsr;
+pub use queue::SpatialQueue;

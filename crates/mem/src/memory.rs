@@ -1,0 +1,200 @@
+//! Byte-addressable simulated memory.
+//!
+//! Workloads run on real data — edge lists, stencil grids, hash buckets — so
+//! the simulator needs actual storage behind its virtual addresses. Pages are
+//! materialized lazily; unwritten bytes read as zero (matching anonymous
+//! mmap semantics).
+
+use crate::addr::VAddr;
+use std::collections::HashMap;
+
+const PAGE: u64 = 4096;
+
+/// Sparse, page-granular simulated memory addressed by [`VAddr`].
+#[derive(Debug, Default, Clone)]
+pub struct SimMemory {
+    pages: HashMap<u64, Box<[u8; PAGE as usize]>>,
+}
+
+impl SimMemory {
+    /// Fresh empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialized pages (footprint accounting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`. Unbacked bytes read as 0.
+    pub fn read_bytes(&self, addr: VAddr, buf: &mut [u8]) {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr.raw() + pos as u64;
+            let (vpn, off) = (a / PAGE, (a % PAGE) as usize);
+            let n = ((PAGE as usize) - off).min(buf.len() - pos);
+            match self.pages.get(&vpn) {
+                Some(p) => buf[pos..pos + n].copy_from_slice(&p[off..off + n]),
+                None => buf[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+    }
+
+    /// Write `buf` starting at `addr`, materializing pages as needed.
+    pub fn write_bytes(&mut self, addr: VAddr, buf: &[u8]) {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr.raw() + pos as u64;
+            let (vpn, off) = (a / PAGE, (a % PAGE) as usize);
+            let n = ((PAGE as usize) - off).min(buf.len() - pos);
+            let page = self
+                .pages
+                .entry(vpn)
+                .or_insert_with(|| Box::new([0u8; PAGE as usize]));
+            page[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    /// Read a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: VAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: VAddr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: VAddr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u32` at `addr`.
+    pub fn write_u32(&mut self, addr: VAddr, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read a little-endian `i64` at `addr`.
+    pub fn read_i64(&self, addr: VAddr) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Write a little-endian `i64` at `addr`.
+    pub fn write_i64(&mut self, addr: VAddr, v: i64) {
+        self.write_u64(addr, v as u64);
+    }
+
+    /// Read an `f32` at `addr`.
+    pub fn read_f32(&self, addr: VAddr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Write an `f32` at `addr`.
+    pub fn write_f32(&mut self, addr: VAddr, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Read an `f64` at `addr`.
+    pub fn read_f64(&self, addr: VAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an `f64` at `addr`.
+    pub fn write_f64(&mut self, addr: VAddr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    /// Compare-and-swap a `u64` at `addr`: stores `new` and returns `true`
+    /// iff the current value equals `expected` (the BFS `cas(P[v],-1,p)`
+    /// primitive from Fig 2(c)).
+    pub fn cas_u64(&mut self, addr: VAddr, expected: u64, new: u64) -> bool {
+        if self.read_u64(addr) == expected {
+            self.write_u64(addr, new);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Atomically add `delta` to the `u64` at `addr`, returning the old value
+    /// (the `atomic_inc(&q_size, 1)` primitive from Fig 2(c)).
+    pub fn fetch_add_u64(&mut self, addr: VAddr, delta: u64) -> u64 {
+        let old = self.read_u64(addr);
+        self.write_u64(addr, old.wrapping_add(delta));
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_on_fresh_read() {
+        let m = SimMemory::new();
+        assert_eq!(m.read_u64(VAddr(0x1234)), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut m = SimMemory::new();
+        m.write_u64(VAddr(0x100), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u64(VAddr(0x100)), 0xDEAD_BEEF_CAFE_F00D);
+        m.write_u32(VAddr(0x200), 42);
+        assert_eq!(m.read_u32(VAddr(0x200)), 42);
+        m.write_f32(VAddr(0x300), 3.5);
+        assert_eq!(m.read_f32(VAddr(0x300)), 3.5);
+        m.write_f64(VAddr(0x400), -1.25);
+        assert_eq!(m.read_f64(VAddr(0x400)), -1.25);
+        m.write_i64(VAddr(0x500), -7);
+        assert_eq!(m.read_i64(VAddr(0x500)), -7);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SimMemory::new();
+        let addr = VAddr(4096 - 3); // straddles the first page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut m = SimMemory::new();
+        let a = VAddr(0x40);
+        m.write_u64(a, u64::MAX); // "-1": unvisited
+        assert!(m.cas_u64(a, u64::MAX, 7));
+        assert_eq!(m.read_u64(a), 7);
+        assert!(!m.cas_u64(a, u64::MAX, 9), "second CAS must fail");
+        assert_eq!(m.read_u64(a), 7);
+    }
+
+    #[test]
+    fn fetch_add_returns_old() {
+        let mut m = SimMemory::new();
+        let a = VAddr(0x80);
+        assert_eq!(m.fetch_add_u64(a, 1), 0);
+        assert_eq!(m.fetch_add_u64(a, 1), 1);
+        assert_eq!(m.read_u64(a), 2);
+    }
+
+    #[test]
+    fn large_block_round_trip() {
+        let mut m = SimMemory::new();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(VAddr(12345), &data);
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(VAddr(12345), &mut back);
+        assert_eq!(back, data);
+    }
+}

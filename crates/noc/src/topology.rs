@@ -1,0 +1,342 @@
+//! Mesh topology: tile coordinates, distances, and X-Y routes.
+//!
+//! Banks are numbered row-major: bank `i` sits at `(i % mesh_x, i / mesh_x)`.
+//! This is the "1D linear pattern" the paper's interleave pools map onto
+//! (§4.1 Eq 1): consecutive interleave chunks go to consecutively numbered
+//! banks, wrapping at `n_banks`.
+
+use aff_sim_core::config::BankOrder;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an L3 bank / mesh tile (row-major).
+pub type BankId = u32;
+
+/// A tile position on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column, `0 ..= mesh_x-1`.
+    pub x: u32,
+    /// Row, `0 ..= mesh_y-1`.
+    pub y: u32,
+}
+
+/// One directed mesh link between adjacent tiles.
+///
+/// `from` and `to` always differ by exactly one in exactly one coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Source tile.
+    pub from: Coord,
+    /// Destination tile (mesh neighbor of `from`).
+    pub to: Coord,
+}
+
+/// A rectangular mesh of tiles with X-Y dimension-ordered routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    mesh_x: u32,
+    mesh_y: u32,
+    order: BankOrder,
+}
+
+impl Topology {
+    /// Create an `x_dim` × `y_dim` mesh with row-major bank numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(x_dim: u32, y_dim: u32) -> Self {
+        Self::with_order(x_dim, y_dim, BankOrder::RowMajor)
+    }
+
+    /// Create a mesh with an explicit bank-numbering order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_order(x_dim: u32, y_dim: u32, order: BankOrder) -> Self {
+        assert!(x_dim > 0 && y_dim > 0, "degenerate mesh {x_dim}x{y_dim}");
+        Self {
+            mesh_x: x_dim,
+            mesh_y: y_dim,
+            order,
+        }
+    }
+
+    /// The mesh + numbering a [`aff_sim_core::config::MachineConfig`]
+    /// describes.
+    pub fn for_machine(cfg: &aff_sim_core::config::MachineConfig) -> Self {
+        Self::with_order(cfg.mesh_x, cfg.mesh_y, cfg.bank_order)
+    }
+
+    /// The bank-numbering order.
+    pub fn order(&self) -> BankOrder {
+        self.order
+    }
+
+    /// Mesh width.
+    pub fn mesh_x(&self) -> u32 {
+        self.mesh_x
+    }
+
+    /// Mesh height.
+    pub fn mesh_y(&self) -> u32 {
+        self.mesh_y
+    }
+
+    /// Total number of tiles (= L3 banks).
+    pub fn num_banks(&self) -> u32 {
+        self.mesh_x * self.mesh_y
+    }
+
+    /// Coordinate of bank `b` under the configured numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn coord_of(&self, b: BankId) -> Coord {
+        assert!(b < self.num_banks(), "bank {b} out of range");
+        let y = b / self.mesh_x;
+        let raw_x = b % self.mesh_x;
+        let x = match self.order {
+            BankOrder::RowMajor => raw_x,
+            BankOrder::Snake if y % 2 == 1 => self.mesh_x - 1 - raw_x,
+            BankOrder::Snake => raw_x,
+        };
+        Coord { x, y }
+    }
+
+    /// Bank id at coordinate `c` under the configured numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the mesh.
+    pub fn bank_of(&self, c: Coord) -> BankId {
+        assert!(c.x < self.mesh_x && c.y < self.mesh_y, "coord {c:?} outside mesh");
+        let x = match self.order {
+            BankOrder::RowMajor => c.x,
+            BankOrder::Snake if c.y % 2 == 1 => self.mesh_x - 1 - c.x,
+            BankOrder::Snake => c.x,
+        };
+        c.y * self.mesh_x + x
+    }
+
+    /// Manhattan distance in hops between two banks.
+    pub fn manhattan(&self, a: BankId, b: BankId) -> u32 {
+        let ca = self.coord_of(a);
+        let cb = self.coord_of(b);
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+
+    /// The X-Y (dimension-ordered) route from `a` to `b` as a sequence of
+    /// directed links: first all X moves, then all Y moves. Empty when
+    /// `a == b`.
+    pub fn xy_route(&self, a: BankId, b: BankId) -> Vec<Link> {
+        let mut cur = self.coord_of(a);
+        let dst = self.coord_of(b);
+        let mut links = Vec::with_capacity(self.manhattan(a, b) as usize);
+        while cur.x != dst.x {
+            let next = Coord {
+                x: if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 },
+                y: cur.y,
+            };
+            links.push(Link { from: cur, to: next });
+            cur = next;
+        }
+        while cur.y != dst.y {
+            let next = Coord {
+                x: cur.x,
+                y: if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 },
+            };
+            links.push(Link { from: cur, to: next });
+            cur = next;
+        }
+        links
+    }
+
+    /// Dense index of a directed link, for per-link accumulation arrays.
+    /// Valid indices are `0 .. self.num_links()`.
+    ///
+    /// Layout: for each tile, four outgoing directions (E, W, S, N) in that
+    /// order; links that would leave the mesh are still assigned indices but
+    /// never produced by [`Self::xy_route`].
+    pub fn link_index(&self, link: Link) -> usize {
+        let from = self.bank_of(link.from) as usize;
+        let dir = if link.to.x == link.from.x + 1 {
+            0 // east
+        } else if link.to.x + 1 == link.from.x {
+            1 // west
+        } else if link.to.y == link.from.y + 1 {
+            2 // south
+        } else if link.to.y + 1 == link.from.y {
+            3 // north
+        } else {
+            panic!("link {link:?} does not connect mesh neighbors");
+        };
+        from * 4 + dir
+    }
+
+    /// Number of directed link slots ([`Self::link_index`] upper bound).
+    pub fn num_links(&self) -> usize {
+        self.num_banks() as usize * 4
+    }
+
+    /// Banks hosting memory controllers: the paper places 4 at the corners.
+    pub fn mem_ctrl_banks(&self, num_ctrls: u32) -> Vec<BankId> {
+        let corners = [
+            self.bank_of(Coord { x: 0, y: 0 }),
+            self.bank_of(Coord {
+                x: self.mesh_x - 1,
+                y: 0,
+            }),
+            self.bank_of(Coord {
+                x: 0,
+                y: self.mesh_y - 1,
+            }),
+            self.bank_of(Coord {
+                x: self.mesh_x - 1,
+                y: self.mesh_y - 1,
+            }),
+        ];
+        let mut out: Vec<BankId> = corners
+            .into_iter()
+            .take(num_ctrls as usize)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// The memory controller nearest to `bank` (ties break to the
+    /// lowest-numbered controller).
+    pub fn nearest_mem_ctrl(&self, bank: BankId, num_ctrls: u32) -> BankId {
+        self.mem_ctrl_banks(num_ctrls)
+            .into_iter()
+            .min_by_key(|&m| (self.manhattan(bank, m), m))
+            .expect("at least one memory controller")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_numbering() {
+        let t = Topology::new(8, 8);
+        assert_eq!(t.coord_of(0), Coord { x: 0, y: 0 });
+        assert_eq!(t.coord_of(7), Coord { x: 7, y: 0 });
+        assert_eq!(t.coord_of(8), Coord { x: 0, y: 1 });
+        assert_eq!(t.coord_of(63), Coord { x: 7, y: 7 });
+        for b in 0..64 {
+            assert_eq!(t.bank_of(t.coord_of(b)), b);
+        }
+    }
+
+    #[test]
+    fn manhattan_matches_hand_counts() {
+        let t = Topology::new(8, 8);
+        assert_eq!(t.manhattan(0, 0), 0);
+        assert_eq!(t.manhattan(0, 7), 7);
+        assert_eq!(t.manhattan(0, 63), 14);
+        assert_eq!(t.manhattan(9, 18), 2);
+    }
+
+    #[test]
+    fn xy_route_is_x_then_y() {
+        let t = Topology::new(4, 4);
+        let route = t.xy_route(0, 15); // (0,0) -> (3,3)
+        assert_eq!(route.len(), 6);
+        // First three links move in X.
+        for l in &route[..3] {
+            assert_eq!(l.from.y, l.to.y);
+        }
+        // Last three links move in Y.
+        for l in &route[3..] {
+            assert_eq!(l.from.x, l.to.x);
+        }
+        assert_eq!(route[0].from, Coord { x: 0, y: 0 });
+        assert_eq!(route[5].to, Coord { x: 3, y: 3 });
+    }
+
+    #[test]
+    fn route_length_equals_manhattan() {
+        let t = Topology::new(8, 8);
+        for a in (0..64).step_by(7) {
+            for b in (0..64).step_by(5) {
+                assert_eq!(t.xy_route(a, b).len() as u32, t.manhattan(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Topology::new(8, 8);
+        assert!(t.xy_route(12, 12).is_empty());
+    }
+
+    #[test]
+    fn link_indices_unique() {
+        let t = Topology::new(4, 4);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..16 {
+            for b in 0..16 {
+                for l in t.xy_route(a, b) {
+                    let idx = t.link_index(l);
+                    assert!(idx < t.num_links());
+                    seen.insert((l, idx));
+                }
+            }
+        }
+        // Same link always maps to the same index; distinct links to distinct.
+        let mut by_idx = std::collections::HashMap::new();
+        for (l, idx) in seen {
+            if let Some(prev) = by_idx.insert(idx, l) {
+                assert_eq!(prev, l, "index collision at {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn corner_mem_ctrls() {
+        let t = Topology::new(8, 8);
+        assert_eq!(t.mem_ctrl_banks(4), vec![0, 7, 56, 63]);
+        assert_eq!(t.nearest_mem_ctrl(9, 4), 0);
+        assert_eq!(t.nearest_mem_ctrl(62, 4), 63);
+    }
+
+    #[test]
+    fn one_by_one_mesh_works() {
+        let t = Topology::new(1, 1);
+        assert_eq!(t.num_banks(), 1);
+        assert_eq!(t.manhattan(0, 0), 0);
+        assert_eq!(t.mem_ctrl_banks(4), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_of_out_of_range_panics() {
+        Topology::new(2, 2).coord_of(4);
+    }
+
+    #[test]
+    fn snake_numbering_round_trips() {
+        let t = Topology::with_order(8, 8, BankOrder::Snake);
+        for b in 0..64 {
+            assert_eq!(t.bank_of(t.coord_of(b)), b);
+        }
+        // Row 1 runs right-to-left: bank 8 sits under bank 7.
+        assert_eq!(t.coord_of(7), Coord { x: 7, y: 0 });
+        assert_eq!(t.coord_of(8), Coord { x: 7, y: 1 });
+    }
+
+    #[test]
+    fn snake_makes_all_consecutive_banks_adjacent() {
+        let t = Topology::with_order(8, 8, BankOrder::Snake);
+        for b in 0..63 {
+            assert_eq!(t.manhattan(b, b + 1), 1, "banks {b},{} not adjacent", b + 1);
+        }
+        // Row-major pays the row wrap instead.
+        let rm = Topology::new(8, 8);
+        assert_eq!(rm.manhattan(7, 8), 8);
+    }
+}

@@ -1,0 +1,368 @@
+//! Traffic accounting by message class.
+//!
+//! Every simulated message is attributed to one of the three classes the
+//! paper's traffic plots stack (legend of Figs 4/6/12/13/20):
+//!
+//! * [`TrafficClass::Offload`] — stream configuration, credit batches and
+//!   stream *migration* between banks (the cost of moving computation),
+//! * [`TrafficClass::Data`] — operand values forwarded between streams,
+//!   writebacks, fill/response payloads (the cost of moving data),
+//! * [`TrafficClass::Control`] — request headers: indirect/remote access
+//!   requests, coherence control, synchronization.
+//!
+//! The unit of traffic is the **flit-hop**: one 32 B flit crossing one link.
+//! A message of `b` payload bytes occupies `ceil((b + header) / link_width)`
+//! flits on each of its `manhattan(src, dst)` links.
+
+use crate::topology::{BankId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's three traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Stream config / credits / migration.
+    Offload,
+    /// Operand and response payloads.
+    Data,
+    /// Request headers and synchronization.
+    Control,
+}
+
+impl TrafficClass {
+    /// All classes, in plot order.
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::Offload,
+        TrafficClass::Data,
+        TrafficClass::Control,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            TrafficClass::Offload => 0,
+            TrafficClass::Data => 1,
+            TrafficClass::Control => 2,
+        }
+    }
+}
+
+/// One recorded message, kept only when packet logging is enabled (the DES
+/// model replays these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Source bank.
+    pub src: BankId,
+    /// Destination bank.
+    pub dst: BankId,
+    /// Number of flits (header included).
+    pub flits: u64,
+    /// Traffic class.
+    pub class: TrafficClass,
+}
+
+/// Accumulates flit-hops per link and per class for one kernel execution.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    topo: Topology,
+    link_bytes: u64,
+    header_bytes: u64,
+    /// Flits accumulated per directed link (indexed by `Topology::link_index`).
+    link_flits: Vec<u64>,
+    /// Flit-hops per class.
+    hop_flits: [u64; 3],
+    /// Message count per class.
+    messages: [u64; 3],
+    /// Local (same-bank) messages that consumed no links, per class.
+    local_messages: [u64; 3],
+    /// Optional packet log for DES replay.
+    log: Option<Vec<Packet>>,
+    /// Cached link-index routes; irregular workloads record millions of
+    /// per-element messages over at most n_banks^2 distinct routes.
+    route_cache: HashMap<(BankId, BankId), Box<[u32]>>,
+}
+
+impl TrafficMatrix {
+    /// New matrix over `topo` with the machine's link width and per-message
+    /// header overhead.
+    pub fn new(topo: Topology, link_bytes_per_cycle: u64, packet_header_bytes: u64) -> Self {
+        assert!(link_bytes_per_cycle > 0, "zero-width links");
+        Self {
+            topo,
+            link_bytes: link_bytes_per_cycle,
+            header_bytes: packet_header_bytes,
+            link_flits: vec![0; topo.num_links()],
+            hop_flits: [0; 3],
+            messages: [0; 3],
+            local_messages: [0; 3],
+            log: None,
+            route_cache: HashMap::new(),
+        }
+    }
+
+    /// Enable packet logging (needed to replay through the DES model).
+    pub fn enable_log(&mut self) {
+        if self.log.is_none() {
+            self.log = Some(Vec::new());
+        }
+    }
+
+    /// The topology this matrix accumulates over.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Flits occupied by a message of `payload_bytes`.
+    pub fn flits_for(&self, payload_bytes: u64) -> u64 {
+        (payload_bytes + self.header_bytes).div_ceil(self.link_bytes).max(1)
+    }
+
+    /// Record one message. Same-bank messages cost no flit-hops but are
+    /// counted (they still occupy bank ports, which the timing model charges
+    /// separately).
+    pub fn record(&mut self, src: BankId, dst: BankId, payload_bytes: u64, class: TrafficClass) {
+        self.record_n(src, dst, payload_bytes, class, 1);
+    }
+
+    /// Record `count` identical messages at once — the hot path for affine
+    /// streams, where millions of element messages share a route.
+    pub fn record_n(
+        &mut self,
+        src: BankId,
+        dst: BankId,
+        payload_bytes: u64,
+        class: TrafficClass,
+        count: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let flits = self.flits_for(payload_bytes);
+        self.messages[class.idx()] += count;
+        if src == dst {
+            self.local_messages[class.idx()] += count;
+            return;
+        }
+        let topo = self.topo;
+        let route = self
+            .route_cache
+            .entry((src, dst))
+            .or_insert_with(|| {
+                topo.xy_route(src, dst)
+                    .into_iter()
+                    .map(|l| topo.link_index(l) as u32)
+                    .collect()
+            });
+        for &idx in route.iter() {
+            self.link_flits[idx as usize] += flits * count;
+        }
+        self.hop_flits[class.idx()] += flits * count * route.len() as u64;
+        if let Some(log) = &mut self.log {
+            for _ in 0..count {
+                log.push(Packet {
+                    src,
+                    dst,
+                    flits,
+                    class,
+                });
+            }
+        }
+    }
+
+    /// Total flit-hops across all classes.
+    pub fn total_hop_flits(&self) -> u64 {
+        self.hop_flits.iter().sum()
+    }
+
+    /// Flit-hops for one class.
+    pub fn hop_flits(&self, class: TrafficClass) -> u64 {
+        self.hop_flits[class.idx()]
+    }
+
+    /// Messages recorded for one class (including same-bank ones).
+    pub fn messages(&self, class: TrafficClass) -> u64 {
+        self.messages[class.idx()]
+    }
+
+    /// Same-bank messages for one class.
+    pub fn local_messages(&self, class: TrafficClass) -> u64 {
+        self.local_messages[class.idx()]
+    }
+
+    /// Flits carried by the single busiest directed link — the bottleneck
+    /// the analytic timing model divides by link bandwidth. This is what
+    /// exposes the Fig 3(b) bisection pathology.
+    pub fn bottleneck_link_flits(&self) -> u64 {
+        self.link_flits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-link flit counts, indexed by [`Topology::link_index`]
+    /// (diagnostics; the bottleneck is their max).
+    pub fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
+    /// Sum of flits over all links (= total flit-hops, cross-check).
+    pub fn sum_link_flits(&self) -> u64 {
+        self.link_flits.iter().sum()
+    }
+
+    /// Mean link utilization relative to the busiest link, in `[0, 1]`;
+    /// the "NoC Util." dots in Figs 12/13/20. Returns 0 for an idle network.
+    pub fn utilization(&self) -> f64 {
+        let max = self.bottleneck_link_flits();
+        if max == 0 {
+            return 0.0;
+        }
+        let used: Vec<f64> = self.link_flits.iter().map(|&f| f as f64).collect();
+        used.iter().sum::<f64>() / (max as f64 * used.len() as f64)
+    }
+
+    /// The packet log, if logging was enabled before recording.
+    pub fn packets(&self) -> Option<&[Packet]> {
+        self.log.as_deref()
+    }
+
+    /// Merge another matrix (same topology) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topologies differ.
+    pub fn merge(&mut self, other: &TrafficMatrix) {
+        assert_eq!(self.topo, other.topo, "merging traffic across topologies");
+        for (a, b) in self.link_flits.iter_mut().zip(&other.link_flits) {
+            *a += b;
+        }
+        for i in 0..3 {
+            self.hop_flits[i] += other.hop_flits[i];
+            self.messages[i] += other.messages[i];
+            self.local_messages[i] += other.local_messages[i];
+        }
+        if let (Some(log), Some(other_log)) = (&mut self.log, &other.log) {
+            log.extend_from_slice(other_log);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> TrafficMatrix {
+        TrafficMatrix::new(Topology::new(4, 4), 32, 8)
+    }
+
+    #[test]
+    fn flit_math() {
+        let m = matrix();
+        assert_eq!(m.flits_for(0), 1); // header alone
+        assert_eq!(m.flits_for(24), 1); // 24+8 = 32
+        assert_eq!(m.flits_for(25), 2);
+        assert_eq!(m.flits_for(64), 3); // 72 bytes -> 3 flits
+    }
+
+    #[test]
+    fn same_bank_message_is_free_on_links() {
+        let mut m = matrix();
+        m.record(5, 5, 64, TrafficClass::Data);
+        assert_eq!(m.total_hop_flits(), 0);
+        assert_eq!(m.messages(TrafficClass::Data), 1);
+        assert_eq!(m.local_messages(TrafficClass::Data), 1);
+    }
+
+    #[test]
+    fn hop_flits_scale_with_distance() {
+        let mut m = matrix();
+        // 0 -> 3 is 3 hops on a 4x4 mesh; 64B payload = 3 flits.
+        m.record(0, 3, 64, TrafficClass::Data);
+        assert_eq!(m.total_hop_flits(), 9);
+        assert_eq!(m.hop_flits(TrafficClass::Data), 9);
+        assert_eq!(m.hop_flits(TrafficClass::Control), 0);
+        assert_eq!(m.sum_link_flits(), 9);
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let mut a = matrix();
+        let mut b = matrix();
+        a.record_n(0, 9, 16, TrafficClass::Control, 10);
+        for _ in 0..10 {
+            b.record(0, 9, 16, TrafficClass::Control);
+        }
+        assert_eq!(a.total_hop_flits(), b.total_hop_flits());
+        assert_eq!(a.bottleneck_link_flits(), b.bottleneck_link_flits());
+    }
+
+    #[test]
+    fn bottleneck_sees_contended_link() {
+        let mut m = matrix();
+        // Everyone sends to bank 0 across link (1,0)->(0,0).
+        for src in [1u32, 2, 3] {
+            m.record(src, 0, 24, TrafficClass::Data);
+        }
+        // Link from (1,0) to (0,0) carries all three messages' flits.
+        assert_eq!(m.bottleneck_link_flits(), 3);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut m = matrix();
+        assert_eq!(m.utilization(), 0.0);
+        m.record(0, 15, 24, TrafficClass::Data);
+        let u = m.utilization();
+        assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn log_replays_packets() {
+        let mut m = matrix();
+        m.enable_log();
+        m.record(0, 3, 64, TrafficClass::Offload);
+        let pkts = m.packets().unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].flits, 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = matrix();
+        let mut b = matrix();
+        a.record(0, 3, 24, TrafficClass::Data);
+        b.record(0, 3, 24, TrafficClass::Data);
+        a.merge(&b);
+        assert_eq!(a.total_hop_flits(), 6);
+        assert_eq!(a.messages(TrafficClass::Data), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Total flit-hops always equals the sum over links, for any message
+        /// mix, and bulk recording is exactly n repetitions.
+        #[test]
+        fn accounting_identities(
+            msgs in proptest::collection::vec(
+                (0u32..16, 0u32..16, 0u64..256, 1u64..20),
+                0..40,
+            )
+        ) {
+            let topo = Topology::new(4, 4);
+            let mut bulk = TrafficMatrix::new(topo, 32, 8);
+            let mut single = TrafficMatrix::new(topo, 32, 8);
+            for &(src, dst, bytes, n) in &msgs {
+                bulk.record_n(src, dst, bytes, TrafficClass::Data, n);
+                for _ in 0..n {
+                    single.record(src, dst, bytes, TrafficClass::Data);
+                }
+            }
+            prop_assert_eq!(bulk.total_hop_flits(), bulk.sum_link_flits());
+            prop_assert_eq!(bulk.total_hop_flits(), single.total_hop_flits());
+            prop_assert_eq!(bulk.bottleneck_link_flits(), single.bottleneck_link_flits());
+            let u = bulk.utilization();
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

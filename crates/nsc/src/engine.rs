@@ -1,0 +1,619 @@
+//! The simulation engine: accounting-driven timing, traffic and energy.
+//!
+//! Workload executors translate their kernels into calls on [`SimEngine`] —
+//! "core 3 read 512 lines from bank 9", "stream migrated from bank 4 to 5",
+//! "CAS executed at bank 61 from bank 7" — and the engine attributes each to
+//! a traffic class, a bank, and an energy event. [`SimEngine::finish`] then
+//! resolves capacity misses against the DRAM model and computes the analytic
+//! cycle estimate:
+//!
+//! ```text
+//! cycles = max(core-compute, se-compute, bank-service, bottleneck-link, dram)
+//!          + serial-chain latency
+//! ```
+//!
+//! The serial term captures pointer chasing, where per-hop latency cannot be
+//! hidden by bandwidth. The max-of-bounds form is the standard roofline-style
+//! abstraction of a throughput-bound parallel machine; the packet-level DES
+//! model in [`aff_noc::des`] cross-validates the link term.
+
+use crate::occupancy::{OccupancyTimeline, PhaseTracker};
+use aff_cache::bank::BankCounters;
+use aff_cache::capacity;
+use aff_cache::dram::DramModel;
+use aff_noc::topology::{BankId, Topology};
+use aff_noc::traffic::{TrafficClass, TrafficMatrix};
+use aff_sim_core::config::{MachineConfig, CACHE_LINE};
+use aff_sim_core::energy::{EnergyBreakdown, EnergyModel};
+use serde::{Deserialize, Serialize};
+
+/// Iterations covered by one coarse-grained credit message (§2.2).
+pub const CREDIT_BATCH: u64 = 64;
+
+/// Bytes of architectural state carried by a stream migration.
+pub const MIGRATE_STATE_BYTES: u64 = 32;
+
+/// Where the analytic cycle count came from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Core pipeline bound: total core ops over the aggregate issue width of
+    /// all tiles (assumes the workload threads evenly, which the OpenMP
+    /// kernels of Table 3 do).
+    pub core_compute: u64,
+    /// Busiest stream engine's op count.
+    pub se_compute: u64,
+    /// Busiest L3 bank's service time.
+    pub bank_service: u64,
+    /// Busiest NoC link's flit count.
+    pub link: u64,
+    /// DRAM bandwidth service time.
+    pub dram: u64,
+    /// Serial dependence-chain latency (added on top of the max).
+    pub chain: u64,
+}
+
+impl CycleBreakdown {
+    /// The throughput bound (max of the parallel terms).
+    pub fn throughput_bound(&self) -> u64 {
+        self.core_compute
+            .max(self.se_compute)
+            .max(self.bank_service)
+            .max(self.link)
+            .max(self.dram)
+    }
+
+    /// Total analytic cycles.
+    pub fn total(&self) -> u64 {
+        self.throughput_bound() + self.chain
+    }
+}
+
+/// Results of one simulated kernel execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Analytic cycle estimate.
+    pub cycles: u64,
+    /// Where those cycles came from.
+    pub breakdown: CycleBreakdown,
+    /// Flit-hops per traffic class `[Offload, Data, Control]`.
+    pub hop_flits: [u64; 3],
+    /// Total flit-hops.
+    pub total_hop_flits: u64,
+    /// Mean/peak link utilization (the paper's "NoC Util." dots).
+    pub noc_utilization: f64,
+    /// Access-weighted L3 miss rate in `[0, 1]`.
+    pub l3_miss_rate: f64,
+    /// DRAM line accesses.
+    pub dram_accesses: u64,
+    /// Energy event counts.
+    pub energy: EnergyBreakdown,
+    /// Total energy (pJ) under the default model.
+    pub energy_pj: f64,
+    /// Busiest-bank / mean-bank access ratio.
+    pub bank_imbalance: f64,
+    /// Per-bank atomic-stream occupancy over time (Fig 14), if any phase was
+    /// sampled.
+    pub occupancy: OccupancyTimeline,
+}
+
+impl Metrics {
+    /// Speedup of this run over `baseline` (cycles ratio).
+    pub fn speedup_over(&self, baseline: &Metrics) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Energy efficiency of this run over `baseline` (inverse energy ratio).
+    pub fn energy_eff_over(&self, baseline: &Metrics) -> f64 {
+        baseline.energy_pj / self.energy_pj.max(f64::MIN_POSITIVE)
+    }
+
+    /// Traffic of this run relative to `baseline` (flit-hop ratio).
+    pub fn traffic_vs(&self, baseline: &Metrics) -> f64 {
+        self.total_hop_flits as f64 / baseline.total_hop_flits.max(1) as f64
+    }
+
+    /// Flit-hops of one class.
+    pub fn hop_flits_of(&self, class: TrafficClass) -> u64 {
+        match class {
+            TrafficClass::Offload => self.hop_flits[0],
+            TrafficClass::Data => self.hop_flits[1],
+            TrafficClass::Control => self.hop_flits[2],
+        }
+    }
+}
+
+/// The accounting engine one kernel execution runs against.
+#[derive(Debug)]
+pub struct SimEngine {
+    config: MachineConfig,
+    topo: Topology,
+    traffic: TrafficMatrix,
+    banks: BankCounters,
+    dram: DramModel,
+    se_ops: Vec<u64>,
+    /// Accesses per bank that can produce a capacity miss (excludes
+    /// writebacks, full-line stores and immediate re-reads of just-fetched
+    /// lines, which are temporal hits by construction).
+    miss_eligible: Vec<u64>,
+    core_ops: u64,
+    private_hits: u64,
+    serial_cycles: u64,
+    explicit_dram_lines: u64,
+    phase: PhaseTracker,
+    timeline: OccupancyTimeline,
+}
+
+impl SimEngine {
+    /// Fresh engine for one kernel execution on `config`'s machine.
+    pub fn new(config: MachineConfig) -> Self {
+        let topo = Topology::for_machine(&config);
+        let traffic = TrafficMatrix::new(topo, config.link_bytes_per_cycle, config.packet_header_bytes);
+        let banks = BankCounters::new(config.num_banks());
+        let dram = DramModel::new(&config);
+        let n = config.num_banks() as usize;
+        Self {
+            phase: PhaseTracker::new(config.num_banks()),
+            timeline: OccupancyTimeline::new(),
+            config,
+            topo,
+            traffic,
+            banks,
+            dram,
+            se_ops: vec![0; n],
+            miss_eligible: vec![0; n],
+            core_ops: 0,
+            private_hits: 0,
+            serial_cycles: 0,
+            explicit_dram_lines: 0,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The mesh topology.
+    pub fn topo(&self) -> Topology {
+        self.topo
+    }
+
+    /// Direct read access to the traffic matrix (tests, DES replay).
+    pub fn traffic(&self) -> &TrafficMatrix {
+        &self.traffic
+    }
+
+    /// Enable packet logging on the traffic matrix for DES replay.
+    pub fn enable_packet_log(&mut self) {
+        self.traffic.enable_log();
+    }
+
+    /// Bank counters accumulated so far.
+    pub fn banks(&self) -> &BankCounters {
+        &self.banks
+    }
+
+    // ---------- compute ----------
+
+    /// Charge `n` ops on the OOO cores.
+    pub fn core_ops(&mut self, n: u64) {
+        self.core_ops += n;
+    }
+
+    /// Charge `n` ops on the stream engine / spare SMT thread at `bank`.
+    pub fn se_ops(&mut self, bank: BankId, n: u64) {
+        self.se_ops[bank as usize] += n;
+    }
+
+    /// Charge `n` private L1/L2 hits (energy only; they never reach the NoC).
+    pub fn private_hits(&mut self, n: u64) {
+        self.private_hits += n;
+    }
+
+    // ---------- residency (capacity model inputs) ----------
+
+    /// Declare `bytes` resident at `bank` for the capacity model.
+    pub fn register_resident(&mut self, bank: BankId, bytes: u64) {
+        self.banks.add_resident(bank, bytes);
+    }
+
+    /// Import a whole per-bank residency vector (e.g. from
+    /// `AffinityAllocator::resident_per_bank`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the bank count.
+    pub fn import_residency(&mut self, per_bank: &[u64]) {
+        assert_eq!(per_bank.len(), self.config.num_banks() as usize);
+        for (b, &bytes) in per_bank.iter().enumerate() {
+            self.banks.add_resident(b as u32, bytes);
+        }
+    }
+
+    /// Declare a structure spread evenly across all banks.
+    pub fn register_resident_spread(&mut self, bytes: u64) {
+        let n = u64::from(self.config.num_banks());
+        let per = bytes / n;
+        for b in 0..self.config.num_banks() {
+            self.banks.add_resident(b, per);
+        }
+    }
+
+    /// Force `lines` DRAM line accesses regardless of the capacity model
+    /// (cold first-touch streaming that no cache can absorb).
+    pub fn cold_dram_lines(&mut self, bank: BankId, lines: u64) {
+        self.dram.record_misses(bank, lines, &mut self.traffic);
+        self.explicit_dram_lines += lines;
+        self.banks.access(bank, lines);
+    }
+
+    // ---------- In-Core primitives ----------
+
+    /// Core at tile `core` reads `lines` cache lines homed at `bank`:
+    /// request header out, full line back.
+    pub fn core_read_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
+        self.traffic.record_n(core, bank, 0, TrafficClass::Control, lines);
+        self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, lines);
+        self.banks.access(bank, lines);
+        self.miss_eligible[bank as usize] += lines;
+    }
+
+    /// Core writes `lines` cache lines homed at `bank`: a write-allocate
+    /// cache pays read-for-ownership (request + fill) before the eventual
+    /// writeback. NSC store streams skip this — they own the whole line by
+    /// construction and "write directly to L3" (§2.1).
+    pub fn core_write_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
+        self.traffic.record_n(core, bank, 0, TrafficClass::Control, lines);
+        self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, lines);
+        self.traffic.record_n(core, bank, CACHE_LINE, TrafficClass::Data, lines);
+        self.banks.access(bank, 2 * lines);
+        // Only the RFO fill can miss; the writeback is not a fetch.
+        self.miss_eligible[bank as usize] += lines;
+    }
+
+    /// Core executes an atomic on a line homed at `bank`. `contended` charges
+    /// the extra coherence round trip of bouncing an exclusive line between
+    /// cores (§7.2: in-core pushing suffers coherence misses under
+    /// contention).
+    pub fn core_atomic(&mut self, core: BankId, bank: BankId, contended: bool, n: u64) {
+        self.traffic.record_n(core, bank, 0, TrafficClass::Control, n);
+        self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, n);
+        if contended {
+            // Invalidation + ownership transfer from the previous writer.
+            self.traffic.record_n(bank, core, 0, TrafficClass::Control, n);
+            self.traffic.record_n(core, bank, CACHE_LINE, TrafficClass::Data, n);
+        }
+        self.banks.atomic(bank, n);
+        self.miss_eligible[bank as usize] += n;
+        let hops = u64::from(self.topo.manhattan(core, bank));
+        self.phase.record_atomics(bank, n, hops);
+    }
+
+    // ---------- Near-L3 primitives ----------
+
+    /// Offload a stream graph: one configure packet per stream from the
+    /// core's SEcore to the stream's first bank (Offload class), plus the
+    /// fixed SE computation-init latency.
+    pub fn offload_config(&mut self, core: BankId, first_bank: BankId, num_streams: u64) {
+        self.traffic
+            .record_n(core, first_bank, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
+        self.serial_cycles += self.config.sel3_compute_init_latency;
+    }
+
+    /// Multicast a stream-graph configuration to every bank's SEL3 (sliced
+    /// affine streams): one configure packet per stream per bank, one
+    /// compute-init latency (banks configure in parallel).
+    pub fn offload_config_multicast(&mut self, core: BankId, num_streams: u64) {
+        for b in 0..self.config.num_banks() {
+            self.traffic
+                .record_n(core, b, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
+        }
+        self.serial_cycles += self.config.sel3_compute_init_latency;
+    }
+
+    /// Coarse-grained flow control: one credit message per [`CREDIT_BATCH`]
+    /// iterations (Control class).
+    pub fn credits(&mut self, core: BankId, bank: BankId, iterations: u64) {
+        let msgs = iterations.div_ceil(CREDIT_BATCH);
+        self.traffic.record_n(core, bank, 0, TrafficClass::Control, msgs);
+    }
+
+    /// A stream migrates from `from` to `to`, carrying its architectural
+    /// state (Offload class).
+    pub fn migrate(&mut self, from: BankId, to: BankId, n: u64) {
+        self.traffic
+            .record_n(from, to, MIGRATE_STATE_BYTES, TrafficClass::Offload, n);
+    }
+
+    /// Producer stream at `from` forwards `n` values of `bytes` each to the
+    /// consumer stream at `to` (Data class). Same-bank forwarding is free on
+    /// the NoC — the whole point of affinity alloc.
+    pub fn forward(&mut self, from: BankId, to: BankId, bytes: u64, n: u64) {
+        self.traffic.record_n(from, to, bytes, TrafficClass::Data, n);
+    }
+
+    /// Stream at `bank` reads `lines` lines of its own bank's data.
+    pub fn bank_read_lines(&mut self, bank: BankId, lines: u64) {
+        self.banks.access(bank, lines);
+        self.miss_eligible[bank as usize] += lines;
+    }
+
+    /// Stream at `bank` re-reads `lines` lines another stream just fetched
+    /// (sibling offset streams of a stencil): bank service is paid, but the
+    /// lines are temporal hits and cannot miss.
+    pub fn bank_read_lines_reuse(&mut self, bank: BankId, lines: u64) {
+        self.banks.access(bank, lines);
+    }
+
+    /// Stream at `bank` writes `lines` full lines to its own bank. NSC store
+    /// streams own the whole line (§2.1), so there is no fetch to miss.
+    pub fn bank_write_lines(&mut self, bank: BankId, lines: u64) {
+        self.banks.access(bank, lines);
+    }
+
+    /// Indirect remote access: request header from `from` to `to`,
+    /// `resp_bytes` of response back, `n` times. The access executes at the
+    /// remote bank.
+    pub fn indirect(&mut self, from: BankId, to: BankId, resp_bytes: u64, n: u64) {
+        self.traffic.record_n(from, to, 0, TrafficClass::Control, n);
+        if resp_bytes > 0 {
+            self.traffic.record_n(to, from, resp_bytes, TrafficClass::Data, n);
+        }
+        self.banks.access(to, n);
+        self.miss_eligible[to as usize] += n;
+        self.se_ops[to as usize] += n;
+    }
+
+    /// Remote atomic executed at `to` on behalf of a stream at `from`
+    /// (in-place at the bank — no coherence bounce, §7.2). A one-word
+    /// outcome flows back (predication input for dependent streams).
+    pub fn remote_atomic(&mut self, from: BankId, to: BankId, n: u64) {
+        self.traffic.record_n(from, to, 8, TrafficClass::Control, n);
+        self.traffic.record_n(to, from, 8, TrafficClass::Data, n);
+        self.banks.atomic(to, n);
+        self.miss_eligible[to as usize] += n;
+        self.se_ops[to as usize] += n;
+        let hops = u64::from(self.topo.manhattan(from, to));
+        self.phase.record_atomics(to, n, hops);
+    }
+
+    // ---------- serial latency ----------
+
+    /// Add serial dependence-chain latency that bandwidth cannot hide:
+    /// `hops` link hops plus `accesses` L3 accesses on the critical path.
+    pub fn chain(&mut self, hops: u64, accesses: u64) {
+        self.serial_cycles +=
+            hops * self.config.hop_latency + accesses * self.config.l3_latency;
+    }
+
+    /// Add raw serial cycles on the critical path.
+    pub fn chain_cycles(&mut self, cycles: u64) {
+        self.serial_cycles += cycles;
+    }
+
+    // ---------- phases (Fig 14) ----------
+
+    /// Begin an occupancy-sampled phase (e.g. one BFS iteration).
+    pub fn begin_phase(&mut self) {
+        self.phase.begin();
+    }
+
+    /// End the current phase, producing one occupancy snapshot.
+    pub fn end_phase(&mut self) {
+        let snapshot = self.phase.end(&self.config);
+        if let Some(s) = snapshot {
+            self.timeline.push(s);
+        }
+    }
+
+    // ---------- finish ----------
+
+    /// Resolve capacity misses, compute the cycle estimate, and produce
+    /// [`Metrics`]. Consumes the engine — one engine per kernel execution.
+    pub fn finish(mut self) -> Metrics {
+        // Capacity misses: each bank's accesses miss at the rate its resident
+        // working set exceeds its capacity.
+        let mut total_misses = 0u64;
+        let total_accesses = self.banks.total_accesses();
+        for b in 0..self.config.num_banks() {
+            let rate = capacity::miss_rate(self.banks.resident_of(b), self.config.l3_bank_bytes);
+            if rate > 0.0 {
+                let misses = (self.miss_eligible[b as usize] as f64 * rate) as u64;
+                self.dram.record_misses(b, misses, &mut self.traffic);
+                total_misses += misses;
+            }
+        }
+        total_misses += self.explicit_dram_lines;
+
+        let aggregate_issue =
+            u64::from(self.config.core_issue_width).max(1) * u64::from(self.config.num_banks());
+        let breakdown = CycleBreakdown {
+            core_compute: self.core_ops / aggregate_issue,
+            se_compute: self.se_ops.iter().copied().max().unwrap_or(0),
+            bank_service: (self.banks.max_accesses() as f64 / self.config.bank_accesses_per_cycle)
+                as u64,
+            link: self.traffic.bottleneck_link_flits(),
+            dram: self.dram.activity().service_cycles,
+            chain: self.serial_cycles,
+        };
+        let cycles = breakdown.total().max(1);
+
+        let energy = EnergyBreakdown {
+            noc_hop_flits: self.traffic.total_hop_flits(),
+            l3_accesses: total_accesses,
+            private_accesses: self.private_hits,
+            dram_accesses: self.dram.accesses(),
+            core_ops: self.core_ops,
+            se_ops: self.se_ops.iter().sum(),
+            cycles,
+        };
+        let model = EnergyModel::default();
+
+        Metrics {
+            cycles,
+            breakdown,
+            hop_flits: [
+                self.traffic.hop_flits(TrafficClass::Offload),
+                self.traffic.hop_flits(TrafficClass::Data),
+                self.traffic.hop_flits(TrafficClass::Control),
+            ],
+            total_hop_flits: self.traffic.total_hop_flits(),
+            noc_utilization: self.traffic.utilization(),
+            l3_miss_rate: if total_accesses + self.explicit_dram_lines == 0 {
+                0.0
+            } else {
+                total_misses as f64 / (total_accesses + self.explicit_dram_lines) as f64
+            },
+            dram_accesses: self.dram.accesses(),
+            energy_pj: energy.total_pj(&model),
+            energy,
+            bank_imbalance: self.banks.access_imbalance(),
+            occupancy: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SimEngine {
+        SimEngine::new(MachineConfig::paper_default())
+    }
+
+    #[test]
+    fn empty_run_is_one_cycle() {
+        let m = engine().finish();
+        assert_eq!(m.cycles, 1);
+        assert_eq!(m.total_hop_flits, 0);
+        assert_eq!(m.l3_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn core_read_charges_round_trip() {
+        let mut e = engine();
+        e.core_read_lines(0, 9, 100);
+        let m = e.finish();
+        // 0->9 is 2 hops: request 1 flit, response 3 flits (64+8 = 72B).
+        assert_eq!(m.hop_flits_of(TrafficClass::Control), 200);
+        assert_eq!(m.hop_flits_of(TrafficClass::Data), 600);
+    }
+
+    #[test]
+    fn same_bank_forwarding_is_free() {
+        let mut e = engine();
+        e.forward(5, 5, 4, 1_000_000);
+        let m = e.finish();
+        assert_eq!(m.total_hop_flits, 0);
+    }
+
+    #[test]
+    fn link_bound_drives_cycles() {
+        let mut e = engine();
+        // Heavy forwarding over one link dominates all other bounds.
+        e.forward(0, 1, 24, 100_000);
+        let m = e.finish();
+        assert_eq!(m.breakdown.link, 100_000);
+        assert_eq!(m.cycles, 100_000);
+    }
+
+    #[test]
+    fn bank_bound_counts_busiest_bank() {
+        let mut e = engine();
+        e.bank_read_lines(3, 5_000);
+        e.bank_read_lines(4, 100);
+        let m = e.finish();
+        assert_eq!(m.breakdown.bank_service, 5_000);
+    }
+
+    #[test]
+    fn chain_adds_on_top_of_throughput() {
+        let mut e = engine();
+        e.forward(0, 1, 24, 1000);
+        e.chain(10, 2); // 10*6 + 2*20 = 100 cycles
+        let m = e.finish();
+        assert_eq!(m.cycles, 1000 + 100);
+        assert_eq!(m.breakdown.chain, 100);
+    }
+
+    #[test]
+    fn capacity_misses_reach_dram() {
+        let mut e = engine();
+        // 4 MiB resident on a 1 MiB bank: 75% of accesses miss.
+        e.register_resident(0, 4 << 20);
+        e.bank_read_lines(0, 1000);
+        let m = e.finish();
+        assert_eq!(m.dram_accesses, 750);
+        assert!((m.l3_miss_rate - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn fitting_working_set_has_no_misses() {
+        let mut e = engine();
+        e.register_resident_spread(32 << 20); // half the 64 MiB L3
+        e.bank_read_lines(0, 1000);
+        let m = e.finish();
+        assert_eq!(m.dram_accesses, 0);
+        assert_eq!(m.l3_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn contended_core_atomic_doubles_traffic() {
+        let mut q = engine();
+        q.core_atomic(0, 9, false, 100);
+        let quiet = q.finish();
+        let mut c = engine();
+        c.core_atomic(0, 9, true, 100);
+        let contended = c.finish();
+        assert!(contended.total_hop_flits > quiet.total_hop_flits);
+    }
+
+    #[test]
+    fn remote_atomic_counts_occupancy_phase() {
+        let mut e = engine();
+        e.begin_phase();
+        e.remote_atomic(0, 9, 500);
+        e.end_phase();
+        let m = e.finish();
+        assert_eq!(m.occupancy.len(), 1);
+        assert!(m.occupancy.snapshots()[0].per_bank[9] > 0.0);
+    }
+
+    #[test]
+    fn speedup_and_energy_ratios() {
+        // The Fig 4 mechanism: every bank forwards to bank (b + delta).
+        // delta = 32 piles overlapping flows onto the bisection (slow);
+        // delta = 1 gives each flow a private link (fast).
+        let mut slow = engine();
+        for b in 0..64u32 {
+            slow.forward(b, (b + 32) % 64, 24, 10_000);
+        }
+        let slow = slow.finish();
+        let mut fast = engine();
+        for b in 0..64u32 {
+            fast.forward(b, (b + 1) % 64, 24, 10_000);
+        }
+        let fast = fast.finish();
+        assert!(fast.speedup_over(&slow) > 1.0);
+        assert!(fast.energy_eff_over(&slow) > 1.0);
+        assert!(fast.traffic_vs(&slow) < 1.0);
+    }
+
+    #[test]
+    fn credits_are_batched() {
+        let mut e = engine();
+        e.credits(0, 5, 640);
+        let m = e.finish();
+        // 640 iterations / 64 per credit = 10 messages * 5 hops * 1 flit.
+        assert_eq!(m.hop_flits_of(TrafficClass::Control), 50);
+    }
+
+    #[test]
+    fn offload_config_charges_offload_class() {
+        let mut e = engine();
+        e.offload_config(0, 9, 3);
+        let m = e.finish();
+        assert!(m.hop_flits_of(TrafficClass::Offload) > 0);
+        assert_eq!(m.hop_flits_of(TrafficClass::Data), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Run configuration: which system, which policy, what scale.
+
+use aff_nsc::ExecMode;
+use aff_sim_core::config::MachineConfig;
+use affinity_alloc::BankSelectPolicy;
+
+/// The three system configurations of Fig 12.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SystemConfig {
+    /// Wide OOO cores with prefetchers; nothing offloaded.
+    InCore,
+    /// Near-stream computing over baseline (layout-oblivious) allocation.
+    NearL3,
+    /// Near-stream computing over affinity-allocated, co-designed layouts,
+    /// with the given irregular bank-select policy.
+    AffAlloc(BankSelectPolicy),
+}
+
+impl SystemConfig {
+    /// The paper's default `Aff-Alloc` (Hybrid-5).
+    pub fn aff_alloc_default() -> Self {
+        SystemConfig::AffAlloc(BankSelectPolicy::paper_default())
+    }
+
+    /// Label used in figures.
+    pub fn label(&self) -> String {
+        match self {
+            SystemConfig::InCore => "In-Core".into(),
+            SystemConfig::NearL3 => "Near-L3".into(),
+            SystemConfig::AffAlloc(p) => format!("Aff-Alloc({})", p.label()),
+        }
+    }
+
+    /// The execution mode (where computation runs).
+    pub fn exec_mode(&self) -> ExecMode {
+        match self {
+            SystemConfig::InCore => ExecMode::InCore,
+            _ => ExecMode::NearL3,
+        }
+    }
+
+    /// Whether layouts go through the affinity allocator.
+    pub fn uses_affinity_alloc(&self) -> bool {
+        matches!(self, SystemConfig::AffAlloc(_))
+    }
+
+    /// The irregular bank-select policy (meaningful only for `AffAlloc`;
+    /// others report the paper default for allocator construction).
+    pub fn policy(&self) -> BankSelectPolicy {
+        match self {
+            SystemConfig::AffAlloc(p) => *p,
+            _ => BankSelectPolicy::paper_default(),
+        }
+    }
+}
+
+/// A complete run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The simulated machine (Table 2 defaults).
+    pub machine: MachineConfig,
+    /// The system under test.
+    pub system: SystemConfig,
+    /// Input scale multiplier: 1 = the harness default size. Figures 15/16
+    /// sweep this.
+    pub scale: u32,
+    /// Experiment seed (inputs and any randomized layout derive from it).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Default: paper machine, Aff-Alloc(Hybrid-5), scale 1, seed 2023.
+    pub fn new(system: SystemConfig) -> Self {
+        Self {
+            machine: MachineConfig::paper_default(),
+            system,
+            scale: 1,
+            seed: 2023,
+        }
+    }
+
+    /// Builder: set the input scale.
+    pub fn with_scale(mut self, scale: u32) -> Self {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// Builder: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: replace the machine.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemConfig::InCore.label(), "In-Core");
+        assert_eq!(SystemConfig::NearL3.label(), "Near-L3");
+        assert_eq!(
+            SystemConfig::aff_alloc_default().label(),
+            "Aff-Alloc(Hybrid-5)"
+        );
+    }
+
+    #[test]
+    fn exec_modes() {
+        assert_eq!(SystemConfig::InCore.exec_mode(), ExecMode::InCore);
+        assert_eq!(SystemConfig::NearL3.exec_mode(), ExecMode::NearL3);
+        assert_eq!(SystemConfig::aff_alloc_default().exec_mode(), ExecMode::NearL3);
+        assert!(!SystemConfig::NearL3.uses_affinity_alloc());
+        assert!(SystemConfig::aff_alloc_default().uses_affinity_alloc());
+    }
+
+    #[test]
+    fn builder() {
+        let c = RunConfig::new(SystemConfig::InCore).with_scale(4).with_seed(9);
+        assert_eq!(c.scale, 4);
+        assert_eq!(c.seed, 9);
+        assert_eq!(RunConfig::new(SystemConfig::InCore).with_scale(0).scale, 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! The benchmark suite: Table 3's ten workloads behind one entry point.
+//!
+//! [`run`] executes a named workload under a [`RunConfig`] and returns the
+//! engine metrics (plus per-iteration stats for the frontier algorithms).
+//! Input sizes at `scale = 1` are scaled down from Table 3 where the full
+//! size would make the complete figure suite take hours (graphs use a
+//! 2^14-vertex Kronecker instead of 2^17; pointer workloads divide counts
+//! by 4); EXPERIMENTS.md records the exact sizes used per figure, and the
+//! `--full` harness flag restores Table 3 exactly.
+
+use crate::affine::{run_stencil, Stencil};
+use crate::config::{RunConfig, SystemConfig};
+use crate::gen;
+use crate::graphs::{pick_source, DirectionPolicy, GraphInstance, GraphRun, IterStat};
+use crate::pointer::{
+    run_bin_tree, run_hash_join, run_link_list, BinTreeParams, HashJoinParams, LinkListParams,
+};
+use aff_ds::graph::Graph;
+use aff_nsc::engine::Metrics;
+
+/// The ten workloads of Table 3 (plus explicit push/pull variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadName {
+    /// Rodinia pathfinder (affine, 1-D).
+    Pathfinder,
+    /// Rodinia srad (affine, 2-D).
+    Srad,
+    /// Rodinia hotspot (affine, 2-D).
+    Hotspot,
+    /// Rodinia hotspot3D (affine, 3-D).
+    Hotspot3D,
+    /// PageRank, best direction per system (pull In-Core, push NDC — §6).
+    Pr,
+    /// PageRank, push only.
+    PrPush,
+    /// PageRank, pull only.
+    PrPull,
+    /// BFS with the per-system direction-switching policy (§7.2).
+    Bfs,
+    /// BFS, push only.
+    BfsPush,
+    /// BFS, pull only.
+    BfsPull,
+    /// Single-source shortest paths (weighted Kronecker).
+    Sssp,
+    /// Linked-list search.
+    LinkList,
+    /// Hash join probe.
+    HashJoin,
+    /// Binary-tree lookups.
+    BinTree,
+}
+
+impl WorkloadName {
+    /// The ten names of Fig 12, in plot order.
+    pub const FIG12: [WorkloadName; 10] = [
+        WorkloadName::Pathfinder,
+        WorkloadName::Hotspot,
+        WorkloadName::Srad,
+        WorkloadName::Hotspot3D,
+        WorkloadName::Pr,
+        WorkloadName::Bfs,
+        WorkloadName::Sssp,
+        WorkloadName::LinkList,
+        WorkloadName::HashJoin,
+        WorkloadName::BinTree,
+    ];
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadName::Pathfinder => "pathfinder",
+            WorkloadName::Srad => "srad",
+            WorkloadName::Hotspot => "hotspot",
+            WorkloadName::Hotspot3D => "hotspot3D",
+            WorkloadName::Pr => "pr",
+            WorkloadName::PrPush => "pr_push",
+            WorkloadName::PrPull => "pr_pull",
+            WorkloadName::Bfs => "bfs",
+            WorkloadName::BfsPush => "bfs_push",
+            WorkloadName::BfsPull => "bfs_pull",
+            WorkloadName::Sssp => "sssp",
+            WorkloadName::LinkList => "link_list",
+            WorkloadName::HashJoin => "hash_join",
+            WorkloadName::BinTree => "bin_tree",
+        }
+    }
+
+    /// Whether this workload records per-iteration stats.
+    pub fn is_frontier(&self) -> bool {
+        matches!(
+            self,
+            WorkloadName::Bfs | WorkloadName::BfsPush | WorkloadName::BfsPull | WorkloadName::Sssp
+        )
+    }
+}
+
+/// Result of one suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// Engine metrics.
+    pub metrics: Metrics,
+    /// Per-iteration stats for frontier workloads (else empty).
+    pub iters: Vec<IterStat>,
+}
+
+impl From<GraphRun> for SuiteRun {
+    fn from(r: GraphRun) -> Self {
+        SuiteRun {
+            metrics: r.metrics,
+            iters: r.iters,
+        }
+    }
+}
+
+impl From<Metrics> for SuiteRun {
+    fn from(metrics: Metrics) -> Self {
+        SuiteRun {
+            metrics,
+            iters: Vec::new(),
+        }
+    }
+}
+
+/// Base Kronecker scale at `RunConfig::scale == 1` (2^14 vertices; Table 3
+/// uses 2^17 — pass `--full` in the harness or `scale = 8`).
+pub const BASE_KRON_SCALE: u32 = 14;
+/// Kronecker edge factor (Table 3: 4M edges / 128k vertices = 32 directed,
+/// 16 undirected before symmetrization).
+pub const KRON_EDGE_FACTOR: u32 = 16;
+
+/// The Kronecker input for graph workloads at the given scale multiplier.
+pub fn kron_input(scale: u32, seed: u64) -> Graph {
+    gen::kronecker(BASE_KRON_SCALE + log2(scale), KRON_EDGE_FACTOR, seed)
+}
+
+/// The weighted Kronecker input for sssp.
+pub fn kron_weighted_input(scale: u32, seed: u64) -> Graph {
+    gen::kronecker_weighted(BASE_KRON_SCALE + log2(scale), KRON_EDGE_FACTOR, seed)
+}
+
+fn log2(scale: u32) -> u32 {
+    31 - scale.max(1).leading_zeros()
+}
+
+fn stencil_for(name: WorkloadName, scale: u64) -> Stencil {
+    match name {
+        WorkloadName::Pathfinder => Stencil::pathfinder(1_500_000 * scale),
+        WorkloadName::Srad => Stencil::srad(1024 * scale, 2048),
+        WorkloadName::Hotspot => Stencil::hotspot(2048 * scale, 1024),
+        WorkloadName::Hotspot3D => Stencil::hotspot3d(256, 1024, 8 * scale),
+        _ => unreachable!("not an affine workload"),
+    }
+}
+
+/// Run `name` under `cfg`.
+///
+/// # Panics
+///
+/// Panics on allocator failure (a harness bug, not an input condition).
+pub fn run(name: WorkloadName, cfg: &RunConfig) -> SuiteRun {
+    let scale = u64::from(cfg.scale);
+    match name {
+        WorkloadName::Pathfinder
+        | WorkloadName::Srad
+        | WorkloadName::Hotspot
+        | WorkloadName::Hotspot3D => run_stencil(&stencil_for(name, scale), cfg).into(),
+
+        WorkloadName::Pr => {
+            // Best implementation per system (§6): pull for In-Core, push
+            // for NDC configurations.
+            match cfg.system {
+                SystemConfig::InCore => run(WorkloadName::PrPull, cfg),
+                _ => run(WorkloadName::PrPush, cfg),
+            }
+        }
+        WorkloadName::PrPush => {
+            GraphInstance::new(kron_input(cfg.scale, cfg.seed), cfg)
+                .run_pr_push()
+                .into()
+        }
+        WorkloadName::PrPull => {
+            GraphInstance::new(kron_input(cfg.scale, cfg.seed), cfg)
+                .run_pr_pull()
+                .into()
+        }
+        WorkloadName::Bfs => {
+            let policy = DirectionPolicy::default_for(cfg.system);
+            let g = kron_input(cfg.scale, cfg.seed);
+            let src = pick_source(&g);
+            GraphInstance::new(g, cfg).run_bfs(src, policy).into()
+        }
+        WorkloadName::BfsPush => {
+            let g = kron_input(cfg.scale, cfg.seed);
+            let src = pick_source(&g);
+            GraphInstance::new(g, cfg)
+                .run_bfs(src, DirectionPolicy::PushOnly)
+                .into()
+        }
+        WorkloadName::BfsPull => {
+            let g = kron_input(cfg.scale, cfg.seed);
+            let src = pick_source(&g);
+            GraphInstance::new(g, cfg)
+                .run_bfs(src, DirectionPolicy::PullOnly)
+                .into()
+        }
+        WorkloadName::Sssp => {
+            let g = kron_weighted_input(cfg.scale, cfg.seed);
+            let src = pick_source(&g);
+            GraphInstance::new(g, cfg).run_sssp(src).into()
+        }
+
+        WorkloadName::LinkList => {
+            let p = LinkListParams {
+                lists: 1000 * cfg.scale as usize,
+                nodes_per_list: 512,
+            };
+            run_link_list(p, cfg).into()
+        }
+        WorkloadName::HashJoin => {
+            let p = HashJoinParams {
+                build_keys: 64 * 1024 * cfg.scale as usize,
+                probe_keys: 128 * 1024 * cfg.scale as usize,
+                buckets: 32 * 1024 * u64::from(cfg.scale),
+                hit_rate: 1.0 / 8.0,
+            };
+            run_hash_join(p, cfg).into()
+        }
+        WorkloadName::BinTree => {
+            let p = BinTreeParams {
+                nodes: 32 * 1024 * cfg.scale as usize,
+                lookups: 128 * 1024 * cfg.scale as usize,
+            };
+            run_bin_tree(p, cfg).into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_fig12() {
+        let labels: Vec<&str> = WorkloadName::FIG12.iter().map(|w| w.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "pathfinder",
+                "hotspot",
+                "srad",
+                "hotspot3D",
+                "pr",
+                "bfs",
+                "sssp",
+                "link_list",
+                "hash_join",
+                "bin_tree"
+            ]
+        );
+    }
+
+    #[test]
+    fn log2_scaling() {
+        assert_eq!(log2(1), 0);
+        assert_eq!(log2(2), 1);
+        assert_eq!(log2(8), 3);
+    }
+
+    #[test]
+    fn frontier_flags() {
+        assert!(WorkloadName::Bfs.is_frontier());
+        assert!(WorkloadName::Sssp.is_frontier());
+        assert!(!WorkloadName::Pr.is_frontier());
+        assert!(!WorkloadName::LinkList.is_frontier());
+    }
+
+    #[test]
+    fn pr_picks_direction_by_system() {
+        // Smoke test at a tiny scale: both paths execute.
+        let mut cfg = RunConfig::new(SystemConfig::InCore).with_seed(3);
+        cfg.machine = aff_sim_core::config::MachineConfig::paper_default();
+        // Shrink the input via a tiny Kronecker by overriding scale = 1 and
+        // relying on BASE_KRON_SCALE being small enough for tests.
+        let r = run(WorkloadName::Pr, &cfg);
+        assert!(r.metrics.cycles > 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Mapping a new domain onto the library: sparse matrix-vector multiply.
+//!
+//! SpMV is the gather-reduce pattern (`y[i] = Σ A[i,j]·x[j]`) — exactly the
+//! pull-direction graph kernel, with rows as vertices and nonzeros as
+//! weighted edges. This example shows how a downstream user wires their own
+//! workload through the layouts and executors: build the sparsity pattern
+//! as a [`Graph`], lay it out per system configuration, run the
+//! gather-style executor, and read the paper's metrics back.
+//!
+//! ```text
+//! cargo run --release --example spmv
+//! ```
+
+use affinity_alloc_repro::ds::graph::Graph;
+use affinity_alloc_repro::sim::rng::SimRng;
+use affinity_alloc_repro::workloads::config::{RunConfig, SystemConfig};
+use affinity_alloc_repro::workloads::graphs::GraphInstance;
+
+/// A banded sparse matrix with a sprinkle of random fill-in — the classic
+/// finite-difference-plus-coupling sparsity.
+fn banded_matrix(n: u32, band: u32, fill_in: usize, seed: u64) -> Graph {
+    let mut rng = SimRng::new(seed);
+    let mut entries = Vec::new();
+    let mut weights = Vec::new();
+    for i in 0..n {
+        for d in 0..=band {
+            if i >= d {
+                entries.push((i, i - d));
+                weights.push(1 + rng.below(9) as u32);
+            }
+            if d > 0 && i + d < n {
+                entries.push((i, i + d));
+                weights.push(1 + rng.below(9) as u32);
+            }
+        }
+    }
+    for _ in 0..fill_in {
+        let i = rng.below(u64::from(n)) as u32;
+        let j = rng.below(u64::from(n)) as u32;
+        entries.push((i, j));
+        weights.push(1 + rng.below(9) as u32);
+    }
+    Graph::from_weighted_edges(n, &entries, &weights)
+}
+
+fn main() {
+    let n = 32 * 1024u32;
+    let matrix = banded_matrix(n, 2, 64 * 1024, 99);
+    println!(
+        "SpMV: {n} rows, {} nonzeros ({:.1} per row, band 2 + random fill-in)\n",
+        matrix.num_edges(),
+        matrix.avg_degree()
+    );
+    println!(
+        "{:26} {:>10} {:>14} {:>9} {:>9}",
+        "system", "cycles", "flit-hops", "util", "imbalance"
+    );
+    let mut baseline = None;
+    for system in [
+        SystemConfig::InCore,
+        SystemConfig::NearL3,
+        SystemConfig::aff_alloc_default(),
+    ] {
+        let cfg = RunConfig::new(system).with_seed(99);
+        // y[i] = sum over nonzeros of row i — the pull/gather executor.
+        let run = GraphInstance::new(matrix.clone(), &cfg).run_pr_pull();
+        let m = run.metrics;
+        println!(
+            "{:26} {:>10} {:>14} {:>9.3} {:>9.2}",
+            system.label(),
+            m.cycles,
+            m.total_hop_flits,
+            m.noc_utilization,
+            m.bank_imbalance
+        );
+        if system == SystemConfig::NearL3 {
+            baseline = Some(m);
+        }
+    }
+    if let Some(near) = baseline {
+        let aff = GraphInstance::new(
+            matrix,
+            &RunConfig::new(SystemConfig::aff_alloc_default()).with_seed(99),
+        )
+        .run_pr_pull()
+        .metrics;
+        println!(
+            "\nAff-Alloc vs Near-L3 on SpMV: {:.2}x speedup, {:.0}% traffic cut",
+            aff.speedup_over(&near),
+            100.0 * (1.0 - aff.traffic_vs(&near))
+        );
+        println!(
+            "(banded nonzeros sit next to their x[j] under the linked layout — the\n\
+             same mechanism as the paper's graph kernels, no new hardware needed)"
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the affinity-alloc reproduction stack.
+//!
+//! See [`affinity_alloc`] for the paper's core contribution and
+//! [`aff_workloads`] for the evaluated benchmarks.
+
+pub use aff_cache as cache;
+pub use aff_ds as ds;
+pub use aff_mem as mem;
+pub use aff_noc as noc;
+pub use aff_nsc as nsc;
+pub use aff_sim_core as sim;
+pub use aff_workloads as workloads;
+pub use affinity_alloc as alloc;

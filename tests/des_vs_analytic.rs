@@ -1,0 +1,131 @@
+//! Cross-validation of the analytic bottleneck timing model against the
+//! packet-level discrete-event NoC model (DESIGN.md §3, "Timing").
+//!
+//! The two models must agree exactly on traffic volume (flit-hops) and the
+//! DES completion time must bracket the analytic link bound: never faster
+//! than the bottleneck link's serialized flits, and not absurdly slower for
+//! well-spread traffic.
+
+use affinity_alloc_repro::noc::des::DesNoc;
+use affinity_alloc_repro::noc::topology::Topology;
+use affinity_alloc_repro::noc::traffic::{TrafficClass, TrafficMatrix};
+use affinity_alloc_repro::sim::config::MachineConfig;
+use affinity_alloc_repro::sim::rng::SimRng;
+
+fn machine_matrix(logging: bool) -> (MachineConfig, TrafficMatrix) {
+    let cfg = MachineConfig::paper_default();
+    let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+    let mut m = TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes);
+    if logging {
+        m.enable_log();
+    }
+    (cfg, m)
+}
+
+#[test]
+fn hop_flits_agree_exactly() {
+    let (cfg, mut m) = machine_matrix(true);
+    let mut rng = SimRng::new(404);
+    for _ in 0..2000 {
+        let src = rng.below(64) as u32;
+        let dst = rng.below(64) as u32;
+        let bytes = rng.below(64);
+        m.record(src, dst, bytes, TrafficClass::Data);
+    }
+    let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
+    let report = des.replay(m.packets().expect("logging enabled"));
+    assert_eq!(report.hop_flits, m.total_hop_flits());
+    // Same-bank messages never enter the network, so the log holds exactly
+    // the non-local messages.
+    let non_local =
+        m.messages(TrafficClass::Data) - m.local_messages(TrafficClass::Data);
+    assert_eq!(report.packets, non_local);
+}
+
+#[test]
+fn des_never_beats_the_link_bound() {
+    // Concentrated traffic: everyone sends to bank 0. The analytic model's
+    // bottleneck-link bound is a hard lower bound on the DES finish time.
+    let (cfg, mut m) = machine_matrix(true);
+    for src in 1..64u32 {
+        m.record_n(src, 0, 64, TrafficClass::Data, 50);
+    }
+    let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
+    let report = des.replay(m.packets().expect("logging enabled"));
+    let analytic_bound = m.bottleneck_link_flits();
+    assert!(
+        report.finish_cycle >= analytic_bound,
+        "DES {} must not beat the serialized bottleneck {}",
+        report.finish_cycle,
+        analytic_bound
+    );
+}
+
+#[test]
+fn des_tracks_analytic_within_constant_factor_for_spread_traffic() {
+    // Well-spread neighbor traffic: DES finish should be within a small
+    // factor of the analytic bound (per-hop latency and queueing add a
+    // constant, not a different asymptote).
+    let (cfg, mut m) = machine_matrix(true);
+    for b in 0..64u32 {
+        m.record_n(b, (b + 1) % 64, 24, TrafficClass::Data, 200);
+    }
+    let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
+    let report = des.replay(m.packets().expect("logging enabled"));
+    let analytic = m.bottleneck_link_flits();
+    assert!(report.finish_cycle >= analytic);
+    assert!(
+        report.finish_cycle <= analytic * 16,
+        "DES {} should stay within a constant factor of analytic {}",
+        report.finish_cycle,
+        analytic
+    );
+}
+
+#[test]
+fn pathological_layout_is_pathological_in_both_models() {
+    // The Fig 3 bisection flow pattern must be slower than the aligned
+    // pattern under BOTH models.
+    let run = |delta: u32| -> (u64, u64) {
+        let (cfg, mut m) = machine_matrix(true);
+        for b in 0..64u32 {
+            m.record_n(b, (b + delta) % 64, 64, TrafficClass::Data, 40);
+        }
+        let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
+        let report = des.replay(m.packets().expect("logging enabled"));
+        (m.bottleneck_link_flits(), report.finish_cycle)
+    };
+    let (analytic_near, des_near) = run(1);
+    let (analytic_far, des_far) = run(32);
+    assert!(analytic_far > 2 * analytic_near, "analytic sees the bisection");
+    assert!(des_far > 2 * des_near, "DES sees the bisection");
+}
+
+#[test]
+fn three_tiers_agree_on_flit_hops_and_ordering() {
+    use affinity_alloc_repro::noc::cyclesim::CycleNoc;
+    // Analytic, greedy-DES and cycle-driven models must agree exactly on
+    // traffic volume, and their finish-time estimates must rank the Fig 3
+    // layouts identically.
+    let run = |delta: u32| -> (u64, u64, u64) {
+        let (cfg, mut m) = machine_matrix(true);
+        for b in 0..64u32 {
+            m.record_n(b, (b + delta) % 64, 64, TrafficClass::Data, 10);
+        }
+        let pkts = m.packets().expect("logging enabled").to_vec();
+        let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
+        let des_rep = des.replay(&pkts);
+        let cyc = CycleNoc::new(m.topology(), cfg.hop_latency, 8).simulate(&pkts, 10_000_000);
+        assert_eq!(des_rep.hop_flits, m.total_hop_flits(), "greedy DES volume");
+        assert_eq!(cyc.flit_hops, m.total_hop_flits(), "cycle-sim volume");
+        assert_eq!(cyc.delivered, pkts.len() as u64, "everything delivers");
+        (m.bottleneck_link_flits(), des_rep.finish_cycle, cyc.finish_cycle)
+    };
+    let (a1, d1, c1) = run(1);
+    let (a32, d32, c32) = run(32);
+    assert!(a32 > a1, "analytic ranks the bisection worse");
+    assert!(d32 > d1, "greedy DES ranks the bisection worse");
+    assert!(c32 > c1, "cycle-driven sim ranks the bisection worse");
+    // The cycle-driven finish can never beat the serialized bottleneck.
+    assert!(c32 >= a32);
+}

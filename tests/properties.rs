@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) over the core invariants: Eq 1 bank
+//! math, topology routing, allocator alignment and free-list reuse,
+//! simulated memory, and graph construction.
+
+use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, BankSelectPolicy};
+use affinity_alloc_repro::ds::graph::Graph;
+use affinity_alloc_repro::mem::space::AddressSpace;
+use affinity_alloc_repro::noc::topology::Topology;
+use affinity_alloc_repro::sim::config::MachineConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// Eq 1: the bank of a pool address advances by one bank (mod N) per
+    /// interleave chunk, for every supported interleave.
+    #[test]
+    fn eq1_bank_math(
+        pool_pick in 0usize..7,
+        offset_chunks in 0u64..10_000,
+        within in 0u64..4096,
+    ) {
+        let cfg = MachineConfig::paper_default();
+        let intrlv = cfg.supported_interleaves()[pool_pick];
+        let within = within % intrlv;
+        let mut space = AddressSpace::new(cfg.clone());
+        let pool = space.pool_for_interleave(intrlv).unwrap();
+        let base = space.pools().va_start(pool);
+        let va = base + offset_chunks * intrlv + within;
+        let bank = space.bank_of(va);
+        prop_assert_eq!(u64::from(bank), offset_chunks % u64::from(cfg.num_banks()));
+        // Everything within the same chunk shares the bank.
+        prop_assert_eq!(space.bank_of(base + offset_chunks * intrlv), bank);
+    }
+
+    /// X-Y routes have exactly Manhattan-distance links and arrive.
+    #[test]
+    fn routes_are_minimal(a in 0u32..64, b in 0u32..64) {
+        let topo = Topology::new(8, 8);
+        let route = topo.xy_route(a, b);
+        prop_assert_eq!(route.len() as u32, topo.manhattan(a, b));
+        if let Some(last) = route.last() {
+            prop_assert_eq!(topo.bank_of(last.to), b);
+            prop_assert_eq!(topo.bank_of(route[0].from), a);
+        } else {
+            prop_assert_eq!(a, b);
+        }
+        // Symmetry of distance.
+        prop_assert_eq!(topo.manhattan(a, b), topo.manhattan(b, a));
+    }
+
+    /// Inter-array alignment holds for any element-size pair Eq 3 accepts.
+    #[test]
+    fn inter_array_alignment_holds(
+        log_ea in 2u32..4, // 4 or 8 bytes
+        log_eb in 2u32..5, // 4, 8 or 16 bytes
+        n in 64u64..4096,
+        probe in 0u64..4096,
+    ) {
+        let ea = 1u64 << log_ea;
+        let eb = 1u64 << log_eb;
+        let probe = probe % n;
+        let mut alloc = AffinityAllocator::new(
+            MachineConfig::paper_default(),
+            BankSelectPolicy::paper_default(),
+        );
+        let a = alloc.malloc_aff_affine(&AffineArrayReq::new(ea, n)).unwrap();
+        let b = alloc
+            .malloc_aff_affine(&AffineArrayReq::new(eb, n).align_to(a))
+            .unwrap();
+        if alloc.affine_layout(b).is_some() {
+            // Realized (no fallback): element i of both must share a bank.
+            prop_assert_eq!(
+                alloc.bank_of(a + probe * ea),
+                alloc.bank_of(b + probe * eb),
+                "element {} misaligned", probe
+            );
+        }
+    }
+
+    /// Irregular free/alloc round trip: freeing then reallocating with the
+    /// same affinity and size reuses the chunk, and load counters return to
+    /// their prior state.
+    #[test]
+    fn irregular_free_reuse(sizes in proptest::collection::vec(1u64..4096, 1..20)) {
+        let mut alloc = AffinityAllocator::new(
+            MachineConfig::paper_default(),
+            BankSelectPolicy::MinHop,
+        );
+        let anchor = alloc.malloc_aff(64, &[]).unwrap();
+        let mut allocated = Vec::new();
+        for &s in &sizes {
+            allocated.push((alloc.malloc_aff(s, &[anchor]).unwrap(), s));
+        }
+        let loads_before: Vec<u64> = alloc.loads().to_vec();
+        for &(va, _) in &allocated {
+            alloc.free_aff(va).unwrap();
+        }
+        for &(va, s) in allocated.iter().rev() {
+            let again = alloc.malloc_aff(s, &[anchor]).unwrap();
+            // Same-size chunks come back from the free list of that bank.
+            prop_assert_eq!(alloc.bank_of(again), alloc.bank_of(va));
+        }
+        prop_assert_eq!(&alloc.loads().to_vec(), &loads_before);
+    }
+
+    /// Simulated memory round-trips arbitrary byte strings at arbitrary
+    /// (possibly page-straddling) addresses.
+    #[test]
+    fn memory_round_trip(
+        addr in 0u64..100_000,
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        use affinity_alloc_repro::mem::addr::VAddr;
+        use affinity_alloc_repro::mem::memory::SimMemory;
+        let mut m = SimMemory::new();
+        m.write_bytes(VAddr(addr), &data);
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(VAddr(addr), &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    /// Graph construction preserves the multiset of edges and sorts
+    /// adjacency.
+    #[test]
+    fn graph_preserves_edges(
+        edges in proptest::collection::vec((0u32..64, 0u32..64), 0..200)
+    ) {
+        let g = Graph::from_edges(64, &edges);
+        prop_assert_eq!(g.num_edges(), edges.len());
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        for v in 0..64 {
+            let nb = g.neighbors(v);
+            // Adjacency sorted by target.
+            prop_assert!(nb.windows(2).all(|w| w[0] <= w[1]), "vertex {} unsorted", v);
+            got.extend(nb.iter().map(|&t| (v, t)));
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The bank-select score (Eq 4) is monotonic: more load never makes a
+    /// bank more attractive; more hops never make it more attractive.
+    #[test]
+    fn eq4_monotonicity(
+        hops in 0.0f64..14.0,
+        load in 0u64..10_000,
+        extra in 1u64..1000,
+        avg in 0.1f64..1000.0,
+        h in 0.0f64..10.0,
+    ) {
+        use affinity_alloc_repro::alloc::policy::score;
+        prop_assert!(score(hops, load + extra, avg, h) >= score(hops, load, avg, h));
+        prop_assert!(score(hops + 1.0, load, avg, h) > score(hops, load, avg, h));
+    }
+}
