@@ -41,7 +41,7 @@ fn main() {
         let start = std::time::Instant::now();
         let fig = run_figure(&id, opts);
         if json {
-            println!("{}", serde_json::to_string_pretty(&fig).expect("figures serialize"));
+            println!("{}", fig.to_json());
         } else {
             println!("{}", fig.render());
             println!("  ({} took {:.1?})\n", id, start.elapsed());

@@ -235,8 +235,7 @@ pub fn fig13_policies() -> Vec<BankSelectPolicy> {
 /// Fig 13: bank-select policy sensitivity, normalized to Rnd.
 ///
 /// The (workload x policy) grid is embarrassingly parallel; rows run on
-/// scoped crossbeam threads (each simulation is self-contained and
-/// deterministic).
+/// scoped threads (each simulation is self-contained and deterministic).
 pub fn fig13(opts: HarnessOpts) -> Figure {
     let policies = fig13_policies();
     let mut fig = Figure::new(
@@ -247,14 +246,14 @@ pub fn fig13(opts: HarnessOpts) -> Figure {
     // One thread per (workload, policy) cell — every simulation is
     // self-contained and deterministic, so the grid is embarrassingly
     // parallel.
-    let results: Vec<Vec<Metrics>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Vec<Metrics>> = std::thread::scope(|scope| {
         let handles: Vec<Vec<_>> = FIG13_WORKLOADS
             .iter()
             .map(|&w| {
                 policies
                     .iter()
                     .map(|&p| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             suite::run(w, &opts.cfg(SystemConfig::AffAlloc(p))).metrics
                         })
                     })
@@ -265,8 +264,7 @@ pub fn fig13(opts: HarnessOpts) -> Figure {
             .into_iter()
             .map(|row| row.into_iter().map(|h| h.join().expect("fig13 worker")).collect())
             .collect()
-    })
-    .expect("fig13 scope");
+    });
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     for (w, runs) in FIG13_WORKLOADS.iter().copied().zip(results) {
         let rnd = &runs[0];

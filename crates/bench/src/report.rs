@@ -91,6 +91,62 @@ impl Figure {
         self.rows.iter().map(|r| r.values[i]).collect()
     }
 
+    /// Render as pretty-printed JSON for downstream plotting.
+    ///
+    /// Hand-rolled (the build environment has no crates.io access for a
+    /// real serializer); non-finite values serialize as `null`, matching
+    /// serde_json's behaviour.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        fn str_list(items: &[String]) -> String {
+            let parts: Vec<String> = items.iter().map(|s| esc(s)).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let vals: Vec<String> = r.values.iter().map(|&v| num(v)).collect();
+                format!(
+                    "    {{ \"label\": {}, \"values\": [{}] }}",
+                    esc(&r.label),
+                    vals.join(", ")
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"columns\": {},\n  \"rows\": [\n{}\n  ],\n  \"notes\": {}\n}}",
+            esc(&self.id),
+            esc(&self.title),
+            str_list(&self.columns),
+            rows.join(",\n"),
+            str_list(&self.notes)
+        )
+    }
+
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -19,22 +19,41 @@ pub struct DramActivity {
 }
 
 /// The corner-controller DRAM model.
+///
+/// Honors the machine's [`FaultPlan`](aff_sim_core::fault::FaultPlan): a
+/// slowed controller multiplies the service time of every access it serves
+/// by its integer multiplier. With no slowed controllers the arithmetic
+/// reduces exactly to the original single-sum formula.
 #[derive(Debug, Clone)]
 pub struct DramModel {
     topo: Topology,
     num_ctrls: u32,
     bytes_per_cycle: u64,
     accesses: u64,
+    /// Per-controller access counts, indexed like
+    /// [`Topology::mem_ctrl_banks`].
+    accesses_per_ctrl: Vec<u64>,
+    /// Per-controller service-time multipliers from the fault plan (1 when
+    /// healthy).
+    ctrl_slowdown: Vec<u64>,
 }
 
 impl DramModel {
-    /// Model for the machine's DRAM configuration.
+    /// Model for the machine's DRAM configuration (including any slowed
+    /// controllers in `config.faults`).
     pub fn new(config: &MachineConfig) -> Self {
+        let topo = Topology::for_machine(config);
+        let n_ctrls = topo.mem_ctrl_banks(config.num_mem_ctrls).len();
+        let ctrl_slowdown = (0..n_ctrls as u32)
+            .map(|c| config.faults.mem_ctrl_slowdown(c))
+            .collect();
         Self {
-            topo: Topology::for_machine(config),
+            topo,
             num_ctrls: config.num_mem_ctrls,
             bytes_per_cycle: config.dram_bytes_per_cycle,
             accesses: 0,
+            accesses_per_ctrl: vec![0; n_ctrls],
+            ctrl_slowdown,
         }
     }
 
@@ -49,6 +68,14 @@ impl DramModel {
         traffic.record_n(bank, ctrl, 0, TrafficClass::Control, misses);
         traffic.record_n(ctrl, bank, CACHE_LINE, TrafficClass::Data, misses);
         self.accesses += misses;
+        if let Some(i) = self
+            .topo
+            .mem_ctrl_banks(self.num_ctrls)
+            .iter()
+            .position(|&b| b == ctrl)
+        {
+            self.accesses_per_ctrl[i] += misses;
+        }
     }
 
     /// Total line accesses recorded.
@@ -56,11 +83,20 @@ impl DramModel {
         self.accesses
     }
 
-    /// Bandwidth-bound service time for everything recorded so far.
+    /// Bandwidth-bound service time for everything recorded so far. A slowed
+    /// controller's accesses cost `multiplier`× the bytes-per-cycle budget;
+    /// with every multiplier at 1 this is `accesses * line / bandwidth`
+    /// exactly as before.
     pub fn activity(&self) -> DramActivity {
+        let weighted_bytes: u64 = self
+            .accesses_per_ctrl
+            .iter()
+            .zip(&self.ctrl_slowdown)
+            .map(|(&acc, &mult)| acc * CACHE_LINE * mult)
+            .sum();
         DramActivity {
             accesses: self.accesses,
-            service_cycles: (self.accesses * CACHE_LINE) / self.bytes_per_cycle.max(1),
+            service_cycles: weighted_bytes / self.bytes_per_cycle.max(1),
         }
     }
 }
@@ -102,6 +138,23 @@ mod tests {
         let (mut dram, mut traffic) = setup();
         dram.record_misses(0, 13, &mut traffic); // 13 lines * 64B / 13 B/cy = 64 cy
         assert_eq!(dram.activity().service_cycles, 64);
+    }
+
+    #[test]
+    fn slowed_ctrl_multiplies_service_time() {
+        use aff_sim_core::fault::FaultPlan;
+        // Controller 0 (bank 0's corner) slowed 4x.
+        let cfg = MachineConfig::paper_default()
+            .with_faults(FaultPlan::none().slow_mem_ctrl(0, 4));
+        let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+        let mut traffic =
+            TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes);
+        let mut dram = DramModel::new(&cfg);
+        dram.record_misses(0, 13, &mut traffic); // healthy: 64 cycles
+        assert_eq!(dram.activity().service_cycles, 256);
+        // Misses at the opposite corner hit controller 3, which is healthy.
+        dram.record_misses(63, 13, &mut traffic);
+        assert_eq!(dram.activity().service_cycles, 256 + 64);
     }
 
     #[test]

@@ -17,8 +17,10 @@ pub mod bank;
 pub mod capacity;
 pub mod dram;
 pub mod private;
+pub mod spare;
 
 pub use bank::BankCounters;
 pub use capacity::miss_rate;
 pub use dram::DramModel;
 pub use private::PrivateFilter;
+pub use spare::SpareMap;

@@ -71,14 +71,16 @@ pub fn score(avg_hops: f64, load: u64, avg_load: f64, h: f64) -> f64 {
 }
 
 /// Pick the argmin-score bank, breaking ties toward the lowest id
-/// (deterministic replay).
+/// (deterministic replay). Total over all float inputs: a NaN score sorts
+/// above every real score under IEEE total ordering, so a poisoned candidate
+/// loses rather than panicking.
 pub fn argmin_score<I>(scores: I) -> Option<u32>
 where
     I: IntoIterator<Item = (u32, f64)>,
 {
     scores
         .into_iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN bank score").then(a.0.cmp(&b.0)))
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
         .map(|(bank, _)| bank)
 }
 

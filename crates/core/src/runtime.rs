@@ -24,6 +24,7 @@ use aff_mem::pool::PoolId;
 use aff_mem::space::AddressSpace;
 use aff_noc::topology::Topology;
 use aff_sim_core::config::{MachineConfig, CACHE_LINE};
+use aff_sim_core::fault::DegradationReport;
 use aff_sim_core::rng::SimRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -39,6 +40,10 @@ struct AffineMeta {
     start_bank: u32,
     offset: u64,
     bytes: u64,
+    /// Whether the placement realizes the request exactly. `false` for
+    /// coarsened placements: the array is still pooled at the intended start
+    /// bank, but per-element colocation with an `align_to` partner is lost.
+    exact: bool,
 }
 
 /// Fragmentation snapshot (§8): free-list space versus live allocations.
@@ -103,6 +108,25 @@ pub struct AffinityAllocator {
     /// Debug-only liveness of irregular objects.
     live_irregular: HashSet<VAddr>,
     stats: AllocStats,
+    /// Banks eligible for placement — all banks on a healthy machine, the
+    /// non-failed ones under a fault plan.
+    healthy: Vec<u32>,
+    /// Graceful-degradation counters (excluded banks, fallback chain use).
+    report: DegradationReport,
+}
+
+/// One step of the affine degradation chain: the Eq-3-derived placement, a
+/// coarser-but-valid interleave preserving the start bank, or the baseline
+/// heap (always realizable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AffinePlacement {
+    /// The exact placement Eq 3 derives.
+    Derived(u64, u32),
+    /// The derived interleave was unrealizable; the nearest coarser valid
+    /// interleave keeps the data in a pool at the intended start bank.
+    Coarsened(u64, u32),
+    /// Nothing pool-shaped works: baseline heap.
+    Heap,
 }
 
 impl AffinityAllocator {
@@ -116,6 +140,18 @@ impl AffinityAllocator {
     pub fn with_seed(config: MachineConfig, policy: BankSelectPolicy, seed: u64) -> Self {
         let topo = Topology::for_machine(&config);
         let n = config.num_banks() as usize;
+        let mut healthy: Vec<u32> =
+            (0..config.num_banks()).filter(|&b| config.bank_is_healthy(b)).collect();
+        if healthy.is_empty() {
+            // An all-banks-failed plan is rejected by `FaultPlan::validate`;
+            // if one reaches us unvalidated, degrade to ignoring it rather
+            // than panicking on an empty candidate set.
+            healthy = (0..config.num_banks()).collect();
+        }
+        let report = DegradationReport {
+            excluded_banks: u64::from(config.num_banks()) - healthy.len() as u64,
+            ..DegradationReport::default()
+        };
         Self {
             space: AddressSpace::new(config),
             topo,
@@ -130,6 +166,8 @@ impl AffinityAllocator {
             resident: vec![0; n],
             live_irregular: HashSet::new(),
             stats: AllocStats::default(),
+            healthy,
+            report,
         }
     }
 
@@ -188,6 +226,14 @@ impl AffinityAllocator {
         self.stats
     }
 
+    /// How much placement degraded under the machine's fault plan: banks
+    /// excluded from Eq-4 scoring and affine allocations that walked the
+    /// fallback chain. All zeros on a healthy machine with realizable
+    /// requests.
+    pub fn degradation(&self) -> DegradationReport {
+        self.report
+    }
+
     // ---------- baseline path ----------
 
     /// Baseline `malloc`: bump allocation on the conventional heap (default
@@ -243,11 +289,16 @@ impl AffinityAllocator {
 
     /// `malloc_aff` for affine arrays (Fig 8(a)).
     ///
+    /// Placement walks a typed degradation chain rather than failing: the
+    /// Eq-3-derived interleave first, the nearest coarser valid interleave
+    /// when the derived one is unrealizable (or its pool cannot grow), and
+    /// finally the baseline heap — which always succeeds, so only malformed
+    /// *requests* produce errors.
+    ///
     /// # Errors
     ///
-    /// Returns [`AllocError`] for invalid requests; an *unrealizable*
-    /// interleave is not an error — the runtime transparently falls back to
-    /// the baseline heap, as the paper specifies.
+    /// Returns [`AllocError`] for invalid requests (zero size, zero ratio,
+    /// unknown partner, non-unit intra ratio) only.
     pub fn malloc_aff_affine(&mut self, req: &AffineArrayReq) -> Result<VAddr, AllocError> {
         if req.elem_size == 0 || req.num_elem == 0 {
             return Err(AllocError::ZeroSize);
@@ -256,14 +307,64 @@ impl AffinityAllocator {
             return Err(AllocError::BadRatio);
         }
         let total = req.total_bytes();
-        let placement = self.derive_placement(req, total)?;
-        let Some((intrlv, start_bank)) = placement else {
-            // Fallback to the baseline allocator (§4.2 "Freeing Data" path
-            // still works because no affine metadata is recorded).
-            self.stats.fallback += 1;
-            return Ok(self.heap_alloc(total));
-        };
+        let mut placement = self.derive_placement(req, total)?;
+        loop {
+            match placement {
+                AffinePlacement::Derived(intrlv, start_bank) => {
+                    match self.try_affine_pool(req, total, intrlv, start_bank, true) {
+                        Ok(va) => return Ok(va),
+                        // The pool could not serve the derived placement
+                        // (reservation capped / IOT exhausted): degrade.
+                        Err(AllocError::Pool(_)) => {
+                            placement = self.coarsen(intrlv, start_bank);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                AffinePlacement::Coarsened(intrlv, start_bank) => {
+                    self.stats.fallback += 1;
+                    self.report.fallback_allocations += 1;
+                    match self.try_affine_pool(req, total, intrlv, start_bank, false) {
+                        Ok(va) => return Ok(va),
+                        Err(AllocError::Pool(_)) => placement = AffinePlacement::Heap,
+                        Err(e) => return Err(e),
+                    }
+                }
+                AffinePlacement::Heap => {
+                    // Baseline allocator (§4.2 "Freeing Data" still works
+                    // because no affine metadata is recorded).
+                    self.stats.fallback += 1;
+                    self.report.fallback_allocations += 1;
+                    return Ok(self.heap_alloc(total));
+                }
+            }
+        }
+    }
 
+    /// The next step down the chain after a pool failure at `intrlv`: the
+    /// next coarser valid interleave, or the heap when there is none.
+    fn coarsen(&self, intrlv: u64, start_bank: u32) -> AffinePlacement {
+        let cfg = self.space.config();
+        let coarse = cfg.round_up_interleave(intrlv.saturating_mul(2));
+        if coarse > intrlv && cfg.is_valid_interleave(coarse) {
+            AffinePlacement::Coarsened(coarse, start_bank)
+        } else {
+            AffinePlacement::Heap
+        }
+    }
+
+    /// One attempt to place an affine array in the `intrlv` pool at
+    /// `start_bank`; records metadata and residency on success. `exact`
+    /// marks whether this interleave realizes the request exactly (derived)
+    /// or is a coarsened degradation.
+    fn try_affine_pool(
+        &mut self,
+        req: &AffineArrayReq,
+        total: u64,
+        intrlv: u64,
+        start_bank: u32,
+        exact: bool,
+    ) -> Result<VAddr, AllocError> {
         let pool = self.space.pool_for_interleave(intrlv)?;
         let chunks = total.div_ceil(intrlv);
         let offset_chunk = self.take_affine_chunks(pool, intrlv, start_bank, chunks)?;
@@ -278,6 +379,7 @@ impl AffinityAllocator {
                 start_bank,
                 offset: offset_chunk,
                 bytes: total,
+                exact,
             },
         );
         // Residency follows the chunk cycle.
@@ -290,13 +392,15 @@ impl AffinityAllocator {
         Ok(va)
     }
 
-    /// Decide (interleave, start bank) for an affine request, or `None` for
-    /// fallback.
+    /// Decide where an affine request enters the degradation chain: the
+    /// derived placement when Eq 3 is exactly realizable, a coarsened one
+    /// when only the interleave is off, the heap when alignment cannot be
+    /// expressed in pool chunks at all.
     fn derive_placement(
         &mut self,
         req: &AffineArrayReq,
         total: u64,
-    ) -> Result<Option<(u64, u32)>, AllocError> {
+    ) -> Result<AffinePlacement, AllocError> {
         let cfg = self.space.config();
         let banks = u64::from(cfg.num_banks());
 
@@ -304,31 +408,35 @@ impl AffinityAllocator {
             // Fig 9: spread the array exactly once across all banks.
             let chunk = total.div_ceil(banks);
             let intrlv = cfg.round_up_interleave(chunk.max(CACHE_LINE));
-            return Ok(Some((intrlv, 0)));
+            return Ok(AffinePlacement::Derived(intrlv, 0));
         }
 
         if let Some(partner) = req.align_to {
             let Some(meta) = self.affine_meta.get(&partner).copied() else {
                 return Err(AllocError::UnknownPartner { addr: partner });
             };
-            // Eq 3: intrlv_B = (elem_B/elem_A)·(q/p)·intrlv_A.
-            let num = req.elem_size * req.align_q * meta.intrlv;
-            let den = meta.elem_size * req.align_p;
-            if !num.is_multiple_of(den) {
-                return Ok(None);
-            }
-            let intrlv = num / den;
-            if !cfg.is_valid_interleave(intrlv) {
-                return Ok(None);
-            }
-            // Start-bank offset: align_x elements of A, in A-chunks.
+            // Start-bank offset: align_x elements of A, in A-chunks. An
+            // imperfect offset cannot be expressed at any interleave, so no
+            // coarsening helps (§4.2) — straight to the heap.
             let off_bytes = req.align_x * meta.elem_size;
             if !off_bytes.is_multiple_of(meta.intrlv) {
-                return Ok(None); // imperfect alignment ⇒ fallback (§4.2)
+                return Ok(AffinePlacement::Heap);
             }
             let off_chunks = off_bytes / meta.intrlv;
             let start = ((u64::from(meta.start_bank) + off_chunks) % banks) as u32;
-            return Ok(Some((intrlv, start)));
+            // Eq 3: intrlv_B = (elem_B/elem_A)·(q/p)·intrlv_A.
+            let num = req.elem_size * req.align_q * meta.intrlv;
+            let den = meta.elem_size * req.align_p;
+            if num.is_multiple_of(den) && cfg.is_valid_interleave(num / den) {
+                return Ok(AffinePlacement::Derived(num / den, start));
+            }
+            // Unrealizable exact interleave: the nearest coarser valid one
+            // keeps the array pooled at the intended start bank.
+            let coarse = cfg.round_up_interleave(num.div_ceil(den).max(CACHE_LINE));
+            if cfg.is_valid_interleave(coarse) {
+                return Ok(AffinePlacement::Coarsened(coarse, start));
+            }
+            return Ok(AffinePlacement::Heap);
         }
 
         if req.align_x > 0 {
@@ -337,11 +445,14 @@ impl AffinityAllocator {
                 return Err(AllocError::NonUnitIntraRatio);
             }
             let row_bytes = req.align_x * req.elem_size;
-            return Ok(self.pick_intra_interleave(row_bytes, total));
+            return Ok(match self.pick_intra_interleave(row_bytes, total) {
+                Some((intrlv, start)) => AffinePlacement::Derived(intrlv, start),
+                None => AffinePlacement::Heap,
+            });
         }
 
         // Plain array: default to cache-line interleave.
-        Ok(Some((CACHE_LINE, 0)))
+        Ok(AffinePlacement::Derived(CACHE_LINE, 0))
     }
 
     /// Choose the valid interleave minimizing the mean Manhattan distance
@@ -451,10 +562,15 @@ impl AffinityAllocator {
         Ok(c)
     }
 
-    /// Interleave, start bank and element count of an allocated affine array
-    /// (figure harness introspection).
+    /// Interleave and start bank of an *exactly realized* affine array
+    /// (figure harness introspection). `None` for heap fallbacks and for
+    /// coarsened placements from the degradation chain — those are pooled
+    /// but do not honour per-element `align_to` colocation.
     pub fn affine_layout(&self, va: VAddr) -> Option<(u64, u32)> {
-        self.affine_meta.get(&va).map(|m| (m.intrlv, m.start_bank))
+        self.affine_meta
+            .get(&va)
+            .filter(|m| m.exact)
+            .map(|m| (m.intrlv, m.start_bank))
     }
 
     // ---------- irregular path (§5) ----------
@@ -487,14 +603,23 @@ impl AffinityAllocator {
         Ok(va)
     }
 
-    /// Eq 4 bank selection.
+    /// Eq 4 bank selection over the healthy banks only: failed banks are
+    /// excluded from every policy, and slowed banks see their load term
+    /// multiplied by their fault slowdown (a 4×-slower bank looks 4× as
+    /// loaded, so Eq 4 naturally steers allocations away from it).
     fn select_bank(&mut self, aff_addrs: &[VAddr]) -> u32 {
         let banks = self.space.config().num_banks();
         match self.policy {
-            BankSelectPolicy::Rnd => self.rng.below(u64::from(banks)) as u32,
+            BankSelectPolicy::Rnd => {
+                let i = self.rng.below(self.healthy.len() as u64) as usize;
+                self.healthy[i]
+            }
             BankSelectPolicy::Lnr => {
-                let b = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % banks;
+                let mut b = self.rr_next;
+                while !self.healthy.contains(&b) {
+                    b = (b + 1) % banks;
+                }
+                self.rr_next = (b + 1) % banks;
                 b
             }
             BankSelectPolicy::MinHop | BankSelectPolicy::Hybrid { .. } => {
@@ -508,7 +633,8 @@ impl AffinityAllocator {
                 let avg_load = total_load as f64 / f64::from(banks);
                 let topo = self.topo;
                 let loads = &self.loads;
-                argmin_score((0..banks).map(|b| {
+                let faults = &self.space.config().faults;
+                argmin_score(self.healthy.iter().map(|&b| {
                     let avg_hops = if aff_banks.is_empty() {
                         0.0
                     } else {
@@ -518,9 +644,10 @@ impl AffinityAllocator {
                             .sum::<f64>()
                             / aff_banks.len() as f64
                     };
-                    (b, score(avg_hops, loads[b as usize], avg_load, h))
+                    let load = loads[b as usize] * faults.bank_slowdown(b);
+                    (b, score(avg_hops, load, avg_load, h))
                 }))
-                .expect("at least one bank")
+                .unwrap_or_else(|| self.healthy.first().copied().unwrap_or(0))
             }
         }
     }
@@ -634,14 +761,11 @@ impl AffinityAllocator {
     pub fn reclaim_pool_tails(&mut self) -> u64 {
         let banks = u64::from(self.space.config().num_banks());
         let mut reclaimed = 0u64;
-        let pools: Vec<PoolId> = self.pool_cursor.keys().copied().collect();
-        for pool in pools {
+        let pools: Vec<(PoolId, u64)> =
+            self.pool_cursor.iter().map(|(&p, &c)| (p, c)).collect();
+        for (pool, mut cursor) in pools {
             let intrlv = self.space.pools().interleave(pool);
-            loop {
-                let cursor = *self.pool_cursor.get(&pool).expect("known pool");
-                if cursor == 0 {
-                    break;
-                }
+            while cursor > 0 {
                 let tail_chunk = cursor - 1;
                 let bank = (tail_chunk % banks) as u32;
                 let Some(list) = self.free_lists.get_mut(&(intrlv, bank)) else {
@@ -651,9 +775,10 @@ impl AffinityAllocator {
                     break;
                 };
                 list.swap_remove(pos);
-                *self.pool_cursor.get_mut(&pool).expect("known pool") = tail_chunk;
+                cursor = tail_chunk;
                 reclaimed += intrlv;
             }
+            self.pool_cursor.insert(pool, cursor);
         }
         reclaimed
     }
@@ -1175,6 +1300,137 @@ mod tests {
         let again = a.malloc_aff(64, &[anchor]).unwrap();
         assert_eq!(a.bank_of(again), a.bank_of(objs[0]));
         assert!(again <= objs[0], "cursor restarted at or before the old spot");
+    }
+
+    // ----- faults & graceful degradation -----
+
+    use aff_sim_core::fault::FaultPlan;
+
+    fn faulty(plan: FaultPlan, policy: BankSelectPolicy) -> AffinityAllocator {
+        AffinityAllocator::new(
+            MachineConfig::paper_default().with_faults(plan),
+            policy,
+        )
+    }
+
+    #[test]
+    fn failed_banks_are_never_selected() {
+        let plan = FaultPlan::none().fail_bank(0).fail_bank(9).fail_bank(63);
+        for policy in [
+            BankSelectPolicy::Rnd,
+            BankSelectPolicy::Lnr,
+            BankSelectPolicy::MinHop,
+            BankSelectPolicy::paper_default(),
+        ] {
+            let mut a = faulty(plan.clone(), policy);
+            let anchor = a.malloc_aff(64, &[]).unwrap();
+            for _ in 0..200 {
+                let v = a.malloc_aff(64, &[anchor]).unwrap();
+                let b = a.bank_of(v);
+                assert!(
+                    ![0, 9, 63].contains(&b),
+                    "{policy:?} placed on failed bank {b}"
+                );
+            }
+            assert_eq!(a.degradation().excluded_banks, 3);
+        }
+    }
+
+    #[test]
+    fn min_hop_skips_a_dead_affinity_target() {
+        // The anchor's own bank dies *before* the anchor's neighbors are
+        // chosen: Min-Hop must pick the nearest healthy bank instead of the
+        // affinity bank itself.
+        let mut healthy = alloc(BankSelectPolicy::MinHop);
+        let anchor = healthy.malloc_aff(64, &[]).unwrap();
+        let home = healthy.bank_of(anchor);
+        let mut a = faulty(FaultPlan::none().fail_bank(home), BankSelectPolicy::MinHop);
+        let anchor2 = a.malloc_aff(64, &[]).unwrap();
+        assert_ne!(a.bank_of(anchor2), home);
+    }
+
+    #[test]
+    fn slowed_bank_repels_hybrid_allocations() {
+        // With the anchor's bank slowed 8x, Hybrid's load term inflates and
+        // allocations spill off it far sooner than on a healthy machine.
+        let spill_count = |plan: FaultPlan| {
+            let mut a = faulty(plan, BankSelectPolicy::Hybrid { h: 5.0 });
+            let anchor = a.malloc_aff(64, &[]).unwrap();
+            let home = a.bank_of(anchor);
+            let mut on_home = 0u32;
+            for _ in 0..200 {
+                let v = a.malloc_aff(64, &[anchor]).unwrap();
+                if a.bank_of(v) == home {
+                    on_home += 1;
+                }
+            }
+            on_home
+        };
+        let healthy = spill_count(FaultPlan::none());
+        // Bank 0 is where the first MinHop-ish anchor lands on a fresh
+        // allocator (lowest-id tie-break).
+        let slowed = spill_count(FaultPlan::none().slow_bank(0, 8));
+        assert!(
+            slowed < healthy,
+            "slowdown must repel allocations: {slowed} >= {healthy}"
+        );
+    }
+
+    #[test]
+    fn pool_cap_degrades_affine_to_heap_and_errors_irregular() {
+        // Cap pools at one page: the first affine array fits nothing beyond
+        // a page, so the chain walks derived -> coarser -> heap without
+        // panicking; irregular allocation reports the pool error.
+        let plan = FaultPlan::none().cap_pool_reserve(PAGE_CAP);
+        let mut a = faulty(plan, BankSelectPolicy::paper_default());
+        let before = a.stats().fallback;
+        let va = a
+            .malloc_aff_affine(&AffineArrayReq::new(4, 1 << 20)) // 4 MiB
+            .unwrap();
+        assert!(va.raw() >= aff_mem::space::HEAP_VA_BASE && va.raw() < (1 << 40));
+        assert!(a.stats().fallback > before);
+        assert!(a.degradation().fallback_allocations > 0);
+        // Irregular allocations have no heap fallback by design: they must
+        // surface the pool failure as an Err, never abort.
+        let mut err = None;
+        for _ in 0..10_000 {
+            match a.malloc_aff(4096, &[]) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(err, Some(AllocError::Pool(_))),
+            "exhaustion must surface as Err, got {err:?}"
+        );
+    }
+
+    const PAGE_CAP: u64 = 4096;
+
+    #[test]
+    fn healthy_machine_reports_zero_degradation() {
+        let mut a = hybrid();
+        let anchor = a.malloc_aff(64, &[]).unwrap();
+        let _ = a.malloc_aff(64, &[anchor]).unwrap();
+        let _ = a.malloc_aff_affine(&AffineArrayReq::new(4, 4096)).unwrap();
+        assert!(a.degradation().is_zero());
+    }
+
+    #[test]
+    fn fault_free_placement_is_unchanged_by_empty_plan() {
+        let mut plain = hybrid();
+        let mut faulted = faulty(FaultPlan::none(), BankSelectPolicy::paper_default());
+        let pa = plain.malloc_aff(64, &[]).unwrap();
+        let fa = faulted.malloc_aff(64, &[]).unwrap();
+        assert_eq!(pa, fa);
+        for _ in 0..100 {
+            let pv = plain.malloc_aff(64, &[pa]).unwrap();
+            let fv = faulted.malloc_aff(64, &[fa]).unwrap();
+            assert_eq!(pv, fv, "empty plan must not perturb placement");
+        }
     }
 
     #[test]

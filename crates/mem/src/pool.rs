@@ -43,7 +43,8 @@ pub enum PoolError {
     },
     /// No free Interleave Override Table entry for a new pool.
     IotFull,
-    /// Expansion would exceed the pool's 1 TB reservation.
+    /// Expansion would exceed the pool's 1 TB reservation (or the tighter
+    /// cap a fault plan imposes on pool growth).
     OutOfReserve,
 }
 
@@ -78,6 +79,9 @@ pub struct PoolManager {
     by_intrlv: HashMap<u64, PoolId>,
     iot: Iot,
     valid: fn(u64) -> bool,
+    /// Per-pool backing cap in bytes — [`POOL_STRIDE`] normally, tighter
+    /// under a fault plan's memory-pressure cap.
+    reserve_cap: u64,
 }
 
 fn default_valid(intrlv: u64) -> bool {
@@ -107,13 +111,30 @@ impl PoolManager {
             by_intrlv: HashMap::new(),
             iot: Iot::new(iot_capacity),
             valid: if allow_npot { npot_valid } else { default_valid },
+            reserve_cap: POOL_STRIDE,
         };
         let mut intrlv = 64;
         while intrlv <= PAGE_SIZE {
-            mgr.create_pool(intrlv).expect("7 pools fit in a fresh IOT");
+            // An IOT smaller than the 7 default pools just pre-creates fewer;
+            // the rest are created on demand (and may then report IotFull).
+            if mgr.create_pool(intrlv).is_err() {
+                break;
+            }
             intrlv *= 2;
         }
         mgr
+    }
+
+    /// Cap every pool's backed bytes at `bytes` (clamped to the 1 TB
+    /// reservation). Expansion past the cap returns
+    /// [`PoolError::OutOfReserve`] — the fault plan's pool-pressure knob.
+    pub fn set_reserve_cap(&mut self, bytes: u64) {
+        self.reserve_cap = bytes.min(POOL_STRIDE);
+    }
+
+    /// The current per-pool backing cap in bytes.
+    pub fn reserve_cap(&self) -> u64 {
+        self.reserve_cap
     }
 
     fn create_pool(&mut self, intrlv: u64) -> Result<PoolId, PoolError> {
@@ -126,9 +147,14 @@ impl PoolManager {
         // Install a minimal entry now; expansion grows it.
         self.iot
             .insert(pa_start, pa_start + PAGE_SIZE, intrlv)
-            .map_err(|e| match e {
-                IotError::Full { .. } => PoolError::IotFull,
-                IotError::Overlap => unreachable!("pool reservations are disjoint"),
+            .map_err(|e| {
+                // Overlap cannot happen for disjoint reservations; degrade to
+                // a table-full error rather than aborting if it ever does.
+                debug_assert!(
+                    matches!(e, IotError::Full { .. }),
+                    "pool reservations are disjoint"
+                );
+                PoolError::IotFull
             })?;
         let id = PoolId(self.pools.len() as u32);
         self.pools.push(Pool {
@@ -159,19 +185,19 @@ impl PoolManager {
     ///
     /// # Errors
     ///
-    /// [`PoolError::OutOfReserve`] past the 1 TB reservation.
+    /// [`PoolError::OutOfReserve`] past the 1 TB reservation or the fault
+    /// plan's tighter [`Self::set_reserve_cap`].
     pub fn expand(&mut self, id: PoolId, min_len: u64) -> Result<(), PoolError> {
         let pool = &mut self.pools[id.0 as usize];
         let new_len = min_len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        if new_len > POOL_STRIDE {
+        if new_len > self.reserve_cap && new_len > pool.len {
             return Err(PoolError::OutOfReserve);
         }
         if new_len > pool.len {
             pool.len = new_len;
             let end = pool.pa_start + new_len;
-            self.iot
-                .grow(pool.pa_start, end)
-                .expect("pool backing never collides");
+            let grew = self.iot.grow(pool.pa_start, end);
+            debug_assert!(grew.is_ok(), "pool backing never collides");
         }
         Ok(())
     }
@@ -332,6 +358,24 @@ mod tests {
         let mut mgr = PoolManager::new(64, 16);
         let p = mgr.pool_for_interleave(64).unwrap();
         assert_eq!(mgr.expand(p, POOL_STRIDE + 1), Err(PoolError::OutOfReserve));
+    }
+
+    #[test]
+    fn reserve_cap_tightens_out_of_reserve() {
+        let mut mgr = PoolManager::new(64, 16);
+        let p = mgr.pool_for_interleave(64).unwrap();
+        mgr.set_reserve_cap(64 * 1024);
+        mgr.expand(p, 64 * 1024).unwrap();
+        assert_eq!(mgr.expand(p, 64 * 1024 + 1), Err(PoolError::OutOfReserve));
+        // Requests at or below the already-backed length still succeed.
+        mgr.expand(p, 4096).unwrap();
+        assert_eq!(mgr.len(p), 64 * 1024);
+    }
+
+    #[test]
+    fn tiny_iot_pre_creates_fewer_pools_without_panicking() {
+        let mgr = PoolManager::new(64, 3);
+        assert_eq!(mgr.iot().len(), 3, "only 3 of the 7 default pools fit");
     }
 
     #[test]

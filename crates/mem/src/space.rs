@@ -48,11 +48,14 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Fresh address space for `config`'s machine.
     pub fn new(config: MachineConfig) -> Self {
-        let pools = PoolManager::with_npot(
+        let mut pools = PoolManager::with_npot(
             config.num_banks(),
             config.iot_entries,
             config.allow_npot_interleave,
         );
+        if let Some(cap) = config.faults.pool_reserve_cap {
+            pools.set_reserve_cap(cap);
+        }
         Self {
             config,
             pools,

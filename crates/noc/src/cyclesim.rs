@@ -11,8 +11,10 @@
 //! cross-checks all three tiers), and for anyone extending this repo toward
 //! full cycle-accuracy.
 
-use crate::topology::{BankId, Coord, Topology};
+use crate::fault_route::FaultRouter;
+use crate::topology::{BankId, Coord, Link, Topology};
 use crate::traffic::Packet;
+use aff_sim_core::fault::FaultPlan;
 use std::collections::VecDeque;
 
 /// Input/output port of a router.
@@ -67,6 +69,10 @@ pub struct CycleNoc {
     pipeline: u64,
     /// Input-buffer capacity in flits.
     buffer_depth: usize,
+    /// Fault-aware next-hop tables; `None` routes plain X-Y. The tables are
+    /// loop-free (every hop strictly decreases BFS distance), which is what
+    /// makes per-hop table routing sound here.
+    router: Option<Box<FaultRouter>>,
 }
 
 impl CycleNoc {
@@ -82,7 +88,30 @@ impl CycleNoc {
             topo,
             pipeline,
             buffer_depth,
+            router: None,
         }
+    }
+
+    /// New simulator routing via fault-aware next-hop tables: dead links are
+    /// never selected (flits bend around them), degraded links accept at most
+    /// one flit every `multiplier` cycles, and unreachable pairs limp X-Y
+    /// through dead links so every packet still delivers. With no link faults
+    /// this is exactly [`CycleNoc::new`].
+    ///
+    /// Note: unlike pure X-Y, BFS detour routes are not provably
+    /// deadlock-free under extreme buffer pressure; use adequate
+    /// `buffer_depth` (≥ 2) when injecting saturating fault-plan traffic.
+    pub fn with_faults(
+        topo: Topology,
+        pipeline: u64,
+        buffer_depth: usize,
+        plan: &FaultPlan,
+    ) -> Self {
+        let mut noc = Self::new(topo, pipeline, buffer_depth);
+        if plan.has_link_faults() {
+            noc.router = Some(Box::new(FaultRouter::new(topo, plan)));
+        }
+        noc
     }
 
     /// The output port X-Y routing selects at `here` for destination `dst`.
@@ -98,6 +127,28 @@ impl CycleNoc {
         } else {
             Port::Local
         }
+    }
+
+    /// The output port for `dst` at `here`, honoring fault-aware tables when
+    /// present. Unreachable pairs fall back to plain X-Y (the limp path).
+    fn out_port(&self, here: Coord, dst: Coord) -> Port {
+        if let Some(r) = self.router.as_deref() {
+            let here_bank = self.topo.bank_of(here);
+            let dst_bank = self.topo.bank_of(dst);
+            if let Some(next) = r.next_hop(here_bank, dst_bank) {
+                let n = self.topo.coord_of(next);
+                return if n.x > here.x {
+                    Port::East
+                } else if n.x < here.x {
+                    Port::West
+                } else if n.y > here.y {
+                    Port::South
+                } else {
+                    Port::North
+                };
+            }
+        }
+        self.route_port(here, dst)
     }
 
     fn neighbor(&self, here: Coord, port: Port) -> Coord {
@@ -183,10 +234,23 @@ impl CycleNoc {
                         if f.ready_at > cycle || f.dst as usize == r {
                             continue;
                         }
-                        if self.route_port(here, self.topo.coord_of(f.dst)) != out {
+                        if self.out_port(here, self.topo.coord_of(f.dst)) != out {
                             continue;
                         }
-                        let next = self.topo.bank_of(self.neighbor(here, out)) as usize;
+                        let next_coord = self.neighbor(here, out);
+                        if let Some(fr) = self.router.as_deref() {
+                            let idx = self.topo.link_index(Link {
+                                from: here,
+                                to: next_coord,
+                            });
+                            let cost = fr.link_cost(idx);
+                            // A degraded link accepts at most one flit every
+                            // `cost` cycles; nobody crosses it this cycle.
+                            if cost > 1 && !cycle.is_multiple_of(cost) {
+                                break;
+                            }
+                        }
+                        let next = self.topo.bank_of(next_coord) as usize;
                         // The flit arrives at the input port facing back.
                         let next_in = port_index(match out {
                             Port::East => Port::West,
@@ -320,6 +384,74 @@ mod tests {
         let rep = noc().simulate(&[pkt(5, 5, 4)], 100);
         assert_eq!(rep.delivered, 1);
         assert_eq!(rep.flit_hops, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_cyclesim() {
+        let topo = Topology::new(4, 4);
+        let plain = CycleNoc::new(topo, 2, 4);
+        let faulted = CycleNoc::with_faults(topo, 2, 4, &FaultPlan::none());
+        let mut packets = Vec::new();
+        for s in 0..16u32 {
+            packets.push(pkt(s, (s * 5 + 3) % 16, 3));
+        }
+        assert_eq!(
+            plain.simulate(&packets, 1_000_000),
+            faulted.simulate(&packets, 1_000_000)
+        );
+    }
+
+    #[test]
+    fn dead_link_traffic_bends_and_still_delivers() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan =
+            FaultPlan::none().fail_link(LinkRef::between(1, 0, 2, 0).expect("adjacent"));
+        let noc = CycleNoc::with_faults(topo, 2, 4, &plan);
+        let rep = noc.simulate(&[pkt(0, 3, 2)], 100_000);
+        assert_eq!(rep.delivered, 1);
+        // Detour around the dead link: 5 hops instead of 3, x 2 flits.
+        assert_eq!(rep.flit_hops, 10);
+    }
+
+    #[test]
+    fn degraded_link_slows_delivery() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan = FaultPlan::none()
+            .degrade_link(LinkRef::between(0, 0, 1, 0).expect("adjacent"), 8);
+        let plain = CycleNoc::new(topo, 2, 4);
+        let slow = CycleNoc::with_faults(topo, 2, 4, &plan);
+        let packets = [pkt(0, 1, 8)];
+        let a = plain.simulate(&packets, 1_000_000);
+        let b = slow.simulate(&packets, 1_000_000);
+        assert_eq!(a.delivered, 1);
+        assert_eq!(b.delivered, 1);
+        assert!(
+            b.finish_cycle > a.finish_cycle,
+            "degraded {} vs healthy {}",
+            b.finish_cycle,
+            a.finish_cycle
+        );
+        assert_eq!(a.flit_hops, b.flit_hops, "route unchanged, only slower");
+    }
+
+    #[test]
+    fn fault_routing_drains_under_load() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan = FaultPlan::none()
+            .fail_link(LinkRef::between(1, 1, 2, 1).expect("adjacent"))
+            .fail_link(LinkRef::between(2, 2, 2, 1).expect("adjacent"));
+        let noc = CycleNoc::with_faults(topo, 2, 4, &plan);
+        let mut packets = Vec::new();
+        for s in 0..16u32 {
+            for k in 1..6u32 {
+                packets.push(pkt(s, (s * 7 + k * 3) % 16, 4));
+            }
+        }
+        let rep = noc.simulate(&packets, 5_000_000);
+        assert_eq!(rep.delivered, packets.len() as u64, "drained around faults");
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! waiting for a link's next free cycle. Packets are processed in injection
 //! order (injection time defaults to back-to-back issue at the source).
 
+use crate::fault_route::{FaultRouter, LIMP_COST};
 use crate::topology::Topology;
 use crate::traffic::Packet;
+use aff_sim_core::fault::FaultPlan;
 use std::collections::HashMap;
 
 /// Result of replaying a packet set through the mesh.
@@ -34,6 +36,8 @@ pub struct DesNoc {
     link_free: Vec<u64>,
     /// Next cycle each source tile can inject (models the NI serializing).
     inject_free: HashMap<u32, u64>,
+    /// Fault-aware route tables; `None` routes plain X-Y.
+    router: Option<Box<FaultRouter>>,
 }
 
 impl DesNoc {
@@ -44,7 +48,21 @@ impl DesNoc {
             hop_latency,
             link_free: vec![0; topo.num_links()],
             inject_free: HashMap::new(),
+            router: None,
         }
+    }
+
+    /// New simulator routing around the link faults in `plan`: packets take
+    /// the BFS-healthy route, degraded links serialize flits `multiplier`×
+    /// slower, and limped packets (no healthy path) crawl their X-Y route at
+    /// [`LIMP_COST`]× per link. With no link faults this is exactly
+    /// [`DesNoc::new`].
+    pub fn with_faults(topo: Topology, hop_latency: u64, plan: &FaultPlan) -> Self {
+        let mut des = Self::new(topo, hop_latency);
+        if plan.has_link_faults() {
+            des.router = Some(Box::new(FaultRouter::new(topo, plan)));
+        }
+        des
     }
 
     /// Replay `packets` in order, all ready for injection at cycle 0 (the
@@ -55,7 +73,12 @@ impl DesNoc {
         for p in packets {
             let t = self.send(p, 0);
             finish = finish.max(t);
-            hop_flits += p.flits * u64::from(self.topo.manhattan(p.src, p.dst));
+            let hops = match self.router.as_deref() {
+                None => u64::from(self.topo.manhattan(p.src, p.dst)),
+                // Detours lengthen routes; limped packets keep the X-Y length.
+                Some(r) => r.route(p.src, p.dst).links.len() as u64,
+            };
+            hop_flits += p.flits * hops;
         }
         DesReport {
             finish_cycle: finish,
@@ -75,17 +98,43 @@ impl DesNoc {
         if p.src == p.dst {
             return start;
         }
+        // Resolve the route and the per-link cost multiplier (1 everywhere
+        // on a fault-free mesh — identical arithmetic to the original model).
+        let hops: Vec<(usize, u64)> = match self.router.as_deref() {
+            None => self
+                .topo
+                .xy_route(p.src, p.dst)
+                .into_iter()
+                .map(|l| (self.topo.link_index(l), 1))
+                .collect(),
+            Some(r) => {
+                let fr = r.route(p.src, p.dst);
+                fr.links
+                    .iter()
+                    .map(|&idx| {
+                        let cost = if fr.limped {
+                            LIMP_COST
+                        } else {
+                            r.link_cost(idx as usize)
+                        };
+                        (idx as usize, cost)
+                    })
+                    .collect()
+            }
+        };
         let mut head_time = start;
-        for link in self.topo.xy_route(p.src, p.dst) {
-            let idx = self.topo.link_index(link);
+        let mut last_cost = 1;
+        for (idx, cost) in hops {
             let grant = head_time.max(self.link_free[idx]);
             // Link is busy for the whole packet's flits (wormhole: body
-            // follows head, one flit per cycle).
-            self.link_free[idx] = grant + p.flits;
+            // follows head, one flit per cycle; degraded links take
+            // `cost` cycles per flit).
+            self.link_free[idx] = grant + p.flits * cost;
             head_time = grant + self.hop_latency;
+            last_cost = cost;
         }
-        // Tail arrives (flits - 1) cycles after the head.
-        head_time + p.flits.saturating_sub(1)
+        // Tail arrives (flits - 1) link cycles after the head.
+        head_time + (p.flits * last_cost).saturating_sub(1)
     }
 
     /// Reset link/injection state while keeping the topology.
@@ -165,6 +214,61 @@ mod tests {
         assert_eq!(rep.packets, 3);
         assert_eq!(rep.hop_flits, 2 * 3 + 2 * 3); // local packet adds none
         assert!(rep.finish_cycle > 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_des() {
+        let topo = Topology::new(4, 4);
+        let mut plain = DesNoc::new(topo, 6);
+        let mut faulted = DesNoc::with_faults(topo, 6, &FaultPlan::none());
+        let pkts = vec![pkt(0, 3, 2), pkt(3, 12, 4), pkt(5, 5, 1), pkt(1, 0, 8)];
+        assert_eq!(plain.replay(&pkts), faulted.replay(&pkts));
+    }
+
+    #[test]
+    fn dead_link_lengthens_latency_and_hops() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan =
+            FaultPlan::none().fail_link(LinkRef::between(1, 0, 2, 0).expect("adjacent"));
+        let mut plain = DesNoc::new(topo, 6);
+        let mut faulted = DesNoc::with_faults(topo, 6, &plan);
+        // 0 -> 3 must bend around the dead middle link: 5 hops vs 3.
+        let t_plain = plain.send(&pkt(0, 3, 1), 0);
+        let t_fault = faulted.send(&pkt(0, 3, 1), 0);
+        assert_eq!(t_plain, 18);
+        assert_eq!(t_fault, 30, "5 hops x 6 cycles");
+        faulted.reset();
+        let rep = faulted.replay(&[pkt(0, 3, 1)]);
+        assert_eq!(rep.hop_flits, 5);
+    }
+
+    #[test]
+    fn degraded_link_serializes_slower() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan = FaultPlan::none()
+            .degrade_link(LinkRef::between(0, 0, 1, 0).expect("adjacent"), 4);
+        let mut plain = DesNoc::new(topo, 6);
+        let mut faulted = DesNoc::with_faults(topo, 6, &plan);
+        // 0 -> 1: 1 hop, 4 flits. Healthy tail at 6+3=9; degraded link takes
+        // 4 cycles/flit, tail at 6 + 16 - 1 = 21.
+        assert_eq!(plain.send(&pkt(0, 1, 4), 0), 9);
+        assert_eq!(faulted.send(&pkt(0, 1, 4), 0), 21);
+    }
+
+    #[test]
+    fn limped_packet_is_slow_but_delivered() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan = FaultPlan::none()
+            .fail_link(LinkRef::between(0, 0, 1, 0).expect("adjacent"))
+            .fail_link(LinkRef::between(0, 0, 0, 1).expect("adjacent"));
+        let mut faulted = DesNoc::with_faults(topo, 6, &plan);
+        let mut plain = DesNoc::new(topo, 6);
+        let t_limp = faulted.send(&pkt(0, 3, 2), 0);
+        let t_plain = plain.send(&pkt(0, 3, 2), 0);
+        assert!(t_limp > t_plain, "limping must cost more ({t_limp} vs {t_plain})");
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Fault-aware routing: route around dead links, charge degraded ones.
+//!
+//! The healthy machine routes X-Y (dimension-ordered, deadlock-free). When a
+//! [`FaultPlan`] kills links, [`FaultRouter`] precomputes per-destination
+//! next-hop tables by BFS over the surviving links, with a tie-break that
+//! prefers the X-Y direction order. The resulting policy degrades gracefully:
+//!
+//! 1. **X-Y** — with no faults the tables reproduce `Topology::xy_route`
+//!    *exactly* (the tie-break picks the X-toward neighbor first, then
+//!    Y-toward), so a fault-free router is byte-identical to the baseline.
+//! 2. **Y-X / detour** — when the X-Y path crosses a dead link, the BFS
+//!    shortest path bends around it (often the Y-X route, otherwise a
+//!    one-detour path), and the extra hops are reported per route.
+//! 3. **Limp** — when the healthy sub-mesh cannot connect a pair at all, the
+//!    message still "limps" through its original X-Y route at
+//!    [`LIMP_COST`]× per-link cost rather than being dropped: fault injection
+//!    must never change functional results, only their price.
+//!
+//! Routes from the table are loop-free by construction (every hop strictly
+//! decreases the BFS distance to the destination), which is what lets the
+//! cycle-level router consume the same table hop by hop.
+
+use std::collections::VecDeque;
+
+use aff_sim_core::fault::{FaultPlan, LinkRef};
+
+use crate::topology::{BankId, Coord, Link, Topology};
+
+/// Per-link cost multiplier charged when a message must limp through a dead
+/// link because no healthy path exists. Chosen heavy enough to dominate any
+/// healthy detour (the longest detour on an 8×8 mesh is < 16 extra hops).
+pub const LIMP_COST: u64 = 16;
+
+/// One resolved route under faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRoute {
+    /// Directed link indices (see [`Topology::link_index`]) in traversal order.
+    pub links: Vec<u32>,
+    /// Whether the route differs from the fault-free X-Y route.
+    pub rerouted: bool,
+    /// Link crossings beyond the Manhattan minimum.
+    pub detour_hops: u32,
+    /// Whether the pair was unreachable on healthy links and the route runs
+    /// through dead ones at [`LIMP_COST`]× cost.
+    pub limped: bool,
+}
+
+/// Precomputed fault-aware next-hop tables over one mesh.
+#[derive(Debug, Clone)]
+pub struct FaultRouter {
+    topo: Topology,
+    /// Per directed link: dead?
+    failed: Vec<bool>,
+    /// Per directed link: integer cost multiplier (1 = healthy).
+    cost: Vec<u64>,
+    /// `next_hop[dst * banks + here]` = next bank toward `dst`, or
+    /// `u32::MAX` when `here == dst` or no healthy path exists.
+    next_hop: Vec<u32>,
+}
+
+impl FaultRouter {
+    /// Build tables for `topo` under `plan`. Cheap for the paper's meshes
+    /// (one BFS per destination over ≤ 64 tiles).
+    pub fn new(topo: Topology, plan: &FaultPlan) -> Self {
+        let n = topo.num_banks() as usize;
+        let mut failed = vec![false; topo.num_links()];
+        let mut cost = vec![1u64; topo.num_links()];
+        let to_link = |l: &LinkRef| Link {
+            from: Coord { x: l.fx, y: l.fy },
+            to: Coord { x: l.tx, y: l.ty },
+        };
+        for l in &plan.failed_links {
+            failed[topo.link_index(to_link(l))] = true;
+        }
+        for (l, &m) in &plan.degraded_links {
+            cost[topo.link_index(to_link(l))] = u64::from(m);
+        }
+
+        let mut next_hop = vec![u32::MAX; n * n];
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for dst in 0..n as u32 {
+            // Reverse BFS from dst: dist[v] = healthy hops from v to dst.
+            dist.fill(u32::MAX);
+            dist[dst as usize] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u as usize];
+                for v in neighbors(topo, u) {
+                    let idx = topo.link_index(link_between(topo, v, u));
+                    if failed[idx] || dist[v as usize] != u32::MAX {
+                        continue;
+                    }
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+            for here in 0..n as u32 {
+                let dh = dist[here as usize];
+                if here == dst || dh == u32::MAX {
+                    continue;
+                }
+                // First candidate (in X-Y-preferring order) that is one BFS
+                // step closer over a healthy link.
+                for cand in ordered_candidates(topo, here, dst) {
+                    let idx = topo.link_index(link_between(topo, here, cand));
+                    if !failed[idx] && dist[cand as usize] == dh - 1 {
+                        next_hop[dst as usize * n + here as usize] = cand;
+                        break;
+                    }
+                }
+            }
+        }
+        Self {
+            topo,
+            failed,
+            cost,
+            next_hop,
+        }
+    }
+
+    /// The topology the tables were built for.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The next bank on the healthy route `here → dst`, or `None` when
+    /// `here == dst` or no healthy path exists (the caller limps X-Y).
+    pub fn next_hop(&self, here: BankId, dst: BankId) -> Option<BankId> {
+        let n = self.topo.num_banks() as usize;
+        let v = self.next_hop[dst as usize * n + here as usize];
+        (v != u32::MAX).then_some(v)
+    }
+
+    /// Whether the directed link with this index is dead.
+    pub fn link_is_failed(&self, idx: usize) -> bool {
+        self.failed[idx]
+    }
+
+    /// Integer cost multiplier of the directed link with this index
+    /// (1 = healthy; [`LIMP_COST`] does **not** appear here — limping is a
+    /// per-route condition, not a per-link one).
+    pub fn link_cost(&self, idx: usize) -> u64 {
+        self.cost[idx]
+    }
+
+    /// Resolve the full route `src → dst`. Empty for `src == dst`.
+    pub fn route(&self, src: BankId, dst: BankId) -> FaultRoute {
+        let xy: Vec<u32> = self
+            .topo
+            .xy_route(src, dst)
+            .into_iter()
+            .map(|l| self.topo.link_index(l) as u32)
+            .collect();
+        if src == dst {
+            return FaultRoute {
+                links: xy,
+                rerouted: false,
+                detour_hops: 0,
+                limped: false,
+            };
+        }
+        if self.next_hop(src, dst).is_none() {
+            // Unreachable on healthy links: limp through the X-Y route.
+            return FaultRoute {
+                links: xy,
+                rerouted: false,
+                detour_hops: 0,
+                limped: true,
+            };
+        }
+        let mut links = Vec::with_capacity(xy.len());
+        let mut cur = src;
+        while cur != dst {
+            // Walk cannot dead-end: next_hop exists at src and every hop
+            // strictly decreases the BFS distance to dst.
+            let nh = self
+                .next_hop(cur, dst)
+                .expect("next-hop table is closed under its own steps");
+            links.push(self.topo.link_index(link_between(self.topo, cur, nh)) as u32);
+            cur = nh;
+        }
+        let detour_hops = links.len() as u32 - self.topo.manhattan(src, dst);
+        let rerouted = links != xy;
+        FaultRoute {
+            links,
+            rerouted,
+            detour_hops,
+            limped: false,
+        }
+    }
+}
+
+/// Mesh neighbors of a bank, in E, W, S, N order.
+fn neighbors(topo: Topology, b: BankId) -> Vec<BankId> {
+    let c = topo.coord_of(b);
+    let mut out = Vec::with_capacity(4);
+    if c.x + 1 < topo.mesh_x() {
+        out.push(topo.bank_of(Coord { x: c.x + 1, y: c.y }));
+    }
+    if c.x > 0 {
+        out.push(topo.bank_of(Coord { x: c.x - 1, y: c.y }));
+    }
+    if c.y + 1 < topo.mesh_y() {
+        out.push(topo.bank_of(Coord { x: c.x, y: c.y + 1 }));
+    }
+    if c.y > 0 {
+        out.push(topo.bank_of(Coord { x: c.x, y: c.y - 1 }));
+    }
+    out
+}
+
+/// The directed link between two adjacent banks.
+fn link_between(topo: Topology, from: BankId, to: BankId) -> Link {
+    Link {
+        from: topo.coord_of(from),
+        to: topo.coord_of(to),
+    }
+}
+
+/// Candidate next hops from `here` toward `dst`, ordered so the fault-free
+/// choice reproduces X-Y routing exactly: the X-toward neighbor first, then
+/// Y-toward, then the remaining directions (E, W, S, N order).
+fn ordered_candidates(topo: Topology, here: BankId, dst: BankId) -> Vec<BankId> {
+    let h = topo.coord_of(here);
+    let d = topo.coord_of(dst);
+    let mut out = Vec::with_capacity(4);
+    if d.x > h.x {
+        out.push(topo.bank_of(Coord { x: h.x + 1, y: h.y }));
+    } else if d.x < h.x {
+        out.push(topo.bank_of(Coord { x: h.x - 1, y: h.y }));
+    }
+    if d.y > h.y {
+        out.push(topo.bank_of(Coord { x: h.x, y: h.y + 1 }));
+    } else if d.y < h.y {
+        out.push(topo.bank_of(Coord { x: h.x, y: h.y - 1 }));
+    }
+    for n in neighbors(topo, here) {
+        if !out.contains(&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(4, 4)
+    }
+
+    fn lr(fx: u32, fy: u32, tx: u32, ty: u32) -> LinkRef {
+        LinkRef::between(fx, fy, tx, ty).expect("adjacent")
+    }
+
+    #[test]
+    fn fault_free_router_reproduces_xy_exactly() {
+        let t = topo();
+        let r = FaultRouter::new(t, &FaultPlan::none());
+        for src in 0..16 {
+            for dst in 0..16 {
+                let got = r.route(src, dst);
+                let want: Vec<u32> = t
+                    .xy_route(src, dst)
+                    .into_iter()
+                    .map(|l| t.link_index(l) as u32)
+                    .collect();
+                assert_eq!(got.links, want, "{src}->{dst}");
+                assert!(!got.rerouted);
+                assert!(!got.limped);
+                assert_eq!(got.detour_hops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_link_on_xy_path_detours_around_it() {
+        let t = topo();
+        // Kill (1,0)->(2,0), the middle of the X leg of 0 -> 3.
+        let plan = FaultPlan::none().fail_link(lr(1, 0, 2, 0));
+        let r = FaultRouter::new(t, &plan);
+        let dead = t.link_index(Link {
+            from: Coord { x: 1, y: 0 },
+            to: Coord { x: 2, y: 0 },
+        }) as u32;
+        let route = r.route(0, 3);
+        assert!(route.rerouted);
+        assert!(!route.limped);
+        assert!(!route.links.contains(&dead), "route crosses the dead link");
+        // A minimal path around a single dead X-leg link costs two extra hops.
+        assert_eq!(route.detour_hops, 2);
+        assert_eq!(route.links.len(), 5);
+        // Pairs whose X-Y path avoids the dead link are untouched.
+        let clean = r.route(4, 7);
+        assert!(!clean.rerouted);
+        assert_eq!(clean.detour_hops, 0);
+    }
+
+    #[test]
+    fn same_row_fault_prefers_y_x_style_bend() {
+        let t = topo();
+        let plan = FaultPlan::none().fail_link(lr(0, 0, 1, 0));
+        let r = FaultRouter::new(t, &plan);
+        let route = r.route(0, 1);
+        assert!(route.rerouted);
+        assert_eq!(route.links.len(), 3, "one bend around: down, east, up");
+        assert_eq!(route.detour_hops, 2);
+    }
+
+    #[test]
+    fn isolated_source_limps_through_xy() {
+        let t = topo();
+        // Both outgoing links of corner (0,0) die: bank 0 cannot send.
+        let plan = FaultPlan::none()
+            .fail_link(lr(0, 0, 1, 0))
+            .fail_link(lr(0, 0, 0, 1));
+        let r = FaultRouter::new(t, &plan);
+        let route = r.route(0, 5);
+        assert!(route.limped);
+        let want: Vec<u32> = t
+            .xy_route(0, 5)
+            .into_iter()
+            .map(|l| t.link_index(l) as u32)
+            .collect();
+        assert_eq!(route.links, want, "limp takes the original X-Y route");
+        // Inbound still works: (1,0)->(0,0) is alive.
+        let inbound = r.route(5, 0);
+        assert!(!inbound.limped);
+    }
+
+    #[test]
+    fn degraded_links_change_cost_not_routes() {
+        let t = topo();
+        let plan = FaultPlan::none().degrade_link(lr(0, 0, 1, 0), 4);
+        let r = FaultRouter::new(t, &plan);
+        for src in 0..16 {
+            for dst in 0..16 {
+                assert!(!r.route(src, dst).rerouted, "{src}->{dst}");
+            }
+        }
+        let idx = t.link_index(Link {
+            from: Coord { x: 0, y: 0 },
+            to: Coord { x: 1, y: 0 },
+        });
+        assert_eq!(r.link_cost(idx), 4);
+        assert!(!r.link_is_failed(idx));
+    }
+
+    #[test]
+    fn routes_are_loop_free_and_terminate_under_heavy_damage() {
+        let t = Topology::new(5, 5);
+        let cfg = aff_sim_core::config::MachineConfig {
+            mesh_x: 5,
+            mesh_y: 5,
+            ..aff_sim_core::config::MachineConfig::paper_default()
+        };
+        let plan = aff_sim_core::fault::FaultPlan::seeded(
+            99,
+            &cfg,
+            aff_sim_core::fault::FaultSpec {
+                failed_links: 12,
+                ..Default::default()
+            },
+        );
+        let r = FaultRouter::new(t, &plan);
+        for src in 0..25 {
+            for dst in 0..25 {
+                let route = r.route(src, dst);
+                // Walking the links must visit each tile at most once
+                // (strictly decreasing BFS distance => loop-free).
+                if !route.limped {
+                    assert!(route.links.len() < 25 * 2, "{src}->{dst}");
+                    let mut seen = std::collections::HashSet::new();
+                    for &l in &route.links {
+                        assert!(seen.insert(l), "link repeated on {src}->{dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snake_order_routes_by_coordinates_not_ids() {
+        use aff_sim_core::config::BankOrder;
+        let t = Topology::with_order(4, 4, BankOrder::Snake);
+        // Fault named by coordinates — must hit the same wire regardless of
+        // bank numbering.
+        let plan = FaultPlan::none().fail_link(lr(1, 0, 2, 0));
+        let r = FaultRouter::new(t, &plan);
+        let src = t.bank_of(Coord { x: 0, y: 0 });
+        let dst = t.bank_of(Coord { x: 3, y: 0 });
+        let route = r.route(src, dst);
+        assert!(route.rerouted);
+        assert_eq!(route.detour_hops, 2);
+    }
+}

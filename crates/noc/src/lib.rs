@@ -26,8 +26,10 @@
 
 pub mod cyclesim;
 pub mod des;
+pub mod fault_route;
 pub mod topology;
 pub mod traffic;
 
+pub use fault_route::{FaultRoute, FaultRouter, LIMP_COST};
 pub use topology::{BankId, Coord, Topology};
 pub use traffic::{TrafficClass, TrafficMatrix};

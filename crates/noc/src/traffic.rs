@@ -14,7 +14,9 @@
 //! A message of `b` payload bytes occupies `ceil((b + header) / link_width)`
 //! flits on each of its `manhattan(src, dst)` links.
 
+use crate::fault_route::{FaultRouter, LIMP_COST};
 use crate::topology::{BankId, Topology};
+use aff_sim_core::fault::{DegradationReport, FaultPlan};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -60,6 +62,19 @@ pub struct Packet {
     pub class: TrafficClass,
 }
 
+/// A cached resolved route plus its degradation facts.
+#[derive(Debug, Clone)]
+struct CachedRoute {
+    /// Link indices in traversal order.
+    links: Box<[u32]>,
+    /// Extra crossings beyond the Manhattan minimum.
+    detour_hops: u32,
+    /// Differs from the fault-free X-Y route.
+    rerouted: bool,
+    /// Forced through dead links at [`LIMP_COST`]× effective cost.
+    limped: bool,
+}
+
 /// Accumulates flit-hops per link and per class for one kernel execution.
 #[derive(Debug, Clone)]
 pub struct TrafficMatrix {
@@ -67,18 +82,33 @@ pub struct TrafficMatrix {
     link_bytes: u64,
     header_bytes: u64,
     /// Flits accumulated per directed link (indexed by `Topology::link_index`).
+    /// Always *physical* flits, so traffic identities (total hop-flits = sum
+    /// over links) hold with or without faults.
     link_flits: Vec<u64>,
+    /// Effective (cost-weighted) flits per link, present only under link
+    /// faults: degraded links count each flit `multiplier`×, limped routes
+    /// [`LIMP_COST`]×. This is what the bottleneck divides by bandwidth.
+    effective_link_flits: Option<Vec<u64>>,
+    /// Fault-aware route tables, present only under link faults. A fault-free
+    /// matrix takes the original X-Y path through the code.
+    router: Option<Box<FaultRouter>>,
     /// Flit-hops per class.
     hop_flits: [u64; 3],
     /// Message count per class.
     messages: [u64; 3],
     /// Local (same-bank) messages that consumed no links, per class.
     local_messages: [u64; 3],
+    /// Messages that took a non-X-Y route around dead links.
+    rerouted_messages: u64,
+    /// Extra link crossings accumulated by rerouted messages.
+    detour_hops: u64,
+    /// Messages with no healthy path, limping through dead links.
+    limped_messages: u64,
     /// Optional packet log for DES replay.
     log: Option<Vec<Packet>>,
-    /// Cached link-index routes; irregular workloads record millions of
+    /// Cached resolved routes; irregular workloads record millions of
     /// per-element messages over at most n_banks^2 distinct routes.
-    route_cache: HashMap<(BankId, BankId), Box<[u32]>>,
+    route_cache: HashMap<(BankId, BankId), CachedRoute>,
 }
 
 impl TrafficMatrix {
@@ -91,12 +121,34 @@ impl TrafficMatrix {
             link_bytes: link_bytes_per_cycle,
             header_bytes: packet_header_bytes,
             link_flits: vec![0; topo.num_links()],
+            effective_link_flits: None,
+            router: None,
             hop_flits: [0; 3],
             messages: [0; 3],
             local_messages: [0; 3],
+            rerouted_messages: 0,
+            detour_hops: 0,
+            limped_messages: 0,
             log: None,
             route_cache: HashMap::new(),
         }
+    }
+
+    /// New matrix routing around the link faults in `plan`. With no link
+    /// faults this is exactly [`TrafficMatrix::new`] — same code path, same
+    /// accounting, byte for byte.
+    pub fn with_faults(
+        topo: Topology,
+        link_bytes_per_cycle: u64,
+        packet_header_bytes: u64,
+        plan: &FaultPlan,
+    ) -> Self {
+        let mut m = Self::new(topo, link_bytes_per_cycle, packet_header_bytes);
+        if plan.has_link_faults() {
+            m.router = Some(Box::new(FaultRouter::new(topo, plan)));
+            m.effective_link_flits = Some(vec![0; topo.num_links()]);
+        }
+        m
     }
 
     /// Enable packet logging (needed to replay through the DES model).
@@ -142,20 +194,57 @@ impl TrafficMatrix {
             self.local_messages[class.idx()] += count;
             return;
         }
-        let topo = self.topo;
-        let route = self
-            .route_cache
-            .entry((src, dst))
-            .or_insert_with(|| {
-                topo.xy_route(src, dst)
-                    .into_iter()
-                    .map(|l| topo.link_index(l) as u32)
-                    .collect()
-            });
-        for &idx in route.iter() {
+        if !self.route_cache.contains_key(&(src, dst)) {
+            let entry = match self.router.as_deref() {
+                None => CachedRoute {
+                    links: self
+                        .topo
+                        .xy_route(src, dst)
+                        .into_iter()
+                        .map(|l| self.topo.link_index(l) as u32)
+                        .collect(),
+                    detour_hops: 0,
+                    rerouted: false,
+                    limped: false,
+                },
+                Some(r) => {
+                    let fr = r.route(src, dst);
+                    CachedRoute {
+                        links: fr.links.into_boxed_slice(),
+                        detour_hops: fr.detour_hops,
+                        rerouted: fr.rerouted,
+                        limped: fr.limped,
+                    }
+                }
+            };
+            self.route_cache.insert((src, dst), entry);
+        }
+        let route = &self.route_cache[&(src, dst)];
+        for &idx in route.links.iter() {
             self.link_flits[idx as usize] += flits * count;
         }
-        self.hop_flits[class.idx()] += flits * count * route.len() as u64;
+        if let (Some(eff), Some(router)) =
+            (&mut self.effective_link_flits, self.router.as_deref())
+        {
+            for &idx in route.links.iter() {
+                // A limped route pays the penalty on every crossing; healthy
+                // routes pay each link's own degradation multiplier.
+                let mult = if route.limped {
+                    LIMP_COST
+                } else {
+                    router.link_cost(idx as usize)
+                };
+                eff[idx as usize] += flits * count * mult;
+            }
+        }
+        if route.rerouted {
+            self.rerouted_messages += count;
+            self.detour_hops += u64::from(route.detour_hops) * count;
+        }
+        if route.limped {
+            self.limped_messages += count;
+        }
+        self.hop_flits[class.idx()] += flits * count * route.links.len() as u64;
         if let Some(log) = &mut self.log {
             for _ in 0..count {
                 log.push(Packet {
@@ -191,8 +280,29 @@ impl TrafficMatrix {
     /// Flits carried by the single busiest directed link — the bottleneck
     /// the analytic timing model divides by link bandwidth. This is what
     /// exposes the Fig 3(b) bisection pathology.
+    ///
+    /// Under link faults this is the busiest *effective* (cost-weighted)
+    /// load: degraded links count each flit `multiplier`×, limped routes
+    /// [`LIMP_COST`]×. A fault-free matrix reports raw flits, unchanged.
     pub fn bottleneck_link_flits(&self) -> u64 {
-        self.link_flits.iter().copied().max().unwrap_or(0)
+        self.effective_link_flits
+            .as_deref()
+            .unwrap_or(&self.link_flits)
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Routing-level degradation observed so far: reroutes, detour hops and
+    /// limped messages. All zeros for a fault-free matrix.
+    pub fn routing_degradation(&self) -> DegradationReport {
+        DegradationReport {
+            rerouted_messages: self.rerouted_messages,
+            detour_hops: self.detour_hops,
+            limped_messages: self.limped_messages,
+            ..Default::default()
+        }
     }
 
     /// Per-link flit counts, indexed by [`Topology::link_index`]
@@ -209,11 +319,15 @@ impl TrafficMatrix {
     /// Mean link utilization relative to the busiest link, in `[0, 1]`;
     /// the "NoC Util." dots in Figs 12/13/20. Returns 0 for an idle network.
     pub fn utilization(&self) -> f64 {
-        let max = self.bottleneck_link_flits();
+        let loads = self
+            .effective_link_flits
+            .as_deref()
+            .unwrap_or(&self.link_flits);
+        let max = loads.iter().copied().max().unwrap_or(0);
         if max == 0 {
             return 0.0;
         }
-        let used: Vec<f64> = self.link_flits.iter().map(|&f| f as f64).collect();
+        let used: Vec<f64> = loads.iter().map(|&f| f as f64).collect();
         used.iter().sum::<f64>() / (max as f64 * used.len() as f64)
     }
 
@@ -232,11 +346,21 @@ impl TrafficMatrix {
         for (a, b) in self.link_flits.iter_mut().zip(&other.link_flits) {
             *a += b;
         }
+        if let (Some(eff), Some(other_eff)) =
+            (&mut self.effective_link_flits, &other.effective_link_flits)
+        {
+            for (a, b) in eff.iter_mut().zip(other_eff) {
+                *a += b;
+            }
+        }
         for i in 0..3 {
             self.hop_flits[i] += other.hop_flits[i];
             self.messages[i] += other.messages[i];
             self.local_messages[i] += other.local_messages[i];
         }
+        self.rerouted_messages += other.rerouted_messages;
+        self.detour_hops += other.detour_hops;
+        self.limped_messages += other.limped_messages;
         if let (Some(log), Some(other_log)) = (&mut self.log, &other.log) {
             log.extend_from_slice(other_log);
         }
@@ -320,6 +444,85 @@ mod tests {
         let pkts = m.packets().unwrap();
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0].flits, 3);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_matrix() {
+        let topo = Topology::new(4, 4);
+        let mut plain = TrafficMatrix::new(topo, 32, 8);
+        let mut faulted = TrafficMatrix::with_faults(topo, 32, 8, &FaultPlan::none());
+        for (s, d) in [(0u32, 15u32), (3, 12), (7, 7), (9, 1)] {
+            plain.record_n(s, d, 64, TrafficClass::Data, 5);
+            faulted.record_n(s, d, 64, TrafficClass::Data, 5);
+        }
+        assert_eq!(plain.total_hop_flits(), faulted.total_hop_flits());
+        assert_eq!(plain.bottleneck_link_flits(), faulted.bottleneck_link_flits());
+        assert_eq!(plain.link_flits(), faulted.link_flits());
+        assert!(faulted.routing_degradation().is_zero());
+    }
+
+    #[test]
+    fn dead_link_reroutes_and_reports() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        // Kill (0,0)->(1,0), the first link of 0 -> 3.
+        let plan =
+            FaultPlan::none().fail_link(LinkRef::between(0, 0, 1, 0).expect("adjacent"));
+        let mut m = TrafficMatrix::with_faults(topo, 32, 8, &plan);
+        m.record_n(0, 3, 24, TrafficClass::Data, 10);
+        let report = m.routing_degradation();
+        assert_eq!(report.rerouted_messages, 10);
+        assert_eq!(report.detour_hops, 20, "2 extra hops x 10 messages");
+        assert_eq!(report.limped_messages, 0);
+        // Physical identity still holds: hop-flits = sum over links.
+        assert_eq!(m.total_hop_flits(), m.sum_link_flits());
+        // 5 links x 1 flit x 10 messages.
+        assert_eq!(m.total_hop_flits(), 50);
+    }
+
+    #[test]
+    fn degraded_link_raises_bottleneck_without_rerouting() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan = FaultPlan::none()
+            .degrade_link(LinkRef::between(0, 0, 1, 0).expect("adjacent"), 4);
+        let mut m = TrafficMatrix::with_faults(topo, 32, 8, &plan);
+        m.record_n(0, 3, 24, TrafficClass::Data, 10);
+        assert!(m.routing_degradation().is_zero(), "no reroute, only cost");
+        // The degraded first link carries 10 flits at cost 4 = 40 effective.
+        assert_eq!(m.bottleneck_link_flits(), 40);
+        // Physical accounting is untouched.
+        assert_eq!(m.sum_link_flits(), 30);
+    }
+
+    #[test]
+    fn limped_messages_pay_heavily_but_are_counted() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        // Isolate corner (0,0): both outgoing links die.
+        let plan = FaultPlan::none()
+            .fail_link(LinkRef::between(0, 0, 1, 0).expect("adjacent"))
+            .fail_link(LinkRef::between(0, 0, 0, 1).expect("adjacent"));
+        let mut m = TrafficMatrix::with_faults(topo, 32, 8, &plan);
+        m.record(0, 3, 24, TrafficClass::Data);
+        let report = m.routing_degradation();
+        assert_eq!(report.limped_messages, 1);
+        assert_eq!(m.bottleneck_link_flits(), crate::fault_route::LIMP_COST);
+    }
+
+    #[test]
+    fn merge_accumulates_fault_counters() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let plan =
+            FaultPlan::none().fail_link(LinkRef::between(0, 0, 1, 0).expect("adjacent"));
+        let mut a = TrafficMatrix::with_faults(topo, 32, 8, &plan);
+        let mut b = TrafficMatrix::with_faults(topo, 32, 8, &plan);
+        a.record(0, 3, 24, TrafficClass::Data);
+        b.record(0, 3, 24, TrafficClass::Data);
+        a.merge(&b);
+        assert_eq!(a.routing_degradation().rerouted_messages, 2);
+        assert_eq!(a.routing_degradation().detour_hops, 4);
     }
 
     #[test]

@@ -21,10 +21,12 @@ use crate::occupancy::{OccupancyTimeline, PhaseTracker};
 use aff_cache::bank::BankCounters;
 use aff_cache::capacity;
 use aff_cache::dram::DramModel;
+use aff_cache::spare::SpareMap;
 use aff_noc::topology::{BankId, Topology};
 use aff_noc::traffic::{TrafficClass, TrafficMatrix};
 use aff_sim_core::config::{MachineConfig, CACHE_LINE};
 use aff_sim_core::energy::{EnergyBreakdown, EnergyModel};
+use aff_sim_core::fault::DegradationReport;
 use serde::{Deserialize, Serialize};
 
 /// Iterations covered by one coarse-grained credit message (§2.2).
@@ -94,6 +96,9 @@ pub struct Metrics {
     /// Per-bank atomic-stream occupancy over time (Fig 14), if any phase was
     /// sampled.
     pub occupancy: OccupancyTimeline,
+    /// How much the run degraded under the machine's fault plan. All zeros on
+    /// a healthy machine.
+    pub degradation: DegradationReport,
 }
 
 impl Metrics {
@@ -141,16 +146,36 @@ pub struct SimEngine {
     explicit_dram_lines: u64,
     phase: PhaseTracker,
     timeline: OccupancyTimeline,
+    /// Failed-bank → spare-bank table, present only when the machine's fault
+    /// plan kills banks. `None` leaves every primitive on its original path.
+    spare: Option<SpareMap>,
+    /// Degradation observed so far (spare remaps, In-Core fallbacks); routing
+    /// counters live in the traffic matrix and merge in at `finish`.
+    report: DegradationReport,
+    /// Banks whose residency has already been counted as remapped.
+    remapped_seen: Vec<bool>,
 }
 
 impl SimEngine {
-    /// Fresh engine for one kernel execution on `config`'s machine.
+    /// Fresh engine for one kernel execution on `config`'s machine. The
+    /// machine's [`FaultPlan`](aff_sim_core::fault::FaultPlan) is honored
+    /// throughout: traffic routes around dead links, dead banks' residency
+    /// and accesses remap to spares, dead SEL3s fall back to In-Core
+    /// execution, and slowed banks/controllers stretch their service bounds.
+    /// An empty plan takes exactly the original code paths.
     pub fn new(config: MachineConfig) -> Self {
         let topo = Topology::for_machine(&config);
-        let traffic = TrafficMatrix::new(topo, config.link_bytes_per_cycle, config.packet_header_bytes);
+        let traffic = TrafficMatrix::with_faults(
+            topo,
+            config.link_bytes_per_cycle,
+            config.packet_header_bytes,
+            &config.faults,
+        );
         let banks = BankCounters::new(config.num_banks());
         let dram = DramModel::new(&config);
         let n = config.num_banks() as usize;
+        let spare = (!config.faults.failed_banks.is_empty())
+            .then(|| SpareMap::new(topo, &config.faults));
         Self {
             phase: PhaseTracker::new(config.num_banks()),
             timeline: OccupancyTimeline::new(),
@@ -165,6 +190,18 @@ impl SimEngine {
             private_hits: 0,
             serial_cycles: 0,
             explicit_dram_lines: 0,
+            spare,
+            report: DegradationReport::default(),
+            remapped_seen: vec![false; n],
+        }
+    }
+
+    /// The bank that actually serves accesses homed at `bank`: `bank` itself
+    /// when its L3 slice is alive, its spare otherwise.
+    fn serving_bank(&self, bank: BankId) -> BankId {
+        match &self.spare {
+            Some(s) => s.redirect(bank),
+            None => bank,
         }
     }
 
@@ -201,8 +238,14 @@ impl SimEngine {
     }
 
     /// Charge `n` ops on the stream engine / spare SMT thread at `bank`.
+    /// When `bank`'s L3 slice (and with it its SEL3) is dead, the tile's
+    /// core executes the work instead — the In-Core fallback.
     pub fn se_ops(&mut self, bank: BankId, n: u64) {
-        self.se_ops[bank as usize] += n;
+        if self.spare.as_ref().is_some_and(|s| s.is_failed(bank)) {
+            self.core_ops += n;
+        } else {
+            self.se_ops[bank as usize] += n;
+        }
     }
 
     /// Charge `n` private L1/L2 hits (energy only; they never reach the NoC).
@@ -212,9 +255,18 @@ impl SimEngine {
 
     // ---------- residency (capacity model inputs) ----------
 
-    /// Declare `bytes` resident at `bank` for the capacity model.
+    /// Declare `bytes` resident at `bank` for the capacity model. Residency
+    /// homed at a dead bank lives at its spare instead (and is reported).
     pub fn register_resident(&mut self, bank: BankId, bytes: u64) {
-        self.banks.add_resident(bank, bytes);
+        let target = self.serving_bank(bank);
+        if target != bank {
+            if !self.remapped_seen[bank as usize] {
+                self.remapped_seen[bank as usize] = true;
+                self.report.remapped_banks += 1;
+            }
+            self.report.remapped_bytes += bytes;
+        }
+        self.banks.add_resident(target, bytes);
     }
 
     /// Import a whole per-bank residency vector (e.g. from
@@ -226,25 +278,27 @@ impl SimEngine {
     pub fn import_residency(&mut self, per_bank: &[u64]) {
         assert_eq!(per_bank.len(), self.config.num_banks() as usize);
         for (b, &bytes) in per_bank.iter().enumerate() {
-            self.banks.add_resident(b as u32, bytes);
+            self.register_resident(b as u32, bytes);
         }
     }
 
-    /// Declare a structure spread evenly across all banks.
+    /// Declare a structure spread evenly across all banks (dead banks' shares
+    /// land on their spares).
     pub fn register_resident_spread(&mut self, bytes: u64) {
         let n = u64::from(self.config.num_banks());
         let per = bytes / n;
         for b in 0..self.config.num_banks() {
-            self.banks.add_resident(b, per);
+            self.register_resident(b, per);
         }
     }
 
     /// Force `lines` DRAM line accesses regardless of the capacity model
     /// (cold first-touch streaming that no cache can absorb).
     pub fn cold_dram_lines(&mut self, bank: BankId, lines: u64) {
-        self.dram.record_misses(bank, lines, &mut self.traffic);
+        let target = self.serving_bank(bank);
+        self.dram.record_misses(target, lines, &mut self.traffic);
         self.explicit_dram_lines += lines;
-        self.banks.access(bank, lines);
+        self.banks.access(target, lines);
     }
 
     // ---------- In-Core primitives ----------
@@ -252,6 +306,7 @@ impl SimEngine {
     /// Core at tile `core` reads `lines` cache lines homed at `bank`:
     /// request header out, full line back.
     pub fn core_read_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
+        let bank = self.serving_bank(bank);
         self.traffic.record_n(core, bank, 0, TrafficClass::Control, lines);
         self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, lines);
         self.banks.access(bank, lines);
@@ -263,6 +318,7 @@ impl SimEngine {
     /// writeback. NSC store streams skip this — they own the whole line by
     /// construction and "write directly to L3" (§2.1).
     pub fn core_write_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
+        let bank = self.serving_bank(bank);
         self.traffic.record_n(core, bank, 0, TrafficClass::Control, lines);
         self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, lines);
         self.traffic.record_n(core, bank, CACHE_LINE, TrafficClass::Data, lines);
@@ -276,6 +332,7 @@ impl SimEngine {
     /// cores (§7.2: in-core pushing suffers coherence misses under
     /// contention).
     pub fn core_atomic(&mut self, core: BankId, bank: BankId, contended: bool, n: u64) {
+        let bank = self.serving_bank(bank);
         self.traffic.record_n(core, bank, 0, TrafficClass::Control, n);
         self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, n);
         if contended {
@@ -295,8 +352,14 @@ impl SimEngine {
     /// core's SEcore to the stream's first bank (Offload class), plus the
     /// fixed SE computation-init latency.
     pub fn offload_config(&mut self, core: BankId, first_bank: BankId, num_streams: u64) {
+        let target = self.serving_bank(first_bank);
+        if target != first_bank {
+            // The stream's home SEL3 is dead: the config lands at the spare
+            // and the stream runs In-Core at the tile instead.
+            self.report.incore_fallback_streams += num_streams;
+        }
         self.traffic
-            .record_n(core, first_bank, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
+            .record_n(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
         self.serial_cycles += self.config.sel3_compute_init_latency;
     }
 
@@ -305,8 +368,12 @@ impl SimEngine {
     /// compute-init latency (banks configure in parallel).
     pub fn offload_config_multicast(&mut self, core: BankId, num_streams: u64) {
         for b in 0..self.config.num_banks() {
+            let target = self.serving_bank(b);
+            if target != b {
+                self.report.incore_fallback_streams += num_streams;
+            }
             self.traffic
-                .record_n(core, b, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
+                .record_n(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
         }
         self.serial_cycles += self.config.sel3_compute_init_latency;
     }
@@ -314,6 +381,7 @@ impl SimEngine {
     /// Coarse-grained flow control: one credit message per [`CREDIT_BATCH`]
     /// iterations (Control class).
     pub fn credits(&mut self, core: BankId, bank: BankId, iterations: u64) {
+        let bank = self.serving_bank(bank);
         let msgs = iterations.div_ceil(CREDIT_BATCH);
         self.traffic.record_n(core, bank, 0, TrafficClass::Control, msgs);
     }
@@ -321,8 +389,12 @@ impl SimEngine {
     /// A stream migrates from `from` to `to`, carrying its architectural
     /// state (Offload class).
     pub fn migrate(&mut self, from: BankId, to: BankId, n: u64) {
+        let (f, t) = (self.serving_bank(from), self.serving_bank(to));
+        if f != from || t != to {
+            self.report.rerouted_migrations += n;
+        }
         self.traffic
-            .record_n(from, to, MIGRATE_STATE_BYTES, TrafficClass::Offload, n);
+            .record_n(f, t, MIGRATE_STATE_BYTES, TrafficClass::Offload, n);
     }
 
     /// Producer stream at `from` forwards `n` values of `bytes` each to the
@@ -332,47 +404,69 @@ impl SimEngine {
         self.traffic.record_n(from, to, bytes, TrafficClass::Data, n);
     }
 
-    /// Stream at `bank` reads `lines` lines of its own bank's data.
+    /// Stream at `bank` reads `lines` lines of its own bank's data. When the
+    /// bank's L3 slice is dead the data lives at its spare, so the (In-Core)
+    /// consumer at the tile pays a request/response round trip to it.
     pub fn bank_read_lines(&mut self, bank: BankId, lines: u64) {
-        self.banks.access(bank, lines);
-        self.miss_eligible[bank as usize] += lines;
+        let target = self.serving_bank(bank);
+        if target != bank {
+            self.traffic.record_n(bank, target, 0, TrafficClass::Control, lines);
+            self.traffic
+                .record_n(target, bank, CACHE_LINE, TrafficClass::Data, lines);
+        }
+        self.banks.access(target, lines);
+        self.miss_eligible[target as usize] += lines;
     }
 
     /// Stream at `bank` re-reads `lines` lines another stream just fetched
     /// (sibling offset streams of a stencil): bank service is paid, but the
     /// lines are temporal hits and cannot miss.
     pub fn bank_read_lines_reuse(&mut self, bank: BankId, lines: u64) {
-        self.banks.access(bank, lines);
+        let target = self.serving_bank(bank);
+        if target != bank {
+            self.traffic.record_n(bank, target, 0, TrafficClass::Control, lines);
+            self.traffic
+                .record_n(target, bank, CACHE_LINE, TrafficClass::Data, lines);
+        }
+        self.banks.access(target, lines);
     }
 
     /// Stream at `bank` writes `lines` full lines to its own bank. NSC store
-    /// streams own the whole line (§2.1), so there is no fetch to miss.
+    /// streams own the whole line (§2.1), so there is no fetch to miss. Dead
+    /// banks' lines travel to the spare instead.
     pub fn bank_write_lines(&mut self, bank: BankId, lines: u64) {
-        self.banks.access(bank, lines);
+        let target = self.serving_bank(bank);
+        if target != bank {
+            self.traffic
+                .record_n(bank, target, CACHE_LINE, TrafficClass::Data, lines);
+        }
+        self.banks.access(target, lines);
     }
 
     /// Indirect remote access: request header from `from` to `to`,
     /// `resp_bytes` of response back, `n` times. The access executes at the
     /// remote bank.
     pub fn indirect(&mut self, from: BankId, to: BankId, resp_bytes: u64, n: u64) {
+        let to = self.serving_bank(to);
         self.traffic.record_n(from, to, 0, TrafficClass::Control, n);
         if resp_bytes > 0 {
             self.traffic.record_n(to, from, resp_bytes, TrafficClass::Data, n);
         }
         self.banks.access(to, n);
         self.miss_eligible[to as usize] += n;
-        self.se_ops[to as usize] += n;
+        self.se_ops(to, n);
     }
 
     /// Remote atomic executed at `to` on behalf of a stream at `from`
     /// (in-place at the bank — no coherence bounce, §7.2). A one-word
     /// outcome flows back (predication input for dependent streams).
     pub fn remote_atomic(&mut self, from: BankId, to: BankId, n: u64) {
+        let to = self.serving_bank(to);
         self.traffic.record_n(from, to, 8, TrafficClass::Control, n);
         self.traffic.record_n(to, from, 8, TrafficClass::Data, n);
         self.banks.atomic(to, n);
         self.miss_eligible[to as usize] += n;
-        self.se_ops[to as usize] += n;
+        self.se_ops(to, n);
         let hops = u64::from(self.topo.manhattan(from, to));
         self.phase.record_atomics(to, n, hops);
     }
@@ -427,16 +521,29 @@ impl SimEngine {
 
         let aggregate_issue =
             u64::from(self.config.core_issue_width).max(1) * u64::from(self.config.num_banks());
+        // Busiest bank's service time, with slowed banks paying their fault
+        // multiplier per access. With no slowed banks this is exactly
+        // max_accesses / bank_accesses_per_cycle as before.
+        let weighted_bank_accesses = (0..self.config.num_banks())
+            .map(|b| self.banks.accesses_of(b) * self.config.faults.bank_slowdown(b))
+            .max()
+            .unwrap_or(0);
         let breakdown = CycleBreakdown {
             core_compute: self.core_ops / aggregate_issue,
             se_compute: self.se_ops.iter().copied().max().unwrap_or(0),
-            bank_service: (self.banks.max_accesses() as f64 / self.config.bank_accesses_per_cycle)
+            bank_service: (weighted_bank_accesses as f64 / self.config.bank_accesses_per_cycle)
                 as u64,
             link: self.traffic.bottleneck_link_flits(),
             dram: self.dram.activity().service_cycles,
             chain: self.serial_cycles,
         };
         let cycles = breakdown.total().max(1);
+
+        let mut report = self.report;
+        report.merge(&self.traffic.routing_degradation());
+        if let Some(s) = &self.spare {
+            report.masked_capacity_bytes = s.masked_capacity_bytes(self.config.l3_bank_bytes);
+        }
 
         let energy = EnergyBreakdown {
             noc_hop_flits: self.traffic.total_hop_flits(),
@@ -469,6 +576,7 @@ impl SimEngine {
             energy,
             bank_imbalance: self.banks.access_imbalance(),
             occupancy: self.timeline,
+            degradation: report,
         }
     }
 }
@@ -615,5 +723,110 @@ mod tests {
         let m = e.finish();
         assert!(m.hop_flits_of(TrafficClass::Offload) > 0);
         assert_eq!(m.hop_flits_of(TrafficClass::Data), 0);
+    }
+
+    // ---------- fault model ----------
+
+    use aff_sim_core::fault::FaultPlan;
+
+    fn faulty_engine(plan: FaultPlan) -> SimEngine {
+        SimEngine::new(MachineConfig::paper_default().with_faults(plan))
+    }
+
+    fn busy_run(e: &mut SimEngine) {
+        e.core_read_lines(0, 9, 100);
+        e.offload_config(0, 9, 2);
+        e.remote_atomic(3, 9, 50);
+        e.forward(4, 9, 24, 200);
+        e.migrate(4, 9, 1);
+        e.register_resident(9, 1 << 18);
+        e.bank_read_lines(9, 300);
+        e.bank_write_lines(9, 100);
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_degradation() {
+        let mut e = engine();
+        busy_run(&mut e);
+        let m = e.finish();
+        assert!(m.degradation.is_zero());
+    }
+
+    #[test]
+    fn empty_plan_is_byte_identical_to_fault_free() {
+        let mut healthy = engine();
+        busy_run(&mut healthy);
+        let mut faulted = faulty_engine(FaultPlan::none());
+        busy_run(&mut faulted);
+        let (a, b) = (healthy.finish(), faulted.finish());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_hop_flits, b.total_hop_flits);
+        assert_eq!(a.degradation, b.degradation);
+    }
+
+    #[test]
+    fn dead_bank_remaps_to_spare() {
+        // Bank 9 = (1,1) on 8x8; nearest healthy tie breaks to bank 1.
+        let mut e = faulty_engine(FaultPlan::none().fail_bank(9));
+        e.register_resident(9, 1 << 20);
+        e.bank_read_lines(9, 1000);
+        e.core_read_lines(0, 9, 10);
+        assert_eq!(e.banks().accesses_of(9), 0, "dead bank serves nothing");
+        assert_eq!(e.banks().accesses_of(1), 1010);
+        assert_eq!(e.banks().resident_of(1), 1 << 20);
+        let m = e.finish();
+        assert_eq!(m.degradation.remapped_banks, 1);
+        assert_eq!(m.degradation.remapped_bytes, 1 << 20);
+        assert_eq!(
+            m.degradation.masked_capacity_bytes,
+            MachineConfig::paper_default().l3_bank_bytes
+        );
+        // The bank_read at the dead bank now pays a NoC round trip to the
+        // spare, so traffic is non-zero where a healthy run has none.
+        assert!(m.total_hop_flits > 0);
+    }
+
+    #[test]
+    fn dead_bank_falls_back_to_in_core() {
+        let mut e = faulty_engine(FaultPlan::none().fail_bank(9));
+        e.se_ops(9, 5_000);
+        e.offload_config(0, 9, 3);
+        let m = e.finish();
+        assert_eq!(m.breakdown.se_compute, 0, "dead SEL3 runs nothing");
+        assert!(m.breakdown.core_compute > 0, "tile core absorbs the work");
+        assert_eq!(m.degradation.incore_fallback_streams, 3);
+    }
+
+    #[test]
+    fn slowed_bank_stretches_bank_service() {
+        let mut healthy = engine();
+        healthy.bank_read_lines(3, 1000);
+        let h = healthy.finish();
+        let mut slowed = faulty_engine(FaultPlan::none().slow_bank(3, 4));
+        slowed.bank_read_lines(3, 1000);
+        let s = slowed.finish();
+        assert_eq!(s.breakdown.bank_service, 4 * h.breakdown.bank_service);
+        assert!(s.cycles >= h.cycles);
+    }
+
+    #[test]
+    fn migration_to_dead_bank_is_rerouted() {
+        let mut e = faulty_engine(FaultPlan::none().fail_bank(9));
+        e.migrate(4, 9, 7);
+        let m = e.finish();
+        assert_eq!(m.degradation.rerouted_migrations, 7);
+    }
+
+    #[test]
+    fn dead_link_shows_up_in_routing_degradation() {
+        // Kill the eastbound link 0->1; traffic 0->1 must detour.
+        use aff_sim_core::fault::LinkRef;
+        let plan =
+            FaultPlan::none().fail_link(LinkRef::between(0, 0, 1, 0).unwrap());
+        let mut e = faulty_engine(plan);
+        e.forward(0, 1, 24, 10);
+        let m = e.finish();
+        assert_eq!(m.degradation.rerouted_messages, 10);
+        assert_eq!(m.degradation.detour_hops, 20);
     }
 }

@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
+
 /// Size of one cache line in bytes. Sub-line interleaving is unsupported by
 /// the paper (it would spread a line across banks), so this is the global
 /// floor for interleave sizes.
@@ -93,6 +95,11 @@ pub struct MachineConfig {
     /// shift in the Eq 1 lookup, but removes padding-driven fallbacks —
     /// e.g. a 3:1 alignment ratio needs a 192 B interleave).
     pub allow_npot_interleave: bool,
+    /// Injected faults for this experiment ([`FaultPlan::none`] for a healthy
+    /// machine). Lives on the machine description so every component — NoC,
+    /// cache model, allocator, stream engines — sees the same broken machine
+    /// without extra plumbing.
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -124,7 +131,34 @@ impl MachineConfig {
             bank_accesses_per_cycle: 1.0,
             bank_order: BankOrder::RowMajor,
             allow_npot_interleave: false,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// The same machine with a fault plan installed. The plan must validate
+    /// against this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references banks/links/controllers this machine
+    /// does not have.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        if let Err(e) = faults.validate(&self) {
+            panic!("invalid fault plan for this machine: {e}");
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Number of banks whose L3 slice is still alive under the installed
+    /// fault plan.
+    pub fn num_healthy_banks(&self) -> u32 {
+        self.num_banks() - self.faults.failed_banks.len() as u32
+    }
+
+    /// Whether bank `b`'s L3 slice is alive under the installed fault plan.
+    pub fn bank_is_healthy(&self, b: u32) -> bool {
+        !self.faults.failed_banks.contains(&b)
     }
 
     /// A 4×4 mesh with small banks, handy for unit tests with hand-checked
@@ -266,6 +300,29 @@ mod tests {
         assert!(!m.is_valid_interleave(96 + 1), "still line-aligned");
         assert_eq!(m.round_up_interleave(100), 128);
         assert_eq!(m.round_up_interleave(130), 192);
+    }
+
+    #[test]
+    fn default_machine_is_fault_free() {
+        let m = MachineConfig::paper_default();
+        assert!(m.faults.is_empty());
+        assert_eq!(m.num_healthy_banks(), 64);
+        assert!(m.bank_is_healthy(0));
+    }
+
+    #[test]
+    fn with_faults_installs_a_valid_plan() {
+        let m = MachineConfig::small_mesh()
+            .with_faults(FaultPlan::none().fail_bank(3).slow_bank(5, 2));
+        assert_eq!(m.num_healthy_banks(), 15);
+        assert!(!m.bank_is_healthy(3));
+        assert!(m.bank_is_healthy(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn with_faults_rejects_out_of_range_banks() {
+        let _ = MachineConfig::tiny_mesh().with_faults(FaultPlan::none().fail_bank(64));
     }
 
     #[test]

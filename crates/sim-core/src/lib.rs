@@ -20,11 +20,13 @@
 
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 
 pub use config::MachineConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use fault::{DegradationReport, FaultPlan, FaultPlanError, FaultSpec, LinkRef};
 
 /// A simulated cycle count.
 pub type Cycles = u64;

@@ -212,7 +212,9 @@ pub fn run_stencil_opts(s: &Stencil, cfg: &RunConfig, private_filter: bool) -> M
         links.sort_by_key(|&(_, a)| std::cmp::Reverse(a));
         eprintln!("top links: {:?}", &links[..6]);
     }
-    engine.finish()
+    let mut m = engine.finish();
+    m.degradation.merge(&alloc.degradation());
+    m
 }
 
 /// Fig 4: vecadd with the consumer array pinned `delta` banks after the
@@ -263,7 +265,9 @@ pub fn run_vecadd_forced_delta(n: u64, delta: Option<u32>, cfg: &RunConfig) -> M
         SystemConfig::InCore => run_in_core(&s, &arrays, &mut alloc, &mut engine, true),
         _ => run_near_l3(&s, &arrays, &mut alloc, &mut engine),
     }
-    engine.finish()
+    let mut m = engine.finish();
+    m.degradation.merge(&alloc.degradation());
+    m
 }
 
 fn engine_residency_note(_alloc: &mut AffinityAllocator, _bytes: u64) {

@@ -96,6 +96,19 @@ impl RunConfig {
         self.machine = machine;
         self
     }
+
+    /// Builder: install a fault plan on the machine under test. Every layer
+    /// (allocator, NoC, caches, stream engines) picks it up from the machine
+    /// config; an empty plan leaves the run byte-identical to fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not validate against the machine (see
+    /// [`MachineConfig::with_faults`]).
+    pub fn with_faults(mut self, faults: aff_sim_core::fault::FaultPlan) -> Self {
+        self.machine = self.machine.with_faults(faults);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +140,14 @@ mod tests {
         assert_eq!(c.scale, 4);
         assert_eq!(c.seed, 9);
         assert_eq!(RunConfig::new(SystemConfig::InCore).with_scale(0).scale, 1);
+    }
+
+    #[test]
+    fn faults_thread_through_the_machine() {
+        use aff_sim_core::fault::FaultPlan;
+        let c = RunConfig::new(SystemConfig::aff_alloc_default())
+            .with_faults(FaultPlan::none().fail_bank(7));
+        assert!(c.machine.faults.failed_banks.contains(&7));
+        assert_eq!(c.machine.num_healthy_banks(), 63);
     }
 }

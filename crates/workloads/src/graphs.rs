@@ -380,9 +380,12 @@ impl GraphInstance {
         self.engine.credits(0, 0, iterations);
     }
 
-    /// Consume the instance, producing metrics.
+    /// Consume the instance, producing metrics. The allocator's degradation
+    /// (excluded banks, fallback-chain use) is folded into the engine's.
     pub fn finish(self) -> Metrics {
-        self.engine.finish()
+        let mut m = self.engine.finish();
+        m.degradation.merge(&self.alloc.degradation());
+        m
     }
 
     // ---------------- algorithms ----------------

@@ -167,7 +167,9 @@ pub fn run_link_list(params: LinkListParams, cfg: &RunConfig) -> Metrics {
         u64::from(cfg.machine.num_banks()) * u64::from(cfg.machine.sel3_streams_per_bank)
     };
     fold_serial(&mut engine, &serials, concurrency);
-    engine.finish()
+    let mut m = engine.finish();
+    m.degradation.merge(&alloc.degradation());
+    m
 }
 
 /// Run `hash_join` under `cfg`.
@@ -204,7 +206,9 @@ pub fn run_hash_join(params: HashJoinParams, cfg: &RunConfig) -> Metrics {
         u64::from(cfg.machine.num_banks()) * u64::from(cfg.machine.sel3_streams_per_bank)
     };
     fold_serial(&mut engine, &serials, concurrency);
-    engine.finish()
+    let mut m = engine.finish();
+    m.degradation.merge(&alloc.degradation());
+    m
 }
 
 /// Run `bin_tree` under `cfg`.
@@ -233,7 +237,9 @@ pub fn run_bin_tree(params: BinTreeParams, cfg: &RunConfig) -> Metrics {
         u64::from(cfg.machine.num_banks()) * u64::from(cfg.machine.sel3_streams_per_bank)
     };
     fold_serial(&mut engine, &serials, concurrency);
-    engine.finish()
+    let mut m = engine.finish();
+    m.degradation.merge(&alloc.degradation());
+    m
 }
 
 #[cfg(test)]

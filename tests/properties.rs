@@ -139,6 +139,72 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// Seeded fault plans are deterministic functions of (seed, machine,
+    /// spec), always validate against the machine they were drawn for, and
+    /// never kill the whole cache.
+    #[test]
+    fn seeded_fault_plans_are_deterministic_and_valid(
+        seed in any::<u64>(),
+        n in 0u32..16,
+        max_slowdown in 0u32..12,
+    ) {
+        use affinity_alloc_repro::sim::fault::{FaultPlan, FaultSpec};
+        let cfg = MachineConfig::paper_default();
+        let spec = FaultSpec { max_slowdown, ..FaultSpec::uniform(n) };
+        let plan = FaultPlan::seeded(seed, &cfg, spec);
+        prop_assert_eq!(&plan, &FaultPlan::seeded(seed, &cfg, spec));
+        prop_assert!(plan.validate(&cfg).is_ok());
+        prop_assert!((plan.failed_banks.len() as u32) < cfg.num_banks());
+        // Drawn multipliers respect the spec's bounds and the >= 2 floor.
+        for &m in plan.slowed_banks.values()
+            .chain(plan.degraded_links.values())
+            .chain(plan.slowed_mem_ctrls.values())
+        {
+            prop_assert!(m >= 2 && m <= max_slowdown.max(2));
+        }
+        // A different seed virtually always gives a different plan; at the
+        // very least it must still validate.
+        prop_assert!(FaultPlan::seeded(seed ^ 1, &cfg, spec).validate(&cfg).is_ok());
+    }
+
+    /// Pool exhaustion is an `Err`, never an abort: with the reserve capped
+    /// to a single page, affine requests degrade (coarsen, then heap) and
+    /// irregular requests eventually return `AllocError::Pool` — the
+    /// allocator stays usable throughout.
+    #[test]
+    fn pool_exhaustion_is_graceful(
+        elem_pick in 0usize..3,
+        n in 1u64..100_000,
+        irregular_bytes in 64u64..8192,
+    ) {
+        use affinity_alloc_repro::alloc::AllocError;
+        use affinity_alloc_repro::sim::fault::FaultPlan;
+        let elem = [4u64, 8, 16][elem_pick];
+        let cfg = MachineConfig::paper_default()
+            .with_faults(FaultPlan::none().cap_pool_reserve(4096));
+        let mut alloc = AffinityAllocator::new(cfg, BankSelectPolicy::paper_default());
+        // Affine path: must always come back with *some* address (possibly
+        // from the heap fallback), never panic.
+        let a = alloc.malloc_aff_affine(&AffineArrayReq::new(elem, n)).unwrap();
+        prop_assert!(alloc.bank_of(a) < 64);
+        // Irregular path: keep allocating until the capped pool runs dry;
+        // that surfaces as AllocError::Pool, and the allocator still serves
+        // queries afterwards.
+        let mut saw_exhaustion = false;
+        for _ in 0..64 {
+            match alloc.malloc_aff(irregular_bytes, &[]) {
+                Ok(va) => prop_assert!(alloc.bank_of(va) < 64),
+                Err(AllocError::Pool(_)) => { saw_exhaustion = true; break; }
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        prop_assert!(
+            saw_exhaustion || irregular_bytes <= 4096,
+            "a {irregular_bytes} B chunk cannot fit a 4 KiB reserve"
+        );
+        prop_assert_eq!(alloc.bank_of(a), alloc.bank_of(a));
+    }
+
     /// The bank-select score (Eq 4) is monotonic: more load never makes a
     /// bank more attractive; more hops never make it more attractive.
     #[test]

@@ -1,0 +1,72 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds with no crates.io access, so the real proptest is
+//! replaced via `[patch.crates-io]`. This stub keeps the same surface
+//! syntax — `proptest! { #[test] fn f(x in strat) { .. } }`,
+//! `prop_assert!`, `prop_assert_eq!`, `proptest::collection::vec`,
+//! `any::<T>()` — but runs a fixed number of deterministically seeded
+//! cases per property and panics (no shrinking) on the first failure.
+//! Each test function derives its seed from its own name, so properties
+//! exercise different points of the input space while staying fully
+//! reproducible run-to-run.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of deterministic cases each property runs.
+pub const NUM_CASES: u64 = 64;
+
+/// Declare property tests. Mirrors proptest's macro syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop(x in 0u64..100, v in proptest::collection::vec(any::<u8>(), 0..32)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    let _ = __case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

@@ -1,0 +1,10 @@
+//! The names `use proptest::prelude::*` is expected to bring in.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Alias matching proptest's `prelude::prop` re-export.
+pub mod prop {
+    pub use crate::collection;
+}

@@ -1,0 +1,47 @@
+//! Deterministic RNG driving the stub's case generation.
+
+/// SplitMix64 generator; seeded from the property's name so every test is
+/// reproducible while different properties sample different points.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed-seed generator.
+    pub fn deterministic() -> Self {
+        Self {
+            state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Generator seeded from a test name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value below `bound` (which must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+}

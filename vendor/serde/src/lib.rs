@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace is built in environments with no crates.io access, so the
+//! real serde is replaced via `[patch.crates-io]`. The repo only *annotates*
+//! types with `#[derive(Serialize, Deserialize)]` (keeping them ready for a
+//! real serializer); nothing drives serde's data model. This stub therefore
+//! provides just the two trait names, blanket-implemented for every type,
+//! plus re-exports of the no-op derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type implements it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type implements it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for `serde::de` (trait name only).
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for `serde::ser` (trait name only).
+pub mod ser {
+    pub use super::Serialize;
+}

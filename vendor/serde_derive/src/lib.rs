@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real serde stack is replaced via `[patch.crates-io]` (see the workspace
+//! `Cargo.toml`). Nothing in the repo serializes through serde's data model
+//! — the derives exist so types stay annotated for a future swap back to
+//! the real crate — so the derive macros here validate nothing and expand
+//! to nothing. The paired `serde` stub provides blanket trait impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` attributes)
+/// and expands to nothing; the `serde` stub blanket-implements the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` attributes)
+/// and expands to nothing; the `serde` stub blanket-implements the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
