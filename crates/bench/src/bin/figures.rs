@@ -6,45 +6,106 @@
 //! figures --full fig12        # Table 3 input sizes (slow)
 //! figures --seed 7 fig4       # change the experiment seed
 //! figures --json fig12        # machine-readable output for plotting
+//! figures --jobs 8 all        # parallel sweep (output byte-identical)
+//! figures --sweep-json f.json # where to write the perf report
 //! ```
+//!
+//! Figure tables/JSON go to **stdout** and are byte-identical for any
+//! `--jobs` value; timing and the sweep summary go to **stderr**; per-cell
+//! wall-time/throughput counters land in `BENCH_sweep.json` (see
+//! `--sweep-json`).
 
-use aff_bench::figures::{run_figure, HarnessOpts, ALL_FIGURES};
+use aff_bench::figures::{plan_figure, HarnessOpts, ALL_FIGURES};
+use aff_bench::sweep::run_plans;
+
+fn usage() {
+    eprintln!(
+        "usage: figures [--full] [--seed N] [--jobs N] [--json] [--sweep-json PATH|none] \
+         (all | figN...)"
+    );
+    eprintln!("known figures: {ALL_FIGURES:?}");
+}
 
 fn main() {
     let mut opts = HarnessOpts::default();
     let mut ids: Vec<String> = Vec::new();
     let mut json = false;
+    let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep_json = Some("BENCH_sweep.json".to_string());
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--json" => json = true,
-            "--seed" => {
-                let v = args.next().expect("--seed needs a value");
-                opts.seed = v.parse().expect("--seed must be an integer");
-            }
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => opts.seed = v,
+                _ => {
+                    eprintln!("--seed needs an integer value");
+                    std::process::exit(2);
+                }
+            },
+            "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v >= 1 => jobs = v,
+                _ => {
+                    eprintln!("--jobs needs an integer value >= 1");
+                    std::process::exit(2);
+                }
+            },
+            "--sweep-json" => match args.next() {
+                Some(p) if p == "none" => sweep_json = None,
+                Some(p) => sweep_json = Some(p),
+                None => {
+                    eprintln!("--sweep-json needs a path (or 'none')");
+                    std::process::exit(2);
+                }
+            },
             "all" => ids.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
-                eprintln!("usage: figures [--full] [--seed N] (all | figN...)");
-                eprintln!("known figures: {ALL_FIGURES:?}");
+                usage();
                 return;
             }
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: figures [--full] [--seed N] (all | figN...)");
-        eprintln!("known figures: {ALL_FIGURES:?}");
+        usage();
         std::process::exit(2);
     }
-    for id in ids {
-        let start = std::time::Instant::now();
-        let fig = run_figure(&id, opts);
+    let unknown: Vec<&String> = ids
+        .iter()
+        .filter(|id| !ALL_FIGURES.contains(&id.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown figure id(s): {unknown:?}");
+        usage();
+        std::process::exit(2);
+    }
+
+    let start = std::time::Instant::now();
+    let plans: Vec<_> = ids
+        .iter()
+        .filter_map(|id| plan_figure(id, opts))
+        .collect();
+    let (figures, report) = run_plans(plans, jobs, opts.seed);
+    for fig in &figures {
         if json {
             println!("{}", fig.to_json());
         } else {
             println!("{}", fig.render());
-            println!("  ({} took {:.1?})\n", id, start.elapsed());
         }
+    }
+    eprintln!("{}", report.render_summary());
+    eprintln!("  (total {:.1?}, --jobs {jobs})", start.elapsed());
+    if let Some(path) = sweep_json {
+        if let Err(e) = std::fs::write(&path, report.to_json() + "\n") {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("  wrote {path}");
+    }
+    if report.failures().count() > 0 {
+        // Cells fail soft (recorded per cell, merged figures annotated), but
+        // the process exit code still reports that something broke.
+        std::process::exit(3);
     }
 }

@@ -1,12 +1,25 @@
 //! Reproduction of every evaluation figure in the paper.
 //!
-//! Each function runs the simulated experiments and returns a
-//! [`Figure`]; `fig_all` runs the whole suite. Default inputs are the
-//! scaled-down harness sizes (see `aff_workloads::suite`); pass
-//! `HarnessOpts { full: true, .. }` for Table 3 sizes.
+//! Each figure is declared as a [`SweepPlan`]: a list of self-contained
+//! (workload, config) cells plus a merge function that reassembles the
+//! [`Figure`] from cell outcomes in declaration order. Plans execute on the
+//! deterministic parallel engine in [`crate::sweep`] — `figN(opts)` wrappers
+//! run them serially; the `figures` binary schedules all requested plans
+//! across `--jobs N` workers with byte-identical output.
+//!
+//! Default inputs are the scaled-down harness sizes (see
+//! `aff_workloads::suite`); pass `HarnessOpts { full: true, .. }` for
+//! Table 3 sizes.
+//!
+//! Determinism: every cell rebuilds its own inputs from `opts.seed`
+//! (workload seeds intentionally stay figure-level so cells that are
+//! normalized against each other — e.g. the six chunk configs of Fig 6 —
+//! see the *same* generated graph), and any cell-local randomness comes
+//! from the engine-provided `SimRng::split(seed, cell)` stream, never from
+//! state another cell could have advanced.
 
-use crate::report::Figure;
-use aff_nsc::engine::Metrics;
+use crate::report::{Figure, Row};
+use crate::sweep::{run_plans, CellData, PlanBuilder, SweepPlan};
 use aff_sim_core::config::MachineConfig;
 use aff_sim_core::stats::geomean;
 use aff_workloads::affine::{run_stencil, run_vecadd_forced_delta, Stencil};
@@ -55,43 +68,69 @@ fn hybrid5() -> SystemConfig {
     SystemConfig::aff_alloc_default()
 }
 
-/// Fig 4: vec-add speedup and NoC hops vs forced layout offset Δ.
-pub fn fig4(opts: HarnessOpts) -> Figure {
+/// Run one plan serially (the `figN(opts)` compatibility path).
+fn run_single(plan: SweepPlan, seed: u64) -> Figure {
+    let (mut figs, _) = run_plans(vec![plan], 1, seed);
+    figs.pop().unwrap_or_else(|| Figure::new("empty", "no plan produced a figure", vec![]))
+}
+
+/// Fig 4 as a sweep plan: one cell per Δ point.
+pub fn fig4_plan(opts: HarnessOpts) -> SweepPlan {
     // Always Table 3's 1.5M entries: smaller inputs fit in the private L2
     // and leave the Fig 4 regime entirely (the sweep is cheap regardless).
     let n = 1_500_000;
     let _ = opts.full;
-    let base_cfg = RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed);
-    let incore_cfg = RunConfig::new(SystemConfig::InCore).with_seed(opts.seed);
-    let incore = run_vecadd_forced_delta(n, Some(0), &incore_cfg);
-
-    let mut fig = Figure::new(
-        "fig4",
-        "Impact of affine data layout on vec add (normalized to In-Core)",
-        vec!["speedup", "hops", "hops_offload", "hops_data", "hops_control"],
-    );
-    let mut push = |label: &str, m: &Metrics| {
-        let ih = incore.total_hop_flits.max(1) as f64;
-        fig.push(
-            label,
-            vec![
-                m.speedup_over(&incore),
-                m.total_hop_flits as f64 / ih,
-                m.hop_flits[0] as f64 / ih,
-                m.hop_flits[1] as f64 / ih,
-                m.hop_flits[2] as f64 / ih,
-            ],
-        );
-    };
-    push("In-Core", &incore);
+    let mut b = PlanBuilder::new("fig4");
+    let incore = b.cell("In-Core", move |_| {
+        let cfg = RunConfig::new(SystemConfig::InCore).with_seed(opts.seed);
+        run_vecadd_forced_delta(n, Some(0), &cfg).into()
+    });
+    // (label, cell id) in row order; the In-Core row reuses the In-Core cell.
+    let mut cells: Vec<(String, usize)> = vec![("In-Core".into(), incore)];
     for delta in (0..=64u32).step_by(4) {
-        let m = run_vecadd_forced_delta(n, Some(delta), &base_cfg);
-        push(&format!("Δ Bank {delta}"), &m);
+        let label = format!("Δ Bank {delta}");
+        let id = b.cell(label.clone(), move |_| {
+            let cfg = RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed);
+            run_vecadd_forced_delta(n, Some(delta), &cfg).into()
+        });
+        cells.push((label, id));
     }
-    let m = run_vecadd_forced_delta(n, None, &base_cfg);
-    push("Random", &m);
-    fig.note(format!("n = {n} floats, 8 iterations"));
-    fig
+    let id = b.cell("Random", move |_| {
+        let cfg = RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed);
+        run_vecadd_forced_delta(n, None, &cfg).into()
+    });
+    cells.push(("Random".into(), id));
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig4",
+            "Impact of affine data layout on vec add (normalized to In-Core)",
+            vec!["speedup", "hops", "hops_offload", "hops_data", "hops_control"],
+        );
+        let ih = o
+            .metrics(incore)
+            .map(|m| m.total_hop_flits.max(1) as f64)
+            .unwrap_or(f64::NAN);
+        for (label, id) in &cells {
+            fig.push(
+                label.clone(),
+                vec![
+                    o.speedup(*id, incore),
+                    o.field(*id, |m| m.total_hop_flits as f64) / ih,
+                    o.field(*id, |m| m.hop_flits[0] as f64) / ih,
+                    o.field(*id, |m| m.hop_flits[1] as f64) / ih,
+                    o.field(*id, |m| m.hop_flits[2] as f64) / ih,
+                ],
+            );
+        }
+        fig.note(format!("n = {n} floats, 8 iterations"));
+        o.annotate_failures(&mut fig);
+        fig
+    })
+}
+
+/// Fig 4: vec-add speedup and NoC hops vs forced layout offset Δ.
+pub fn fig4(opts: HarnessOpts) -> Figure {
+    run_single(fig4_plan(opts), opts.seed)
 }
 
 fn fig6_graph(w: &str, opts: HarnessOpts) -> aff_ds::graph::Graph {
@@ -115,97 +154,138 @@ fn fig6_run(w: &str, inst: GraphInstance) -> GraphRun {
     }
 }
 
+const FIG6_WORKLOADS: [&str; 5] = ["pr_push", "bfs_push", "sssp", "pr_pull", "bfs_pull"];
+const FIG6_CONFIGS: [(&str, Option<u64>); 6] = [
+    ("Base", None),
+    ("Ind-4kB", Some(4096)),
+    ("Ind-1kB", Some(1024)),
+    ("Ind-256B", Some(256)),
+    ("Ind-64B", Some(64)),
+    ("Ind-Ideal", Some(0)), // chunk = one edge
+];
+
+/// Fig 6 as a sweep plan: one cell per (workload, chunk config). Each cell
+/// regenerates the (deterministic) input graph, so cells share nothing.
+pub fn fig6_plan(opts: HarnessOpts) -> SweepPlan {
+    let mut b = PlanBuilder::new("fig6");
+    // idx[wi][ci]: cell id backing row (workload, config); the "Base" config
+    // reuses the workload's baseline cell.
+    let mut idx: Vec<Vec<usize>> = Vec::new();
+    for w in FIG6_WORKLOADS {
+        let base = b.cell(format!("{w}/Base"), move |_| {
+            let g = fig6_graph(w, opts);
+            let base_cfg = opts.cfg(SystemConfig::NearL3);
+            fig6_run(w, GraphInstance::new(g, &base_cfg)).metrics.into()
+        });
+        let mut row = vec![base];
+        for (label, chunk) in FIG6_CONFIGS.iter().skip(1) {
+            let bytes = chunk.unwrap_or(0);
+            let id = b.cell(format!("{w}/{label}"), move |_| {
+                let g = fig6_graph(w, opts);
+                let edge_sz = if g.is_weighted() { 8 } else { 4 };
+                let cb = if bytes == 0 { edge_sz } else { bytes };
+                let cfg = opts.cfg(hybrid5());
+                fig6_run(w, GraphInstance::with_chunk_oracle(g, &cfg, cb))
+                    .metrics
+                    .into()
+            });
+            row.push(id);
+        }
+        idx.push(row);
+    }
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig6",
+            "Impact of irregular data layout (normalized to Base = Near-L3 CSR)",
+            vec!["speedup", "hops"],
+        );
+        let mut per_config_speedups: Vec<Vec<f64>> = vec![Vec::new(); FIG6_CONFIGS.len()];
+        for (wi, w) in FIG6_WORKLOADS.iter().enumerate() {
+            let base = idx[wi][0];
+            for (ci, (label, _)) in FIG6_CONFIGS.iter().enumerate() {
+                let id = idx[wi][ci];
+                let speedup = o.speedup(id, base);
+                per_config_speedups[ci].push(speedup);
+                fig.push(format!("{w}/{label}"), vec![speedup, o.traffic(id, base)]);
+            }
+        }
+        for (ci, (label, _)) in FIG6_CONFIGS.iter().enumerate() {
+            fig.push(
+                format!("geomean/{label}"),
+                vec![geomean(&per_config_speedups[ci]).unwrap_or(1.0), f64::NAN],
+            );
+        }
+        fig.note("chunks placed by min-hop oracle, 2% load-imbalance cap (paper footnote 2)");
+        o.annotate_failures(&mut fig);
+        fig
+    })
+}
+
 /// Fig 6: irregular-layout potential — speedup/hops when CSR edge chunks of
 /// various sizes are freely placed by the oracle (vs. the NSC baseline).
 pub fn fig6(opts: HarnessOpts) -> Figure {
-    let workloads = ["pr_push", "bfs_push", "sssp", "pr_pull", "bfs_pull"];
-    let configs: [(&str, Option<u64>); 6] = [
-        ("Base", None),
-        ("Ind-4kB", Some(4096)),
-        ("Ind-1kB", Some(1024)),
-        ("Ind-256B", Some(256)),
-        ("Ind-64B", Some(64)),
-        ("Ind-Ideal", Some(0)), // chunk = one edge
-    ];
-    let mut fig = Figure::new(
-        "fig6",
-        "Impact of irregular data layout (normalized to Base = Near-L3 CSR)",
-        vec!["speedup", "hops"],
-    );
-    let mut per_config_speedups: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    for w in workloads {
-        let g = fig6_graph(w, opts);
-        let base_cfg = opts.cfg(SystemConfig::NearL3);
-        let base = fig6_run(w, GraphInstance::new(g.clone(), &base_cfg)).metrics;
-        for (ci, (label, chunk)) in configs.iter().enumerate() {
-            let m = match chunk {
-                None => base.clone(),
-                Some(bytes) => {
-                    let edge_sz = if g.is_weighted() { 8 } else { 4 };
-                    let cb = if *bytes == 0 { edge_sz } else { *bytes };
-                    let cfg = opts.cfg(hybrid5());
-                    fig6_run(w, GraphInstance::with_chunk_oracle(g.clone(), &cfg, cb)).metrics
-                }
-            };
-            let speedup = m.speedup_over(&base);
-            per_config_speedups[ci].push(speedup);
+    run_single(fig6_plan(opts), opts.seed)
+}
+
+/// Fig 12 as a sweep plan: one cell per (workload, system).
+pub fn fig12_plan(opts: HarnessOpts) -> SweepPlan {
+    let systems = [SystemConfig::InCore, SystemConfig::NearL3, hybrid5()];
+    let mut b = PlanBuilder::new("fig12");
+    let mut idx: Vec<Vec<usize>> = Vec::new();
+    for &w in &WorkloadName::FIG12 {
+        let row = systems
+            .iter()
+            .map(|&s| {
+                b.cell(format!("{}/{}", w.label(), s.label()), move |_| {
+                    suite::run(w, &opts.cfg(s)).metrics.into()
+                })
+            })
+            .collect();
+        idx.push(row);
+    }
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig12",
+            "Overall performance and traffic reduction",
+            vec!["speedup_vs_nearl3", "energy_eff_vs_nearl3", "hops_vs_incore", "noc_util"],
+        );
+        let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for (wi, w) in WorkloadName::FIG12.iter().enumerate() {
+            let incore = idx[wi][0];
+            let near = idx[wi][1];
+            for (si, s) in systems.iter().enumerate() {
+                let id = idx[wi][si];
+                let sp = o.speedup(id, near);
+                let ee = o.energy_eff(id, near);
+                speedups[si].push(sp);
+                energies[si].push(ee);
+                fig.push(
+                    format!("{}/{}", w.label(), s.label()),
+                    vec![sp, ee, o.traffic(id, incore), o.field(id, |m| m.noc_utilization)],
+                );
+            }
+        }
+        for (si, s) in systems.iter().enumerate() {
             fig.push(
-                format!("{w}/{label}"),
-                vec![speedup, m.traffic_vs(&base)],
+                format!("geomean/{}", s.label()),
+                vec![
+                    geomean(&speedups[si]).unwrap_or(1.0),
+                    geomean(&energies[si]).unwrap_or(1.0),
+                    f64::NAN,
+                    f64::NAN,
+                ],
             );
         }
-    }
-    for (ci, (label, _)) in configs.iter().enumerate() {
-        fig.push(
-            format!("geomean/{label}"),
-            vec![geomean(&per_config_speedups[ci]).unwrap_or(1.0), f64::NAN],
-        );
-    }
-    fig.note("chunks placed by min-hop oracle, 2% load-imbalance cap (paper footnote 2)");
-    fig
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
 /// Fig 12: overall speedup / energy efficiency (vs Near-L3) and NoC hops
 /// (vs In-Core) for the full suite.
 pub fn fig12(opts: HarnessOpts) -> Figure {
-    let systems = [SystemConfig::InCore, SystemConfig::NearL3, hybrid5()];
-    let mut fig = Figure::new(
-        "fig12",
-        "Overall performance and traffic reduction",
-        vec!["speedup_vs_nearl3", "energy_eff_vs_nearl3", "hops_vs_incore", "noc_util"],
-    );
-    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for w in WorkloadName::FIG12 {
-        let runs: Vec<Metrics> = systems
-            .iter()
-            .map(|&s| suite::run(w, &opts.cfg(s)).metrics)
-            .collect();
-        let near = &runs[1];
-        let incore = &runs[0];
-        for (si, (s, m)) in systems.iter().zip(&runs).enumerate() {
-            let sp = m.speedup_over(near);
-            let ee = m.energy_eff_over(near);
-            speedups[si].push(sp);
-            energies[si].push(ee);
-            fig.push(
-                format!("{}/{}", w.label(), s.label()),
-                vec![sp, ee, m.traffic_vs(incore), m.noc_utilization],
-            );
-        }
-    }
-    for (si, s) in systems.iter().enumerate() {
-        fig.push(
-            format!("geomean/{}", s.label()),
-            vec![
-                geomean(&speedups[si]).unwrap_or(1.0),
-                geomean(&energies[si]).unwrap_or(1.0),
-                f64::NAN,
-                f64::NAN,
-            ],
-        );
-    }
-    fig
+    run_single(fig12_plan(opts), opts.seed)
 }
 
 /// The irregular workloads of Fig 13.
@@ -232,132 +312,174 @@ pub fn fig13_policies() -> Vec<BankSelectPolicy> {
     ]
 }
 
-/// Fig 13: bank-select policy sensitivity, normalized to Rnd.
-///
-/// The (workload x policy) grid is embarrassingly parallel; rows run on
-/// scoped threads (each simulation is self-contained and deterministic).
-pub fn fig13(opts: HarnessOpts) -> Figure {
+/// Fig 13 as a sweep plan: the embarrassingly parallel
+/// (workload × policy) grid, one cell each.
+pub fn fig13_plan(opts: HarnessOpts) -> SweepPlan {
     let policies = fig13_policies();
-    let mut fig = Figure::new(
-        "fig13",
-        "Sensitivity to irregular layout policies (normalized to Rnd)",
-        vec!["speedup", "hops", "noc_util"],
-    );
-    // One thread per (workload, policy) cell — every simulation is
-    // self-contained and deterministic, so the grid is embarrassingly
-    // parallel.
-    let results: Vec<Vec<Metrics>> = std::thread::scope(|scope| {
-        let handles: Vec<Vec<_>> = FIG13_WORKLOADS
+    let mut b = PlanBuilder::new("fig13");
+    let mut idx: Vec<Vec<usize>> = Vec::new();
+    for &w in &FIG13_WORKLOADS {
+        let row = policies
             .iter()
-            .map(|&w| {
-                policies
-                    .iter()
-                    .map(|&p| {
-                        scope.spawn(move || {
-                            suite::run(w, &opts.cfg(SystemConfig::AffAlloc(p))).metrics
-                        })
-                    })
-                    .collect()
+            .map(|&p| {
+                b.cell(format!("{}/{}", w.label(), p.label()), move |_| {
+                    suite::run(w, &opts.cfg(SystemConfig::AffAlloc(p))).metrics.into()
+                })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|row| row.into_iter().map(|h| h.join().expect("fig13 worker")).collect())
-            .collect()
-    });
-    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for (w, runs) in FIG13_WORKLOADS.iter().copied().zip(results) {
-        let rnd = &runs[0];
-        for (pi, (&p, m)) in policies.iter().zip(&runs).enumerate() {
-            let sp = m.speedup_over(rnd);
-            per_policy[pi].push(sp);
+        idx.push(row);
+    }
+    let labels: Vec<String> = policies.iter().map(BankSelectPolicy::label).collect();
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig13",
+            "Sensitivity to irregular layout policies (normalized to Rnd)",
+            vec!["speedup", "hops", "noc_util"],
+        );
+        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
+        for (wi, w) in FIG13_WORKLOADS.iter().enumerate() {
+            let rnd = idx[wi][0];
+            for (pi, pl) in labels.iter().enumerate() {
+                let id = idx[wi][pi];
+                let sp = o.speedup(id, rnd);
+                per_policy[pi].push(sp);
+                fig.push(
+                    format!("{}/{}", w.label(), pl),
+                    vec![sp, o.traffic(id, rnd), o.field(id, |m| m.noc_utilization)],
+                );
+            }
+        }
+        for (pi, pl) in labels.iter().enumerate() {
             fig.push(
-                format!("{}/{}", w.label(), p.label()),
-                vec![sp, m.traffic_vs(rnd), m.noc_utilization],
+                format!("geomean/{pl}"),
+                vec![geomean(&per_policy[pi]).unwrap_or(1.0), f64::NAN, f64::NAN],
             );
         }
-    }
-    for (pi, p) in policies.iter().enumerate() {
-        fig.push(
-            format!("geomean/{}", p.label()),
-            vec![geomean(&per_policy[pi]).unwrap_or(1.0), f64::NAN, f64::NAN],
-        );
-    }
-    fig
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
-/// Fig 14: distribution of in-flight atomic streams per bank over the
-/// bfs_push timeline, for Rnd / Min-Hop / Hybrid-5.
-pub fn fig14(opts: HarnessOpts) -> Figure {
+/// Fig 13: bank-select policy sensitivity, normalized to Rnd.
+pub fn fig13(opts: HarnessOpts) -> Figure {
+    run_single(fig13_plan(opts), opts.seed)
+}
+
+/// Fig 14 as a sweep plan: one bfs_push run per policy.
+pub fn fig14_plan(opts: HarnessOpts) -> SweepPlan {
     let policies = [
         BankSelectPolicy::Rnd,
         BankSelectPolicy::MinHop,
         BankSelectPolicy::Hybrid { h: 5.0 },
     ];
-    let mut fig = Figure::new(
-        "fig14",
-        "Distribution of atomic streams in bfs_push (per normalized time)",
-        vec!["min", "p25", "avg", "p75", "max"],
-    );
-    for p in policies {
-        let cfg = opts.cfg(SystemConfig::AffAlloc(p));
-        let g = suite::kron_input(cfg.scale, cfg.seed);
-        let src = pick_source(&g);
-        let r = GraphInstance::new(g, &cfg).run_bfs(src, DirectionPolicy::PushOnly);
-        for (t, fp) in r.metrics.occupancy.resample(10).into_iter().enumerate() {
-            fig.push(
-                format!("{}/t{}", p.label(), t),
-                vec![fp.min, fp.p25, fp.avg, fp.p75, fp.max],
-            );
+    let mut b = PlanBuilder::new("fig14");
+    let cells: Vec<(String, usize)> = policies
+        .iter()
+        .map(|&p| {
+            let label = p.label();
+            let id = b.cell(label.clone(), move |_| {
+                let cfg = opts.cfg(SystemConfig::AffAlloc(p));
+                let g = suite::kron_input(cfg.scale, cfg.seed);
+                let src = pick_source(&g);
+                GraphInstance::new(g, &cfg)
+                    .run_bfs(src, DirectionPolicy::PushOnly)
+                    .metrics
+                    .into()
+            });
+            (label, id)
+        })
+        .collect();
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig14",
+            "Distribution of atomic streams in bfs_push (per normalized time)",
+            vec!["min", "p25", "avg", "p75", "max"],
+        );
+        for (label, id) in &cells {
+            if let Some(m) = o.metrics(*id) {
+                for (t, fp) in m.occupancy.resample(10).into_iter().enumerate() {
+                    fig.push(
+                        format!("{label}/t{t}"),
+                        vec![fp.min, fp.p25, fp.avg, fp.p75, fp.max],
+                    );
+                }
+            }
         }
-    }
-    fig.note("occupancy via Little's law over per-iteration atomic arrivals");
-    fig
+        fig.note("occupancy via Little's law over per-iteration atomic arrivals");
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
-/// Fig 15: affine workloads at 1×/2×/4×/8× input — speedup over In-Core and
-/// L3 miss rate.
-pub fn fig15(opts: HarnessOpts) -> Figure {
+/// Fig 14: distribution of in-flight atomic streams per bank over the
+/// bfs_push timeline, for Rnd / Min-Hop / Hybrid-5.
+pub fn fig14(opts: HarnessOpts) -> Figure {
+    run_single(fig14_plan(opts), opts.seed)
+}
+
+/// Fig 15 as a sweep plan: one cell per (stencil, input scale, system).
+pub fn fig15_plan(opts: HarnessOpts) -> SweepPlan {
     type StencilMaker = fn(u64) -> Stencil;
-    let base: Vec<(&str, StencilMaker)> = vec![
+    let base: Vec<(&'static str, StencilMaker)> = vec![
         ("pathfinder", |s| Stencil::pathfinder(1_500_000 * s)),
         ("hotspot", |s| Stencil::hotspot(2048 * s, 1024)),
         ("srad", |s| Stencil::srad(1024 * s, 2048)),
         ("hotspot3D", |s| Stencil::hotspot3d(256, 1024, 8 * s)),
     ];
-    let mut fig = Figure::new(
-        "fig15",
-        "Affine layout on large inputs (speedup vs In-Core at same scale)",
-        vec!["nearl3_speedup", "aff_speedup", "aff_l3_miss"],
-    );
-    let mut ge: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    const SCALES: [u64; 4] = [1, 2, 4, 8];
+    let mut b = PlanBuilder::new("fig15");
+    // idx[(name, scale)] = [incore, near, aff] cell ids.
+    let mut idx: Vec<(&'static str, u64, [usize; 3])> = Vec::new();
     for (name, mk) in &base {
-        for (si, scale) in [1u64, 2, 4, 8].into_iter().enumerate() {
-            let s = mk(scale);
-            let incore = run_stencil(&s, &RunConfig::new(SystemConfig::InCore).with_seed(opts.seed));
-            let near = run_stencil(&s, &RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed));
-            let aff = run_stencil(&s, &RunConfig::new(hybrid5()).with_seed(opts.seed));
-            let sp = aff.speedup_over(&incore);
+        for scale in SCALES {
+            let mk = *mk;
+            let mut cell_for = |sys_label: &str, system: SystemConfig| {
+                b.cell(format!("{name}/{scale}x/{sys_label}"), move |_| {
+                    run_stencil(&mk(scale), &RunConfig::new(system).with_seed(opts.seed)).into()
+                })
+            };
+            let incore = cell_for("In-Core", SystemConfig::InCore);
+            let near = cell_for("Near-L3", SystemConfig::NearL3);
+            let aff = cell_for("Aff-Alloc", hybrid5());
+            idx.push((name, scale, [incore, near, aff]));
+        }
+    }
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig15",
+            "Affine layout on large inputs (speedup vs In-Core at same scale)",
+            vec!["nearl3_speedup", "aff_speedup", "aff_l3_miss"],
+        );
+        let mut ge: Vec<Vec<f64>> = vec![Vec::new(); SCALES.len()];
+        for &(name, scale, [incore, near, aff]) in &idx {
+            let si = SCALES.iter().position(|&s| s == scale).unwrap_or(0);
+            let sp = o.speedup(aff, incore);
             ge[si].push(sp);
             fig.push(
                 format!("{name}/{scale}x"),
-                vec![near.speedup_over(&incore), sp, aff.l3_miss_rate],
+                vec![o.speedup(near, incore), sp, o.field(aff, |m| m.l3_miss_rate)],
             );
         }
-    }
-    for (si, scale) in [1u64, 2, 4, 8].into_iter().enumerate() {
-        fig.push(
-            format!("geomean/{scale}x"),
-            vec![f64::NAN, geomean(&ge[si]).unwrap_or(1.0), f64::NAN],
-        );
-    }
-    fig
+        for (si, scale) in SCALES.into_iter().enumerate() {
+            fig.push(
+                format!("geomean/{scale}x"),
+                vec![f64::NAN, geomean(&ge[si]).unwrap_or(1.0), f64::NAN],
+            );
+        }
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
-/// Fig 16: linked CSR on growing graphs — speedup over Near-L3 and L3 miss
-/// rate. The L3 is shrunk so the scale-1 graph occupies ~half of it, which
-/// preserves the paper's footprint/capacity ratios at harness sizes.
-pub fn fig16(opts: HarnessOpts) -> Figure {
+/// Fig 15: affine workloads at 1×/2×/4×/8× input — speedup over In-Core and
+/// L3 miss rate.
+pub fn fig15(opts: HarnessOpts) -> Figure {
+    run_single(fig15_plan(opts), opts.seed)
+}
+
+/// Fig 16 as a sweep plan: one cell per (workload, |V| scale, system), with
+/// the capacity-matched L3 cloned into every cell.
+pub fn fig16_plan(opts: HarnessOpts) -> SweepPlan {
     let mut machine = MachineConfig::paper_default();
     if !opts.full {
         // Preserve the paper's footprint/capacity ratios at harness sizes:
@@ -365,83 +487,136 @@ pub fn fig16(opts: HarnessOpts) -> Figure {
         // graph still fits; 4× and 8× spill for both edge formats.
         machine.l3_bank_bytes = 128 << 10;
     }
-    let mk_cfg = |system: SystemConfig, scale: u32| {
-        RunConfig::new(system)
-            .with_seed(opts.seed)
-            .with_scale(scale * if opts.full { 8 } else { 1 })
-            .with_machine(machine.clone())
-    };
     let systems = [
         ("Near-L3", SystemConfig::NearL3),
         ("Min-Hops", SystemConfig::AffAlloc(BankSelectPolicy::MinHop)),
         ("Hybrid-5", hybrid5()),
     ];
-    let mut fig = Figure::new(
-        "fig16",
-        "Linked CSR on large graphs (speedup vs Near-L3 at same |V|)",
-        vec!["speedup", "l3_miss"],
-    );
+    let mut b = PlanBuilder::new("fig16");
+    // One group per (workload, scale): its Near-L3 baseline cell plus the
+    // cells of the systems normalized against it.
+    struct ScaleGroup {
+        w: WorkloadName,
+        scale: u32,
+        near: usize,
+        rest: Vec<(&'static str, usize)>,
+    }
+    let mut idx: Vec<ScaleGroup> = Vec::new();
     for w in [WorkloadName::PrPush, WorkloadName::Bfs, WorkloadName::Sssp] {
         for scale in [1u32, 2, 4, 8] {
-            let near = suite::run(w, &mk_cfg(SystemConfig::NearL3, scale)).metrics;
-            for (label, s) in systems.iter().skip(1) {
-                let m = suite::run(w, &mk_cfg(*s, scale)).metrics;
+            let mut cell_for = |label: &'static str, system: SystemConfig| {
+                let m = machine.clone();
+                b.cell(format!("{}/{}/|V|x{}", w.label(), label, scale), move |_| {
+                    let cfg = RunConfig::new(system)
+                        .with_seed(opts.seed)
+                        .with_scale(scale * if opts.full { 8 } else { 1 })
+                        .with_machine(m);
+                    suite::run(w, &cfg).metrics.into()
+                })
+            };
+            let near = cell_for("Near-L3", SystemConfig::NearL3);
+            let rest: Vec<(&'static str, usize)> = systems
+                .iter()
+                .skip(1)
+                .map(|&(label, s)| (label, cell_for(label, s)))
+                .collect();
+            idx.push(ScaleGroup { w, scale, near, rest });
+        }
+    }
+    let full = opts.full;
+    let l3_kib = machine.l3_bank_bytes >> 10;
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig16",
+            "Linked CSR on large graphs (speedup vs Near-L3 at same |V|)",
+            vec!["speedup", "l3_miss"],
+        );
+        for g in &idx {
+            for (label, id) in &g.rest {
                 fig.push(
-                    format!("{}/{}/|V|x{}", w.label(), label, scale),
-                    vec![m.speedup_over(&near), m.l3_miss_rate],
+                    format!("{}/{}/|V|x{}", g.w.label(), label, g.scale),
+                    vec![o.speedup(*id, g.near), o.field(*id, |m| m.l3_miss_rate)],
                 );
             }
         }
-    }
-    fig.note(format!(
-        "L3 bank = {} KiB ({} mode)",
-        machine.l3_bank_bytes >> 10,
-        if opts.full { "full" } else { "scaled" }
-    ));
-    fig
+        fig.note(format!(
+            "L3 bank = {} KiB ({} mode)",
+            l3_kib,
+            if full { "full" } else { "scaled" }
+        ));
+        o.annotate_failures(&mut fig);
+        fig
+    })
+}
+
+/// Fig 16: linked CSR on growing graphs — speedup over Near-L3 and L3 miss
+/// rate. The L3 is shrunk so the scale-1 graph occupies ~half of it, which
+/// preserves the paper's footprint/capacity ratios at harness sizes.
+pub fn fig16(opts: HarnessOpts) -> Figure {
+    run_single(fig16_plan(opts), opts.seed)
+}
+
+/// Fig 17 as a sweep plan: a single bfs_push cell that renders its own
+/// per-iteration rows.
+pub fn fig17_plan(opts: HarnessOpts) -> SweepPlan {
+    let mut b = PlanBuilder::new("fig17");
+    let cell = b.cell("bfs_push", move |_| {
+        let cfg = opts.cfg(hybrid5());
+        let g = suite::kron_input(cfg.scale, cfg.seed);
+        let n = f64::from(g.num_vertices());
+        let m = g.num_edges() as f64;
+        let src = pick_source(&g);
+        let r = GraphInstance::new(g, &cfg).run_bfs(src, DirectionPolicy::PushOnly);
+        let rows = r
+            .iters
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                Row::new(
+                    format!("iter{i}"),
+                    vec![
+                        it.visited as f64 / n,
+                        it.active as f64 / n,
+                        it.scout_edges as f64 / m,
+                    ],
+                )
+            })
+            .collect();
+        CellData::Rows {
+            rows,
+            sim_cycles: r.metrics.cycles,
+        }
+    });
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig17",
+            "BFS iteration characteristics",
+            vec!["visited_nodes", "active_nodes", "scout_edges"],
+        );
+        if let Some(rows) = o.rows(cell) {
+            fig.rows.extend(rows.iter().cloned());
+        }
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
 /// Fig 17: BFS per-iteration characteristics (visited / active / scout-edge
 /// ratios).
 pub fn fig17(opts: HarnessOpts) -> Figure {
-    let cfg = opts.cfg(hybrid5());
-    let g = suite::kron_input(cfg.scale, cfg.seed);
-    let n = f64::from(g.num_vertices());
-    let m = g.num_edges() as f64;
-    let src = pick_source(&g);
-    let r = GraphInstance::new(g, &cfg).run_bfs(src, DirectionPolicy::PushOnly);
-    let mut fig = Figure::new(
-        "fig17",
-        "BFS iteration characteristics",
-        vec!["visited_nodes", "active_nodes", "scout_edges"],
-    );
-    for (i, it) in r.iters.iter().enumerate() {
-        fig.push(
-            format!("iter{i}"),
-            vec![
-                it.visited as f64 / n,
-                it.active as f64 / n,
-                it.scout_edges as f64 / m,
-            ],
-        );
-    }
-    fig
+    run_single(fig17_plan(opts), opts.seed)
 }
 
-/// Fig 18: BFS push/pull/switch timeline per system. Each row is one
-/// iteration: direction (1 = push, 0 = pull) and its share of the run's
-/// examined-edge work (the paper's bar widths).
-pub fn fig18(opts: HarnessOpts) -> Figure {
-    let mut fig = Figure::new(
-        "fig18",
-        "BFS push vs pull timeline",
-        vec!["push", "time_share"],
-    );
+/// Fig 18 as a sweep plan: one cell per (system, direction policy), each
+/// rendering its own timeline rows.
+pub fn fig18_plan(opts: HarnessOpts) -> SweepPlan {
     let systems = [
         ("In-Core", SystemConfig::InCore),
         ("Near-L3", SystemConfig::NearL3),
         ("Aff-Alloc", hybrid5()),
     ];
+    let mut b = PlanBuilder::new("fig18");
+    let mut ids: Vec<usize> = Vec::new();
     for (sl, system) in systems {
         let policies = [
             ("Pull", DirectionPolicy::PullOnly),
@@ -456,188 +631,321 @@ pub fn fig18(opts: HarnessOpts) -> Figure {
             ),
         ];
         for (pl, policy) in policies {
-            let cfg = opts.cfg(system);
-            let g = suite::kron_input(cfg.scale, cfg.seed);
-            let src = pick_source(&g);
-            let r = GraphInstance::new(g, &cfg).run_bfs(src, policy);
-            let total: u64 = r.iters.iter().map(|i| i.examined_edges.max(1)).sum();
-            for (i, it) in r.iters.iter().enumerate() {
-                fig.push(
-                    format!("{sl}/{pl}/iter{i}"),
-                    vec![
-                        if it.dir == Direction::Push { 1.0 } else { 0.0 },
-                        it.examined_edges.max(1) as f64 / total as f64,
-                    ],
-                );
-            }
+            ids.push(b.cell(format!("{sl}/{pl}"), move |_| {
+                let cfg = opts.cfg(system);
+                let g = suite::kron_input(cfg.scale, cfg.seed);
+                let src = pick_source(&g);
+                let r = GraphInstance::new(g, &cfg).run_bfs(src, policy);
+                let total: u64 = r.iters.iter().map(|i| i.examined_edges.max(1)).sum();
+                let rows = r
+                    .iters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, it)| {
+                        Row::new(
+                            format!("{sl}/{pl}/iter{i}"),
+                            vec![
+                                if it.dir == Direction::Push { 1.0 } else { 0.0 },
+                                it.examined_edges.max(1) as f64 / total as f64,
+                            ],
+                        )
+                    })
+                    .collect();
+                CellData::Rows {
+                    rows,
+                    sim_cycles: r.metrics.cycles,
+                }
+            }));
         }
     }
-    fig
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig18",
+            "BFS push vs pull timeline",
+            vec!["push", "time_share"],
+        );
+        for &id in &ids {
+            if let Some(rows) = o.rows(id) {
+                fig.rows.extend(rows.iter().cloned());
+            }
+        }
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
-/// Fig 19: speedup vs average node degree on synthesized power-law graphs
-/// with fixed |E| (normalized to Rnd).
-pub fn fig19(opts: HarnessOpts) -> Figure {
+/// Fig 18: BFS push/pull/switch timeline per system. Each row is one
+/// iteration: direction (1 = push, 0 = pull) and its share of the run's
+/// examined-edge work (the paper's bar widths).
+pub fn fig18(opts: HarnessOpts) -> Figure {
+    run_single(fig18_plan(opts), opts.seed)
+}
+
+const FIG19_WORKLOADS: [&str; 3] = ["pr_push", "bfs", "sssp"];
+const FIG19_DEGREES: [u32; 6] = [4, 8, 16, 32, 64, 128];
+
+fn fig19_cell(
+    w: &'static str,
+    degree: u32,
+    total_edges: usize,
+    system: SystemConfig,
+    opts: HarnessOpts,
+) -> CellData {
+    let n = (total_edges as u32 / degree).max(64);
+    let base_graph = gen::power_law(n, total_edges, 0.8, opts.seed);
+    let graph = if w == "sssp" {
+        gen::with_uniform_weights(&base_graph, opts.seed)
+    } else {
+        base_graph
+    };
+    let cfg = RunConfig::new(system).with_seed(opts.seed);
+    let src = pick_source(&graph);
+    let inst = GraphInstance::new(graph, &cfg);
+    match w {
+        "pr_push" => inst.run_pr_push(),
+        "bfs" => inst.run_bfs(src, DirectionPolicy::default_for(system)),
+        "sssp" => inst.run_sssp(src),
+        _ => unreachable!("unknown fig19 workload"),
+    }
+    .metrics
+    .into()
+}
+
+/// Fig 19 as a sweep plan: one cell per (workload, degree, system), each
+/// regenerating its power-law input deterministically from the seed.
+pub fn fig19_plan(opts: HarnessOpts) -> SweepPlan {
     let total_edges: usize = if opts.full { 1 << 22 } else { 1 << 19 };
-    let degrees = [4u32, 8, 16, 32, 64, 128];
     let systems = [
         ("Near-L3", SystemConfig::NearL3),
         ("Min-Hops", SystemConfig::AffAlloc(BankSelectPolicy::MinHop)),
         ("Hybrid-5", hybrid5()),
     ];
-    let mut fig = Figure::new(
-        "fig19",
-        "Speedup vs average node degree (normalized to Rnd)",
-        vec!["nearl3", "min_hops", "hybrid5"],
-    );
-    let mut ge: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); systems.len()]; degrees.len()];
-    for w in ["pr_push", "bfs", "sssp"] {
-        for (di, &d) in degrees.iter().enumerate() {
-            let n = (total_edges as u32 / d).max(64);
-            let base_graph = gen::power_law(n, total_edges, 0.8, opts.seed);
-            let graph = if w == "sssp" {
-                gen::with_uniform_weights(&base_graph, opts.seed)
-            } else {
-                base_graph
-            };
-            let run_one = |system: SystemConfig| {
-                let cfg = RunConfig::new(system).with_seed(opts.seed);
-                let src = pick_source(&graph);
-                let inst = GraphInstance::new(graph.clone(), &cfg);
-                match w {
-                    "pr_push" => inst.run_pr_push(),
-                    "bfs" => inst.run_bfs(src, DirectionPolicy::default_for(system)),
-                    "sssp" => inst.run_sssp(src),
-                    _ => unreachable!(),
-                }
-                .metrics
-            };
-            let rnd = run_one(SystemConfig::AffAlloc(BankSelectPolicy::Rnd));
-            let mut row = Vec::new();
-            for (si, (_, s)) in systems.iter().enumerate() {
-                let sp = run_one(*s).speedup_over(&rnd);
-                ge[di][si].push(sp);
-                row.push(sp);
-            }
-            fig.push(format!("{w}/D={d}"), row);
+    let mut b = PlanBuilder::new("fig19");
+    // idx entries: (workload, degree, rnd-baseline cell, per-system cells).
+    let mut idx: Vec<(&'static str, u32, usize, Vec<usize>)> = Vec::new();
+    for w in FIG19_WORKLOADS {
+        for d in FIG19_DEGREES {
+            let rnd = b.cell(format!("{w}/D={d}/Rnd"), move |_| {
+                fig19_cell(w, d, total_edges, SystemConfig::AffAlloc(BankSelectPolicy::Rnd), opts)
+            });
+            let row = systems
+                .iter()
+                .map(|&(label, s)| {
+                    b.cell(format!("{w}/D={d}/{label}"), move |_| {
+                        fig19_cell(w, d, total_edges, s, opts)
+                    })
+                })
+                .collect();
+            idx.push((w, d, rnd, row));
         }
     }
-    for (di, &d) in degrees.iter().enumerate() {
-        fig.push(
-            format!("geomean/D={d}"),
-            (0..systems.len())
-                .map(|si| geomean(&ge[di][si]).unwrap_or(1.0))
-                .collect(),
+    let n_systems = systems.len();
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig19",
+            "Speedup vs average node degree (normalized to Rnd)",
+            vec!["nearl3", "min_hops", "hybrid5"],
         );
-    }
-    fig
+        let mut ge: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::new(); n_systems]; FIG19_DEGREES.len()];
+        for (w, d, rnd, row) in &idx {
+            let di = FIG19_DEGREES.iter().position(|x| x == d).unwrap_or(0);
+            let mut vals = Vec::new();
+            for (si, id) in row.iter().enumerate() {
+                let sp = o.speedup(*id, *rnd);
+                ge[di][si].push(sp);
+                vals.push(sp);
+            }
+            fig.push(format!("{w}/D={d}"), vals);
+        }
+        for (di, d) in FIG19_DEGREES.into_iter().enumerate() {
+            fig.push(
+                format!("geomean/D={d}"),
+                (0..n_systems)
+                    .map(|si| geomean(&ge[di][si]).unwrap_or(1.0))
+                    .collect(),
+            );
+        }
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
-/// Fig 20 (+ Table 4): real-world graphs — speedup and traffic vs Near-L3.
-pub fn fig20(opts: HarnessOpts) -> Figure {
+/// Fig 19: speedup vs average node degree on synthesized power-law graphs
+/// with fixed |E| (normalized to Rnd).
+pub fn fig19(opts: HarnessOpts) -> Figure {
+    run_single(fig19_plan(opts), opts.seed)
+}
+
+fn fig20_cell(
+    profile: gen::RealWorldProfile,
+    div: u32,
+    w: &'static str,
+    system: SystemConfig,
+    opts: HarnessOpts,
+) -> CellData {
+    let base_graph = gen::real_world(profile, div, opts.seed);
+    let graph = if w == "sssp" {
+        gen::with_uniform_weights(&base_graph, opts.seed)
+    } else {
+        base_graph
+    };
+    let cfg = RunConfig::new(system).with_seed(opts.seed);
+    let src = pick_source(&graph);
+    let inst = GraphInstance::new(graph, &cfg);
+    match w {
+        "pr_push" => inst.run_pr_push(),
+        "bfs" => inst.run_bfs(src, DirectionPolicy::default_for(system)),
+        "sssp" => inst.run_sssp(src),
+        _ => unreachable!("unknown fig20 workload"),
+    }
+    .metrics
+    .into()
+}
+
+/// Fig 20 as a sweep plan: one cell per (graph profile, workload, system).
+pub fn fig20_plan(opts: HarnessOpts) -> SweepPlan {
     let div = if opts.full { 1 } else { 16 };
     let profiles = [gen::TWITCH_GAMERS, gen::GPLUS];
     let systems = [
         ("Min-Hops", SystemConfig::AffAlloc(BankSelectPolicy::MinHop)),
         ("Hybrid-5", hybrid5()),
     ];
-    let mut fig = Figure::new(
-        "fig20",
-        "Performance on real-world graphs (normalized to Near-L3)",
-        vec!["speedup", "hops", "noc_util"],
-    );
-    let mut ge: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    let mut b = PlanBuilder::new("fig20");
+    // idx entries: (profile name, workload, near cell, per-system cells).
+    let mut idx: Vec<(&'static str, &'static str, usize, Vec<usize>)> = Vec::new();
     for profile in profiles {
-        let base_graph = gen::real_world(profile, div, opts.seed);
-        for w in ["pr_push", "bfs", "sssp"] {
-            let graph = if w == "sssp" {
-                gen::with_uniform_weights(&base_graph, opts.seed)
-            } else {
-                base_graph.clone()
-            };
-            let run_one = |system: SystemConfig| {
-                let cfg = RunConfig::new(system).with_seed(opts.seed);
-                let src = pick_source(&graph);
-                let inst = GraphInstance::new(graph.clone(), &cfg);
-                match w {
-                    "pr_push" => inst.run_pr_push(),
-                    "bfs" => inst.run_bfs(src, DirectionPolicy::default_for(system)),
-                    "sssp" => inst.run_sssp(src),
-                    _ => unreachable!(),
-                }
-                .metrics
-            };
-            let near = run_one(SystemConfig::NearL3);
-            for (si, (label, s)) in systems.iter().enumerate() {
-                let m = run_one(*s);
-                let sp = m.speedup_over(&near);
+        for w in FIG19_WORKLOADS {
+            let near = b.cell(format!("{}/{}/Near-L3", profile.name, w), move |_| {
+                fig20_cell(profile, div, w, SystemConfig::NearL3, opts)
+            });
+            let row = systems
+                .iter()
+                .map(|&(label, s)| {
+                    b.cell(format!("{}/{}/{}", profile.name, w, label), move |_| {
+                        fig20_cell(profile, div, w, s, opts)
+                    })
+                })
+                .collect();
+            idx.push((profile.name, w, near, row));
+        }
+    }
+    let sys_labels: Vec<&'static str> = systems.iter().map(|&(l, _)| l).collect();
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "fig20",
+            "Performance on real-world graphs (normalized to Near-L3)",
+            vec!["speedup", "hops", "noc_util"],
+        );
+        let mut ge: Vec<Vec<f64>> = vec![Vec::new(); sys_labels.len()];
+        for (pname, w, near, row) in &idx {
+            for (si, (label, id)) in sys_labels.iter().zip(row).enumerate() {
+                let sp = o.speedup(*id, *near);
                 ge[si].push(sp);
                 fig.push(
-                    format!("{}/{}/{}", profile.name, w, label),
-                    vec![sp, m.traffic_vs(&near), m.noc_utilization],
+                    format!("{pname}/{w}/{label}"),
+                    vec![sp, o.traffic(*id, *near), o.field(*id, |m| m.noc_utilization)],
                 );
             }
         }
-    }
-    for (si, (label, _)) in systems.iter().enumerate() {
-        fig.push(
-            format!("geomean/{label}"),
-            vec![geomean(&ge[si]).unwrap_or(1.0), f64::NAN, f64::NAN],
-        );
-    }
-    fig.note(format!(
-        "synthetic stand-ins matching Table 4 |V|/|E|/degree-skew, scaled 1/{div}"
-    ));
-    fig
+        for (si, label) in sys_labels.iter().enumerate() {
+            fig.push(
+                format!("geomean/{label}"),
+                vec![geomean(&ge[si]).unwrap_or(1.0), f64::NAN, f64::NAN],
+            );
+        }
+        fig.note(format!(
+            "synthetic stand-ins matching Table 4 |V|/|E|/degree-skew, scaled 1/{div}"
+        ));
+        o.annotate_failures(&mut fig);
+        fig
+    })
+}
+
+/// Fig 20 (+ Table 4): real-world graphs — speedup and traffic vs Near-L3.
+pub fn fig20(opts: HarnessOpts) -> Figure {
+    run_single(fig20_plan(opts), opts.seed)
+}
+
+/// Table 2 as a (single-cell) sweep plan.
+pub fn table2_plan(_opts: HarnessOpts) -> SweepPlan {
+    let mut b = PlanBuilder::new("table2");
+    let cell = b.cell("params", move |_| {
+        let m = MachineConfig::paper_default();
+        let rows = [
+            ("mesh", f64::from(m.mesh_x * 10 + m.mesh_y)),
+            ("clock_mhz", f64::from(m.clock_mhz)),
+            ("core_issue_width", f64::from(m.core_issue_width)),
+            ("l3_banks", f64::from(m.num_banks())),
+            ("l3_bank_KiB", (m.l3_bank_bytes >> 10) as f64),
+            ("l3_total_MiB", (m.l3_total_bytes() >> 20) as f64),
+            ("l3_latency_cy", m.l3_latency as f64),
+            ("default_interleave_B", m.default_interleave as f64),
+            ("l2_KiB", (m.l2_bytes >> 10) as f64),
+            ("l1_KiB", (m.l1_bytes >> 10) as f64),
+            ("link_bytes_per_cycle", m.link_bytes_per_cycle as f64),
+            ("mem_ctrls", f64::from(m.num_mem_ctrls)),
+            ("dram_bytes_per_cycle", m.dram_bytes_per_cycle as f64),
+            ("sel3_streams_total", f64::from(m.sel3_streams_per_bank * m.num_banks())),
+            ("iot_entries", f64::from(m.iot_entries)),
+        ]
+        .into_iter()
+        .map(|(k, v)| Row::new(k, vec![v]))
+        .collect();
+        CellData::Rows { rows, sim_cycles: 0 }
+    });
+    b.merge(move |o| {
+        let mut fig = Figure::new("table2", "System and uarch parameters (Table 2)", vec!["value"]);
+        if let Some(rows) = o.rows(cell) {
+            fig.rows.extend(rows.iter().cloned());
+        }
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
 /// Table 2: the simulated system parameters, as configured.
-pub fn table2(_opts: HarnessOpts) -> Figure {
-    let m = MachineConfig::paper_default();
-    let mut fig = Figure::new("table2", "System and uarch parameters (Table 2)", vec!["value"]);
-    for (k, v) in [
-        ("mesh", f64::from(m.mesh_x * 10 + m.mesh_y)),
-        ("clock_mhz", f64::from(m.clock_mhz)),
-        ("core_issue_width", f64::from(m.core_issue_width)),
-        ("l3_banks", f64::from(m.num_banks())),
-        ("l3_bank_KiB", (m.l3_bank_bytes >> 10) as f64),
-        ("l3_total_MiB", (m.l3_total_bytes() >> 20) as f64),
-        ("l3_latency_cy", m.l3_latency as f64),
-        ("default_interleave_B", m.default_interleave as f64),
-        ("l2_KiB", (m.l2_bytes >> 10) as f64),
-        ("l1_KiB", (m.l1_bytes >> 10) as f64),
-        ("link_bytes_per_cycle", m.link_bytes_per_cycle as f64),
-        ("mem_ctrls", f64::from(m.num_mem_ctrls)),
-        ("dram_bytes_per_cycle", m.dram_bytes_per_cycle as f64),
-        ("sel3_streams_total", f64::from(m.sel3_streams_per_bank * m.num_banks())),
-        ("iot_entries", f64::from(m.iot_entries)),
-    ] {
-        fig.push(k, vec![v]);
-    }
-    fig
+pub fn table2(opts: HarnessOpts) -> Figure {
+    run_single(table2_plan(opts), opts.seed)
+}
+
+/// Table 4 as a (single-cell) sweep plan.
+pub fn table4_plan(opts: HarnessOpts) -> SweepPlan {
+    let div = if opts.full { 1 } else { 16 };
+    let mut b = PlanBuilder::new("table4");
+    let cell = b.cell("profiles", move |_| {
+        let mut rows = Vec::new();
+        for p in [gen::TWITCH_GAMERS, gen::GPLUS] {
+            rows.push(Row::new(
+                format!("{} (paper)", p.name),
+                vec![f64::from(p.vertices), p.edges as f64, f64::from(p.avg_degree)],
+            ));
+            let g = gen::real_world(p, div, opts.seed);
+            rows.push(Row::new(
+                format!("{} (synthetic /{div})", p.name),
+                vec![f64::from(g.num_vertices()), g.num_edges() as f64, g.avg_degree()],
+            ));
+        }
+        CellData::Rows { rows, sim_cycles: 0 }
+    });
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "table4",
+            "Real-world graphs (paper values and generated stand-ins)",
+            vec!["vertices", "edges", "avg_degree"],
+        );
+        if let Some(rows) = o.rows(cell) {
+            fig.rows.extend(rows.iter().cloned());
+        }
+        fig.note("stand-ins match |V|/|E|/degree skew; see DESIGN.md SS2");
+        o.annotate_failures(&mut fig);
+        fig
+    })
 }
 
 /// Table 4: real-world graph profiles and their synthetic stand-ins.
 pub fn table4(opts: HarnessOpts) -> Figure {
-    let div = if opts.full { 1 } else { 16 };
-    let mut fig = Figure::new(
-        "table4",
-        "Real-world graphs (paper values and generated stand-ins)",
-        vec!["vertices", "edges", "avg_degree"],
-    );
-    for p in [gen::TWITCH_GAMERS, gen::GPLUS] {
-        fig.push(
-            format!("{} (paper)", p.name),
-            vec![f64::from(p.vertices), p.edges as f64, f64::from(p.avg_degree)],
-        );
-        let g = gen::real_world(p, div, opts.seed);
-        fig.push(
-            format!("{} (synthetic /{div})", p.name),
-            vec![f64::from(g.num_vertices()), g.num_edges() as f64, g.avg_degree()],
-        );
-    }
-    fig.note("stand-ins match |V|/|E|/degree skew; see DESIGN.md SS2");
-    fig
+    run_single(table4_plan(opts), opts.seed)
 }
 
 /// All figure ids the harness knows, in paper order.
@@ -646,26 +954,34 @@ pub const ALL_FIGURES: [&str; 13] = [
     "fig20", "table2", "table4",
 ];
 
-/// Run one figure by id.
+/// The sweep plan for one figure by id, or `None` for an unknown id.
+pub fn plan_figure(id: &str, opts: HarnessOpts) -> Option<SweepPlan> {
+    match id {
+        "fig4" => Some(fig4_plan(opts)),
+        "fig6" => Some(fig6_plan(opts)),
+        "fig12" => Some(fig12_plan(opts)),
+        "fig13" => Some(fig13_plan(opts)),
+        "fig14" => Some(fig14_plan(opts)),
+        "fig15" => Some(fig15_plan(opts)),
+        "fig16" => Some(fig16_plan(opts)),
+        "fig17" => Some(fig17_plan(opts)),
+        "fig18" => Some(fig18_plan(opts)),
+        "fig19" => Some(fig19_plan(opts)),
+        "fig20" => Some(fig20_plan(opts)),
+        "table2" => Some(table2_plan(opts)),
+        "table4" => Some(table4_plan(opts)),
+        _ => None,
+    }
+}
+
+/// Run one figure by id (serially).
 ///
 /// # Panics
 ///
-/// Panics on an unknown id (see [`ALL_FIGURES`]).
+/// Panics on an unknown id (see [`ALL_FIGURES`]); the `figures` binary
+/// validates ids up front instead.
 pub fn run_figure(id: &str, opts: HarnessOpts) -> Figure {
-    match id {
-        "fig4" => fig4(opts),
-        "fig6" => fig6(opts),
-        "fig12" => fig12(opts),
-        "fig13" => fig13(opts),
-        "fig14" => fig14(opts),
-        "fig15" => fig15(opts),
-        "fig16" => fig16(opts),
-        "fig17" => fig17(opts),
-        "fig18" => fig18(opts),
-        "fig19" => fig19(opts),
-        "fig20" => fig20(opts),
-        "table2" => table2(opts),
-        "table4" => table4(opts),
-        other => panic!("unknown figure id {other:?}; known: {ALL_FIGURES:?}"),
-    }
+    let plan = plan_figure(id, opts)
+        .unwrap_or_else(|| panic!("unknown figure id {id:?}; known: {ALL_FIGURES:?}"));
+    run_single(plan, opts.seed)
 }

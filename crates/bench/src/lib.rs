@@ -9,5 +9,7 @@
 
 pub mod figures;
 pub mod report;
+pub mod sweep;
 
-pub use report::{Figure, Row};
+pub use report::{CellStat, Figure, Row, SweepReport};
+pub use sweep::{run_plans, SweepPlan};

@@ -3,6 +3,39 @@
 
 use serde::{Deserialize, Serialize};
 
+/// JSON string escape (shared by the hand-rolled serializers below).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: non-finite serializes as `null`, matching serde_json.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn str_list(items: &[String]) -> String {
+    let parts: Vec<String> = items.iter().map(|s| esc(s)).collect();
+    format!("[{}]", parts.join(", "))
+}
+
 /// One row of a figure: a label (workload, Δ value, policy…) plus one value
 /// per series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,34 +130,6 @@ impl Figure {
     /// real serializer); non-finite values serialize as `null`, matching
     /// serde_json's behaviour.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    '\r' => out.push_str("\\r"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
-        fn num(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".into()
-            }
-        }
-        fn str_list(items: &[String]) -> String {
-            let parts: Vec<String> = items.iter().map(|s| esc(s)).collect();
-            format!("[{}]", parts.join(", "))
-        }
         let rows: Vec<String> = self
             .rows
             .iter()
@@ -183,6 +188,154 @@ impl Figure {
     }
 }
 
+/// Wall-time and throughput accounting for one executed sweep cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStat {
+    /// Figure the cell belongs to.
+    pub figure: String,
+    /// Cell label (row-oriented).
+    pub label: String,
+    /// Whether the cell completed.
+    pub ok: bool,
+    /// Error message when it did not.
+    pub error: Option<String>,
+    /// Measured wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated cycles the cell covered (0 for table-style cells).
+    pub sim_cycles: u64,
+}
+
+impl CellStat {
+    /// Simulated megacycles per wall-second — the sweep's throughput unit.
+    pub fn mcycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (self.sim_cycles as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Machine-readable record of one sweep run (`BENCH_sweep.json`): per-cell
+/// wall time and simulated-cycle throughput, plus run-level totals. Unlike
+/// [`Figure`] output — which is byte-identical across `--jobs` settings —
+/// this report holds *measurements* and differs run to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// End-to-end wall time of the sweep, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-cell stats, in declaration order.
+    pub cells: Vec<CellStat>,
+}
+
+impl SweepReport {
+    /// Total simulated cycles across cells.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.sim_cycles).sum()
+    }
+
+    /// Sum of per-cell wall times (exceeds `wall_ns` when cells overlap on
+    /// workers; the ratio is the achieved parallelism).
+    pub fn total_cell_wall_ns(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_ns).sum()
+    }
+
+    /// Cells that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &CellStat> {
+        self.cells.iter().filter(|c| !c.ok)
+    }
+
+    /// Aggregate simulated megacycles per wall-second.
+    pub fn mcycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (self.total_sim_cycles() as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v1`).
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let err = match &c.error {
+                    Some(e) => esc(e),
+                    None => "null".into(),
+                };
+                format!(
+                    "    {{ \"figure\": {}, \"label\": {}, \"ok\": {}, \"error\": {}, \
+                     \"wall_ms\": {}, \"sim_cycles\": {}, \"mcycles_per_sec\": {} }}",
+                    esc(&c.figure),
+                    esc(&c.label),
+                    c.ok,
+                    err,
+                    num(c.wall_ns as f64 / 1e6),
+                    c.sim_cycles,
+                    num(c.mcycles_per_sec()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"aff-bench/sweep-v1\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+             \"wall_ms\": {},\n  \"total_sim_cycles\": {},\n  \"total_cell_wall_ms\": {},\n  \
+             \"mcycles_per_sec\": {},\n  \"parallelism\": {},\n  \"failed_cells\": {},\n  \
+             \"cells\": [\n{}\n  ]\n}}",
+            self.jobs,
+            self.seed,
+            num(self.wall_ns as f64 / 1e6),
+            self.total_sim_cycles(),
+            num(self.total_cell_wall_ns() as f64 / 1e6),
+            num(self.mcycles_per_sec()),
+            num(if self.wall_ns == 0 {
+                0.0
+            } else {
+                self.total_cell_wall_ns() as f64 / self.wall_ns as f64
+            }),
+            self.failures().count(),
+            cells.join(",\n")
+        )
+    }
+
+    /// One-paragraph human summary (stderr material: never part of the
+    /// byte-identical figure output).
+    pub fn render_summary(&self) -> String {
+        let failed = self.failures().count();
+        let mut out = format!(
+            "sweep: {} cells on {} worker(s) in {:.1} ms ({:.1} sim-Mcy/s, parallelism {:.2}x{})",
+            self.cells.len(),
+            self.jobs,
+            self.wall_ns as f64 / 1e6,
+            self.mcycles_per_sec(),
+            if self.wall_ns == 0 {
+                0.0
+            } else {
+                self.total_cell_wall_ns() as f64 / self.wall_ns as f64
+            },
+            if failed == 0 {
+                String::new()
+            } else {
+                format!(", {failed} FAILED")
+            }
+        );
+        let mut slowest: Vec<&CellStat> = self.cells.iter().collect();
+        slowest.sort_by_key(|c| std::cmp::Reverse(c.wall_ns));
+        for c in slowest.iter().take(3) {
+            out.push_str(&format!(
+                "\n  slowest: {}/{} {:.1} ms ({:.1} sim-Mcy/s)",
+                c.figure,
+                c.label,
+                c.wall_ns as f64 / 1e6,
+                c.mcycles_per_sec()
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +375,63 @@ mod tests {
     #[should_panic(expected = "no column named")]
     fn missing_column_panics() {
         sample().col("nope");
+    }
+
+    fn sample_sweep() -> SweepReport {
+        SweepReport {
+            jobs: 4,
+            seed: 2023,
+            wall_ns: 2_000_000,
+            cells: vec![
+                CellStat {
+                    figure: "fig4".into(),
+                    label: "In-Core".into(),
+                    ok: true,
+                    error: None,
+                    wall_ns: 1_000_000,
+                    sim_cycles: 5_000_000,
+                },
+                CellStat {
+                    figure: "fig4".into(),
+                    label: "Δ Bank 4".into(),
+                    ok: false,
+                    error: Some("boom \"quoted\"".into()),
+                    wall_ns: 3_000_000,
+                    sim_cycles: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sweep_report_totals_and_throughput() {
+        let r = sample_sweep();
+        assert_eq!(r.total_sim_cycles(), 5_000_000);
+        assert_eq!(r.total_cell_wall_ns(), 4_000_000);
+        assert_eq!(r.failures().count(), 1);
+        // 5 Mcy in 2 ms of wall time = 2500 Mcy/s.
+        assert!((r.mcycles_per_sec() - 2500.0).abs() < 1e-9);
+        assert!((r.cells[0].mcycles_per_sec() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_report_json_is_well_formed() {
+        let j = sample_sweep().to_json();
+        assert!(j.contains("\"schema\": \"aff-bench/sweep-v1\""));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"failed_cells\": 1"));
+        assert!(j.contains("boom \\\"quoted\\\""));
+        assert_eq!(j.matches("\"figure\"").count(), 2);
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the dep tree).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn sweep_summary_mentions_failures_and_slowest() {
+        let s = sample_sweep().render_summary();
+        assert!(s.contains("1 FAILED"));
+        assert!(s.contains("slowest:"));
     }
 }

@@ -1,0 +1,500 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every figure decomposes into self-contained [`SweepCell`] jobs — one per
+//! (workload, config) point — that share **no** mutable state: each cell
+//! rebuilds its inputs (graphs, runtimes, traffic matrices) from the
+//! experiment seed, and any cell-local stochastic choice draws from a stream
+//! derived with [`SimRng::split`] from `(experiment seed, cell id)`, never
+//! from a generator another cell might have advanced. Cells therefore compute
+//! the same bits no matter which worker runs them or in which order.
+//!
+//! [`run_plans`] executes the cells of one or more [`SweepPlan`]s on a
+//! `std::thread::scope` worker pool (`jobs` workers pulling indices from an
+//! atomic counter) and then merges results back **in declaration order**, so
+//! the produced [`Figure`]s are byte-identical to a `jobs = 1` run. Per-cell
+//! wall time and simulated-cycle throughput are recorded in a
+//! [`SweepReport`](crate::report::SweepReport) for the perf trajectory
+//! (`BENCH_sweep.json`).
+//!
+//! Cells fail soft: a panicking cell is caught (`catch_unwind`), recorded as
+//! a cell-level error in the report, and surfaced as `NaN` rows / notes in
+//! the merged figure — one broken cell never aborts the harness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::report::{CellStat, Figure, Row, SweepReport};
+use aff_nsc::engine::Metrics;
+use aff_sim_core::rng::SimRng;
+use aff_workloads::suite::SuiteRun;
+
+/// What one cell computed.
+#[derive(Debug, Clone)]
+pub enum CellData {
+    /// Engine metrics of a single simulated run.
+    Metrics(Box<Metrics>),
+    /// Metrics plus per-iteration stats (frontier workloads).
+    Run(Box<SuiteRun>),
+    /// Pre-rendered figure rows (single-cell figures, tables), with the
+    /// simulated cycles they covered (0 when no simulation ran).
+    Rows {
+        /// The rows, in declaration order.
+        rows: Vec<Row>,
+        /// Simulated cycles behind those rows.
+        sim_cycles: u64,
+    },
+}
+
+impl CellData {
+    /// The metrics behind this cell, when it ran a single simulation.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        match self {
+            CellData::Metrics(m) => Some(m),
+            CellData::Run(r) => Some(&r.metrics),
+            CellData::Rows { .. } => None,
+        }
+    }
+
+    /// Simulated cycles this cell covered (throughput accounting).
+    pub fn sim_cycles(&self) -> u64 {
+        match self {
+            CellData::Rows { sim_cycles, .. } => *sim_cycles,
+            other => other.metrics().map_or(0, |m| m.cycles),
+        }
+    }
+}
+
+impl From<Metrics> for CellData {
+    fn from(m: Metrics) -> Self {
+        CellData::Metrics(Box::new(m))
+    }
+}
+
+impl From<SuiteRun> for CellData {
+    fn from(r: SuiteRun) -> Self {
+        CellData::Run(Box::new(r))
+    }
+}
+
+/// Outcome of one executed cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Cell label (row-oriented, e.g. `"bfs/Hybrid-5"`).
+    pub label: String,
+    /// Data, or the cell-level error message.
+    pub result: Result<CellData, String>,
+}
+
+/// Read access to a plan's executed cells, indexed by the ids
+/// [`PlanBuilder::cell`] returned. All accessors are failure-tolerant:
+/// a failed (or differently-shaped) cell reads as `None`, so merge
+/// functions degrade to `NaN` rows instead of panicking.
+#[derive(Debug)]
+pub struct Outcomes<'a> {
+    cells: &'a [CellOutcome],
+}
+
+impl<'a> Outcomes<'a> {
+    /// Number of cells in the plan.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Metrics of cell `i`, if it succeeded with a metrics-shaped result.
+    pub fn metrics(&self, i: usize) -> Option<&'a Metrics> {
+        self.cells
+            .get(i)
+            .and_then(|c| c.result.as_ref().ok())
+            .and_then(|d| d.metrics())
+    }
+
+    /// Full run (metrics + per-iteration stats) of cell `i`.
+    pub fn run(&self, i: usize) -> Option<&'a SuiteRun> {
+        match self.cells.get(i).and_then(|c| c.result.as_ref().ok()) {
+            Some(CellData::Run(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Pre-rendered rows of cell `i`.
+    pub fn rows(&self, i: usize) -> Option<&'a [Row]> {
+        match self.cells.get(i).and_then(|c| c.result.as_ref().ok()) {
+            Some(CellData::Rows { rows, .. }) => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// Speedup of cell `i` over cell `base` (`NaN` when either failed).
+    pub fn speedup(&self, i: usize, base: usize) -> f64 {
+        match (self.metrics(i), self.metrics(base)) {
+            (Some(m), Some(b)) => m.speedup_over(b),
+            _ => f64::NAN,
+        }
+    }
+
+    /// Traffic of cell `i` relative to cell `base` (`NaN` on failure).
+    pub fn traffic(&self, i: usize, base: usize) -> f64 {
+        match (self.metrics(i), self.metrics(base)) {
+            (Some(m), Some(b)) => m.traffic_vs(b),
+            _ => f64::NAN,
+        }
+    }
+
+    /// Energy efficiency of cell `i` over cell `base` (`NaN` on failure).
+    pub fn energy_eff(&self, i: usize, base: usize) -> f64 {
+        match (self.metrics(i), self.metrics(base)) {
+            (Some(m), Some(b)) => m.energy_eff_over(b),
+            _ => f64::NAN,
+        }
+    }
+
+    /// A metrics field of cell `i`, or `NaN` when the cell failed.
+    pub fn field(&self, i: usize, f: impl Fn(&Metrics) -> f64) -> f64 {
+        self.metrics(i).map_or(f64::NAN, f)
+    }
+
+    /// Append one `note:` line per failed cell, so broken cells are visible
+    /// in the rendered figure without aborting the merge.
+    pub fn annotate_failures(&self, fig: &mut Figure) {
+        for c in self.cells {
+            if let Err(e) = &c.result {
+                fig.note(format!("cell {} FAILED: {e}", c.label));
+            }
+        }
+    }
+}
+
+type CellJob = Box<dyn FnOnce(&mut SimRng) -> CellData + Send>;
+type MergeFn = Box<dyn FnOnce(&Outcomes<'_>) -> Figure + Send>;
+
+/// One self-contained (workload, config) job.
+pub struct SweepCell {
+    label: String,
+    job: CellJob,
+}
+
+/// A figure decomposed into cells plus the order-stable merge that
+/// reassembles the [`Figure`] from their outcomes.
+pub struct SweepPlan {
+    /// Figure id (`"fig12"`, …).
+    pub figure: &'static str,
+    cells: Vec<SweepCell>,
+    merge: MergeFn,
+}
+
+impl SweepPlan {
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Builder: declare cells (capturing their id for the merge), then attach
+/// the merge function.
+pub struct PlanBuilder {
+    figure: &'static str,
+    cells: Vec<SweepCell>,
+}
+
+impl PlanBuilder {
+    /// Start a plan for `figure`.
+    pub fn new(figure: &'static str) -> Self {
+        Self {
+            figure,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Declare a cell; returns its id for use inside the merge function.
+    ///
+    /// The job receives a private RNG stream derived with [`SimRng::split`]
+    /// from `(experiment seed, figure, cell index)`; jobs must take any
+    /// cell-local randomness from it (and nothing else) so results stay
+    /// independent of scheduling order.
+    pub fn cell<F>(&mut self, label: impl Into<String>, job: F) -> usize
+    where
+        F: FnOnce(&mut SimRng) -> CellData + Send + 'static,
+    {
+        self.cells.push(SweepCell {
+            label: label.into(),
+            job: Box::new(job),
+        });
+        self.cells.len() - 1
+    }
+
+    /// Attach the merge function and finish the plan.
+    pub fn merge<F>(self, f: F) -> SweepPlan
+    where
+        F: FnOnce(&Outcomes<'_>) -> Figure + Send + 'static,
+    {
+        SweepPlan {
+            figure: self.figure,
+            cells: self.cells,
+            merge: Box::new(f),
+        }
+    }
+}
+
+/// FNV-1a over the figure id, xor-folded with the cell index: a stable,
+/// declaration-order-independent stream id for [`SimRng::split`].
+fn stream_id(figure: &str, index: usize) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in figure.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+struct Task {
+    plan_idx: usize,
+    cell_idx: usize,
+    figure: &'static str,
+    label: String,
+    job: CellJob,
+}
+
+/// Run one task, catching panics so a broken cell degrades to an error
+/// outcome instead of killing the harness.
+fn run_task(task: Task, seed: u64) -> (usize, usize, CellOutcome, CellStat) {
+    let mut rng = SimRng::split(seed, stream_id(task.figure, task.cell_idx));
+    let job = task.job;
+    let start = Instant::now();
+    let result = match catch_unwind(AssertUnwindSafe(move || job(&mut rng))) {
+        Ok(data) => Ok(data),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "cell panicked".to_string());
+            Err(msg)
+        }
+    };
+    let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let stat = CellStat {
+        figure: task.figure.to_string(),
+        label: task.label.clone(),
+        ok: result.is_ok(),
+        error: result.as_ref().err().cloned(),
+        wall_ns,
+        sim_cycles: result.as_ref().map_or(0, CellData::sim_cycles),
+    };
+    (
+        task.plan_idx,
+        task.cell_idx,
+        CellOutcome {
+            label: task.label,
+            result,
+        },
+        stat,
+    )
+}
+
+/// Execute `plans` with `jobs` workers and merge each plan's figure in
+/// declaration order.
+///
+/// Output is byte-identical for every `jobs >= 1`: cells share no state,
+/// their RNG streams come from order-insensitive splitting, and both the
+/// outcome vector and the returned figures follow declaration order, not
+/// completion order. (The [`SweepReport`] records *measured* wall times and
+/// is the one output that legitimately differs between runs.)
+pub fn run_plans(plans: Vec<SweepPlan>, jobs: usize, seed: u64) -> (Vec<Figure>, SweepReport) {
+    let jobs = jobs.max(1);
+    let total_start = Instant::now();
+
+    // Flatten every plan's cells into one task list (stable global order).
+    let mut shapes: Vec<(usize, &'static str, MergeFn)> = Vec::with_capacity(plans.len());
+    let mut tasks: Vec<Task> = Vec::new();
+    for (plan_idx, plan) in plans.into_iter().enumerate() {
+        shapes.push((plan.cells.len(), plan.figure, plan.merge));
+        for (cell_idx, cell) in plan.cells.into_iter().enumerate() {
+            tasks.push(Task {
+                plan_idx,
+                cell_idx,
+                figure: shapes[plan_idx].1,
+                label: cell.label,
+                job: cell.job,
+            });
+        }
+    }
+    let n_tasks = tasks.len();
+
+    // Execute. Workers pull the next unclaimed index from an atomic counter;
+    // results carry their (plan, cell) coordinates so completion order is
+    // irrelevant.
+    let mut done: Vec<(usize, usize, CellOutcome, CellStat)> = if jobs == 1 || n_tasks <= 1 {
+        tasks.into_iter().map(|t| run_task(t, seed)).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<Task>>> =
+            tasks.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+        let workers = jobs.min(n_tasks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= slots.len() {
+                                break;
+                            }
+                            // Each index is claimed exactly once, so the lock
+                            // is uncontended; recover from poisoning rather
+                            // than unwrap so a panicking sibling worker (a
+                            // harness bug, cells themselves are caught) can't
+                            // cascade.
+                            let task = slots[i]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .take();
+                            if let Some(task) = task {
+                                out.push(run_task(task, seed));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect()
+        })
+    };
+
+    // Scatter outcomes back into declaration order.
+    let mut per_plan: Vec<Vec<Option<CellOutcome>>> =
+        shapes.iter().map(|(n, _, _)| vec![None; *n]).collect();
+    // Stats sort by (plan, cell), i.e. declaration order, so the report is
+    // itself deterministic up to the measured wall times.
+    done.sort_by_key(|(p, c, _, _)| (*p, *c));
+    let mut stats: Vec<CellStat> = Vec::with_capacity(n_tasks);
+    for (plan_idx, cell_idx, outcome, stat) in done {
+        per_plan[plan_idx][cell_idx] = Some(outcome);
+        stats.push(stat);
+    }
+
+    // Merge, in plan declaration order.
+    let mut figures = Vec::with_capacity(shapes.len());
+    for ((_, figure, merge), outcomes) in shapes.into_iter().zip(per_plan) {
+        let cells: Vec<CellOutcome> = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                o.unwrap_or(CellOutcome {
+                    label: format!("{figure}#{i}"),
+                    result: Err("cell was never executed (worker died)".to_string()),
+                })
+            })
+            .collect();
+        figures.push(merge(&Outcomes { cells: &cells }));
+    }
+
+    let report = SweepReport {
+        jobs,
+        seed,
+        wall_ns: total_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        cells: stats,
+    };
+    (figures, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_plan(label: &'static str) -> SweepPlan {
+        let mut b = PlanBuilder::new(label);
+        let mut ids = Vec::new();
+        for i in 0..5u64 {
+            ids.push(b.cell(format!("cell{i}"), move |rng| CellData::Rows {
+                rows: vec![Row::new(format!("cell{i}"), vec![rng.next_u64() as f64])],
+                sim_cycles: i,
+            }));
+        }
+        b.merge(move |o| {
+            let mut fig = Figure::new(label, "toy", vec!["v"]);
+            for &i in &ids {
+                if let Some(rows) = o.rows(i) {
+                    fig.rows.extend(rows.iter().cloned());
+                }
+            }
+            o.annotate_failures(&mut fig);
+            fig
+        })
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_byte_identical() {
+        let (serial, _) = run_plans(vec![toy_plan("a"), toy_plan("b")], 1, 42);
+        let (par, _) = run_plans(vec![toy_plan("a"), toy_plan("b")], 4, 42);
+        let s: Vec<String> = serial.iter().map(Figure::to_json).collect();
+        let p: Vec<String> = par.iter().map(Figure::to_json).collect();
+        assert_eq!(s, p);
+        // Different figures get different streams even at equal cell index.
+        assert_ne!(serial[0].rows[0].values, serial[1].rows[0].values);
+    }
+
+    #[test]
+    fn panicking_cell_fails_soft() {
+        let mut b = PlanBuilder::new("boom");
+        let ok = b.cell("fine", |_| CellData::Rows {
+            rows: vec![Row::new("fine", vec![1.0])],
+            sim_cycles: 7,
+        });
+        let bad = b.cell("broken", |_| -> CellData { panic!("injected cell failure") });
+        let plan = b.merge(move |o| {
+            let mut fig = Figure::new("boom", "fail soft", vec!["v"]);
+            assert!(o.rows(ok).is_some());
+            assert!(o.rows(bad).is_none());
+            fig.push("broken", vec![o.field(bad, |m| m.noc_utilization)]);
+            o.annotate_failures(&mut fig);
+            fig
+        });
+        let (figs, report) = run_plans(vec![plan], 4, 1);
+        assert!(figs[0].rows[0].values[0].is_nan());
+        assert!(figs[0].notes.iter().any(|n| n.contains("injected cell failure")));
+        let broken = &report.cells[1];
+        assert!(!broken.ok);
+        assert_eq!(report.cells[0].sim_cycles, 7);
+    }
+
+    #[test]
+    fn report_follows_declaration_order() {
+        let (_, report) = run_plans(vec![toy_plan("x"), toy_plan("y")], 3, 9);
+        let labels: Vec<&str> = report
+            .cells
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "cell0", "cell1", "cell2", "cell3", "cell4", "cell0", "cell1", "cell2", "cell3",
+                "cell4"
+            ]
+        );
+        assert_eq!(report.cells[0].figure, "x");
+        assert_eq!(report.cells[5].figure, "y");
+        assert_eq!(report.jobs, 3);
+    }
+
+    #[test]
+    fn stream_ids_are_distinct_across_figures_and_cells() {
+        let mut seen = std::collections::BTreeSet::new();
+        for f in ["fig4", "fig6", "fig12", "fig13"] {
+            for i in 0..128 {
+                assert!(seen.insert(stream_id(f, i)), "collision at {f}/{i}");
+            }
+        }
+    }
+}
