@@ -8,22 +8,39 @@
 //! figures --json fig12        # machine-readable output for plotting
 //! figures --jobs 8 all        # parallel sweep (output byte-identical)
 //! figures --sweep-json f.json # where to write the perf report
+//! figures --journal j --resume all   # crash-safe: replay completed cells
+//! figures --cell-timeout-ms 60000 --max-retries 1 all  # run-to-completion
 //! ```
 //!
 //! Figure tables/JSON go to **stdout** and are byte-identical for any
-//! `--jobs` value; timing and the sweep summary go to **stderr**; per-cell
+//! `--jobs` value — and, with `--resume`, byte-identical to an uninterrupted
+//! run; timing and the sweep summary go to **stderr**; per-cell
 //! wall-time/throughput counters land in `BENCH_sweep.json` (see
-//! `--sweep-json`).
+//! `--sweep-json`). Checkpoints append to `BENCH_sweep.journal` (see
+//! `--journal`).
+//!
+//! Exit codes:
+//!
+//! * `0` — every cell completed;
+//! * `2` — usage error (bad flag, unknown figure id);
+//! * `3` — one or more cells failed (figures still produced, failed cells
+//!   annotated as `NaN` rows / notes);
+//! * `4` — one or more cells hit a run-to-completion limit (cycle/event
+//!   budget, stall watchdog, or `--cell-timeout-ms`); takes precedence
+//!   over 3 when both classes occur.
 
 use aff_bench::figures::{plan_figure, HarnessOpts, ALL_FIGURES};
-use aff_bench::sweep::run_plans;
+use aff_bench::journal::fnv1a;
+use aff_bench::sweep::{run_plans_opts, RunOpts};
 
 fn usage() {
     eprintln!(
         "usage: figures [--full] [--seed N] [--jobs N] [--json] [--sweep-json PATH|none] \
+         [--journal PATH|none] [--resume] [--cell-timeout-ms N] [--max-retries N] \
          (all | figN...)"
     );
     eprintln!("known figures: {ALL_FIGURES:?}");
+    eprintln!("exit codes: 0 ok, 2 usage, 3 cell failures, 4 budget/timeout/stall failures");
 }
 
 fn main() {
@@ -32,11 +49,16 @@ fn main() {
     let mut json = false;
     let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut sweep_json = Some("BENCH_sweep.json".to_string());
+    let mut journal = Some("BENCH_sweep.journal".to_string());
+    let mut resume = false;
+    let mut cell_timeout_ms: Option<u64> = None;
+    let mut max_retries: u32 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--json" => json = true,
+            "--resume" => resume = true,
             "--seed" => match args.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(v)) => opts.seed = v,
                 _ => {
@@ -51,11 +73,33 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--cell-timeout-ms" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v >= 1 => cell_timeout_ms = Some(v),
+                _ => {
+                    eprintln!("--cell-timeout-ms needs an integer value >= 1");
+                    std::process::exit(2);
+                }
+            },
+            "--max-retries" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(v)) => max_retries = v,
+                _ => {
+                    eprintln!("--max-retries needs an integer value");
+                    std::process::exit(2);
+                }
+            },
             "--sweep-json" => match args.next() {
                 Some(p) if p == "none" => sweep_json = None,
                 Some(p) => sweep_json = Some(p),
                 None => {
                     eprintln!("--sweep-json needs a path (or 'none')");
+                    std::process::exit(2);
+                }
+            },
+            "--journal" => match args.next() {
+                Some(p) if p == "none" => journal = None,
+                Some(p) => journal = Some(p),
+                None => {
+                    eprintln!("--journal needs a path (or 'none')");
                     std::process::exit(2);
                 }
             },
@@ -81,12 +125,32 @@ fn main() {
         std::process::exit(2);
     }
 
+    // The journal's context hash pins it to this exact figure set and scale:
+    // resuming a journal written for different figures (or --full) refuses
+    // the stale entries and re-runs everything.
+    let mut context_bytes: Vec<u8> = Vec::new();
+    for id in &ids {
+        context_bytes.extend_from_slice(id.as_bytes());
+        context_bytes.push(b'\n');
+    }
+    context_bytes.push(u8::from(opts.full));
+    let context = fnv1a(&context_bytes);
+
     let start = std::time::Instant::now();
     let plans: Vec<_> = ids
         .iter()
         .filter_map(|id| plan_figure(id, opts))
         .collect();
-    let (figures, report) = run_plans(plans, jobs, opts.seed);
+    let run_opts = RunOpts {
+        jobs,
+        seed: opts.seed,
+        cell_timeout_ms,
+        max_retries,
+        journal: journal.map(std::path::PathBuf::from),
+        resume,
+        context,
+    };
+    let (figures, report) = run_plans_opts(plans, &run_opts);
     for fig in &figures {
         if json {
             println!("{}", fig.to_json());
@@ -96,12 +160,24 @@ fn main() {
     }
     eprintln!("{}", report.render_summary());
     eprintln!("  (total {:.1?}, --jobs {jobs})", start.elapsed());
+    if report.resumed_cells > 0 {
+        eprintln!("  resumed {} cell(s) from the journal", report.resumed_cells);
+    }
+    if let Some(e) = &report.journal_error {
+        eprintln!("  journal: {e}");
+    }
     if let Some(path) = sweep_json {
         if let Err(e) = std::fs::write(&path, report.to_json() + "\n") {
             eprintln!("could not write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("  wrote {path}");
+    }
+    if report.budget_failures().count() > 0 {
+        // Run-to-completion limits (budgets, watchdog stalls, timeouts) get
+        // their own exit code so CI can tell "the model is broken" (3) from
+        // "the run needs a bigger budget" (4).
+        std::process::exit(4);
     }
     if report.failures().count() > 0 {
         // Cells fail soft (recorded per cell, merged figures annotated), but

@@ -510,7 +510,7 @@ pub fn fig16_plan(opts: HarnessOpts) -> SweepPlan {
                     let cfg = RunConfig::new(system)
                         .with_seed(opts.seed)
                         .with_scale(scale * if opts.full { 8 } else { 1 })
-                        .with_machine(m);
+                        .with_machine(m.clone());
                     suite::run(w, &cfg).metrics.into()
                 })
             };

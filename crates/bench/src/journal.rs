@@ -1,0 +1,742 @@
+//! Crash-safe sweep checkpoint journal (`BENCH_sweep.journal`).
+//!
+//! Every completed [`CellOutcome`](crate::sweep::CellOutcome) is appended as
+//! one self-delimiting record — `[u32 length][u64 FNV-1a checksum][payload]`
+//! — and fsync'd, so a sweep killed at *any* instant (including mid-write)
+//! leaves a journal whose intact prefix is fully trusted and whose torn tail
+//! is detected and discarded. `figures --resume` replays that prefix, skips
+//! the cells it covers, and re-runs only missing or failed cells; because a
+//! cell's bytes depend only on `(seed, figure, cell index)` — never on
+//! scheduling — the merged output is byte-identical to an uninterrupted run.
+//!
+//! The payload is a hand-rolled little-endian encoding (the build
+//! environment has no crates.io access for a real serializer): strings are
+//! length-prefixed UTF-8 and `f64`s travel as `to_bits`, so values —
+//! including NaNs from failed baseline cells — round-trip bit-exactly.
+//!
+//! The 24-byte header (`magic, seed, context hash`) pins the journal to one
+//! experiment: resuming with a different seed, figure set or scale refuses
+//! the stale journal (everything re-runs) instead of silently merging
+//! incompatible results.
+//!
+//! Corruption policy, enforced by tests here and in
+//! `tests/run_to_completion.rs`:
+//!
+//! * truncated record (torn write) → prefix kept, tail dropped;
+//! * bit flip anywhere in a record → checksum mismatch → that record and
+//!   everything after it dropped (a flipped *length* makes record framing
+//!   untrustworthy, so scanning past a bad record is not attempted);
+//! * duplicate `(figure, cell)` entries (crash between write and the
+//!   in-memory mark) → the **last** intact one wins.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::report::Row;
+use crate::sweep::CellData;
+use aff_nsc::engine::{CycleBreakdown, Metrics};
+use aff_nsc::occupancy::{OccupancySnapshot, OccupancyTimeline};
+use aff_sim_core::energy::EnergyBreakdown;
+use aff_sim_core::fault::DegradationReport;
+use aff_workloads::graphs::{Direction, IterStat};
+use aff_workloads::suite::SuiteRun;
+
+/// File magic: identifies the format *and* its version. Bump the trailing
+/// digit on any payload-layout change so old journals are refused, not
+/// misparsed.
+const MAGIC: &[u8; 8] = b"AFFJRNL1";
+
+/// Header length: magic + seed + context hash.
+const HEADER_LEN: u64 = 24;
+
+/// Upper bound on one record's payload — far above any real cell outcome,
+/// low enough that a corrupt length prefix cannot trigger a huge allocation.
+const MAX_RECORD_LEN: u32 = 64 << 20;
+
+/// FNV-1a over `bytes` (the record checksum; also used for context hashes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One journaled cell outcome.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Figure the cell belongs to.
+    pub figure: String,
+    /// Cell index within its plan (declaration order).
+    pub cell_idx: u64,
+    /// Cell label.
+    pub label: String,
+    /// Execution attempts the outcome took (1 = first try).
+    pub attempts: u32,
+    /// Wall time of the successful (or final) attempt, nanoseconds.
+    pub wall_ns: u64,
+    /// The outcome: cell data, or the cell-level error message.
+    pub result: Result<CellData, String>,
+}
+
+/// Why a journal could not be replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file does not exist (a fresh run, not an error for `--resume`).
+    Missing,
+    /// The header does not match this experiment (different magic/version,
+    /// seed, or figure-set context). Resuming must re-run everything.
+    HeaderMismatch,
+    /// An I/O error other than not-found.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Missing => write!(f, "journal file does not exist"),
+            JournalError::HeaderMismatch => {
+                write!(f, "journal belongs to a different experiment (seed/figures/scale)")
+            }
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Result of replaying a journal's intact prefix.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Last intact entry per `(figure, cell_idx)` — duplicates resolved.
+    pub entries: BTreeMap<(String, u64), JournalEntry>,
+    /// Byte length of the trusted prefix (header + intact records). Resume
+    /// truncates the file here before appending.
+    pub valid_len: u64,
+    /// Whether a torn or corrupt tail was discarded.
+    pub dropped_tail: bool,
+    /// Intact records read (before duplicate resolution).
+    pub records_read: usize,
+}
+
+/// Append-only journal writer. One writer per sweep; workers serialize on a
+/// mutex around it (appends are rare next to cell compute time).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal at `path` (truncating any previous file) with
+    /// the experiment's `(seed, context)` stamped in the header.
+    pub fn create(path: &Path, seed: u64, context: u64) -> std::io::Result<Self> {
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&seed.to_le_bytes())?;
+        file.write_all(&context.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(Self { file })
+    }
+
+    /// Reopen an existing journal for appending, first truncating it to
+    /// `valid_len` (from [`read_journal`]) so a torn tail can never precede
+    /// fresh records.
+    pub fn resume(path: &Path, valid_len: u64) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Self { file })
+    }
+
+    /// Append one entry and fsync it durable.
+    pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
+        let payload = encode_entry(entry);
+        let mut rec = Vec::with_capacity(payload.len() + 12);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.file.write_all(&rec)?;
+        self.file.sync_data()
+    }
+}
+
+/// Replay the journal at `path`, trusting exactly its intact prefix.
+///
+/// `seed` and `context` must match the header or the journal is refused
+/// with [`JournalError::HeaderMismatch`] — a stale journal never poisons a
+/// new experiment's output.
+pub fn read_journal(path: &Path, seed: u64, context: u64) -> Result<JournalReplay, JournalError> {
+    let mut buf = Vec::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut buf).map_err(JournalError::Io)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(JournalError::Missing),
+        Err(e) => return Err(JournalError::Io(e)),
+    };
+    if buf.len() < HEADER_LEN as usize
+        || &buf[..8] != MAGIC
+        || buf[8..16] != seed.to_le_bytes()
+        || buf[16..24] != context.to_le_bytes()
+    {
+        return Err(JournalError::HeaderMismatch);
+    }
+
+    let mut entries: BTreeMap<(String, u64), JournalEntry> = BTreeMap::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut records_read = 0usize;
+    while let Some(head) = buf.get(pos..pos + 12) {
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        let want_sum = u64::from_le_bytes([
+            head[4], head[5], head[6], head[7], head[8], head[9], head[10], head[11],
+        ]);
+        if len > MAX_RECORD_LEN as usize {
+            break; // corrupt length prefix
+        }
+        let Some(payload) = buf.get(pos + 12..pos + 12 + len) else {
+            break; // torn tail
+        };
+        if fnv1a(payload) != want_sum {
+            break; // bit flip (in payload, or in the length itself)
+        }
+        let Some(entry) = decode_entry(payload) else {
+            break; // checksum ok but undecodable: format drift, stop trusting
+        };
+        entries.insert((entry.figure.clone(), entry.cell_idx), entry);
+        records_read += 1;
+        pos += 12 + len;
+    }
+    Ok(JournalReplay {
+        entries,
+        valid_len: pos as u64,
+        dropped_tail: pos < buf.len(),
+        records_read,
+    })
+}
+
+// ---------- payload codec ----------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// `f64` as raw bits: bit-exact round-trip, NaN payloads included.
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &Metrics) {
+    put_u64(out, m.cycles);
+    for v in [
+        m.breakdown.core_compute,
+        m.breakdown.se_compute,
+        m.breakdown.bank_service,
+        m.breakdown.link,
+        m.breakdown.dram,
+        m.breakdown.chain,
+    ] {
+        put_u64(out, v);
+    }
+    for v in m.hop_flits {
+        put_u64(out, v);
+    }
+    put_u64(out, m.total_hop_flits);
+    put_f64(out, m.noc_utilization);
+    put_f64(out, m.l3_miss_rate);
+    put_u64(out, m.dram_accesses);
+    for v in [
+        m.energy.noc_hop_flits,
+        m.energy.l3_accesses,
+        m.energy.private_accesses,
+        m.energy.dram_accesses,
+        m.energy.core_ops,
+        m.energy.se_ops,
+        m.energy.cycles,
+    ] {
+        put_u64(out, v);
+    }
+    put_f64(out, m.energy_pj);
+    put_f64(out, m.bank_imbalance);
+    let snaps = m.occupancy.snapshots();
+    put_u32(out, snaps.len() as u32);
+    for s in snaps {
+        put_u32(out, s.per_bank.len() as u32);
+        for &v in &s.per_bank {
+            put_f64(out, v);
+        }
+        put_f64(out, s.weight);
+    }
+    for v in [
+        m.degradation.rerouted_messages,
+        m.degradation.detour_hops,
+        m.degradation.limped_messages,
+        m.degradation.remapped_banks,
+        m.degradation.remapped_bytes,
+        m.degradation.masked_capacity_bytes,
+        m.degradation.incore_fallback_streams,
+        m.degradation.rerouted_migrations,
+        m.degradation.excluded_banks,
+        m.degradation.fallback_allocations,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn put_cell_data(out: &mut Vec<u8>, data: &CellData) {
+    match data {
+        CellData::Metrics(m) => {
+            out.push(1);
+            put_metrics(out, m);
+        }
+        CellData::Run(r) => {
+            out.push(2);
+            put_metrics(out, &r.metrics);
+            put_u32(out, r.iters.len() as u32);
+            for it in &r.iters {
+                out.push(match it.dir {
+                    Direction::Push => 0,
+                    Direction::Pull => 1,
+                });
+                put_u64(out, it.active);
+                put_u64(out, it.visited);
+                put_u64(out, it.scout_edges);
+                put_u64(out, it.examined_edges);
+            }
+        }
+        CellData::Rows { rows, sim_cycles } => {
+            out.push(3);
+            put_u64(out, *sim_cycles);
+            put_u32(out, rows.len() as u32);
+            for row in rows {
+                put_str(out, &row.label);
+                put_u32(out, row.values.len() as u32);
+                for &v in &row.values {
+                    put_f64(out, v);
+                }
+            }
+        }
+    }
+}
+
+fn encode_entry(e: &JournalEntry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    put_str(&mut out, &e.figure);
+    put_u64(&mut out, e.cell_idx);
+    put_str(&mut out, &e.label);
+    put_u32(&mut out, e.attempts);
+    put_u64(&mut out, e.wall_ns);
+    match &e.result {
+        Ok(data) => put_cell_data(&mut out, data),
+        Err(msg) => {
+            out.push(0);
+            put_str(&mut out, msg);
+        }
+    }
+    out
+}
+
+/// Bounds-checked little-endian reader over one record payload.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let chunk = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(chunk)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn metrics(&mut self) -> Option<Metrics> {
+        let cycles = self.u64()?;
+        let breakdown = CycleBreakdown {
+            core_compute: self.u64()?,
+            se_compute: self.u64()?,
+            bank_service: self.u64()?,
+            link: self.u64()?,
+            dram: self.u64()?,
+            chain: self.u64()?,
+        };
+        let hop_flits = [self.u64()?, self.u64()?, self.u64()?];
+        let total_hop_flits = self.u64()?;
+        let noc_utilization = self.f64()?;
+        let l3_miss_rate = self.f64()?;
+        let dram_accesses = self.u64()?;
+        let energy = EnergyBreakdown {
+            noc_hop_flits: self.u64()?,
+            l3_accesses: self.u64()?,
+            private_accesses: self.u64()?,
+            dram_accesses: self.u64()?,
+            core_ops: self.u64()?,
+            se_ops: self.u64()?,
+            cycles: self.u64()?,
+        };
+        let energy_pj = self.f64()?;
+        let bank_imbalance = self.f64()?;
+        let n_snaps = self.u32()? as usize;
+        let mut occupancy = OccupancyTimeline::new();
+        for _ in 0..n_snaps {
+            let n_banks = self.u32()? as usize;
+            let mut per_bank = Vec::with_capacity(n_banks.min(1 << 16));
+            for _ in 0..n_banks {
+                per_bank.push(self.f64()?);
+            }
+            let weight = self.f64()?;
+            occupancy.push(OccupancySnapshot { per_bank, weight });
+        }
+        let degradation = DegradationReport {
+            rerouted_messages: self.u64()?,
+            detour_hops: self.u64()?,
+            limped_messages: self.u64()?,
+            remapped_banks: self.u64()?,
+            remapped_bytes: self.u64()?,
+            masked_capacity_bytes: self.u64()?,
+            incore_fallback_streams: self.u64()?,
+            rerouted_migrations: self.u64()?,
+            excluded_banks: self.u64()?,
+            fallback_allocations: self.u64()?,
+        };
+        Some(Metrics {
+            cycles,
+            breakdown,
+            hop_flits,
+            total_hop_flits,
+            noc_utilization,
+            l3_miss_rate,
+            dram_accesses,
+            energy,
+            energy_pj,
+            bank_imbalance,
+            occupancy,
+            degradation,
+        })
+    }
+
+    fn cell_data(&mut self, tag: u8) -> Option<CellData> {
+        match tag {
+            1 => Some(CellData::Metrics(Box::new(self.metrics()?))),
+            2 => {
+                let metrics = self.metrics()?;
+                let n = self.u32()? as usize;
+                let mut iters = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let dir = match self.u8()? {
+                        0 => Direction::Push,
+                        1 => Direction::Pull,
+                        _ => return None,
+                    };
+                    iters.push(IterStat {
+                        dir,
+                        active: self.u64()?,
+                        visited: self.u64()?,
+                        scout_edges: self.u64()?,
+                        examined_edges: self.u64()?,
+                    });
+                }
+                Some(CellData::Run(Box::new(SuiteRun { metrics, iters })))
+            }
+            3 => {
+                let sim_cycles = self.u64()?;
+                let n = self.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let label = self.string()?;
+                    let n_vals = self.u32()? as usize;
+                    let mut values = Vec::with_capacity(n_vals.min(1 << 16));
+                    for _ in 0..n_vals {
+                        values.push(self.f64()?);
+                    }
+                    rows.push(Row { label, values });
+                }
+                Some(CellData::Rows { rows, sim_cycles })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn decode_entry(payload: &[u8]) -> Option<JournalEntry> {
+    let mut d = Dec { buf: payload, pos: 0 };
+    let figure = d.string()?;
+    let cell_idx = d.u64()?;
+    let label = d.string()?;
+    let attempts = d.u32()?;
+    let wall_ns = d.u64()?;
+    let tag = d.u8()?;
+    let result = if tag == 0 {
+        Err(d.string()?)
+    } else {
+        Ok(d.cell_data(tag)?)
+    };
+    // A record with trailing garbage decodes "successfully" but signals
+    // format drift; refuse it so the reader stops trusting the file there.
+    if d.pos != payload.len() {
+        return None;
+    }
+    Some(JournalEntry {
+        figure,
+        cell_idx,
+        label,
+        attempts,
+        wall_ns,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> Metrics {
+        let mut occupancy = OccupancyTimeline::new();
+        occupancy.push(OccupancySnapshot {
+            per_bank: vec![0.5, 0.25, f64::NAN, 1.0],
+            weight: 2.0,
+        });
+        Metrics {
+            cycles: 123_456,
+            breakdown: CycleBreakdown {
+                core_compute: 1,
+                se_compute: 2,
+                bank_service: 3,
+                link: 4,
+                dram: 5,
+                chain: 6,
+            },
+            hop_flits: [7, 8, 9],
+            total_hop_flits: 24,
+            noc_utilization: 0.125,
+            l3_miss_rate: f64::NAN,
+            dram_accesses: 10,
+            energy: EnergyBreakdown {
+                noc_hop_flits: 24,
+                l3_accesses: 11,
+                private_accesses: 12,
+                dram_accesses: 10,
+                core_ops: 13,
+                se_ops: 14,
+                cycles: 123_456,
+            },
+            energy_pj: 1.5e9,
+            bank_imbalance: 3.25,
+            occupancy,
+            degradation: DegradationReport {
+                rerouted_messages: 1,
+                detour_hops: 2,
+                ..DegradationReport::default()
+            },
+        }
+    }
+
+    fn entry(figure: &str, idx: u64, result: Result<CellData, String>) -> JournalEntry {
+        JournalEntry {
+            figure: figure.into(),
+            cell_idx: idx,
+            label: format!("{figure}#{idx}"),
+            attempts: 1,
+            wall_ns: 42,
+            result,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("aff-journal-tests");
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir.join(format!("{name}-{}.journal", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_every_cell_shape_bit_exact() {
+        let path = tmp("roundtrip");
+        let entries = vec![
+            entry("fig4", 0, Ok(CellData::Metrics(Box::new(sample_metrics())))),
+            entry(
+                "fig17",
+                3,
+                Ok(CellData::Run(Box::new(SuiteRun {
+                    metrics: sample_metrics(),
+                    iters: vec![IterStat {
+                        dir: Direction::Pull,
+                        active: 1,
+                        visited: 2,
+                        scout_edges: 3,
+                        examined_edges: 4,
+                    }],
+                }))),
+            ),
+            entry(
+                "table2",
+                1,
+                Ok(CellData::Rows {
+                    rows: vec![Row::new("r", vec![1.0, f64::NAN, -0.0])],
+                    sim_cycles: 9,
+                }),
+            ),
+            entry("fig6", 2, Err("cell panicked: boom".into())),
+        ];
+        let mut w = JournalWriter::create(&path, 7, 99).expect("create");
+        for e in &entries {
+            w.append(e).expect("append");
+        }
+        drop(w);
+        let replay = read_journal(&path, 7, 99).expect("read");
+        assert_eq!(replay.records_read, 4);
+        assert!(!replay.dropped_tail);
+        for e in &entries {
+            let got = replay
+                .entries
+                .get(&(e.figure.clone(), e.cell_idx))
+                .expect("entry present");
+            assert_eq!(got.label, e.label);
+            match (&got.result, &e.result) {
+                (Ok(a), Ok(b)) => {
+                    // Compare through the encoder: bit-exact round-trip
+                    // (NaN payloads included) is exactly what it certifies.
+                    let (mut ba, mut bb) = (Vec::new(), Vec::new());
+                    put_cell_data(&mut ba, a);
+                    put_cell_data(&mut bb, b);
+                    assert_eq!(ba, bb, "{}/{}", e.figure, e.cell_idx);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("result shape changed in round-trip"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_seed_or_context_is_refused() {
+        let path = tmp("header");
+        let mut w = JournalWriter::create(&path, 7, 99).expect("create");
+        w.append(&entry("fig4", 0, Err("x".into()))).expect("append");
+        drop(w);
+        assert!(matches!(
+            read_journal(&path, 8, 99),
+            Err(JournalError::HeaderMismatch)
+        ));
+        assert!(matches!(
+            read_journal(&path, 7, 100),
+            Err(JournalError::HeaderMismatch)
+        ));
+        assert!(matches!(
+            read_journal(&tmp("nonexistent-file"), 7, 99),
+            Err(JournalError::Missing)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_keeps_the_intact_prefix() {
+        let path = tmp("trunc");
+        let mut w = JournalWriter::create(&path, 1, 2).expect("create");
+        w.append(&entry("fig4", 0, Err("a".into()))).expect("append");
+        w.append(&entry("fig4", 1, Err("b".into()))).expect("append");
+        drop(w);
+        let full = std::fs::read(&path).expect("read file");
+        // Chop mid-way through the second record (torn write).
+        std::fs::write(&path, &full[..full.len() - 5]).expect("truncate");
+        let replay = read_journal(&path, 1, 2).expect("read");
+        assert_eq!(replay.records_read, 1);
+        assert!(replay.dropped_tail);
+        assert!(replay.entries.contains_key(&("fig4".to_string(), 0)));
+        assert!(!replay.entries.contains_key(&("fig4".to_string(), 1)));
+        // Resume truncates to the trusted prefix and appends cleanly.
+        let mut w = JournalWriter::resume(&path, replay.valid_len).expect("resume");
+        w.append(&entry("fig4", 1, Err("b2".into()))).expect("append");
+        drop(w);
+        let replay = read_journal(&path, 1, 2).expect("reread");
+        assert_eq!(replay.records_read, 2);
+        assert!(!replay.dropped_tail);
+        assert_eq!(
+            replay.entries[&("fig4".to_string(), 1)]
+                .result
+                .as_ref()
+                .err()
+                .map(String::as_str),
+            Some("b2")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_invalidates_the_record_and_its_suffix() {
+        let path = tmp("bitflip");
+        let mut w = JournalWriter::create(&path, 1, 2).expect("create");
+        w.append(&entry("fig4", 0, Err("a".into()))).expect("append");
+        w.append(&entry("fig4", 1, Err("b".into()))).expect("append");
+        w.append(&entry("fig4", 2, Err("c".into()))).expect("append");
+        drop(w);
+        let mut bytes = std::fs::read(&path).expect("read file");
+        // Walk the framing to the second record and flip a payload bit.
+        let first = HEADER_LEN as usize;
+        let len1 = u32::from_le_bytes([bytes[first], bytes[first + 1], bytes[first + 2], bytes[first + 3]]) as usize;
+        let second_payload = first + 12 + len1 + 12;
+        bytes[second_payload + 2] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let replay = read_journal(&path, 1, 2).expect("read");
+        // First record survives; the flipped one and everything after drop.
+        assert!(replay.dropped_tail);
+        assert!(replay.records_read < 3);
+        assert!(replay.entries.contains_key(&("fig4".to_string(), 0)));
+        assert!(!replay.entries.contains_key(&("fig4".to_string(), 2)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_entries_resolve_to_the_last_intact_one() {
+        let path = tmp("dup");
+        let mut w = JournalWriter::create(&path, 1, 2).expect("create");
+        w.append(&entry("fig4", 0, Err("first".into()))).expect("append");
+        w.append(&entry("fig4", 0, Err("second".into()))).expect("append");
+        drop(w);
+        let replay = read_journal(&path, 1, 2).expect("read");
+        assert_eq!(replay.records_read, 2);
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(
+            replay.entries[&("fig4".to_string(), 0)]
+                .result
+                .as_ref()
+                .err()
+                .map(String::as_str),
+            Some("second")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -8,8 +8,9 @@
 //! aff-bench --bin figures -- all`.
 
 pub mod figures;
+pub mod journal;
 pub mod report;
 pub mod sweep;
 
 pub use report::{CellStat, Figure, Row, SweepReport};
-pub use sweep::{run_plans, SweepPlan};
+pub use sweep::{run_plans, run_plans_opts, RunOpts, SweepPlan};

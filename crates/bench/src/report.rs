@@ -203,6 +203,13 @@ pub struct CellStat {
     pub wall_ns: u64,
     /// Simulated cycles the cell covered (0 for table-style cells).
     pub sim_cycles: u64,
+    /// Execution attempts the outcome took (1 = first try; retries add up).
+    #[serde(default)]
+    pub attempts: u32,
+    /// Whether the outcome was replayed from a resume journal instead of
+    /// executed this run.
+    #[serde(default)]
+    pub cached: bool,
 }
 
 impl CellStat {
@@ -212,6 +219,17 @@ impl CellStat {
             return 0.0;
         }
         (self.sim_cycles as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Whether this cell's failure is a run-to-completion limit (cycle/event
+    /// budget, watchdog stall, or wall-clock timeout) rather than a broken
+    /// cell. The `figures` binary maps these to exit code 4.
+    pub fn budget_limited(&self) -> bool {
+        self.error.as_deref().is_some_and(|e| {
+            e.contains("budget exhausted:")
+                || e.contains("stalled: no flit moved")
+                || e.contains("timeout: cell exceeded")
+        })
     }
 }
 
@@ -229,6 +247,13 @@ pub struct SweepReport {
     pub wall_ns: u64,
     /// Per-cell stats, in declaration order.
     pub cells: Vec<CellStat>,
+    /// Cells replayed from the resume journal instead of executed.
+    #[serde(default)]
+    pub resumed_cells: usize,
+    /// First error that disabled checkpoint journaling, if any (the sweep
+    /// itself still completes; only durability is lost).
+    #[serde(default)]
+    pub journal_error: Option<String>,
 }
 
 impl SweepReport {
@@ -248,6 +273,12 @@ impl SweepReport {
         self.cells.iter().filter(|c| !c.ok)
     }
 
+    /// Failed cells whose error is a run-to-completion limit (budget,
+    /// stall watchdog, timeout) — the `figures` exit-code-4 class.
+    pub fn budget_failures(&self) -> impl Iterator<Item = &CellStat> {
+        self.cells.iter().filter(|c| c.budget_limited())
+    }
+
     /// Aggregate simulated megacycles per wall-second.
     pub fn mcycles_per_sec(&self) -> f64 {
         if self.wall_ns == 0 {
@@ -256,7 +287,7 @@ impl SweepReport {
         (self.total_sim_cycles() as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
     }
 
-    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v1`).
+    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v2`).
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self
             .cells
@@ -268,7 +299,8 @@ impl SweepReport {
                 };
                 format!(
                     "    {{ \"figure\": {}, \"label\": {}, \"ok\": {}, \"error\": {}, \
-                     \"wall_ms\": {}, \"sim_cycles\": {}, \"mcycles_per_sec\": {} }}",
+                     \"wall_ms\": {}, \"sim_cycles\": {}, \"mcycles_per_sec\": {}, \
+                     \"attempts\": {}, \"cached\": {} }}",
                     esc(&c.figure),
                     esc(&c.label),
                     c.ok,
@@ -276,13 +308,16 @@ impl SweepReport {
                     num(c.wall_ns as f64 / 1e6),
                     c.sim_cycles,
                     num(c.mcycles_per_sec()),
+                    c.attempts,
+                    c.cached,
                 )
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"aff-bench/sweep-v1\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+            "{{\n  \"schema\": \"aff-bench/sweep-v2\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
              \"wall_ms\": {},\n  \"total_sim_cycles\": {},\n  \"total_cell_wall_ms\": {},\n  \
              \"mcycles_per_sec\": {},\n  \"parallelism\": {},\n  \"failed_cells\": {},\n  \
+             \"budget_failed_cells\": {},\n  \"resumed_cells\": {},\n  \"journal_error\": {},\n  \
              \"cells\": [\n{}\n  ]\n}}",
             self.jobs,
             self.seed,
@@ -296,6 +331,12 @@ impl SweepReport {
                 self.total_cell_wall_ns() as f64 / self.wall_ns as f64
             }),
             self.failures().count(),
+            self.budget_failures().count(),
+            self.resumed_cells,
+            match &self.journal_error {
+                Some(e) => esc(e),
+                None => "null".into(),
+            },
             cells.join(",\n")
         )
     }
@@ -390,6 +431,8 @@ mod tests {
                     error: None,
                     wall_ns: 1_000_000,
                     sim_cycles: 5_000_000,
+                    attempts: 1,
+                    cached: true,
                 },
                 CellStat {
                     figure: "fig4".into(),
@@ -398,8 +441,12 @@ mod tests {
                     error: Some("boom \"quoted\"".into()),
                     wall_ns: 3_000_000,
                     sim_cycles: 0,
+                    attempts: 2,
+                    cached: false,
                 },
             ],
+            resumed_cells: 1,
+            journal_error: None,
         }
     }
 
@@ -417,15 +464,40 @@ mod tests {
     #[test]
     fn sweep_report_json_is_well_formed() {
         let j = sample_sweep().to_json();
-        assert!(j.contains("\"schema\": \"aff-bench/sweep-v1\""));
+        assert!(j.contains("\"schema\": \"aff-bench/sweep-v2\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"failed_cells\": 1"));
+        assert!(j.contains("\"budget_failed_cells\": 0"));
+        assert!(j.contains("\"resumed_cells\": 1"));
+        assert!(j.contains("\"journal_error\": null"));
+        assert!(j.contains("\"attempts\": 2"));
+        assert!(j.contains("\"cached\": true"));
         assert!(j.contains("boom \\\"quoted\\\""));
         assert_eq!(j.matches("\"figure\"").count(), 2);
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the dep tree).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn budget_limited_matches_run_to_completion_errors() {
+        let mut c = sample_sweep().cells[1].clone();
+        assert!(!c.budget_limited());
+        for msg in [
+            "budget exhausted: max_cycles limit 100 reached (101)",
+            "stalled: no flit moved for 10000 cycles at cycle 10042 with 337 \
+             flits in flight across 3 congested routers",
+            "timeout: cell exceeded 50 ms wall clock",
+        ] {
+            c.error = Some(msg.to_string());
+            assert!(c.budget_limited(), "{msg}");
+        }
+        let r = SweepReport {
+            cells: vec![c],
+            ..sample_sweep()
+        };
+        assert_eq!(r.budget_failures().count(), 1);
     }
 
     #[test]

@@ -19,11 +19,26 @@
 //! Cells fail soft: a panicking cell is caught (`catch_unwind`), recorded as
 //! a cell-level error in the report, and surfaced as `NaN` rows / notes in
 //! the merged figure — one broken cell never aborts the harness.
+//!
+//! Run-to-completion extras (all opt-in via [`RunOpts`]):
+//!
+//! * **per-cell timeout** — the cell runs on a watchdog thread; if it blows
+//!   `cell_timeout_ms` of wall clock the worker abandons it and records a
+//!   `timeout:` error instead of hanging the sweep;
+//! * **bounded retry** — a panicked or timed-out cell re-runs up to
+//!   `max_retries` times, each attempt on a deterministically re-split RNG
+//!   stream (attempt 0 uses the unchanged stream, so retry-free runs are
+//!   byte-identical to the engine without this feature);
+//! * **checkpoint journal** — every outcome is appended (fsync'd,
+//!   checksummed) to a [`crate::journal`] file; with `resume` the journal's
+//!   intact prefix is replayed and only missing or failed cells execute.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::journal::{read_journal, JournalEntry, JournalError, JournalWriter};
 use crate::report::{CellStat, Figure, Row, SweepReport};
 use aff_nsc::engine::Metrics;
 use aff_sim_core::rng::SimRng;
@@ -170,7 +185,7 @@ impl<'a> Outcomes<'a> {
     }
 }
 
-type CellJob = Box<dyn FnOnce(&mut SimRng) -> CellData + Send>;
+type CellJob = Arc<dyn Fn(&mut SimRng) -> CellData + Send + Sync>;
 type MergeFn = Box<dyn FnOnce(&Outcomes<'_>) -> Figure + Send>;
 
 /// One self-contained (workload, config) job.
@@ -216,14 +231,15 @@ impl PlanBuilder {
     /// The job receives a private RNG stream derived with [`SimRng::split`]
     /// from `(experiment seed, figure, cell index)`; jobs must take any
     /// cell-local randomness from it (and nothing else) so results stay
-    /// independent of scheduling order.
+    /// independent of scheduling order. Jobs are `Fn` (not `FnOnce`) so a
+    /// timed-out or panicked cell can be retried on a fresh RNG stream.
     pub fn cell<F>(&mut self, label: impl Into<String>, job: F) -> usize
     where
-        F: FnOnce(&mut SimRng) -> CellData + Send + 'static,
+        F: Fn(&mut SimRng) -> CellData + Send + Sync + 'static,
     {
         self.cells.push(SweepCell {
             label: label.into(),
-            job: Box::new(job),
+            job: Arc::new(job),
         });
         self.cells.len() - 1
     }
@@ -251,6 +267,41 @@ fn stream_id(figure: &str, index: usize) -> u64 {
     h ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Execution policy for one sweep run. [`RunOpts::new`] gives the legacy
+/// behavior: no timeout, no retries, no journal.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Worker count (clamped to ≥ 1).
+    pub jobs: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-cell wall-clock timeout in milliseconds. `None` runs cells
+    /// inline on the worker; `Some` runs each cell on a watchdog thread
+    /// that is abandoned when the deadline passes.
+    pub cell_timeout_ms: Option<u64>,
+    /// Re-run a panicked or timed-out cell up to this many extra times,
+    /// attempt `k > 0` on an RNG stream re-split from `(stream, k)`.
+    pub max_retries: u32,
+    /// Checkpoint journal path; `None` disables journaling.
+    pub journal: Option<std::path::PathBuf>,
+    /// Replay the journal's intact prefix and skip its completed cells.
+    pub resume: bool,
+    /// Experiment context hash (figure set, scale) stamped into the journal
+    /// header; a mismatch on resume discards the journal.
+    pub context: u64,
+}
+
+impl RunOpts {
+    /// Legacy options: run everything, no timeout/retry/journal.
+    pub fn new(jobs: usize, seed: u64) -> Self {
+        Self {
+            jobs,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
 struct Task {
     plan_idx: usize,
     cell_idx: usize,
@@ -259,21 +310,73 @@ struct Task {
     job: CellJob,
 }
 
-/// Run one task, catching panics so a broken cell degrades to an error
-/// outcome instead of killing the harness.
-fn run_task(task: Task, seed: u64) -> (usize, usize, CellOutcome, CellStat) {
-    let mut rng = SimRng::split(seed, stream_id(task.figure, task.cell_idx));
-    let job = task.job;
+/// Stream perturbation for retry attempt `k`: zero for `k = 0` (first
+/// attempts are byte-identical to a retry-free engine), a full-avalanche
+/// odd-constant multiply otherwise — a distinct deterministic stream per
+/// attempt, per cell.
+fn retry_stream(base: u64, attempt: u32) -> u64 {
+    base ^ u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "cell panicked".to_string())
+}
+
+/// One execution attempt: inline on the calling worker, or — when a timeout
+/// is configured — on a watchdog thread that the worker abandons if the
+/// deadline passes (the thread keeps running detached; its result is
+/// discarded on arrival).
+fn attempt_cell(
+    job: &CellJob,
+    seed: u64,
+    stream: u64,
+    timeout_ms: Option<u64>,
+) -> Result<CellData, String> {
+    match timeout_ms {
+        None => {
+            let mut rng = SimRng::split(seed, stream);
+            let job = Arc::clone(job);
+            catch_unwind(AssertUnwindSafe(move || job(&mut rng))).map_err(panic_message)
+        }
+        Some(ms) => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let job = Arc::clone(job);
+            let spawned = std::thread::Builder::new()
+                .name("sweep-cell".into())
+                .spawn(move || {
+                    let mut rng = SimRng::split(seed, stream);
+                    let result =
+                        catch_unwind(AssertUnwindSafe(move || job(&mut rng))).map_err(panic_message);
+                    let _ = tx.send(result);
+                });
+            match spawned {
+                Err(e) => Err(format!("could not spawn cell thread: {e}")),
+                Ok(_handle) => match rx.recv_timeout(std::time::Duration::from_millis(ms)) {
+                    Ok(result) => result,
+                    Err(_) => Err(aff_sim_core::error::SimError::Timeout { limit_ms: ms }
+                        .to_string()),
+                },
+            }
+        }
+    }
+}
+
+/// Run one task under the retry/timeout policy, catching panics so a broken
+/// cell degrades to an error outcome instead of killing the harness.
+fn run_task(task: Task, opts: &RunOpts) -> (usize, usize, CellOutcome, CellStat) {
+    let base_stream = stream_id(task.figure, task.cell_idx);
     let start = Instant::now();
-    let result = match catch_unwind(AssertUnwindSafe(move || job(&mut rng))) {
-        Ok(data) => Ok(data),
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "cell panicked".to_string());
-            Err(msg)
+    let mut attempts = 0u32;
+    let result = loop {
+        let stream = retry_stream(base_stream, attempts);
+        attempts += 1;
+        let result = attempt_cell(&task.job, opts.seed, stream, opts.cell_timeout_ms);
+        if result.is_ok() || attempts > opts.max_retries {
+            break result;
         }
     };
     let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -284,6 +387,8 @@ fn run_task(task: Task, seed: u64) -> (usize, usize, CellOutcome, CellStat) {
         error: result.as_ref().err().cloned(),
         wall_ns,
         sim_cycles: result.as_ref().map_or(0, CellData::sim_cycles),
+        attempts,
+        cached: false,
     };
     (
         task.plan_idx,
@@ -296,8 +401,46 @@ fn run_task(task: Task, seed: u64) -> (usize, usize, CellOutcome, CellStat) {
     )
 }
 
+/// Mutable journal side of a run: the writer (when journaling is on) and the
+/// first error that disabled it. Workers serialize on a mutex around this —
+/// appends are tiny next to cell compute time.
+struct JournalState {
+    writer: Option<JournalWriter>,
+    error: Option<String>,
+}
+
+/// Append one finished cell to the journal; an append failure disables
+/// journaling for the rest of the run (recorded in the report) rather than
+/// aborting the sweep.
+fn journal_append(
+    state: &Mutex<JournalState>,
+    figure: &str,
+    cell_idx: usize,
+    outcome: &CellOutcome,
+    stat: &CellStat,
+) {
+    let mut s = state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(w) = s.writer.as_mut() {
+        let entry = JournalEntry {
+            figure: figure.to_string(),
+            cell_idx: cell_idx as u64,
+            label: outcome.label.clone(),
+            attempts: stat.attempts,
+            wall_ns: stat.wall_ns,
+            result: outcome.result.clone(),
+        };
+        if let Err(e) = w.append(&entry) {
+            s.writer = None;
+            s.error = Some(format!("journaling disabled after append failure: {e}"));
+        }
+    }
+}
+
 /// Execute `plans` with `jobs` workers and merge each plan's figure in
-/// declaration order.
+/// declaration order — the legacy entry point, equivalent to
+/// [`run_plans_opts`] with [`RunOpts::new`].
 ///
 /// Output is byte-identical for every `jobs >= 1`: cells share no state,
 /// their RNG streams come from order-insensitive splitting, and both the
@@ -305,7 +448,16 @@ fn run_task(task: Task, seed: u64) -> (usize, usize, CellOutcome, CellStat) {
 /// completion order. (The [`SweepReport`] records *measured* wall times and
 /// is the one output that legitimately differs between runs.)
 pub fn run_plans(plans: Vec<SweepPlan>, jobs: usize, seed: u64) -> (Vec<Figure>, SweepReport) {
-    let jobs = jobs.max(1);
+    run_plans_opts(plans, &RunOpts::new(jobs, seed))
+}
+
+/// Execute `plans` under the full [`RunOpts`] policy (timeouts, retries,
+/// checkpoint journal, resume). The byte-identity guarantee extends to
+/// resumed runs: a journaled cell replays the exact bits it computed before
+/// the interruption, so `--resume` output matches an uninterrupted run.
+pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, SweepReport) {
+    let jobs = opts.jobs.max(1);
+    let seed = opts.seed;
     let total_start = Instant::now();
 
     // Flatten every plan's cells into one task list (stable global order).
@@ -325,21 +477,101 @@ pub fn run_plans(plans: Vec<SweepPlan>, jobs: usize, seed: u64) -> (Vec<Figure>,
     }
     let n_tasks = tasks.len();
 
+    // Journal setup: resume replays the intact prefix (cached entries skip
+    // execution below); a missing or mismatched journal re-runs everything
+    // against a fresh file; I/O errors degrade to no journaling, recorded in
+    // the report.
+    let mut cached: std::collections::BTreeMap<(String, u64), JournalEntry> = Default::default();
+    let mut journal = JournalState {
+        writer: None,
+        error: None,
+    };
+    if let Some(path) = &opts.journal {
+        let created = if opts.resume {
+            match read_journal(path, seed, opts.context) {
+                Ok(replay) => {
+                    cached = replay.entries;
+                    JournalWriter::resume(path, replay.valid_len)
+                }
+                Err(JournalError::Missing | JournalError::HeaderMismatch) => {
+                    JournalWriter::create(path, seed, opts.context)
+                }
+                Err(JournalError::Io(e)) => Err(e),
+            }
+        } else {
+            JournalWriter::create(path, seed, opts.context)
+        };
+        match created {
+            Ok(w) => journal.writer = Some(w),
+            Err(e) => journal.error = Some(format!("journaling disabled: {e}")),
+        }
+    }
+
+    // Split tasks into journal hits (successful outcome for the exact same
+    // figure/cell/label) and cells that still need to run. Failed journal
+    // entries are deliberately *not* reused: resume retries them.
+    let mut done: Vec<(usize, usize, CellOutcome, CellStat)> = Vec::with_capacity(n_tasks);
+    let mut to_run: Vec<Task> = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let hit = cached
+            .get(&(t.figure.to_string(), t.cell_idx as u64))
+            .filter(|e| e.label == t.label && e.result.is_ok());
+        match hit {
+            Some(e) => {
+                let stat = CellStat {
+                    figure: t.figure.to_string(),
+                    label: t.label.clone(),
+                    ok: true,
+                    error: None,
+                    wall_ns: e.wall_ns,
+                    sim_cycles: e.result.as_ref().map_or(0, |d| d.sim_cycles()),
+                    attempts: e.attempts,
+                    cached: true,
+                };
+                done.push((
+                    t.plan_idx,
+                    t.cell_idx,
+                    CellOutcome {
+                        label: t.label,
+                        result: e.result.clone(),
+                    },
+                    stat,
+                ));
+            }
+            None => to_run.push(t),
+        }
+    }
+    let resumed_cells = done.len();
+
     // Execute. Workers pull the next unclaimed index from an atomic counter;
     // results carry their (plan, cell) coordinates so completion order is
-    // irrelevant.
-    let mut done: Vec<(usize, usize, CellOutcome, CellStat)> = if jobs == 1 || n_tasks <= 1 {
-        tasks.into_iter().map(|t| run_task(t, seed)).collect()
+    // irrelevant. Each finished cell is journaled before the worker moves on,
+    // so a kill at any instant loses at most the cells then in flight.
+    let journal = Mutex::new(journal);
+    let executed: Vec<(usize, usize, CellOutcome, CellStat)> = if jobs == 1 || to_run.len() <= 1 {
+        to_run
+            .into_iter()
+            .map(|t| {
+                let figure = t.figure;
+                let r = run_task(t, opts);
+                journal_append(&journal, figure, r.1, &r.2, &r.3);
+                r
+            })
+            .collect()
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<Task>>> =
-            tasks.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
-        let workers = jobs.min(n_tasks);
+        let n_run = to_run.len();
+        let slots: Vec<std::sync::Mutex<Option<Task>>> = to_run
+            .into_iter()
+            .map(|t| std::sync::Mutex::new(Some(t)))
+            .collect();
+        let workers = jobs.min(n_run);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
                     let slots = &slots;
+                    let journal = &journal;
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
@@ -357,7 +589,10 @@ pub fn run_plans(plans: Vec<SweepPlan>, jobs: usize, seed: u64) -> (Vec<Figure>,
                                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .take();
                             if let Some(task) = task {
-                                out.push(run_task(task, seed));
+                                let figure = task.figure;
+                                let r = run_task(task, opts);
+                                journal_append(journal, figure, r.1, &r.2, &r.3);
+                                out.push(r);
                             }
                         }
                         out
@@ -370,6 +605,11 @@ pub fn run_plans(plans: Vec<SweepPlan>, jobs: usize, seed: u64) -> (Vec<Figure>,
                 .collect()
         })
     };
+    done.extend(executed);
+    let journal_error = journal
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .error;
 
     // Scatter outcomes back into declaration order.
     let mut per_plan: Vec<Vec<Option<CellOutcome>>> =
@@ -404,6 +644,8 @@ pub fn run_plans(plans: Vec<SweepPlan>, jobs: usize, seed: u64) -> (Vec<Figure>,
         seed,
         wall_ns: total_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
         cells: stats,
+        resumed_cells,
+        journal_error,
     };
     (figures, report)
 }
@@ -486,6 +728,101 @@ mod tests {
         assert_eq!(report.cells[0].figure, "x");
         assert_eq!(report.cells[5].figure, "y");
         assert_eq!(report.jobs, 3);
+    }
+
+    #[test]
+    fn retries_rerun_flaky_cells_on_reseeded_streams() {
+        use std::sync::atomic::AtomicU32;
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let (c, s) = (Arc::clone(&calls), Arc::clone(&seen));
+        let mut b = PlanBuilder::new("flaky");
+        b.cell("flaky", move |rng| {
+            let draw = rng.next_u64();
+            s.lock().expect("seen").push(draw);
+            if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("flaky failure");
+            }
+            CellData::Rows {
+                rows: vec![Row::new("v", vec![draw as f64])],
+                sim_cycles: 1,
+            }
+        });
+        let plan = b.merge(|o| {
+            let mut fig = Figure::new("flaky", "t", vec!["v"]);
+            o.annotate_failures(&mut fig);
+            fig
+        });
+        let opts = RunOpts {
+            max_retries: 3,
+            ..RunOpts::new(1, 5)
+        };
+        let (_, report) = run_plans_opts(vec![plan], &opts);
+        assert!(report.cells[0].ok);
+        assert_eq!(report.cells[0].attempts, 3);
+        // Each attempt drew from a distinct deterministic stream.
+        let draws = seen.lock().expect("seen").clone();
+        assert_eq!(draws.len(), 3);
+        assert_ne!(draws[0], draws[1]);
+        assert_ne!(draws[1], draws[2]);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_final_error() {
+        let mut b = PlanBuilder::new("hopeless");
+        b.cell("hopeless", |_| -> CellData { panic!("always broken") });
+        let plan = b.merge(|o| {
+            let mut fig = Figure::new("hopeless", "t", vec!["v"]);
+            o.annotate_failures(&mut fig);
+            fig
+        });
+        let opts = RunOpts {
+            max_retries: 2,
+            ..RunOpts::new(1, 5)
+        };
+        let (_, report) = run_plans_opts(vec![plan], &opts);
+        assert!(!report.cells[0].ok);
+        assert_eq!(report.cells[0].attempts, 3);
+        assert!(report.cells[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("always broken")));
+    }
+
+    #[test]
+    fn timeout_abandons_hung_cells() {
+        let mut b = PlanBuilder::new("hang");
+        b.cell("hung", |_| {
+            std::thread::sleep(std::time::Duration::from_secs(30));
+            CellData::Rows {
+                rows: vec![],
+                sim_cycles: 0,
+            }
+        });
+        let quick = b.cell("quick", |_| CellData::Rows {
+            rows: vec![Row::new("ok", vec![1.0])],
+            sim_cycles: 3,
+        });
+        let plan = b.merge(move |o| {
+            let mut fig = Figure::new("hang", "t", vec!["v"]);
+            assert!(o.rows(quick).is_some());
+            o.annotate_failures(&mut fig);
+            fig
+        });
+        let opts = RunOpts {
+            cell_timeout_ms: Some(50),
+            ..RunOpts::new(2, 5)
+        };
+        let start = Instant::now();
+        let (_, report) = run_plans_opts(vec![plan], &opts);
+        assert!(start.elapsed() < std::time::Duration::from_secs(10));
+        assert!(!report.cells[0].ok);
+        assert!(report.cells[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("timeout: cell exceeded 50 ms")));
+        assert!(report.cells[0].budget_limited());
+        assert!(report.cells[1].ok);
     }
 
     #[test]

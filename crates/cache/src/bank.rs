@@ -110,6 +110,8 @@ impl BankCounters {
     ///
     /// Panics on mismatched bank counts.
     pub fn merge(&mut self, other: &BankCounters) {
+        // invariant: both counter sets describe the same machine; merging
+        // across bank counts is a caller bug, not a recoverable condition.
         assert_eq!(self.num_banks(), other.num_banks());
         for i in 0..self.accesses.len() {
             self.accesses[i] += other.accesses[i];

@@ -63,6 +63,8 @@ pub fn per_bank_miss_rates(resident_per_bank: &[u64], bank_capacity: u64) -> Vec
 /// Weighted overall miss rate given per-bank accesses and per-bank miss
 /// rates. Returns 0 when there are no accesses.
 pub fn weighted_miss_rate(accesses_per_bank: &[u64], miss_per_bank: &[f64]) -> f64 {
+    // invariant: both slices are per-bank vectors of the same machine; a
+    // length mismatch is a caller bug, not a recoverable condition.
     assert_eq!(accesses_per_bank.len(), miss_per_bank.len());
     let total: u64 = accesses_per_bank.iter().sum();
     if total == 0 {

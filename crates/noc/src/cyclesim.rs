@@ -14,7 +14,8 @@
 use crate::fault_route::FaultRouter;
 use crate::topology::{BankId, Coord, Link, Topology};
 use crate::traffic::Packet;
-use aff_sim_core::fault::FaultPlan;
+use aff_sim_core::error::{BudgetKind, RunBudget, SimError, StallSnapshot};
+use aff_sim_core::fault::{FaultPlan, LinkRef};
 use std::collections::VecDeque;
 
 /// Input/output port of a router.
@@ -73,6 +74,9 @@ pub struct CycleNoc {
     /// loop-free (every hop strictly decreases BFS distance), which is what
     /// makes per-hop table routing sound here.
     router: Option<Box<FaultRouter>>,
+    /// Links the installed fault plan killed or degraded — reported in the
+    /// watchdog's [`StallSnapshot`] as the prime deadlock suspects.
+    blamed_links: Vec<LinkRef>,
 }
 
 impl CycleNoc {
@@ -89,6 +93,7 @@ impl CycleNoc {
             pipeline,
             buffer_depth,
             router: None,
+            blamed_links: Vec::new(),
         }
     }
 
@@ -100,7 +105,13 @@ impl CycleNoc {
     ///
     /// Note: unlike pure X-Y, BFS detour routes are not provably
     /// deadlock-free under extreme buffer pressure; use adequate
-    /// `buffer_depth` (≥ 2) when injecting saturating fault-plan traffic.
+    /// `buffer_depth` (≥ 2) when injecting saturating fault-plan traffic,
+    /// or run via [`CycleNoc::try_simulate`], whose progress watchdog turns
+    /// a wedged network into [`SimError::Stalled`] instead of spinning
+    /// until `max_cycles`. `tests/des_vs_analytic.rs` pins a concrete
+    /// deadlocking configuration (`buffer_depth = 1`, seeded
+    /// `FaultSpec { failed_links: 5, degraded_links: 5, .. }` plans under
+    /// saturating random traffic) and asserts the watchdog fires on it.
     pub fn with_faults(
         topo: Topology,
         pipeline: u64,
@@ -110,6 +121,12 @@ impl CycleNoc {
         let mut noc = Self::new(topo, pipeline, buffer_depth);
         if plan.has_link_faults() {
             noc.router = Some(Box::new(FaultRouter::new(topo, plan)));
+            noc.blamed_links = plan
+                .failed_links
+                .iter()
+                .copied()
+                .chain(plan.degraded_links.keys().copied())
+                .collect();
         }
         noc
     }
@@ -163,7 +180,77 @@ impl CycleNoc {
 
     /// Simulate `packets` (all ready at cycle 0, injected in order per
     /// source) until delivery or `max_cycles`.
+    ///
+    /// This legacy entry point runs with the watchdog disabled and reports
+    /// whatever was delivered when it stopped — a wedged network silently
+    /// spins to `max_cycles`. Prefer [`CycleNoc::try_simulate`] for anything
+    /// driven by a fault plan.
     pub fn simulate(&self, packets: &[Packet], max_cycles: u64) -> CycleReport {
+        self.run_inner(packets, max_cycles, 0, None).report
+    }
+
+    /// Simulate `packets` under `budget`, distinguishing *how* a run ended:
+    ///
+    /// * delivered everything → `Ok(CycleReport)`;
+    /// * no flit moved for `budget.stall_patience` consecutive cycles while
+    ///   flits were in flight → [`SimError::Stalled`] with a
+    ///   [`StallSnapshot`] (per-router occupancy, fault-plan suspect links);
+    /// * `budget.max_cycles` elapsed with flits still in flight, or the
+    ///   flit count exceeded `budget.max_events`, or `budget.wall_ms`
+    ///   elapsed → [`SimError::BudgetExhausted`].
+    pub fn try_simulate(
+        &self,
+        packets: &[Packet],
+        budget: &RunBudget,
+    ) -> Result<CycleReport, SimError> {
+        let total_flits: u64 = packets.iter().map(|p| p.flits).sum();
+        if let Some(limit) = budget.max_events {
+            if total_flits > limit {
+                return Err(SimError::BudgetExhausted {
+                    budget: BudgetKind::Events,
+                    limit,
+                    reached: total_flits,
+                });
+            }
+        }
+        let deadline = budget
+            .wall_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        let max_cycles = budget.max_cycles.unwrap_or(u64::MAX);
+        let run = self.run_inner(packets, max_cycles, budget.stall_patience, deadline);
+        if run.stalled {
+            return Err(SimError::Stalled(Box::new(StallSnapshot {
+                cycle: run.cycle,
+                in_flight: run.in_flight,
+                stalled_for: run.stalled_for,
+                router_occupancy: run.occupancy,
+                blamed_links: self.blamed_links.clone(),
+            })));
+        }
+        if run.wall_exceeded {
+            return Err(SimError::BudgetExhausted {
+                budget: BudgetKind::WallMs,
+                limit: budget.wall_ms.unwrap_or(0),
+                reached: budget.wall_ms.unwrap_or(0),
+            });
+        }
+        if run.in_flight > 0 {
+            return Err(SimError::BudgetExhausted {
+                budget: BudgetKind::Cycles,
+                limit: max_cycles,
+                reached: run.cycle,
+            });
+        }
+        Ok(run.report)
+    }
+
+    fn run_inner(
+        &self,
+        packets: &[Packet],
+        max_cycles: u64,
+        patience: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> InnerRun {
         let n_routers = self.topo.num_banks() as usize;
         // Per router: 5 input FIFOs.
         let mut buffers: Vec<[VecDeque<Flit>; 5]> = (0..n_routers)
@@ -189,8 +276,14 @@ impl CycleNoc {
         let mut flit_hops = 0u64;
         let mut finish = 0u64;
         let mut cycle = 0u64;
+        // Watchdog state: consecutive cycles in which nothing ejected, moved
+        // or locally drained while flits were in flight.
+        let mut idle_cycles = 0u64;
+        let mut stalled = false;
+        let mut wall_exceeded = false;
         while in_flight_flits > 0 && cycle < max_cycles {
             cycle += 1;
+            let mut progressed = false;
             // Ejection: local-bound flits at their destination leave first,
             // freeing buffer space this cycle.
             for (r, router) in buffers.iter_mut().enumerate() {
@@ -199,6 +292,7 @@ impl CycleNoc {
                         if f.ready_at <= cycle && f.dst as usize == r {
                             let f = fifo.pop_front().expect("checked front");
                             in_flight_flits -= 1;
+                            progressed = true;
                             if f.tail {
                                 delivered_tails += 1;
                                 finish = cycle;
@@ -280,6 +374,7 @@ impl CycleNoc {
                 f.ready_at = cycle + self.pipeline;
                 buffers[next][next_in].push_back(f);
                 flit_hops += 1;
+                progressed = true;
             }
             // Same-tile packets never enter the network: eject directly from
             // the injection queue.
@@ -288,6 +383,7 @@ impl CycleNoc {
                     if f.dst as usize == r {
                         let f = queue.pop_front().expect("checked front");
                         in_flight_flits -= 1;
+                        progressed = true;
                         if f.tail {
                             delivered_tails += 1;
                             finish = finish.max(cycle);
@@ -297,13 +393,67 @@ impl CycleNoc {
                     }
                 }
             }
+            if progressed {
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                if patience > 0 && idle_cycles >= patience {
+                    stalled = true;
+                    break;
+                }
+            }
+            // Amortize the syscall: one wall-clock check per 8192 cycles.
+            if let Some(dl) = deadline {
+                if cycle.is_multiple_of(8192) && std::time::Instant::now() >= dl {
+                    wall_exceeded = true;
+                    break;
+                }
+            }
         }
-        CycleReport {
-            finish_cycle: finish,
-            delivered: delivered_tails,
-            flit_hops,
+        let occupancy = if stalled {
+            buffers
+                .iter()
+                .zip(&inject)
+                .map(|(router, q)| {
+                    (router.iter().map(VecDeque::len).sum::<usize>() + q.len()) as u32
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        InnerRun {
+            report: CycleReport {
+                finish_cycle: finish,
+                delivered: delivered_tails,
+                flit_hops,
+            },
+            in_flight: in_flight_flits,
+            cycle,
+            stalled_for: idle_cycles,
+            stalled,
+            wall_exceeded,
+            occupancy,
         }
     }
+}
+
+/// Raw outcome of the shared simulation loop, before the public entry points
+/// interpret it as a report or a [`SimError`].
+struct InnerRun {
+    report: CycleReport,
+    /// Flits still buffered or pending injection when the loop stopped.
+    in_flight: u64,
+    /// Cycle the loop stopped at.
+    cycle: u64,
+    /// Consecutive zero-progress cycles at stop time.
+    stalled_for: u64,
+    /// The watchdog fired.
+    stalled: bool,
+    /// The wall-clock deadline passed.
+    wall_exceeded: bool,
+    /// Per-router buffered flits (5 FIFOs + injection queue), only captured
+    /// when `stalled`.
+    occupancy: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -452,6 +602,107 @@ mod tests {
         }
         let rep = noc.simulate(&packets, 5_000_000);
         assert_eq!(rep.delivered, packets.len() as u64, "drained around faults");
+    }
+
+    /// Saturating pseudo-random all-to-all traffic (112 packets × 4 flits on
+    /// a 4×4 mesh) — the load under which BFS detour tables can deadlock at
+    /// `buffer_depth = 1`.
+    fn saturating_traffic() -> Vec<Packet> {
+        let mut packets = Vec::new();
+        for s in 0..16u32 {
+            for k in 1..8u32 {
+                packets.push(pkt(s, (s * 7 + k * 3) % 16, 4));
+            }
+        }
+        packets
+    }
+
+    #[test]
+    fn try_simulate_matches_simulate_on_success() {
+        use aff_sim_core::error::RunBudget;
+        let rep = noc()
+            .try_simulate(&saturating_traffic(), &RunBudget::unlimited())
+            .expect("healthy mesh drains");
+        assert_eq!(rep, noc().simulate(&saturating_traffic(), 1_000_000));
+    }
+
+    #[test]
+    fn try_simulate_reports_cycle_budget_exhaustion() {
+        use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
+        let budget = RunBudget::unlimited().with_max_cycles(3);
+        let err = noc()
+            .try_simulate(&saturating_traffic(), &budget)
+            .expect_err("3 cycles cannot drain 448 flits");
+        match err {
+            SimError::BudgetExhausted {
+                budget: BudgetKind::Cycles,
+                limit: 3,
+                reached,
+            } => assert_eq!(reached, 3),
+            other => panic!("expected cycle budget exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn try_simulate_reports_event_budget_exhaustion() {
+        use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
+        let budget = RunBudget::unlimited().with_max_events(10);
+        let err = noc()
+            .try_simulate(&saturating_traffic(), &budget)
+            .expect_err("448 flits exceed a 10-event budget");
+        assert!(matches!(
+            err,
+            SimError::BudgetExhausted {
+                budget: BudgetKind::Events,
+                limit: 10,
+                reached: 448,
+            }
+        ));
+    }
+
+    #[test]
+    fn watchdog_catches_shallow_buffer_fault_deadlock() {
+        use aff_sim_core::config::MachineConfig;
+        use aff_sim_core::error::{RunBudget, SimError};
+        use aff_sim_core::fault::FaultSpec;
+        // The seeded plan family from tests/des_vs_analytic.rs. At
+        // buffer_depth 1 the BFS detours admit cyclic channel dependences
+        // and this load wedges; the watchdog must convert the hang into a
+        // diagnosed error, and deeper buffers must still drain.
+        let spec = FaultSpec {
+            failed_banks: 0,
+            slowed_banks: 0,
+            failed_links: 5,
+            degraded_links: 5,
+            slowed_mem_ctrls: 0,
+            max_slowdown: 4,
+        };
+        let plan = FaultPlan::seeded(0xFA11, &MachineConfig::small_mesh(), spec);
+        let topo = Topology::new(4, 4);
+        let budget = RunBudget::unlimited()
+            .with_max_cycles(2_000_000)
+            .with_stall_patience(5_000);
+        let shallow = CycleNoc::with_faults(topo, 1, 1, &plan);
+        let err = shallow
+            .try_simulate(&saturating_traffic(), &budget)
+            .expect_err("shallow buffers must wedge under this plan");
+        match err {
+            SimError::Stalled(snap) => {
+                assert!(snap.in_flight > 0);
+                assert_eq!(snap.stalled_for, 5_000);
+                assert!(snap.cycle < 100_000, "watchdog fired late: {}", snap.cycle);
+                assert!(snap.congested_routers().count() > 0);
+                let total_faulted =
+                    plan.failed_links.len() + plan.degraded_links.len();
+                assert_eq!(snap.blamed_links.len(), total_faulted);
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+        let deep = CycleNoc::with_faults(topo, 1, 4, &plan);
+        let rep = deep
+            .try_simulate(&saturating_traffic(), &budget)
+            .expect("deeper buffers drain the same plan");
+        assert_eq!(rep.delivered, saturating_traffic().len() as u64);
     }
 
     #[test]

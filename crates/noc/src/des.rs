@@ -13,6 +13,7 @@
 use crate::fault_route::{FaultRouter, LIMP_COST};
 use crate::topology::Topology;
 use crate::traffic::Packet;
+use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
 use aff_sim_core::fault::FaultPlan;
 use std::collections::HashMap;
 
@@ -85,6 +86,65 @@ impl DesNoc {
             packets: packets.len() as u64,
             hop_flits,
         }
+    }
+
+    /// Replay `packets` under `budget`: the packet count is checked against
+    /// `max_events` up front, the finish cycle against `max_cycles` and the
+    /// elapsed host time against `wall_ms` as the replay progresses. The
+    /// greedy model cannot deadlock (every `send` completes in bounded
+    /// arithmetic), so `Stalled` is never returned here.
+    pub fn try_replay(
+        &mut self,
+        packets: &[Packet],
+        budget: &RunBudget,
+    ) -> Result<DesReport, SimError> {
+        if let Some(limit) = budget.max_events {
+            if packets.len() as u64 > limit {
+                return Err(SimError::BudgetExhausted {
+                    budget: BudgetKind::Events,
+                    limit,
+                    reached: packets.len() as u64,
+                });
+            }
+        }
+        let deadline = budget
+            .wall_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        let mut finish = 0u64;
+        let mut hop_flits = 0u64;
+        for (i, p) in packets.iter().enumerate() {
+            let t = self.send(p, 0);
+            finish = finish.max(t);
+            if let Some(limit) = budget.max_cycles {
+                if finish > limit {
+                    return Err(SimError::BudgetExhausted {
+                        budget: BudgetKind::Cycles,
+                        limit,
+                        reached: finish,
+                    });
+                }
+            }
+            // Amortize the syscall: one wall-clock check per 4096 packets.
+            if let Some(dl) = deadline {
+                if i.is_multiple_of(4096) && std::time::Instant::now() >= dl {
+                    return Err(SimError::BudgetExhausted {
+                        budget: BudgetKind::WallMs,
+                        limit: budget.wall_ms.unwrap_or(0),
+                        reached: budget.wall_ms.unwrap_or(0),
+                    });
+                }
+            }
+            let hops = match self.router.as_deref() {
+                None => u64::from(self.topo.manhattan(p.src, p.dst)),
+                Some(r) => r.route(p.src, p.dst).links.len() as u64,
+            };
+            hop_flits += p.flits * hops;
+        }
+        Ok(DesReport {
+            finish_cycle: finish,
+            packets: packets.len() as u64,
+            hop_flits,
+        })
     }
 
     /// Send one packet, ready at `ready_cycle`; returns arrival cycle of its
@@ -269,6 +329,46 @@ mod tests {
         let t_limp = faulted.send(&pkt(0, 3, 2), 0);
         let t_plain = plain.send(&pkt(0, 3, 2), 0);
         assert!(t_limp > t_plain, "limping must cost more ({t_limp} vs {t_plain})");
+    }
+
+    #[test]
+    fn try_replay_matches_replay_and_enforces_budgets() {
+        use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
+        let topo = Topology::new(4, 4);
+        let pkts = vec![pkt(0, 3, 2), pkt(3, 12, 4), pkt(5, 5, 1), pkt(1, 0, 8)];
+        let mut des = DesNoc::new(topo, 6);
+        let want = des.replay(&pkts);
+        des.reset();
+        let got = des
+            .try_replay(&pkts, &RunBudget::unlimited())
+            .expect("unlimited budget");
+        assert_eq!(got, want);
+
+        des.reset();
+        let err = des
+            .try_replay(&pkts, &RunBudget::unlimited().with_max_events(2))
+            .expect_err("4 packets exceed 2 events");
+        assert!(matches!(
+            err,
+            SimError::BudgetExhausted {
+                budget: BudgetKind::Events,
+                limit: 2,
+                reached: 4
+            }
+        ));
+
+        des.reset();
+        let err = des
+            .try_replay(&pkts, &RunBudget::unlimited().with_max_cycles(1))
+            .expect_err("nothing multi-hop finishes in 1 cycle");
+        assert!(matches!(
+            err,
+            SimError::BudgetExhausted {
+                budget: BudgetKind::Cycles,
+                limit: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use aff_noc::topology::{BankId, Topology};
 use aff_noc::traffic::{TrafficClass, TrafficMatrix};
 use aff_sim_core::config::{MachineConfig, CACHE_LINE};
 use aff_sim_core::energy::{EnergyBreakdown, EnergyModel};
+use aff_sim_core::error::{BudgetKind, SimError};
 use aff_sim_core::fault::DegradationReport;
 use serde::{Deserialize, Serialize};
 
@@ -579,6 +580,25 @@ impl SimEngine {
             degradation: report,
         }
     }
+
+    /// [`SimEngine::finish`] under the machine's [`RunBudget`]: when the
+    /// cycle estimate exceeds `budget.max_cycles` the run reports
+    /// [`SimError::BudgetExhausted`] instead of returning metrics, so a
+    /// sweep can refuse to merge results from a run that blew its ceiling.
+    pub fn try_finish(self) -> Result<Metrics, SimError> {
+        let budget = self.config.budget;
+        let metrics = self.finish();
+        if let Some(limit) = budget.max_cycles {
+            if metrics.cycles > limit {
+                return Err(SimError::BudgetExhausted {
+                    budget: BudgetKind::Cycles,
+                    limit,
+                    reached: metrics.cycles,
+                });
+            }
+        }
+        Ok(metrics)
+    }
 }
 
 #[cfg(test)]
@@ -595,6 +615,29 @@ mod tests {
         assert_eq!(m.cycles, 1);
         assert_eq!(m.total_hop_flits, 0);
         assert_eq!(m.l3_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn try_finish_enforces_the_machine_cycle_budget() {
+        use aff_sim_core::error::RunBudget;
+        // Unlimited budget: identical to finish().
+        let m = engine().try_finish().expect("unlimited budget");
+        assert_eq!(m.cycles, 1);
+        // A 1-cycle ceiling admits the empty run but rejects a loaded one.
+        let cfg =
+            MachineConfig::paper_default().with_budget(RunBudget::unlimited().with_max_cycles(1));
+        assert!(SimEngine::new(cfg.clone()).try_finish().is_ok());
+        let mut e = SimEngine::new(cfg);
+        e.core_ops(1 << 20);
+        let err = e.try_finish().expect_err("2^20 ops blow a 1-cycle ceiling");
+        assert!(matches!(
+            err,
+            SimError::BudgetExhausted {
+                budget: BudgetKind::Cycles,
+                limit: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::stream::{DepKind, StreamGraph};
 use aff_mem::addr::VAddr;
 use aff_mem::space::AddressSpace;
+use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
 use std::collections::HashMap;
 
 /// Arithmetic attached to a computing stream: inputs are the values of its
@@ -121,19 +122,44 @@ impl<'a> Interp<'a> {
     ///
     /// Panics if bindings mismatch the graph (wrong count, binding kind
     /// incompatible with stream kind, missing address producer, cyclic
-    /// dependences).
+    /// dependences). Use [`Interp::try_execute_affine`] to get these (and
+    /// budget exhaustion) as typed [`SimError`]s instead.
     pub fn execute_affine(
         &mut self,
         graph: &StreamGraph,
         bindings: &[Binding],
         n: u64,
     ) -> InterpReport {
-        assert_eq!(
-            bindings.len(),
-            graph.num_streams(),
-            "one binding per stream"
-        );
-        let order = topo_order(graph);
+        // invariant: with an unlimited budget the only failure modes are
+        // caller bugs (mismatched bindings, cyclic graphs), which this
+        // legacy entry point reports by panicking.
+        self.try_execute_affine(graph, bindings, n, &RunBudget::unlimited())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Budget-aware [`Interp::execute_affine`]: graph/binding mismatches
+    /// surface as [`SimError::InvalidConfig`] and every element access
+    /// counts against `budget.max_events` (`wall_ms` is checked once per
+    /// 4096 elements), so runaway interpreter loops terminate with
+    /// [`SimError::BudgetExhausted`] instead of spinning.
+    pub fn try_execute_affine(
+        &mut self,
+        graph: &StreamGraph,
+        bindings: &[Binding],
+        n: u64,
+        budget: &RunBudget,
+    ) -> Result<InterpReport, SimError> {
+        if bindings.len() != graph.num_streams() {
+            return Err(SimError::InvalidConfig(format!(
+                "one binding per stream: got {} bindings for {} streams",
+                bindings.len(),
+                graph.num_streams()
+            )));
+        }
+        let order = try_topo_order(graph)?;
+        let deadline = budget
+            .wall_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let num_banks = self.space.config().num_banks() as usize;
         let mut report = InterpReport {
             iterations: n,
@@ -141,9 +167,20 @@ impl<'a> Interp<'a> {
             accesses_per_bank: vec![0; num_banks],
             predicated_off: vec![0; bindings.len()],
         };
+        let mut events = 0u64;
         let mut values: HashMap<usize, u64> = HashMap::new();
         for i in 0..n {
             values.clear();
+            if let Some(dl) = deadline {
+                // Amortize the syscall: one wall-clock check per 4096 elements.
+                if i.is_multiple_of(4096) && std::time::Instant::now() >= dl {
+                    return Err(SimError::BudgetExhausted {
+                        budget: BudgetKind::WallMs,
+                        limit: budget.wall_ms.unwrap_or(0),
+                        reached: budget.wall_ms.unwrap_or(0),
+                    });
+                }
+            }
             for &s in &order {
                 // Predication: skip when any predicate producer yielded 0.
                 let gated_off = graph
@@ -168,13 +205,27 @@ impl<'a> Interp<'a> {
                     | Binding::AtomicCas {
                         base, elem_size, ..
                     } => {
-                        let idx = addr_producer
+                        let Some(idx) = addr_producer
                             .first()
                             .map(|&p| values.get(&p).copied().unwrap_or(0))
-                            .expect("indirect/atomic stream needs an address producer");
+                        else {
+                            return Err(SimError::InvalidConfig(format!(
+                                "indirect/atomic stream needs an address producer (stream {s})"
+                            )));
+                        };
                         (*base + idx * elem_size, *elem_size)
                     }
                 };
+                events += 1;
+                if let Some(limit) = budget.max_events {
+                    if events > limit {
+                        return Err(SimError::BudgetExhausted {
+                            budget: BudgetKind::Events,
+                            limit,
+                            reached: events,
+                        });
+                    }
+                }
                 let bank = self.space.bank_of(addr) as usize;
                 report.accesses_per_stream[s] += 1;
                 report.accesses_per_bank[bank] += 1;
@@ -194,7 +245,7 @@ impl<'a> Interp<'a> {
                 values.insert(s, out);
             }
         }
-        report
+        Ok(report)
     }
 
     /// Execute a pointer-chasing search (Fig 2(b)): nodes are
@@ -224,12 +275,9 @@ impl<'a> Interp<'a> {
 }
 
 /// Topological order of the graph's streams (address/value/predicate edges
-/// all order producer before consumer).
-///
-/// # Panics
-///
-/// Panics on a dependence cycle.
-fn topo_order(graph: &StreamGraph) -> Vec<usize> {
+/// all order producer before consumer); a dependence cycle is reported as
+/// [`SimError::InvalidConfig`].
+fn try_topo_order(graph: &StreamGraph) -> Result<Vec<usize>, SimError> {
     let n = graph.num_streams();
     let mut indeg = vec![0usize; n];
     for d in graph.deps() {
@@ -248,8 +296,13 @@ fn topo_order(graph: &StreamGraph) -> Vec<usize> {
             }
         }
     }
-    assert_eq!(order.len(), n, "stream dependence cycle");
-    order
+    if order.len() != n {
+        return Err(SimError::InvalidConfig(format!(
+            "stream dependence cycle: only {} of {n} streams orderable",
+            order.len()
+        )));
+    }
+    Ok(order)
 }
 
 #[cfg(test)]
@@ -413,6 +466,60 @@ mod tests {
     }
 
     #[test]
+    fn event_budget_cuts_the_interpreter_loop() {
+        use aff_sim_core::error::{BudgetKind, SimError};
+        let mut space = space();
+        let n = 1000u64;
+        let a = space.heap_alloc(4 * n, 64);
+        let b_arr = space.heap_alloc(4 * n, 64);
+        let c = space.heap_alloc(4 * n, 64);
+        let graph = StreamGraph::vec_add();
+        let bindings = vec![
+            Binding::Load { base: a, elem_size: 4 },
+            Binding::Load { base: b_arr, elem_size: 4 },
+            Binding::Store {
+                base: c,
+                elem_size: 4,
+                compute: Box::new(|v| v[0] + v[1]),
+            },
+        ];
+        // 3 accesses/element x 1000 elements = 3000 events; cap at 100.
+        let budget = RunBudget::unlimited().with_max_events(100);
+        let err = Interp::new(&mut space)
+            .try_execute_affine(&graph, &bindings, n, &budget)
+            .expect_err("3000 accesses exceed a 100-event budget");
+        assert!(matches!(
+            err,
+            SimError::BudgetExhausted {
+                budget: BudgetKind::Events,
+                limit: 100,
+                reached: 101
+            }
+        ));
+        // The unlimited path still works and matches the legacy entry point.
+        let ok = Interp::new(&mut space)
+            .try_execute_affine(&graph, &bindings, n, &RunBudget::unlimited())
+            .expect("unlimited budget");
+        assert_eq!(ok.accesses_per_stream, vec![n, n, n]);
+    }
+
+    #[test]
+    fn mismatched_bindings_are_a_typed_error() {
+        use aff_sim_core::error::SimError;
+        let mut space = space();
+        let graph = StreamGraph::vec_add();
+        let err = Interp::new(&mut space)
+            .try_execute_affine(&graph, &[], 1, &RunBudget::unlimited())
+            .expect_err("no bindings for three streams");
+        match err {
+            SimError::InvalidConfig(msg) => {
+                assert!(msg.contains("one binding per stream"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "one binding per stream")]
     fn binding_count_checked() {
         let mut space = space();
@@ -423,7 +530,7 @@ mod tests {
     #[test]
     fn topo_order_respects_dependences() {
         let g = StreamGraph::push_bfs();
-        let order = topo_order(&g);
+        let order = try_topo_order(&g).expect("builder graphs are acyclic");
         let pos: Vec<usize> = {
             let mut p = vec![0; order.len()];
             for (i, &s) in order.iter().enumerate() {

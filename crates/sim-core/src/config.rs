@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::RunBudget;
 use crate::fault::FaultPlan;
 
 /// Size of one cache line in bytes. Sub-line interleaving is unsupported by
@@ -100,6 +101,12 @@ pub struct MachineConfig {
     /// cache model, allocator, stream engines — sees the same broken machine
     /// without extra plumbing.
     pub faults: FaultPlan,
+    /// Run-to-completion budget ([`RunBudget::unlimited`] by default). Like
+    /// `faults`, it lives on the machine description so the NoC simulators,
+    /// the NSC interpreter and the engine all enforce the same ceilings.
+    /// Serde-defaulted so configs written before budgets existed still load.
+    #[serde(default)]
+    pub budget: RunBudget,
 }
 
 impl MachineConfig {
@@ -132,7 +139,14 @@ impl MachineConfig {
             bank_order: BankOrder::RowMajor,
             allow_npot_interleave: false,
             faults: FaultPlan::none(),
+            budget: RunBudget::unlimited(),
         }
+    }
+
+    /// The same machine with a run budget installed (see [`RunBudget`]).
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The same machine with a fault plan installed. The plan must validate

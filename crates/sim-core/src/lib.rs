@@ -20,12 +20,14 @@
 
 pub mod config;
 pub mod energy;
+pub mod error;
 pub mod fault;
 pub mod rng;
 pub mod stats;
 
 pub use config::MachineConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use error::{BudgetKind, RunBudget, SimError, StallSnapshot};
 pub use fault::{DegradationReport, FaultPlan, FaultPlanError, FaultSpec, LinkRef};
 
 /// A simulated cycle count.

@@ -283,3 +283,76 @@ fn seeded_random_sweep_under_fault_plans() {
         );
     }
 }
+
+#[test]
+fn shallow_buffer_fault_deadlock_is_a_typed_stall_not_a_hang() {
+    // Companion to the deep-buffers workaround above: at `buffer_depth = 1`
+    // the BFS detour tables of this exact seeded plan admit cyclic channel
+    // dependences and the cycle-accurate model wedges. The progress watchdog
+    // must convert that hang into `SimError::Stalled` with a diagnosable
+    // snapshot — blaming the fault plan's links — instead of spinning until
+    // the `max_cycles` safety net.
+    use affinity_alloc_repro::noc::traffic::{Packet, TrafficClass};
+    use affinity_alloc_repro::sim::error::{RunBudget, SimError};
+
+    let spec = FaultSpec {
+        failed_links: 5,
+        degraded_links: 5,
+        max_slowdown: 4,
+        ..FaultSpec::uniform(0)
+    };
+    let cfg = MachineConfig::small_mesh();
+    let plan = FaultPlan::seeded(0xFA11, &cfg, spec);
+    plan.validate(&cfg).expect("seeded plans are valid");
+    let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+    // Saturating all-to-all-ish load: enough concurrent flits that every
+    // cyclic buffer dependence actually fills.
+    let mut pkts = Vec::new();
+    for s in 0..16u32 {
+        for k in 1..8u32 {
+            pkts.push(Packet {
+                src: s,
+                dst: (s * 7 + k * 3) % 16,
+                flits: 4,
+                class: TrafficClass::Data,
+            });
+        }
+    }
+    let budget = RunBudget::unlimited()
+        .with_max_cycles(2_000_000)
+        .with_stall_patience(10_000);
+
+    let shallow = CycleNoc::with_faults(topo, cfg.hop_latency, 1, &plan);
+    let err = shallow
+        .try_simulate(&pkts, &budget)
+        .expect_err("shallow buffers must wedge under this plan");
+    match err {
+        SimError::Stalled(snap) => {
+            assert!(snap.in_flight > 0, "a stall strands flits in flight");
+            assert_eq!(snap.stalled_for, 10_000);
+            assert!(
+                snap.cycle < 2_000_000,
+                "watchdog must fire long before the max_cycles safety net"
+            );
+            assert!(
+                !snap.blamed_links.is_empty(),
+                "the active fault plan's links must be blamed"
+            );
+            assert!(
+                snap.congested_routers().next().is_some(),
+                "the snapshot must localize buffer congestion"
+            );
+        }
+        other => panic!("expected a watchdog stall, got {other}"),
+    }
+
+    // The same plan and load drain fine with deep buffers (deep enough to
+    // hold every flit, as in the sweep above) — the failure is buffer
+    // pressure, not routing.
+    let deep_buffers = pkts.iter().map(|p| p.flits).sum::<u64>() as usize;
+    let deep = CycleNoc::with_faults(topo, cfg.hop_latency, deep_buffers, &plan);
+    let rep = deep
+        .try_simulate(&pkts, &budget)
+        .expect("deep buffers drain the same load");
+    assert_eq!(rep.delivered, pkts.len() as u64);
+}

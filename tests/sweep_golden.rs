@@ -90,6 +90,48 @@ fn parallel_run_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn run_to_completion_guards_do_not_change_golden_bytes() {
+    // Same subset with every run-to-completion guard enabled: per-cell
+    // timeouts (generous — nothing should trip), bounded retries, and the
+    // checkpoint journal. Attempt 0 runs on the unchanged RNG stream and
+    // timeouts only move cells onto watchdog threads, so the figure bytes
+    // must not move either.
+    use aff_bench::sweep::{run_plans_opts, RunOpts};
+    let (plain, _) = reports(1);
+    let opts = HarnessOpts::default();
+    let plans = GOLDEN_FIGS
+        .iter()
+        .map(|id| plan_figure(id, opts).expect("golden figure id is known"))
+        .collect();
+    let journal = std::env::temp_dir().join(format!(
+        "aff-golden-guards-{}.journal",
+        std::process::id()
+    ));
+    let run_opts = RunOpts {
+        cell_timeout_ms: Some(600_000),
+        max_retries: 2,
+        journal: Some(journal.clone()),
+        resume: false,
+        context: 0xF165,
+        ..RunOpts::new(2, opts.seed)
+    };
+    let (figures, report) = run_plans_opts(plans, &run_opts);
+    std::fs::remove_file(&journal).ok();
+    assert_eq!(report.failures().count(), 0, "golden cells must not fail");
+    assert!(report.journal_error.is_none());
+    assert!(report.cells.iter().all(|c| c.attempts == 1 && !c.cached));
+    let mut got = String::new();
+    for fig in &figures {
+        got.push_str(&fig.to_json());
+        got.push('\n');
+    }
+    assert_eq!(
+        got, plain,
+        "timeout/retry/journal guards changed figure bytes: the byte-identity guarantee is broken"
+    );
+}
+
+#[test]
 fn rendered_tables_are_jobs_invariant_too() {
     // `to_json` is what the golden file pins; the human-readable table path
     // must be schedule-invariant as well (it is what `figures all` prints).
