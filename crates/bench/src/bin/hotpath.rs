@@ -1,0 +1,249 @@
+//! Hot-path microbenchmark: times the per-message accounting layers in
+//! isolation — dense route table, heap translation, engine charge
+//! coalescing — each against the hash-map/write-through baseline it
+//! replaced, and writes `BENCH_hotpath.json` (schema `aff-bench/hotpath-v1`).
+//!
+//! ```text
+//! cargo run --release -p aff-bench --bin hotpath -- [--ops N] [--out PATH]
+//! ```
+//!
+//! The access streams are seeded [`SimRng`] draws, so the measured work is
+//! identical run to run; only the wall-clock varies.
+
+use aff_mem::space::{AddressSpace, HeapMapping};
+use aff_noc::topology::Topology;
+use aff_noc::traffic::{TrafficClass, TrafficMatrix};
+use aff_nsc::engine::SimEngine;
+use aff_sim_core::config::{MachineConfig, PAGE_SIZE};
+use aff_sim_core::rng::SimRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One measured layer: the optimized path and its baseline, in Mops/sec.
+struct Layer {
+    name: &'static str,
+    ops: u64,
+    fast_mops: f64,
+    base_mops: f64,
+    /// Checksum equality witness: both paths did the same accounting.
+    checksum: u64,
+}
+
+fn mops(ops: u64, secs: f64) -> f64 {
+    ops as f64 / 1e6 / secs.max(1e-12)
+}
+
+/// Seeded `(src, dst)` message stream with same-pair runs of up to
+/// `max_run` — the shape a vertex's neighbor sweep produces (a linked-CSR
+/// chain node covers a run of edges on one bank).
+fn pair_stream(ops: usize, banks: u32, max_run: u64) -> Vec<(u32, u32)> {
+    let mut rng = SimRng::new(0xB0B);
+    let mut pairs = Vec::with_capacity(ops);
+    while pairs.len() < ops {
+        let src = rng.below(u64::from(banks)) as u32;
+        let dst = rng.below(u64::from(banks)) as u32;
+        let run = 1 + rng.below(max_run) as usize;
+        for _ in 0..run.min(ops - pairs.len()) {
+            pairs.push((src, dst));
+        }
+    }
+    pairs
+}
+
+/// Layer 1: `TrafficMatrix::record_n` through the dense CSR route table
+/// versus the old shape — a `HashMap<(src, dst), Vec<link>>` cache probed
+/// per message.
+fn bench_route_table(ops: u64) -> Layer {
+    let topo = Topology::new(8, 8);
+    let pairs = pair_stream(ops as usize, topo.num_banks(), 4);
+    let cfg = MachineConfig::paper_default();
+
+    let t0 = Instant::now();
+    let mut dense = TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes);
+    for &(s, d) in &pairs {
+        dense.record_n(s, d, 64, TrafficClass::Data, 1);
+    }
+    let fast = t0.elapsed().as_secs_f64();
+    let fast_sum = dense.sum_link_flits();
+
+    let t0 = Instant::now();
+    let mut cache: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+    let mut link_flits = vec![0u64; topo.num_links()];
+    let flits = dense.flits_for(64);
+    for &(s, d) in &pairs {
+        let links = cache.entry((s, d)).or_insert_with(|| {
+            topo.xy_route(s, d)
+                .into_iter()
+                .map(|l| topo.link_index(l) as u32)
+                .collect()
+        });
+        for &idx in links.iter() {
+            link_flits[idx as usize] += flits;
+        }
+    }
+    let base = t0.elapsed().as_secs_f64();
+    let base_sum: u64 = link_flits.iter().sum();
+    assert_eq!(fast_sum, base_sum, "route layers must account identically");
+
+    Layer {
+        name: "route_table",
+        ops,
+        fast_mops: mops(ops, fast),
+        base_mops: mops(ops, base),
+        checksum: fast_sum,
+    }
+}
+
+/// Layer 2: `AddressSpace::bank_of` under `HeapMapping::Random` — flat page
+/// table plus last-translation cache versus a `HashMap` page map.
+fn bench_translation(ops: u64) -> Layer {
+    let cfg = MachineConfig::paper_default();
+    let heap_bytes = 8u64 << 20;
+
+    let mut space = AddressSpace::new(cfg.clone());
+    space.set_heap_mapping(HeapMapping::Random { seed: 7 });
+    let base_va = space.heap_alloc(heap_bytes, PAGE_SIZE);
+    // Sequential element scan: consecutive hits on each page, like a
+    // property-array sweep.
+    let t0 = Instant::now();
+    let mut fast_sum = 0u64;
+    for i in 0..ops {
+        let va = base_va + (i * 8) % heap_bytes;
+        fast_sum += u64::from(space.bank_of(va));
+    }
+    let fast = t0.elapsed().as_secs_f64();
+
+    // The old shape: per-lookup HashMap probe of vpn -> ppn with the same
+    // lazy first-touch frame draws.
+    let t0 = Instant::now();
+    let mut page_map: HashMap<u64, u64> = HashMap::new();
+    let mut rng = SimRng::new(7);
+    let mut base_sum = 0u64;
+    let banks = u64::from(cfg.num_banks());
+    for i in 0..ops {
+        let off = (i * 8) % heap_bytes;
+        let (vpn, in_page) = (off / PAGE_SIZE, off % PAGE_SIZE);
+        let ppn = *page_map
+            .entry(vpn)
+            .or_insert_with(|| rng.below(1 << 24));
+        let pa = ppn * PAGE_SIZE + in_page;
+        base_sum += (pa / cfg.default_interleave) % banks;
+    }
+    let base = t0.elapsed().as_secs_f64();
+    assert_eq!(fast_sum, base_sum, "translation layers must agree");
+
+    Layer {
+        name: "translation",
+        ops,
+        fast_mops: mops(ops, fast),
+        base_mops: mops(ops, base),
+        checksum: fast_sum,
+    }
+}
+
+/// Layer 3: the same engine charge primitives with coalescing on versus
+/// write-through (one `TrafficMatrix::record_n` per message, the old
+/// engine behavior).
+fn bench_coalescing(ops: u64) -> Layer {
+    let cfg = MachineConfig::paper_default();
+    // One linked-CSR chain node serves a run of edges from one bank.
+    let pairs = pair_stream(ops as usize, cfg.num_banks(), 16);
+
+    let t0 = Instant::now();
+    let mut engine = SimEngine::new(cfg.clone());
+    for &(s, d) in &pairs {
+        engine.indirect(s, d, 8, 1);
+    }
+    let fast = t0.elapsed().as_secs_f64();
+    let fast_sum = engine.traffic().sum_link_flits();
+
+    let t0 = Instant::now();
+    let mut engine = SimEngine::new(cfg.clone());
+    engine.set_coalescing(false);
+    for &(s, d) in &pairs {
+        engine.indirect(s, d, 8, 1);
+    }
+    let base = t0.elapsed().as_secs_f64();
+    let base_sum = engine.traffic().sum_link_flits();
+    assert_eq!(fast_sum, base_sum, "coalescing layers must agree");
+
+    Layer {
+        name: "coalescing",
+        ops,
+        fast_mops: mops(ops, fast),
+        base_mops: mops(ops, base),
+        checksum: fast_sum,
+    }
+}
+
+fn render_json(layers: &[Layer]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"aff-bench/hotpath-v1\",\n  \"layers\": [\n");
+    for (i, l) in layers.iter().enumerate() {
+        let speedup = l.fast_mops / l.base_mops.max(1e-12);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"fast_mops_per_sec\": {:.3}, \
+             \"baseline_mops_per_sec\": {:.3}, \"speedup\": {:.3}, \"checksum\": {}}}{}\n",
+            l.name,
+            l.ops,
+            l.fast_mops,
+            l.base_mops,
+            speedup,
+            l.checksum,
+            if i + 1 < layers.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut ops: u64 = 4_000_000;
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ops" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(n) => ops = n,
+                    Err(_) => {
+                        eprintln!("--ops wants an integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out wants a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}' (use --ops N / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let layers = [
+        bench_route_table(ops),
+        bench_translation(ops),
+        bench_coalescing(ops),
+    ];
+    for l in &layers {
+        println!(
+            "{:<12} {:>7.1} Mops/s vs baseline {:>7.1} Mops/s  ({:.2}x)",
+            l.name,
+            l.fast_mops,
+            l.base_mops,
+            l.fast_mops / l.base_mops.max(1e-12)
+        );
+    }
+    let json = render_json(&layers);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(3);
+    }
+    println!("wrote {out_path}");
+}

@@ -80,15 +80,24 @@ impl HashChainTable {
     /// nodes visited (all of them on a miss, up to and including the match
     /// on a hit), plus whether it hit.
     pub fn probe(&self, key: u64) -> (u32, Vec<u32>, bool) {
-        let b = Self::bucket_of_key(key, self.num_buckets());
         let mut visited = Vec::new();
+        let (head, hit) = self.probe_into(key, &mut visited);
+        (head, visited, hit)
+    }
+
+    /// Allocation-free [`Self::probe`]: clears `visited`, appends the banks
+    /// of the chain nodes walked, and returns `(head_bank, hit)`. Lets the
+    /// hash-join inner loop reuse one buffer across half a million probes.
+    pub fn probe_into(&self, key: u64, visited: &mut Vec<u32>) -> (u32, bool) {
+        visited.clear();
+        let b = Self::bucket_of_key(key, self.num_buckets());
         for node in &self.chains[b as usize] {
             visited.push(node.bank);
             if node.key == key {
-                return (self.head_bank(b), visited, true);
+                return (self.head_bank(b), true);
             }
         }
-        (self.head_bank(b), visited, false)
+        (self.head_bank(b), false)
     }
 
     /// Longest chain (Table 3 expects ≤ 8 with the right bucket count).

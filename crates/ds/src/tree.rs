@@ -112,20 +112,29 @@ impl AffBinaryTree {
     /// search ends (found or leaf).
     pub fn lookup_path_banks(&self, key: u64) -> Vec<u32> {
         let mut path = Vec::new();
+        self.lookup_path_banks_into(key, &mut path);
+        path
+    }
+
+    /// Allocation-free [`Self::lookup_path_banks`]: clears `path` and fills
+    /// it with the lookup's bank sequence. Lets the bin_tree lookup loop
+    /// reuse one buffer across half a million lookups.
+    pub fn lookup_path_banks_into(&self, key: u64, path: &mut Vec<u32>) {
+        path.clear();
         if self.nodes.is_empty() {
-            return path;
+            return;
         }
         let mut cur = 0u32;
         loop {
             let n = &self.nodes[cur as usize];
             path.push(n.bank);
             if n.key == key {
-                return path;
+                return;
             }
             let next = if key < n.key { n.left } else { n.right };
             match next {
                 Some(c) => cur = c,
-                None => return path,
+                None => return,
             }
         }
     }

@@ -17,6 +17,12 @@ use std::collections::HashMap;
 /// addresses; see [`crate::pool::POOL_VA_BASE`]).
 pub const HEAP_VA_BASE: u64 = 0x1000_0000;
 
+/// Physical-frame window for [`HeapMapping::Random`] page assignment.
+const HEAP_FRAMES: u64 = 1 << 24;
+
+/// Sentinel in the flat heap page table for a not-yet-touched page.
+const UNMAPPED: u64 = u64::MAX;
+
 /// How heap virtual pages map to physical pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HeapMapping {
@@ -39,7 +45,13 @@ pub struct AddressSpace {
     memory: SimMemory,
     heap_brk: u64,
     heap_mapping: HeapMapping,
-    heap_page_map: HashMap<u64, u64>,
+    /// Flat vpn-indexed page table (`UNMAPPED` = not yet touched). Frames
+    /// are still drawn lazily on first touch, so the RNG draw order — and
+    /// therefore every Random layout — is identical to the old hash map.
+    heap_pages: Vec<u64>,
+    /// Last `(vpn, ppn)` translation — graph props and edge arrays hit the
+    /// same page for many consecutive elements.
+    last_heap_page: (u64, u64),
     heap_rng: SimRng,
     /// Bump cursor per pool for the simple `pool_alloc_at` path.
     pool_brk: HashMap<PoolId, u64>,
@@ -62,7 +74,8 @@ impl AddressSpace {
             memory: SimMemory::new(),
             heap_brk: 0,
             heap_mapping: HeapMapping::Linear,
-            heap_page_map: HashMap::new(),
+            heap_pages: Vec::new(),
+            last_heap_page: (UNMAPPED, 0),
             heap_rng: SimRng::new(0x5EED),
             pool_brk: HashMap::new(),
         }
@@ -77,6 +90,7 @@ impl AddressSpace {
     /// *after* the call; set it before allocating for a clean experiment.
     pub fn set_heap_mapping(&mut self, mapping: HeapMapping) {
         self.heap_mapping = mapping;
+        self.last_heap_page = (UNMAPPED, 0);
         if let HeapMapping::Random { seed } = mapping {
             self.heap_rng = SimRng::new(seed);
         }
@@ -106,22 +120,36 @@ impl AddressSpace {
         va
     }
 
+    #[inline]
     fn heap_translate(&mut self, va: VAddr) -> PAddr {
         let off = va.raw() - HEAP_VA_BASE;
         let (vpn, in_page) = (off / PAGE_SIZE, off % PAGE_SIZE);
         match self.heap_mapping {
             HeapMapping::Linear => PAddr(off),
             HeapMapping::Random { .. } => {
-                // Lazily assign each page a random frame in a large window.
-                const FRAMES: u64 = 1 << 24;
-                let rng = &mut self.heap_rng;
-                let ppn = *self
-                    .heap_page_map
-                    .entry(vpn)
-                    .or_insert_with(|| rng.below(FRAMES));
+                if self.last_heap_page.0 == vpn {
+                    return PAddr(self.last_heap_page.1 * PAGE_SIZE + in_page);
+                }
+                let ppn = self.heap_page_ppn(vpn);
+                self.last_heap_page = (vpn, ppn);
                 PAddr(ppn * PAGE_SIZE + in_page)
             }
         }
+    }
+
+    /// Frame of `vpn`, lazily assigning a random one on first touch (the
+    /// draw happens at the same point in the access stream as the old
+    /// `HashMap::entry` path, keeping Random layouts bit-identical).
+    fn heap_page_ppn(&mut self, vpn: u64) -> u64 {
+        let idx = vpn as usize;
+        if idx >= self.heap_pages.len() {
+            self.heap_pages.resize(idx + 1, UNMAPPED);
+        }
+        let slot = &mut self.heap_pages[idx];
+        if *slot == UNMAPPED {
+            *slot = self.heap_rng.below(HEAP_FRAMES);
+        }
+        *slot
     }
 
     // ----- interleave pools -----

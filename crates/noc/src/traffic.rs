@@ -18,7 +18,6 @@ use crate::fault_route::{FaultRouter, LIMP_COST};
 use crate::topology::{BankId, Topology};
 use aff_sim_core::fault::{DegradationReport, FaultPlan};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The paper's three traffic classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -62,17 +61,138 @@ pub struct Packet {
     pub class: TrafficClass,
 }
 
-/// A cached resolved route plus its degradation facts.
-#[derive(Debug, Clone)]
-struct CachedRoute {
-    /// Link indices in traversal order.
-    links: Box<[u32]>,
+/// Arena offset marking a pair whose route has not been resolved yet.
+const UNRESOLVED: u32 = u32::MAX;
+
+/// One resolved route in the dense table: where its links live in the arena
+/// plus the degradation facts the accounting loop needs. 16 bytes, `Copy`,
+/// so the hot path reads it with one indexed load and no pointer chase.
+#[derive(Debug, Clone, Copy)]
+struct RouteEntry {
+    /// First link's offset into [`RouteTable::arena`], or [`UNRESOLVED`].
+    start: u32,
+    /// Number of links.
+    len: u32,
     /// Extra crossings beyond the Manhattan minimum.
     detour_hops: u32,
     /// Differs from the fault-free X-Y route.
     rerouted: bool,
     /// Forced through dead links at [`LIMP_COST`]× effective cost.
     limped: bool,
+}
+
+impl RouteEntry {
+    const EMPTY: RouteEntry = RouteEntry {
+        start: UNRESOLVED,
+        len: 0,
+        detour_hops: 0,
+        rerouted: false,
+        limped: false,
+    };
+}
+
+/// Dense route table: pair `(src, dst)` lives at slot `src * n_banks + dst`,
+/// and every pair's link list lives in one shared CSR-style arena (per-pair
+/// offset + one flat `u32` link-index array). Built lazily — irregular
+/// workloads record millions of per-element messages over at most
+/// `n_banks²` distinct routes, so each route is resolved once and then read
+/// with two array indexes: no hashing, no per-route allocation.
+#[derive(Debug, Clone)]
+struct RouteTable {
+    /// Bank count the slot index is computed against.
+    n_banks: usize,
+    /// Per-pair entries, `UNRESOLVED` until first use.
+    entries: Vec<RouteEntry>,
+    /// Flat link-index arena; entry `e` owns `arena[e.start..e.start+e.len]`.
+    arena: Vec<u32>,
+}
+
+impl RouteTable {
+    fn new(topo: Topology) -> Self {
+        let n = topo.num_banks() as usize;
+        Self {
+            n_banks: n,
+            entries: vec![RouteEntry::EMPTY; n * n],
+            arena: Vec::new(),
+        }
+    }
+
+    /// The entry for `src → dst`, resolving and appending to the arena on
+    /// first use. A single indexed load on every later call — this is the
+    /// get-or-build that replaced the `contains_key`/`insert`/index triple
+    /// probe of the old `HashMap` cache.
+    #[inline]
+    fn get_or_build(
+        &mut self,
+        src: BankId,
+        dst: BankId,
+        topo: Topology,
+        router: Option<&FaultRouter>,
+    ) -> RouteEntry {
+        let slot = src as usize * self.n_banks + dst as usize;
+        let e = self.entries[slot];
+        if e.start != UNRESOLVED {
+            return e;
+        }
+        self.build(slot, src, dst, topo, router)
+    }
+
+    #[cold]
+    fn build(
+        &mut self,
+        slot: usize,
+        src: BankId,
+        dst: BankId,
+        topo: Topology,
+        router: Option<&FaultRouter>,
+    ) -> RouteEntry {
+        let start = self.arena.len() as u32;
+        let entry = match router {
+            None => {
+                self.arena
+                    .extend(topo.xy_route(src, dst).into_iter().map(|l| topo.link_index(l) as u32));
+                RouteEntry {
+                    start,
+                    len: self.arena.len() as u32 - start,
+                    detour_hops: 0,
+                    rerouted: false,
+                    limped: false,
+                }
+            }
+            Some(r) => {
+                let fr = r.route(src, dst);
+                self.arena.extend_from_slice(&fr.links);
+                RouteEntry {
+                    start,
+                    len: fr.links.len() as u32,
+                    detour_hops: fr.detour_hops,
+                    rerouted: fr.rerouted,
+                    limped: fr.limped,
+                }
+            }
+        };
+        self.entries[slot] = entry;
+        entry
+    }
+
+    /// The link indices an entry owns.
+    #[inline]
+    fn links(&self, e: RouteEntry) -> &[u32] {
+        &self.arena[e.start as usize..(e.start + e.len) as usize]
+    }
+}
+
+/// A resolved route as the dense table records it (tests, diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedRoute<'a> {
+    /// Link indices in traversal order (see [`Topology::link_index`]).
+    pub links: &'a [u32],
+    /// Whether the route differs from the fault-free X-Y route.
+    pub rerouted: bool,
+    /// Link crossings beyond the Manhattan minimum.
+    pub detour_hops: u32,
+    /// Whether the route limps through dead links at [`LIMP_COST`]× cost.
+    pub limped: bool,
 }
 
 /// Accumulates flit-hops per link and per class for one kernel execution.
@@ -106,9 +226,8 @@ pub struct TrafficMatrix {
     limped_messages: u64,
     /// Optional packet log for DES replay.
     log: Option<Vec<Packet>>,
-    /// Cached resolved routes; irregular workloads record millions of
-    /// per-element messages over at most n_banks^2 distinct routes.
-    route_cache: HashMap<(BankId, BankId), CachedRoute>,
+    /// Dense lazily-built route table (offset array + flat link arena).
+    routes: RouteTable,
 }
 
 impl TrafficMatrix {
@@ -130,7 +249,7 @@ impl TrafficMatrix {
             detour_hops: 0,
             limped_messages: 0,
             log: None,
-            route_cache: HashMap::new(),
+            routes: RouteTable::new(topo),
         }
     }
 
@@ -194,39 +313,16 @@ impl TrafficMatrix {
             self.local_messages[class.idx()] += count;
             return;
         }
-        if !self.route_cache.contains_key(&(src, dst)) {
-            let entry = match self.router.as_deref() {
-                None => CachedRoute {
-                    links: self
-                        .topo
-                        .xy_route(src, dst)
-                        .into_iter()
-                        .map(|l| self.topo.link_index(l) as u32)
-                        .collect(),
-                    detour_hops: 0,
-                    rerouted: false,
-                    limped: false,
-                },
-                Some(r) => {
-                    let fr = r.route(src, dst);
-                    CachedRoute {
-                        links: fr.links.into_boxed_slice(),
-                        detour_hops: fr.detour_hops,
-                        rerouted: fr.rerouted,
-                        limped: fr.limped,
-                    }
-                }
-            };
-            self.route_cache.insert((src, dst), entry);
-        }
-        let route = &self.route_cache[&(src, dst)];
-        for &idx in route.links.iter() {
+        let route = self
+            .routes
+            .get_or_build(src, dst, self.topo, self.router.as_deref());
+        for &idx in self.routes.links(route) {
             self.link_flits[idx as usize] += flits * count;
         }
         if let (Some(eff), Some(router)) =
             (&mut self.effective_link_flits, self.router.as_deref())
         {
-            for &idx in route.links.iter() {
+            for &idx in self.routes.links(route) {
                 // A limped route pays the penalty on every crossing; healthy
                 // routes pay each link's own degradation multiplier.
                 let mult = if route.limped {
@@ -244,7 +340,7 @@ impl TrafficMatrix {
         if route.limped {
             self.limped_messages += count;
         }
-        self.hop_flits[class.idx()] += flits * count * route.links.len() as u64;
+        self.hop_flits[class.idx()] += flits * count * u64::from(route.len);
         if let Some(log) = &mut self.log {
             for _ in 0..count {
                 log.push(Packet {
@@ -254,6 +350,23 @@ impl TrafficMatrix {
                     class,
                 });
             }
+        }
+    }
+
+    /// The route `src → dst` as the dense table resolves it — exactly the
+    /// links and degradation facts [`TrafficMatrix::record_n`] charges.
+    /// Resolves (and caches) the entry on first use, the same lazy path the
+    /// hot loop takes; exposed so tests can pin the table against
+    /// [`Topology::xy_route`] and [`FaultRouter::route`].
+    pub fn route_of(&mut self, src: BankId, dst: BankId) -> ResolvedRoute<'_> {
+        let e = self
+            .routes
+            .get_or_build(src, dst, self.topo, self.router.as_deref());
+        ResolvedRoute {
+            links: self.routes.links(e),
+            rerouted: e.rerouted,
+            detour_hops: e.detour_hops,
+            limped: e.limped,
         }
     }
 
@@ -566,6 +679,93 @@ mod proptests {
             prop_assert_eq!(bulk.bottleneck_link_flits(), single.bottleneck_link_flits());
             let u = bulk.utilization();
             prop_assert!((0.0..=1.0).contains(&u));
+        }
+
+        /// The dense route table agrees with `Topology::xy_route` on a
+        /// fault-free matrix and with `FaultRouter::route` under non-empty
+        /// plans — reroutes (failed links), limps (isolated corners) and
+        /// multipliers (degraded links) — for every `(src, dst)` pair on
+        /// several mesh sizes.
+        #[test]
+        fn dense_route_table_agrees_with_routers(
+            mesh_x in 2u32..6,
+            mesh_y in 2u32..6,
+            kills in proptest::collection::vec(
+                (0u32..6, 0u32..6, 0usize..4),
+                0..6,
+            ),
+            slows in proptest::collection::vec(
+                (0u32..6, 0u32..6, 0usize..4, 2u32..8),
+                0..4,
+            ),
+            isolate_corner in proptest::arbitrary::any::<bool>(),
+        ) {
+            use crate::fault_route::FaultRouter;
+            use aff_sim_core::fault::LinkRef;
+            let topo = Topology::new(mesh_x, mesh_y);
+            let n = topo.num_banks();
+
+            // Fault-free: the table is exactly X-Y.
+            let mut plain = TrafficMatrix::new(topo, 32, 8);
+            for src in 0..n {
+                for dst in 0..n {
+                    let want: Vec<u32> = topo
+                        .xy_route(src, dst)
+                        .into_iter()
+                        .map(|l| topo.link_index(l) as u32)
+                        .collect();
+                    let got = plain.route_of(src, dst);
+                    prop_assert_eq!(got.links, &want[..], "{}->{}", src, dst);
+                    prop_assert!(!got.rerouted && !got.limped);
+                    prop_assert_eq!(got.detour_hops, 0);
+                }
+            }
+
+            // Faulted: the table is exactly the fault router.
+            let dirs: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+            let link_at = |x: u32, y: u32, d: usize| -> Option<LinkRef> {
+                let (dx, dy) = dirs[d];
+                let (tx, ty) = (i64::from(x) + dx, i64::from(y) + dy);
+                if x >= mesh_x || y >= mesh_y || tx < 0 || ty < 0 {
+                    return None;
+                }
+                let (tx, ty) = (tx as u32, ty as u32);
+                if tx >= mesh_x || ty >= mesh_y {
+                    return None;
+                }
+                LinkRef::between(x, y, tx, ty)
+            };
+            let mut plan = FaultPlan::none();
+            for &(x, y, d) in &kills {
+                if let Some(l) = link_at(x, y, d) {
+                    plan = plan.fail_link(l);
+                }
+            }
+            for &(x, y, d, m) in &slows {
+                if let Some(l) = link_at(x, y, d) {
+                    plan = plan.degrade_link(l, m);
+                }
+            }
+            if isolate_corner {
+                // Force the limped branch: corner (0,0) cannot send.
+                for l in [link_at(0, 0, 0), link_at(0, 0, 2)].into_iter().flatten() {
+                    plan = plan.fail_link(l);
+                }
+            }
+            if plan.has_link_faults() {
+                let router = FaultRouter::new(topo, &plan);
+                let mut faulted = TrafficMatrix::with_faults(topo, 32, 8, &plan);
+                for src in 0..n {
+                    for dst in 0..n {
+                        let want = router.route(src, dst);
+                        let got = faulted.route_of(src, dst);
+                        prop_assert_eq!(got.links, &want.links[..], "{}->{}", src, dst);
+                        prop_assert_eq!(got.rerouted, want.rerouted);
+                        prop_assert_eq!(got.detour_hops, want.detour_hops);
+                        prop_assert_eq!(got.limped, want.limped);
+                    }
+                }
+            }
         }
     }
 }

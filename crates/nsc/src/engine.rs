@@ -36,6 +36,24 @@ pub const CREDIT_BATCH: u64 = 64;
 /// Bytes of architectural state carried by a stream migration.
 pub const MIGRATE_STATE_BYTES: u64 = 32;
 
+/// Slots in the run-length coalescing buffer. Four covers every charge
+/// primitive (each records at most four distinct messages), so alternating
+/// request/response pairs from a tight per-element loop still coalesce.
+const COALESCE_SLOTS: usize = 4;
+
+/// One buffered traffic charge awaiting coalescing: consecutive charges to
+/// the same `(src, dst, payload, class)` — the common case when a vertex's
+/// neighbors share a bank — collapse into one `record_n` instead of probing
+/// the traffic matrix per element.
+#[derive(Debug, Clone, Copy)]
+struct PendingCharge {
+    src: BankId,
+    dst: BankId,
+    payload_bytes: u64,
+    class: TrafficClass,
+    count: u64,
+}
+
 /// Where the analytic cycle count came from.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CycleBreakdown {
@@ -150,6 +168,18 @@ pub struct SimEngine {
     /// Failed-bank → spare-bank table, present only when the machine's fault
     /// plan kills banks. `None` leaves every primitive on its original path.
     spare: Option<SpareMap>,
+    /// `spare.is_none()`, hoisted so the per-message fast path of a healthy
+    /// machine skips the redirect machinery with one predictable branch.
+    healthy: bool,
+    /// Run-length coalescing buffer (see [`PendingCharge`]). Flushed before
+    /// any read of the traffic matrix; every buffered charge lands via the
+    /// same `record_n` it would have taken directly, so all accounting —
+    /// which is purely additive — is byte-identical either way.
+    pending: Vec<PendingCharge>,
+    /// Whether charges may be buffered. Off once the packet log is enabled:
+    /// coalescing reorders messages across unlike charges, and the DES
+    /// replay consumes the log in recording order.
+    coalesce: bool,
     /// Degradation observed so far (spare remaps, In-Core fallbacks); routing
     /// counters live in the traffic matrix and merge in at `finish`.
     report: DegradationReport,
@@ -191,18 +221,73 @@ impl SimEngine {
             private_hits: 0,
             serial_cycles: 0,
             explicit_dram_lines: 0,
+            healthy: spare.is_none(),
             spare,
             report: DegradationReport::default(),
             remapped_seen: vec![false; n],
+            pending: Vec::with_capacity(COALESCE_SLOTS),
+            coalesce: true,
         }
     }
 
     /// The bank that actually serves accesses homed at `bank`: `bank` itself
-    /// when its L3 slice is alive, its spare otherwise.
+    /// when its L3 slice is alive, its spare otherwise. The healthy-machine
+    /// fast path is a single branch — no `Option` probe per message.
+    #[inline]
     fn serving_bank(&self, bank: BankId) -> BankId {
+        if self.healthy {
+            return bank;
+        }
         match &self.spare {
             Some(s) => s.redirect(bank),
             None => bank,
+        }
+    }
+
+    /// Buffer one traffic charge, collapsing it into a pending run when the
+    /// `(src, dst, payload, class)` tuple matches. Every traffic counter is
+    /// additive and order-independent, and `record_n` of a merged run is
+    /// exactly `n` single records (pinned by the matrix proptests), so the
+    /// figures are byte-identical with coalescing on or off. With the packet
+    /// log enabled the buffer is bypassed entirely — log order is
+    /// load-bearing for DES replay.
+    #[inline]
+    fn charge(
+        &mut self,
+        src: BankId,
+        dst: BankId,
+        payload_bytes: u64,
+        class: TrafficClass,
+        count: u64,
+    ) {
+        if !self.coalesce {
+            self.traffic.record_n(src, dst, payload_bytes, class, count);
+            return;
+        }
+        for p in &mut self.pending {
+            if p.src == src && p.dst == dst && p.payload_bytes == payload_bytes && p.class == class
+            {
+                p.count += count;
+                return;
+            }
+        }
+        if self.pending.len() == COALESCE_SLOTS {
+            self.flush_charges();
+        }
+        self.pending.push(PendingCharge {
+            src,
+            dst,
+            payload_bytes,
+            class,
+            count,
+        });
+    }
+
+    /// Drain the coalescing buffer into the traffic matrix.
+    fn flush_charges(&mut self) {
+        for p in self.pending.drain(..) {
+            self.traffic
+                .record_n(p.src, p.dst, p.payload_bytes, p.class, p.count);
         }
     }
 
@@ -216,14 +301,28 @@ impl SimEngine {
         self.topo
     }
 
-    /// Direct read access to the traffic matrix (tests, DES replay).
-    pub fn traffic(&self) -> &TrafficMatrix {
+    /// Direct read access to the traffic matrix (tests, DES replay). Takes
+    /// `&mut self` so pending coalesced charges land before the read.
+    pub fn traffic(&mut self) -> &TrafficMatrix {
+        self.flush_charges();
         &self.traffic
     }
 
-    /// Enable packet logging on the traffic matrix for DES replay.
+    /// Enable packet logging on the traffic matrix for DES replay. Turns
+    /// charge coalescing off — the log's message order is what the DES model
+    /// replays, so every later charge records write-through.
     pub fn enable_packet_log(&mut self) {
+        self.flush_charges();
+        self.coalesce = false;
         self.traffic.enable_log();
+    }
+
+    /// Toggle charge coalescing (on by default). Pending charges are
+    /// flushed first, so the switch never drops or reorders accounting.
+    /// With a packet log active, coalescing stays off regardless.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.flush_charges();
+        self.coalesce = on && self.traffic.packets().is_none();
     }
 
     /// Bank counters accumulated so far.
@@ -308,8 +407,8 @@ impl SimEngine {
     /// request header out, full line back.
     pub fn core_read_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
         let bank = self.serving_bank(bank);
-        self.traffic.record_n(core, bank, 0, TrafficClass::Control, lines);
-        self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, lines);
+        self.charge(core, bank, 0, TrafficClass::Control, lines);
+        self.charge(bank, core, CACHE_LINE, TrafficClass::Data, lines);
         self.banks.access(bank, lines);
         self.miss_eligible[bank as usize] += lines;
     }
@@ -320,9 +419,9 @@ impl SimEngine {
     /// construction and "write directly to L3" (§2.1).
     pub fn core_write_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
         let bank = self.serving_bank(bank);
-        self.traffic.record_n(core, bank, 0, TrafficClass::Control, lines);
-        self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, lines);
-        self.traffic.record_n(core, bank, CACHE_LINE, TrafficClass::Data, lines);
+        self.charge(core, bank, 0, TrafficClass::Control, lines);
+        self.charge(bank, core, CACHE_LINE, TrafficClass::Data, lines);
+        self.charge(core, bank, CACHE_LINE, TrafficClass::Data, lines);
         self.banks.access(bank, 2 * lines);
         // Only the RFO fill can miss; the writeback is not a fetch.
         self.miss_eligible[bank as usize] += lines;
@@ -334,12 +433,12 @@ impl SimEngine {
     /// contention).
     pub fn core_atomic(&mut self, core: BankId, bank: BankId, contended: bool, n: u64) {
         let bank = self.serving_bank(bank);
-        self.traffic.record_n(core, bank, 0, TrafficClass::Control, n);
-        self.traffic.record_n(bank, core, CACHE_LINE, TrafficClass::Data, n);
+        self.charge(core, bank, 0, TrafficClass::Control, n);
+        self.charge(bank, core, CACHE_LINE, TrafficClass::Data, n);
         if contended {
             // Invalidation + ownership transfer from the previous writer.
-            self.traffic.record_n(bank, core, 0, TrafficClass::Control, n);
-            self.traffic.record_n(core, bank, CACHE_LINE, TrafficClass::Data, n);
+            self.charge(bank, core, 0, TrafficClass::Control, n);
+            self.charge(core, bank, CACHE_LINE, TrafficClass::Data, n);
         }
         self.banks.atomic(bank, n);
         self.miss_eligible[bank as usize] += n;
@@ -359,8 +458,7 @@ impl SimEngine {
             // and the stream runs In-Core at the tile instead.
             self.report.incore_fallback_streams += num_streams;
         }
-        self.traffic
-            .record_n(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
+        self.charge(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
         self.serial_cycles += self.config.sel3_compute_init_latency;
     }
 
@@ -373,8 +471,7 @@ impl SimEngine {
             if target != b {
                 self.report.incore_fallback_streams += num_streams;
             }
-            self.traffic
-                .record_n(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
+            self.charge(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
         }
         self.serial_cycles += self.config.sel3_compute_init_latency;
     }
@@ -384,7 +481,7 @@ impl SimEngine {
     pub fn credits(&mut self, core: BankId, bank: BankId, iterations: u64) {
         let bank = self.serving_bank(bank);
         let msgs = iterations.div_ceil(CREDIT_BATCH);
-        self.traffic.record_n(core, bank, 0, TrafficClass::Control, msgs);
+        self.charge(core, bank, 0, TrafficClass::Control, msgs);
     }
 
     /// A stream migrates from `from` to `to`, carrying its architectural
@@ -394,15 +491,14 @@ impl SimEngine {
         if f != from || t != to {
             self.report.rerouted_migrations += n;
         }
-        self.traffic
-            .record_n(f, t, MIGRATE_STATE_BYTES, TrafficClass::Offload, n);
+        self.charge(f, t, MIGRATE_STATE_BYTES, TrafficClass::Offload, n);
     }
 
     /// Producer stream at `from` forwards `n` values of `bytes` each to the
     /// consumer stream at `to` (Data class). Same-bank forwarding is free on
     /// the NoC — the whole point of affinity alloc.
     pub fn forward(&mut self, from: BankId, to: BankId, bytes: u64, n: u64) {
-        self.traffic.record_n(from, to, bytes, TrafficClass::Data, n);
+        self.charge(from, to, bytes, TrafficClass::Data, n);
     }
 
     /// Stream at `bank` reads `lines` lines of its own bank's data. When the
@@ -411,9 +507,8 @@ impl SimEngine {
     pub fn bank_read_lines(&mut self, bank: BankId, lines: u64) {
         let target = self.serving_bank(bank);
         if target != bank {
-            self.traffic.record_n(bank, target, 0, TrafficClass::Control, lines);
-            self.traffic
-                .record_n(target, bank, CACHE_LINE, TrafficClass::Data, lines);
+            self.charge(bank, target, 0, TrafficClass::Control, lines);
+            self.charge(target, bank, CACHE_LINE, TrafficClass::Data, lines);
         }
         self.banks.access(target, lines);
         self.miss_eligible[target as usize] += lines;
@@ -425,9 +520,8 @@ impl SimEngine {
     pub fn bank_read_lines_reuse(&mut self, bank: BankId, lines: u64) {
         let target = self.serving_bank(bank);
         if target != bank {
-            self.traffic.record_n(bank, target, 0, TrafficClass::Control, lines);
-            self.traffic
-                .record_n(target, bank, CACHE_LINE, TrafficClass::Data, lines);
+            self.charge(bank, target, 0, TrafficClass::Control, lines);
+            self.charge(target, bank, CACHE_LINE, TrafficClass::Data, lines);
         }
         self.banks.access(target, lines);
     }
@@ -438,8 +532,7 @@ impl SimEngine {
     pub fn bank_write_lines(&mut self, bank: BankId, lines: u64) {
         let target = self.serving_bank(bank);
         if target != bank {
-            self.traffic
-                .record_n(bank, target, CACHE_LINE, TrafficClass::Data, lines);
+            self.charge(bank, target, CACHE_LINE, TrafficClass::Data, lines);
         }
         self.banks.access(target, lines);
     }
@@ -449,9 +542,9 @@ impl SimEngine {
     /// remote bank.
     pub fn indirect(&mut self, from: BankId, to: BankId, resp_bytes: u64, n: u64) {
         let to = self.serving_bank(to);
-        self.traffic.record_n(from, to, 0, TrafficClass::Control, n);
+        self.charge(from, to, 0, TrafficClass::Control, n);
         if resp_bytes > 0 {
-            self.traffic.record_n(to, from, resp_bytes, TrafficClass::Data, n);
+            self.charge(to, from, resp_bytes, TrafficClass::Data, n);
         }
         self.banks.access(to, n);
         self.miss_eligible[to as usize] += n;
@@ -463,8 +556,8 @@ impl SimEngine {
     /// outcome flows back (predication input for dependent streams).
     pub fn remote_atomic(&mut self, from: BankId, to: BankId, n: u64) {
         let to = self.serving_bank(to);
-        self.traffic.record_n(from, to, 8, TrafficClass::Control, n);
-        self.traffic.record_n(to, from, 8, TrafficClass::Data, n);
+        self.charge(from, to, 8, TrafficClass::Control, n);
+        self.charge(to, from, 8, TrafficClass::Data, n);
         self.banks.atomic(to, n);
         self.miss_eligible[to as usize] += n;
         self.se_ops(to, n);
@@ -506,6 +599,7 @@ impl SimEngine {
     /// Resolve capacity misses, compute the cycle estimate, and produce
     /// [`Metrics`]. Consumes the engine — one engine per kernel execution.
     pub fn finish(mut self) -> Metrics {
+        self.flush_charges();
         // Capacity misses: each bank's accesses miss at the rate its resident
         // working set exceeds its capacity.
         let mut total_misses = 0u64;
@@ -638,6 +732,45 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn coalesced_charges_match_write_through() {
+        // The same primitive sequence through a coalescing engine and a
+        // write-through one (packet logging turns coalescing off) must
+        // produce identical accounting.
+        let drive = |e: &mut SimEngine| {
+            e.offload_config_multicast(0, 2);
+            for i in 0..200u64 {
+                let b = (i % 3) as u32;
+                e.bank_read_lines(b, 1);
+                e.remote_atomic(b, 9, 1);
+                e.indirect(9, b, 8, 1);
+                e.migrate(b, (b + 1) % 64, 1);
+            }
+            e.core_read_lines(0, 9, 50);
+            e.forward(0, 1, 24, 1000);
+        };
+        let mut a = engine();
+        drive(&mut a);
+        let mut b = engine();
+        b.enable_packet_log();
+        drive(&mut b);
+        let (ma, mb) = (a.finish(), b.finish());
+        assert_eq!(ma.cycles, mb.cycles);
+        assert_eq!(ma.total_hop_flits, mb.total_hop_flits);
+        assert_eq!(ma.breakdown, mb.breakdown);
+        assert_eq!(ma.dram_accesses, mb.dram_accesses);
+        for c in [TrafficClass::Offload, TrafficClass::Data, TrafficClass::Control] {
+            assert_eq!(ma.hop_flits_of(c), mb.hop_flits_of(c));
+        }
+    }
+
+    #[test]
+    fn traffic_accessor_flushes_pending_charges() {
+        let mut e = engine();
+        e.remote_atomic(0, 9, 1); // fewer charges than one coalescing window
+        assert!(e.traffic().total_hop_flits() > 0);
     }
 
     #[test]

@@ -21,7 +21,6 @@ use crate::stream::{DepKind, StreamGraph};
 use aff_mem::addr::VAddr;
 use aff_mem::space::AddressSpace;
 use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
-use std::collections::HashMap;
 
 /// Arithmetic attached to a computing stream: inputs are the values of its
 /// `Value`-edge producers, in declaration order.
@@ -168,9 +167,12 @@ impl<'a> Interp<'a> {
             predicated_off: vec![0; bindings.len()],
         };
         let mut events = 0u64;
-        let mut values: HashMap<usize, u64> = HashMap::new();
+        // Stream slots are small dense integers: a flat vector (absent slot
+        // reads 0) replaces the per-element hash map.
+        let mut values: Vec<u64> = vec![0; graph.num_streams()];
+        let mut value_inputs: Vec<u64> = Vec::new();
         for i in 0..n {
-            values.clear();
+            values.fill(0);
             if let Some(dl) = deadline {
                 // Amortize the syscall: one wall-clock check per 4096 elements.
                 if i.is_multiple_of(4096) && std::time::Instant::now() >= dl {
@@ -186,17 +188,19 @@ impl<'a> Interp<'a> {
                 let gated_off = graph
                     .producers_of(s, DepKind::Predicate)
                     .iter()
-                    .any(|&p| values.get(&p).copied().unwrap_or(0) == 0);
+                    .any(|&p| values[p] == 0);
                 if gated_off {
                     report.predicated_off[s] += 1;
                     continue;
                 }
                 let addr_producer = graph.producers_of(s, DepKind::Address);
-                let value_inputs: Vec<u64> = graph
-                    .producers_of(s, DepKind::Value)
-                    .iter()
-                    .map(|&p| values.get(&p).copied().unwrap_or(0))
-                    .collect();
+                value_inputs.clear();
+                value_inputs.extend(
+                    graph
+                        .producers_of(s, DepKind::Value)
+                        .iter()
+                        .map(|&p| values[p]),
+                );
                 let (addr, elem) = match &bindings[s] {
                     Binding::Load { base, elem_size } | Binding::Store { base, elem_size, .. } => {
                         (*base + i * elem_size, *elem_size)
@@ -205,10 +209,7 @@ impl<'a> Interp<'a> {
                     | Binding::AtomicCas {
                         base, elem_size, ..
                     } => {
-                        let Some(idx) = addr_producer
-                            .first()
-                            .map(|&p| values.get(&p).copied().unwrap_or(0))
-                        else {
+                        let Some(idx) = addr_producer.first().map(|&p| values[p]) else {
                             return Err(SimError::InvalidConfig(format!(
                                 "indirect/atomic stream needs an address producer (stream {s})"
                             )));
@@ -242,7 +243,7 @@ impl<'a> Interp<'a> {
                         u64::from(self.space.memory_mut().cas_u64(addr, *expected, new))
                     }
                 };
-                values.insert(s, out);
+                values[s] = out;
             }
         }
         Ok(report)

@@ -149,6 +149,12 @@ pub struct GraphInstance {
     system: SystemConfig,
     engine: SimEngine,
     alloc: AffinityAllocator,
+    /// Reusable scratch for [`Self::scan_edges_prefix`]: callers take it,
+    /// iterate, and put it back, so the per-vertex edge sweep never
+    /// allocates after warm-up.
+    edge_scratch: Vec<(u32, u32)>,
+    /// Same for the per-vertex weight expansion in the SSSP kernels.
+    weight_scratch: Vec<u32>,
 }
 
 impl GraphInstance {
@@ -183,6 +189,8 @@ impl GraphInstance {
             system: cfg.system,
             engine,
             alloc,
+            edge_scratch: Vec::new(),
+            weight_scratch: Vec::new(),
         }
     }
 
@@ -212,6 +220,8 @@ impl GraphInstance {
             system: cfg.system,
             engine,
             alloc,
+            edge_scratch: Vec::new(),
+            weight_scratch: Vec::new(),
         }
     }
 
@@ -236,7 +246,8 @@ impl GraphInstance {
 
     /// Sweep `u`'s adjacency, collecting `(edge_bank, target)` pairs and
     /// charging edge-fetch costs (line reads, stream migrations, in-core
-    /// pointer-chasing latency). Returns the pairs.
+    /// pointer-chasing latency). Returns the pairs in the instance's scratch
+    /// buffer — callers iterate and hand it back via `self.edge_scratch`.
     fn scan_edges(&mut self, u: u32) -> Vec<(u32, u32)> {
         self.scan_edges_prefix(u, usize::MAX)
     }
@@ -249,43 +260,47 @@ impl GraphInstance {
         let core = self.core_of(u);
         let in_core = self.in_core();
         let esz = if self.graph.is_weighted() { 8 } else { 4 };
-        let mut out = Vec::with_capacity((self.graph.degree(u) as usize).min(limit));
+        let mut out = std::mem::take(&mut self.edge_scratch);
+        out.clear();
+        out.reserve((self.graph.degree(u) as usize).min(limit));
+        let engine = &mut self.engine;
+        let graph = &self.graph;
         match &self.edges {
             EdgeLayout::Csr(csr) => {
-                let base = self.graph.offset_of(u);
+                let base = graph.offset_of(u);
                 let mut line_start = u64::MAX;
-                for (i, &v) in self.graph.neighbors(u).iter().take(limit).enumerate() {
+                for (i, &v) in graph.neighbors(u).iter().take(limit).enumerate() {
                     let e = base + i as u64;
                     let bank = csr.bank_of_edge(e);
                     let line = e * esz / CACHE_LINE;
                     if line != line_start {
                         line_start = line;
                         if in_core {
-                            self.engine.core_read_lines(core, bank, 1);
+                            engine.core_read_lines(core, bank, 1);
                         } else {
-                            self.engine.bank_read_lines(bank, 1);
+                            engine.bank_read_lines(bank, 1);
                         }
                     }
                     out.push((bank, v));
                 }
             }
             EdgeLayout::Chunked(oracle) => {
-                let base = self.graph.offset_of(u);
+                let base = graph.offset_of(u);
                 let mut line_start = u64::MAX;
                 let mut prev_bank = None;
-                for (i, &v) in self.graph.neighbors(u).iter().take(limit).enumerate() {
+                for (i, &v) in graph.neighbors(u).iter().take(limit).enumerate() {
                     let e = base + i as u64;
                     let bank = oracle.bank_of_edge(e);
                     let line = e * esz / CACHE_LINE;
                     if line != line_start {
                         line_start = line;
                         if in_core {
-                            self.engine.core_read_lines(core, bank, 1);
+                            engine.core_read_lines(core, bank, 1);
                         } else {
-                            self.engine.bank_read_lines(bank, 1);
+                            engine.bank_read_lines(bank, 1);
                             if let Some(p) = prev_bank {
                                 if p != bank {
-                                    self.engine.migrate(p, bank, 1);
+                                    engine.migrate(p, bank, 1);
                                 }
                             }
                             prev_bank = Some(bank);
@@ -295,37 +310,48 @@ impl GraphInstance {
                 }
             }
             EdgeLayout::Linked(linked) => {
-                let chain: Vec<(u32, u32, u32)> = linked
-                    .chain_of(u)
-                    .iter()
-                    .take_while(|n| (n.lo as usize) < limit)
-                    .map(|n| (n.bank, n.lo, n.hi))
-                    .collect();
                 let mut prev_bank = None;
-                for (bank, lo, hi) in chain {
+                for node in linked.chain_of(u) {
+                    if (node.lo as usize) >= limit {
+                        break;
+                    }
+                    let bank = node.bank;
                     if in_core {
-                        self.engine.core_read_lines(core, bank, 1);
+                        engine.core_read_lines(core, bank, 1);
                         // Pointer chasing from the core is serialized: a full
                         // round trip per node.
-                        let hops = 2 * u64::from(self.engine.topo().manhattan(core, bank));
-                        self.engine.chain(hops, 1);
+                        let hops = 2 * u64::from(engine.topo().manhattan(core, bank));
+                        engine.chain(hops, 1);
                     } else {
-                        self.engine.bank_read_lines(bank, 1);
+                        engine.bank_read_lines(bank, 1);
                         if let Some(p) = prev_bank {
                             if p != bank {
-                                self.engine.migrate(p, bank, 1);
+                                engine.migrate(p, bank, 1);
                             }
                         }
                         prev_bank = Some(bank);
                     }
-                    let hi = (hi as usize).min(limit);
-                    for &v in &self.graph.neighbors(u)[lo as usize..hi] {
+                    let hi = (node.hi as usize).min(limit);
+                    for &v in &graph.neighbors(u)[node.lo as usize..hi] {
                         out.push((bank, v));
                     }
                 }
             }
         }
         out
+    }
+
+    /// Expand `u`'s edge weights into the reusable weight scratch (unit
+    /// weights when the graph is unweighted). Same take-and-return protocol
+    /// as [`Self::scan_edges_prefix`].
+    fn weights_scratch(&mut self, u: u32) -> Vec<u32> {
+        let mut w = std::mem::take(&mut self.weight_scratch);
+        w.clear();
+        match self.graph.weights_of(u) {
+            Some(ws) => w.extend_from_slice(ws),
+            None => w.resize(self.graph.degree(u) as usize, 1),
+        }
+        w
     }
 
     /// Charge one push-style update of `target`'s property from `from_bank`
@@ -407,9 +433,11 @@ impl GraphInstance {
                 self.engine.bank_read_lines(pb, 1);
             }
             let contended = true; // all edges active in PR
-            for (bank, v) in self.scan_edges(u) {
+            let edges = self.scan_edges(u);
+            for &(bank, v) in &edges {
                 self.push_update(bank, core, v, contended);
             }
+            self.edge_scratch = edges;
         }
         self.engine.end_phase();
         let metrics = self.finish();
@@ -427,9 +455,11 @@ impl GraphInstance {
         self.charge_iteration_overheads(m);
         for u in 0..n {
             let core = self.core_of(u);
-            for (bank, v) in self.scan_edges(u) {
+            let edges = self.scan_edges(u);
+            for &(bank, v) in &edges {
                 self.pull_read(bank, core, v);
             }
+            self.edge_scratch = edges;
             // Local reduction + write of own rank.
             if self.in_core() {
                 self.engine.core_ops(self.graph.degree(u));
@@ -481,7 +511,7 @@ impl GraphInstance {
                         let core = self.core_of(u);
                         let edges = self.scan_edges(u);
                         examined += edges.len() as u64;
-                        for (bank, v) in edges {
+                        for &(bank, v) in &edges {
                             // The CAS executes near P[v] either way.
                             self.push_update(bank, core, v, contended);
                             if parent[v as usize].is_none() {
@@ -491,6 +521,7 @@ impl GraphInstance {
                                 self.queue_push(self.prop_bank(v), core, v);
                             }
                         }
+                        self.edge_scratch = edges;
                     }
                 }
                 Direction::Pull => {
@@ -515,10 +546,11 @@ impl GraphInstance {
                         // probes already in flight.
                         let charged = prefix.max(PULL_SPECULATION).min(nb.len());
                         let edges = self.scan_edges_prefix(v, charged);
-                        for (bank, u) in edges {
+                        for &(bank, u) in &edges {
                             examined += 1;
                             self.pull_read(bank, core, u);
                         }
+                        self.edge_scratch = edges;
                         if let Some(u) = found {
                             parent[v as usize] = Some(u);
                             level[v as usize] = depth;
@@ -567,14 +599,10 @@ impl GraphInstance {
             for &u in &frontier {
                 let core = self.core_of(u);
                 let du = dist[u as usize];
-                let weights: Vec<u32> = self
-                    .graph
-                    .weights_of(u)
-                    .map(|w| w.to_vec())
-                    .unwrap_or_else(|| vec![1; self.graph.degree(u) as usize]);
+                let weights = self.weights_scratch(u);
                 let edges = self.scan_edges(u);
                 examined += edges.len() as u64;
-                for (i, (bank, v)) in edges.into_iter().enumerate() {
+                for (i, &(bank, v)) in edges.iter().enumerate() {
                     self.push_update(bank, core, v, contended);
                     let nd = du.saturating_add(u64::from(weights[i]));
                     if nd < dist[v as usize] {
@@ -586,6 +614,8 @@ impl GraphInstance {
                         }
                     }
                 }
+                self.edge_scratch = edges;
+                self.weight_scratch = weights;
             }
             for &v in &next {
                 in_next[v as usize] = false;
@@ -658,14 +688,10 @@ impl GraphInstance {
             }
             settled += 1;
             let core = self.core_of(u);
-            let weights: Vec<u32> = self
-                .graph
-                .weights_of(u)
-                .map(|w| w.to_vec())
-                .unwrap_or_else(|| vec![1; self.graph.degree(u) as usize]);
+            let weights = self.weights_scratch(u);
             let edges = self.scan_edges(u);
             examined += edges.len() as u64;
-            for (i, (bank, v)) in edges.into_iter().enumerate() {
+            for (i, &(bank, v)) in edges.iter().enumerate() {
                 let nd = d.saturating_add(u64::from(weights[i]));
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
@@ -682,6 +708,8 @@ impl GraphInstance {
                     heap.push(std::cmp::Reverse((nd, v)));
                 }
             }
+            self.edge_scratch = edges;
+            self.weight_scratch = weights;
         }
         self.engine.end_phase();
         let stats = vec![IterStat {

@@ -155,8 +155,10 @@ pub fn run_link_list(params: LinkListParams, cfg: &RunConfig) -> Metrics {
     engine.offload_config_multicast(0, 1);
 
     let mut serials = Vec::with_capacity(params.lists);
+    let mut banks: Vec<u32> = Vec::new();
     for (i, list) in lists.iter().enumerate() {
-        let banks: Vec<u32> = list.nodes().iter().map(|n| n.bank).collect();
+        banks.clear();
+        banks.extend(list.nodes().iter().map(|n| n.bank));
         let core = (i % cfg.machine.num_banks() as usize) as u32;
         let entry = if banks.is_empty() { core } else { banks[0] };
         serials.push(charge_chain(&mut engine, &banks, entry, in_core, core));
@@ -186,6 +188,7 @@ pub fn run_hash_join(params: HashJoinParams, cfg: &RunConfig) -> Metrics {
     engine.offload_config_multicast(0, 2);
 
     let mut serials = Vec::with_capacity(params.probe_keys);
+    let mut banks: Vec<u32> = Vec::new();
     for i in 0..params.probe_keys {
         // Hit-rate-controlled probe key: hits reuse a stored key.
         let key = if rng.chance(params.hit_rate) {
@@ -193,11 +196,10 @@ pub fn run_hash_join(params: HashJoinParams, cfg: &RunConfig) -> Metrics {
         } else {
             rng.next_u64()
         };
-        let (head_bank, chain, _hit) = table.probe(key);
+        let (head_bank, _hit) = table.probe_into(key, &mut banks);
         let core = (i % cfg.machine.num_banks() as usize) as u32;
         // Probe = read head, then walk the chain.
-        let mut banks = vec![head_bank];
-        banks.extend(chain);
+        banks.insert(0, head_bank);
         serials.push(charge_chain(&mut engine, &banks, head_bank, in_core, core));
     }
     let concurrency = if in_core {
@@ -224,9 +226,10 @@ pub fn run_bin_tree(params: BinTreeParams, cfg: &RunConfig) -> Metrics {
     engine.offload_config_multicast(0, 1);
 
     let mut serials = Vec::with_capacity(params.lookups);
+    let mut banks: Vec<u32> = Vec::new();
     for i in 0..params.lookups {
         let key = keys[rng.index(keys.len())];
-        let banks = tree.lookup_path_banks(key);
+        tree.lookup_path_banks_into(key, &mut banks);
         let core = (i % cfg.machine.num_banks() as usize) as u32;
         let entry = banks.first().copied().unwrap_or(core);
         serials.push(charge_chain(&mut engine, &banks, entry, in_core, core));
