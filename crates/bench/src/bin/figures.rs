@@ -10,6 +10,8 @@
 //! figures --sweep-json f.json # where to write the perf report
 //! figures --journal j --resume all   # crash-safe: replay completed cells
 //! figures --cell-timeout-ms 60000 --max-retries 1 all  # run-to-completion
+//! figures --metrics fig13            # per-cell metrics in the sweep report
+//! figures --trace t.json fig13       # + one traced cell as Chrome JSON
 //! ```
 //!
 //! Figure tables/JSON go to **stdout** and are byte-identical for any
@@ -29,7 +31,7 @@
 //!   budget, stall watchdog, or `--cell-timeout-ms`); takes precedence
 //!   over 3 when both classes occur.
 
-use aff_bench::figures::{plan_figure, HarnessOpts, ALL_FIGURES};
+use aff_bench::figures::{plan_figure, traced_fig13_cell, HarnessOpts, ALL_FIGURES};
 use aff_bench::journal::fnv1a;
 use aff_bench::sweep::{run_plans_opts, RunOpts};
 
@@ -37,9 +39,12 @@ fn usage() {
     eprintln!(
         "usage: figures [--full] [--seed N] [--jobs N] [--json] [--sweep-json PATH|none] \
          [--journal PATH|none] [--resume] [--cell-timeout-ms N] [--max-retries N] \
-         (all | figN...)"
+         [--metrics] [--trace PATH] (all | figN...)"
     );
     eprintln!("known figures: {ALL_FIGURES:?}");
+    eprintln!("  --metrics      record per-cell simulation metrics in the sweep report");
+    eprintln!("  --trace PATH   additionally run one traced fig13 cell and write a");
+    eprintln!("                 chrome://tracing-loadable JSON trace to PATH");
     eprintln!("exit codes: 0 ok, 2 usage, 3 cell failures, 4 budget/timeout/stall failures");
 }
 
@@ -53,12 +58,22 @@ fn main() {
     let mut resume = false;
     let mut cell_timeout_ms: Option<u64> = None;
     let mut max_retries: u32 = 0;
+    let mut metrics = false;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--json" => json = true,
             "--resume" => resume = true,
+            "--metrics" => metrics = true,
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace needs a path");
+                    std::process::exit(2);
+                }
+            },
             "--seed" => match args.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(v)) => opts.seed = v,
                 _ => {
@@ -149,6 +164,7 @@ fn main() {
         journal: journal.map(std::path::PathBuf::from),
         resume,
         context,
+        collect_metrics: metrics,
     };
     let (figures, report) = run_plans_opts(plans, &run_opts);
     for fig in &figures {
@@ -172,6 +188,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("  wrote {path}");
+    }
+    if let Some(path) = trace_path {
+        // Traced run happens after (and outside) the sweep so the recorder
+        // overhead can never contaminate the sweep report's wall times.
+        let trace_start = std::time::Instant::now();
+        let (chrome_json, label) = traced_fig13_cell(opts);
+        if let Err(e) = std::fs::write(&path, chrome_json + "\n") {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  wrote {path} (traced fig13 cell {label}, {:.1?}; load in chrome://tracing)",
+            trace_start.elapsed()
+        );
     }
     if report.budget_failures().count() > 0 {
         // Run-to-completion limits (budgets, watchdog stalls, timeouts) get

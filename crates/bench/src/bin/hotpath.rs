@@ -155,7 +155,7 @@ fn bench_coalescing(ops: u64) -> Layer {
         engine.indirect(s, d, 8, 1);
     }
     let fast = t0.elapsed().as_secs_f64();
-    let fast_sum = engine.traffic().sum_link_flits();
+    let fast_sum = engine.traffic_mut().sum_link_flits();
 
     let t0 = Instant::now();
     let mut engine = SimEngine::new(cfg.clone());
@@ -164,7 +164,7 @@ fn bench_coalescing(ops: u64) -> Layer {
         engine.indirect(s, d, 8, 1);
     }
     let base = t0.elapsed().as_secs_f64();
-    let base_sum = engine.traffic().sum_link_flits();
+    let base_sum = engine.traffic_mut().sum_link_flits();
     assert_eq!(fast_sum, base_sum, "coalescing layers must agree");
 
     Layer {

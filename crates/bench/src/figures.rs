@@ -985,3 +985,25 @@ pub fn run_figure(id: &str, opts: HarnessOpts) -> Figure {
         .unwrap_or_else(|| panic!("unknown figure id {id:?}; known: {ALL_FIGURES:?}"));
     run_single(plan, opts.seed)
 }
+
+/// Run one representative Fig 13 cell (`pr_push` under `Hybrid-5`) with a
+/// thread-local trace recorder attached and return `(chrome_json, label)`.
+///
+/// This is the `figures --trace <path>` backend: the capture is installed on
+/// the calling thread, every [`SimEngine`](aff_nsc::engine::SimEngine) the
+/// workload constructs on this thread attaches to it automatically, and the
+/// result serializes as Chrome `trace_event` JSON loadable in
+/// `chrome://tracing` / Perfetto — one counter track per L3 bank and DRAM
+/// controller, one span track per NoC router the cell exercised.
+///
+/// Runs outside the sweep engine (inline, single-threaded) so the recorder
+/// overhead can never contaminate `BENCH_sweep.json` wall times.
+pub fn traced_fig13_cell(opts: HarnessOpts) -> (String, String) {
+    use aff_sim_core::trace::{install_thread_trace, take_thread_trace, DEFAULT_TRACE_CAPACITY};
+    let w = WorkloadName::PrPush;
+    let p = BankSelectPolicy::Hybrid { h: 5.0 };
+    install_thread_trace(DEFAULT_TRACE_CAPACITY);
+    let _run = suite::run(w, &opts.cfg(SystemConfig::AffAlloc(p)));
+    let rec = take_thread_trace().expect("capture installed above on this thread");
+    (rec.to_chrome_json(), format!("{}/{}", w.label(), p.label()))
+}

@@ -188,6 +188,65 @@ impl Figure {
     }
 }
 
+/// Per-cell simulation metrics sidecar (schema `aff-bench/sweep-v3`).
+///
+/// A compact, plotting-oriented projection of
+/// [`Metrics`](aff_nsc::engine::Metrics): the handful of scalars the paper's
+/// figures are built from, recorded per sweep cell when the harness runs
+/// with `--metrics`. Collection is opt-in because the sidecar roughly
+/// doubles the `BENCH_sweep.json` size and most CI runs only need the
+/// wall-time/throughput columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    /// Analytic cycle estimate.
+    pub cycles: u64,
+    /// Total flit-hops across traffic classes.
+    pub total_hop_flits: u64,
+    /// Mean/peak link utilization.
+    pub noc_utilization: f64,
+    /// Access-weighted L3 miss rate in `[0, 1]`.
+    pub l3_miss_rate: f64,
+    /// DRAM line accesses.
+    pub dram_accesses: u64,
+    /// Total energy (pJ) under the default model.
+    pub energy_pj: f64,
+    /// Busiest-bank / mean-bank access ratio.
+    pub bank_imbalance: f64,
+}
+
+impl From<&aff_nsc::engine::Metrics> for CellMetrics {
+    fn from(m: &aff_nsc::engine::Metrics) -> Self {
+        Self {
+            cycles: m.cycles,
+            total_hop_flits: m.total_hop_flits,
+            noc_utilization: m.noc_utilization,
+            l3_miss_rate: m.l3_miss_rate,
+            dram_accesses: m.dram_accesses,
+            energy_pj: m.energy_pj,
+            bank_imbalance: m.bank_imbalance,
+        }
+    }
+}
+
+impl CellMetrics {
+    /// JSON object for the sweep report (hand-rolled like the rest of the
+    /// file; non-finite floats serialize as `null`).
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"cycles\": {}, \"total_hop_flits\": {}, \"noc_utilization\": {}, \
+             \"l3_miss_rate\": {}, \"dram_accesses\": {}, \"energy_pj\": {}, \
+             \"bank_imbalance\": {} }}",
+            self.cycles,
+            self.total_hop_flits,
+            num(self.noc_utilization),
+            num(self.l3_miss_rate),
+            self.dram_accesses,
+            num(self.energy_pj),
+            num(self.bank_imbalance),
+        )
+    }
+}
+
 /// Wall-time and throughput accounting for one executed sweep cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellStat {
@@ -210,6 +269,11 @@ pub struct CellStat {
     /// executed this run.
     #[serde(default)]
     pub cached: bool,
+    /// Simulation metrics sidecar, populated when the sweep ran with metrics
+    /// collection enabled and the cell produced engine metrics (`None` for
+    /// table-style cells, failed cells, and metrics-off runs).
+    #[serde(default)]
+    pub metrics: Option<CellMetrics>,
 }
 
 impl CellStat {
@@ -287,7 +351,10 @@ impl SweepReport {
         (self.total_sim_cycles() as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
     }
 
-    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v2`).
+    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v3`).
+    ///
+    /// v3 over v2: every cell object carries a `"metrics"` key — the
+    /// [`CellMetrics`] sidecar object when collected, `null` otherwise.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self
             .cells
@@ -297,10 +364,14 @@ impl SweepReport {
                     Some(e) => esc(e),
                     None => "null".into(),
                 };
+                let metrics = match &c.metrics {
+                    Some(m) => m.to_json(),
+                    None => "null".into(),
+                };
                 format!(
                     "    {{ \"figure\": {}, \"label\": {}, \"ok\": {}, \"error\": {}, \
                      \"wall_ms\": {}, \"sim_cycles\": {}, \"mcycles_per_sec\": {}, \
-                     \"attempts\": {}, \"cached\": {} }}",
+                     \"attempts\": {}, \"cached\": {}, \"metrics\": {} }}",
                     esc(&c.figure),
                     esc(&c.label),
                     c.ok,
@@ -310,11 +381,12 @@ impl SweepReport {
                     num(c.mcycles_per_sec()),
                     c.attempts,
                     c.cached,
+                    metrics,
                 )
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"aff-bench/sweep-v2\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+            "{{\n  \"schema\": \"aff-bench/sweep-v3\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
              \"wall_ms\": {},\n  \"total_sim_cycles\": {},\n  \"total_cell_wall_ms\": {},\n  \
              \"mcycles_per_sec\": {},\n  \"parallelism\": {},\n  \"failed_cells\": {},\n  \
              \"budget_failed_cells\": {},\n  \"resumed_cells\": {},\n  \"journal_error\": {},\n  \
@@ -433,6 +505,15 @@ mod tests {
                     sim_cycles: 5_000_000,
                     attempts: 1,
                     cached: true,
+                    metrics: Some(CellMetrics {
+                        cycles: 5_000_000,
+                        total_hop_flits: 1234,
+                        noc_utilization: 0.25,
+                        l3_miss_rate: 0.01,
+                        dram_accesses: 77,
+                        energy_pj: 1.5e6,
+                        bank_imbalance: f64::NAN,
+                    }),
                 },
                 CellStat {
                     figure: "fig4".into(),
@@ -443,6 +524,7 @@ mod tests {
                     sim_cycles: 0,
                     attempts: 2,
                     cached: false,
+                    metrics: None,
                 },
             ],
             resumed_cells: 1,
@@ -464,7 +546,7 @@ mod tests {
     #[test]
     fn sweep_report_json_is_well_formed() {
         let j = sample_sweep().to_json();
-        assert!(j.contains("\"schema\": \"aff-bench/sweep-v2\""));
+        assert!(j.contains("\"schema\": \"aff-bench/sweep-v3\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"failed_cells\": 1"));
         assert!(j.contains("\"budget_failed_cells\": 0"));
@@ -473,6 +555,13 @@ mod tests {
         assert!(j.contains("\"attempts\": 2"));
         assert!(j.contains("\"cached\": true"));
         assert!(j.contains("boom \\\"quoted\\\""));
+        // Metrics sidecar: present on the first cell, null on the second,
+        // with NaN serialized as null (matching serde_json).
+        assert!(j.contains("\"metrics\": {"));
+        assert!(j.contains("\"metrics\": null"));
+        assert!(j.contains("\"total_hop_flits\": 1234"));
+        assert!(j.contains("\"dram_accesses\": 77"));
+        assert!(j.contains("\"bank_imbalance\": null"));
         assert_eq!(j.matches("\"figure\"").count(), 2);
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the dep tree).

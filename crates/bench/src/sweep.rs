@@ -13,7 +13,7 @@
 //! atomic counter) and then merges results back **in declaration order**, so
 //! the produced [`Figure`]s are byte-identical to a `jobs = 1` run. Per-cell
 //! wall time and simulated-cycle throughput are recorded in a
-//! [`SweepReport`](crate::report::SweepReport) for the perf trajectory
+//! [`SweepReport`] for the perf trajectory
 //! (`BENCH_sweep.json`).
 //!
 //! Cells fail soft: a panicking cell is caught (`catch_unwind`), recorded as
@@ -289,6 +289,11 @@ pub struct RunOpts {
     /// Experiment context hash (figure set, scale) stamped into the journal
     /// header; a mismatch on resume discards the journal.
     pub context: u64,
+    /// Record the per-cell [`CellMetrics`](crate::report::CellMetrics)
+    /// sidecar (schema `aff-bench/sweep-v3`) for every cell that produces
+    /// engine metrics. Off by default: the sidecar roughly doubles the sweep
+    /// report and most runs only need the throughput columns.
+    pub collect_metrics: bool,
 }
 
 impl RunOpts {
@@ -316,6 +321,24 @@ struct Task {
 /// attempt, per cell.
 fn retry_stream(base: u64, attempt: u32) -> u64 {
     base ^ u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// The metrics sidecar for one cell result, when collection is enabled and
+/// the cell produced engine metrics (table-style and failed cells read as
+/// `None`). Cached journal replays go through here too, so a resumed run's
+/// report carries the same sidecars as an uninterrupted one.
+fn sidecar(
+    result: &Result<CellData, String>,
+    opts: &RunOpts,
+) -> Option<crate::report::CellMetrics> {
+    if !opts.collect_metrics {
+        return None;
+    }
+    result
+        .as_ref()
+        .ok()
+        .and_then(CellData::metrics)
+        .map(crate::report::CellMetrics::from)
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -389,6 +412,7 @@ fn run_task(task: Task, opts: &RunOpts) -> (usize, usize, CellOutcome, CellStat)
         sim_cycles: result.as_ref().map_or(0, CellData::sim_cycles),
         attempts,
         cached: false,
+        metrics: sidecar(&result, opts),
     };
     (
         task.plan_idx,
@@ -527,6 +551,7 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
                     sim_cycles: e.result.as_ref().map_or(0, |d| d.sim_cycles()),
                     attempts: e.attempts,
                     cached: true,
+                    metrics: sidecar(&e.result, opts),
                 };
                 done.push((
                     t.plan_idx,
@@ -823,6 +848,42 @@ mod tests {
             .is_some_and(|e| e.contains("timeout: cell exceeded 50 ms")));
         assert!(report.cells[0].budget_limited());
         assert!(report.cells[1].ok);
+    }
+
+    #[test]
+    fn metrics_sidecar_is_collected_only_when_asked() {
+        fn plan() -> SweepPlan {
+            let mut b = PlanBuilder::new("sidecar");
+            b.cell("engine", |_| {
+                let mut e = aff_nsc::engine::SimEngine::new(
+                    aff_sim_core::config::MachineConfig::tiny_mesh(),
+                );
+                e.core_read_lines(0, 1, 4);
+                e.try_finish().expect("unlimited budget").into()
+            });
+            b.cell("table", |_| CellData::Rows {
+                rows: vec![Row::new("r", vec![1.0])],
+                sim_cycles: 0,
+            });
+            b.merge(|o| {
+                let mut fig = Figure::new("sidecar", "t", vec!["v"]);
+                o.annotate_failures(&mut fig);
+                fig
+            })
+        }
+        let (_, without) = run_plans_opts(vec![plan()], &RunOpts::new(1, 7));
+        assert!(without.cells.iter().all(|c| c.metrics.is_none()));
+
+        let opts = RunOpts {
+            collect_metrics: true,
+            ..RunOpts::new(1, 7)
+        };
+        let (_, with) = run_plans_opts(vec![plan()], &opts);
+        let m = with.cells[0].metrics.as_ref().expect("engine cell sidecar");
+        assert!(m.total_hop_flits > 0);
+        assert_eq!(m.cycles, with.cells[0].sim_cycles);
+        // Table-style cells have no engine metrics to record.
+        assert!(with.cells[1].metrics.is_none());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! load spread. These counters are what both the timing model (service-time
 //! bound) and the Fig 14 occupancy plots read.
 
+use aff_sim_core::trace::Event;
 use serde::{Deserialize, Serialize};
 
 /// Access/residency counters for every L3 bank.
@@ -104,6 +105,21 @@ impl BankCounters {
         self.max_accesses() as f64 / mean
     }
 
+    /// Apply one recorded [`Event`] to the counters.
+    ///
+    /// This is the bank half of the unified event choke point: the same
+    /// [`Event`] stream a [`Recorder`](aff_sim_core::trace::Recorder) sees
+    /// can be replayed into a fresh `BankCounters` and must reproduce the
+    /// engine's accounting exactly. Non-bank events are ignored.
+    pub fn apply(&mut self, ev: &Event) {
+        match *ev {
+            Event::BankAccess { bank, count, .. } => self.access(bank, count),
+            Event::BankAtomic { bank, count, .. } => self.atomic(bank, count),
+            Event::BankResident { bank, bytes } => self.add_resident(bank, bytes),
+            _ => {}
+        }
+    }
+
     /// Merge another counter set (same bank count) into this one.
     ///
     /// # Panics
@@ -157,6 +173,37 @@ mod tests {
         assert!((c.access_imbalance() - 1.0).abs() < 1e-12);
         c.access(0, 30);
         assert!(c.access_imbalance() > 2.0);
+    }
+
+    #[test]
+    fn apply_replays_event_stream() {
+        let mut direct = BankCounters::new(4);
+        direct.access(1, 7);
+        direct.atomic(2, 3);
+        direct.add_resident(1, 512);
+
+        let events = [
+            Event::BankAccess {
+                bank: 1,
+                count: 7,
+                fetch: false,
+            },
+            Event::BankAtomic {
+                bank: 2,
+                count: 3,
+                hops: 5,
+            },
+            Event::BankResident {
+                bank: 1,
+                bytes: 512,
+            },
+            Event::CoreOps { count: 99 }, // ignored: not a bank event
+        ];
+        let mut replayed = BankCounters::new(4);
+        for ev in &events {
+            replayed.apply(ev);
+        }
+        assert_eq!(replayed, direct);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use aff_noc::topology::Topology;
 use aff_noc::traffic::{TrafficClass, TrafficMatrix};
 use aff_sim_core::config::{MachineConfig, CACHE_LINE};
+use aff_sim_core::trace::{Event, Recorder, TrafficKind};
 
 /// Summary of DRAM activity for one kernel execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,6 +61,22 @@ impl DramModel {
     /// Record `misses` line misses at `bank`, charging request/response NoC
     /// traffic to the nearest controller into `traffic`.
     pub fn record_misses(&mut self, bank: u32, misses: u64, traffic: &mut TrafficMatrix) {
+        self.record_misses_rec(bank, misses, traffic, None);
+    }
+
+    /// [`record_misses`](Self::record_misses) with an optional observability
+    /// hook: the recorder (when present) sees one [`Event::DramAccess`] per
+    /// batch (tagged with the serving controller's index) plus the two NoC
+    /// round-trip [`Event::Traffic`] legs. Recording is purely observational;
+    /// the accounting charged into `traffic` and the activity totals are
+    /// byte-identical with or without a recorder.
+    pub fn record_misses_rec(
+        &mut self,
+        bank: u32,
+        misses: u64,
+        traffic: &mut TrafficMatrix,
+        recorder: Option<&mut dyn Recorder>,
+    ) {
         if misses == 0 {
             return;
         }
@@ -68,13 +85,33 @@ impl DramModel {
         traffic.record_n(bank, ctrl, 0, TrafficClass::Control, misses);
         traffic.record_n(ctrl, bank, CACHE_LINE, TrafficClass::Data, misses);
         self.accesses += misses;
-        if let Some(i) = self
+        let ctrl_idx = self
             .topo
             .mem_ctrl_banks(self.num_ctrls)
             .iter()
-            .position(|&b| b == ctrl)
-        {
+            .position(|&b| b == ctrl);
+        if let Some(i) = ctrl_idx {
             self.accesses_per_ctrl[i] += misses;
+        }
+        if let Some(rec) = recorder {
+            rec.record(&Event::DramAccess {
+                ctrl: ctrl_idx.unwrap_or(0) as u32,
+                lines: misses,
+            });
+            rec.record(&Event::Traffic {
+                src: bank,
+                dst: ctrl,
+                payload_bytes: 0,
+                class: TrafficKind::Control,
+                count: misses,
+            });
+            rec.record(&Event::Traffic {
+                src: ctrl,
+                dst: bank,
+                payload_bytes: CACHE_LINE,
+                class: TrafficKind::Data,
+                count: misses,
+            });
         }
     }
 
@@ -155,6 +192,29 @@ mod tests {
         // Misses at the opposite corner hit controller 3, which is healthy.
         dram.record_misses(63, 13, &mut traffic);
         assert_eq!(dram.activity().service_cycles, 256 + 64);
+    }
+
+    #[test]
+    fn traced_misses_match_untraced_and_emit_events() {
+        use aff_sim_core::trace::TraceRecorder;
+        let (mut plain, mut plain_traffic) = setup();
+        plain.record_misses(9, 100, &mut plain_traffic);
+
+        let (mut traced, mut traced_traffic) = setup();
+        let mut rec = TraceRecorder::default();
+        traced.record_misses_rec(9, 100, &mut traced_traffic, Some(&mut rec));
+
+        assert_eq!(traced.accesses(), plain.accesses());
+        assert_eq!(traced.activity(), plain.activity());
+        assert_eq!(
+            traced_traffic.total_hop_flits(),
+            plain_traffic.total_hop_flits()
+        );
+        // One DramAccess + two Traffic legs per batch.
+        assert_eq!(rec.total_seen(), 3);
+        assert!(rec
+            .events()
+            .any(|te| matches!(te.event, Event::DramAccess { lines: 100, .. })));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Spatially distributed relaxed priority queue — §4.2: "Priority queues,
-//! e.g. MultiQueues [79], can also be implemented as one queue per bank.
+//! e.g. MultiQueues \[79\], can also be implemented as one queue per bank.
 //! Heap rearrangement involves pointer-chasing, which is supported by NSC."
 //!
 //! One binary heap per partition, storage aligned to the vertex partition
@@ -89,7 +89,7 @@ impl SpatialPriorityQueue {
         self.bank_of_partition(p)
     }
 
-    /// Relaxed pop: sample [`Self::choices`] sub-heaps, pop the smaller
+    /// Relaxed pop: sample `choices` sub-heaps, pop the smaller
     /// minimum. Returns `(priority, vertex, bank)` or `None` when every
     /// sub-heap is empty.
     pub fn pop(&mut self) -> Option<(u64, u32, u32)> {

@@ -16,6 +16,7 @@ use crate::topology::{BankId, Coord, Link, Topology};
 use crate::traffic::Packet;
 use aff_sim_core::error::{BudgetKind, RunBudget, SimError, StallSnapshot};
 use aff_sim_core::fault::{FaultPlan, LinkRef};
+use aff_sim_core::trace::{Event, Recorder};
 use std::collections::VecDeque;
 
 /// Input/output port of a router.
@@ -185,8 +186,9 @@ impl CycleNoc {
     /// whatever was delivered when it stopped — a wedged network silently
     /// spins to `max_cycles`. Prefer [`CycleNoc::try_simulate`] for anything
     /// driven by a fault plan.
+    #[deprecated(note = "use try_simulate")]
     pub fn simulate(&self, packets: &[Packet], max_cycles: u64) -> CycleReport {
-        self.run_inner(packets, max_cycles, 0, None).report
+        self.run_inner(packets, max_cycles, 0, None, None).report
     }
 
     /// Simulate `packets` under `budget`, distinguishing *how* a run ended:
@@ -203,6 +205,28 @@ impl CycleNoc {
         packets: &[Packet],
         budget: &RunBudget,
     ) -> Result<CycleReport, SimError> {
+        self.try_simulate_rec(packets, budget, None)
+    }
+
+    /// [`CycleNoc::try_simulate`] with an event recorder attached: every
+    /// flit-hop is reported as an [`Event::RouterActive`] on the receiving
+    /// router's track, timestamped with the real NoC cycle. Recording is
+    /// purely observational — the report is identical to the untraced run.
+    pub fn try_simulate_traced(
+        &self,
+        packets: &[Packet],
+        budget: &RunBudget,
+        recorder: &mut dyn Recorder,
+    ) -> Result<CycleReport, SimError> {
+        self.try_simulate_rec(packets, budget, Some(recorder))
+    }
+
+    fn try_simulate_rec(
+        &self,
+        packets: &[Packet],
+        budget: &RunBudget,
+        recorder: Option<&mut dyn Recorder>,
+    ) -> Result<CycleReport, SimError> {
         let total_flits: u64 = packets.iter().map(|p| p.flits).sum();
         if let Some(limit) = budget.max_events {
             if total_flits > limit {
@@ -217,7 +241,7 @@ impl CycleNoc {
             .wall_ms
             .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let max_cycles = budget.max_cycles.unwrap_or(u64::MAX);
-        let run = self.run_inner(packets, max_cycles, budget.stall_patience, deadline);
+        let run = self.run_inner(packets, max_cycles, budget.stall_patience, deadline, recorder);
         if run.stalled {
             return Err(SimError::Stalled(Box::new(StallSnapshot {
                 cycle: run.cycle,
@@ -250,6 +274,7 @@ impl CycleNoc {
         max_cycles: u64,
         patience: u64,
         deadline: Option<std::time::Instant>,
+        mut recorder: Option<&mut dyn Recorder>,
     ) -> InnerRun {
         let n_routers = self.topo.num_banks() as usize;
         // Per router: 5 input FIFOs.
@@ -375,6 +400,13 @@ impl CycleNoc {
                 buffers[next][next_in].push_back(f);
                 flit_hops += 1;
                 progressed = true;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.record(&Event::RouterActive {
+                        router: next as u32,
+                        cycle,
+                        flits: 1,
+                    });
+                }
             }
             // Same-tile packets never enter the network: eject directly from
             // the injection queue.
@@ -474,9 +506,17 @@ mod tests {
         CycleNoc::new(Topology::new(4, 4), 2, 4)
     }
 
+    /// Drive `try_simulate` under a plain cycle ceiling — the migrated shape
+    /// of the legacy `simulate(packets, max_cycles)` calls.
+    fn sim(noc: &CycleNoc, packets: &[Packet], max_cycles: u64) -> CycleReport {
+        use aff_sim_core::error::RunBudget;
+        noc.try_simulate(packets, &RunBudget::unlimited().with_max_cycles(max_cycles))
+            .expect("test traffic drains within its cycle ceiling")
+    }
+
     #[test]
     fn single_packet_delivers_with_pipeline_latency() {
-        let rep = noc().simulate(&[pkt(0, 3, 1)], 10_000);
+        let rep = sim(&noc(), &[pkt(0, 3, 1)], 10_000);
         assert_eq!(rep.delivered, 1);
         assert_eq!(rep.flit_hops, 3);
         // 3 hops, each taking at least the 2-cycle pipeline: latency ≥ 6.
@@ -492,7 +532,7 @@ mod tests {
                 packets.push(pkt(s, d, 3));
             }
         }
-        let rep = noc().simulate(&packets, 1_000_000);
+        let rep = sim(&noc(), &packets, 1_000_000);
         assert_eq!(rep.delivered, packets.len() as u64);
         let expect_hops: u64 = packets
             .iter()
@@ -506,8 +546,8 @@ mod tests {
         // All-to-one is slower than neighbor traffic of equal volume.
         let to_one: Vec<Packet> = (1..16u32).map(|s| pkt(s, 0, 8)).collect();
         let neighbor: Vec<Packet> = (0..15u32).map(|s| pkt(s, s + 1, 8)).collect();
-        let a = noc().simulate(&to_one, 1_000_000);
-        let b = noc().simulate(&neighbor, 1_000_000);
+        let a = sim(&noc(), &to_one, 1_000_000);
+        let b = sim(&noc(), &neighbor, 1_000_000);
         assert_eq!(a.delivered, 15);
         assert_eq!(b.delivered, 15);
         assert!(
@@ -523,15 +563,15 @@ mod tests {
         let tight = CycleNoc::new(Topology::new(4, 4), 2, 1);
         let roomy = CycleNoc::new(Topology::new(4, 4), 2, 64);
         let packets: Vec<Packet> = (1..16u32).map(|s| pkt(s, 0, 8)).collect();
-        let t = tight.simulate(&packets, 1_000_000);
-        let r = roomy.simulate(&packets, 1_000_000);
+        let t = sim(&tight, &packets, 1_000_000);
+        let r = sim(&roomy, &packets, 1_000_000);
         assert_eq!(t.delivered, 15);
         assert!(t.finish_cycle >= r.finish_cycle);
     }
 
     #[test]
     fn local_packets_never_touch_the_network() {
-        let rep = noc().simulate(&[pkt(5, 5, 4)], 100);
+        let rep = sim(&noc(), &[pkt(5, 5, 4)], 100);
         assert_eq!(rep.delivered, 1);
         assert_eq!(rep.flit_hops, 0);
     }
@@ -546,8 +586,8 @@ mod tests {
             packets.push(pkt(s, (s * 5 + 3) % 16, 3));
         }
         assert_eq!(
-            plain.simulate(&packets, 1_000_000),
-            faulted.simulate(&packets, 1_000_000)
+            sim(&plain, &packets, 1_000_000),
+            sim(&faulted, &packets, 1_000_000)
         );
     }
 
@@ -558,7 +598,7 @@ mod tests {
         let plan =
             FaultPlan::none().fail_link(LinkRef::between(1, 0, 2, 0).expect("adjacent"));
         let noc = CycleNoc::with_faults(topo, 2, 4, &plan);
-        let rep = noc.simulate(&[pkt(0, 3, 2)], 100_000);
+        let rep = sim(&noc, &[pkt(0, 3, 2)], 100_000);
         assert_eq!(rep.delivered, 1);
         // Detour around the dead link: 5 hops instead of 3, x 2 flits.
         assert_eq!(rep.flit_hops, 10);
@@ -573,8 +613,8 @@ mod tests {
         let plain = CycleNoc::new(topo, 2, 4);
         let slow = CycleNoc::with_faults(topo, 2, 4, &plan);
         let packets = [pkt(0, 1, 8)];
-        let a = plain.simulate(&packets, 1_000_000);
-        let b = slow.simulate(&packets, 1_000_000);
+        let a = sim(&plain, &packets, 1_000_000);
+        let b = sim(&slow, &packets, 1_000_000);
         assert_eq!(a.delivered, 1);
         assert_eq!(b.delivered, 1);
         assert!(
@@ -600,7 +640,7 @@ mod tests {
                 packets.push(pkt(s, (s * 7 + k * 3) % 16, 4));
             }
         }
-        let rep = noc.simulate(&packets, 5_000_000);
+        let rep = sim(&noc, &packets, 5_000_000);
         assert_eq!(rep.delivered, packets.len() as u64, "drained around faults");
     }
 
@@ -617,13 +657,36 @@ mod tests {
         packets
     }
 
+    /// Compat pin: the deprecated [`CycleNoc::simulate`] must stay
+    /// byte-identical to [`CycleNoc::try_simulate`] on a draining run.
     #[test]
+    #[allow(deprecated)]
     fn try_simulate_matches_simulate_on_success() {
         use aff_sim_core::error::RunBudget;
         let rep = noc()
             .try_simulate(&saturating_traffic(), &RunBudget::unlimited())
             .expect("healthy mesh drains");
         assert_eq!(rep, noc().simulate(&saturating_traffic(), 1_000_000));
+    }
+
+    #[test]
+    fn traced_simulate_is_observational_and_tracks_flit_hops() {
+        use aff_sim_core::error::RunBudget;
+        use aff_sim_core::trace::TraceRecorder;
+        let packets = saturating_traffic();
+        let want = noc()
+            .try_simulate(&packets, &RunBudget::unlimited())
+            .expect("drains");
+        let mut rec = TraceRecorder::default();
+        let got = noc()
+            .try_simulate_traced(&packets, &RunBudget::unlimited(), &mut rec)
+            .expect("drains traced");
+        assert_eq!(got, want, "recording must not change the report");
+        // One RouterActive event per flit-hop (none dropped at this scale).
+        assert_eq!(rec.total_seen(), want.flit_hops);
+        assert!(rec
+            .events()
+            .all(|te| matches!(te.event, Event::RouterActive { .. })));
     }
 
     #[test]
@@ -716,7 +779,7 @@ mod tests {
                 packets.push(pkt(s, (s * 7 + k * 3) % 16, 4));
             }
         }
-        let rep = tight.simulate(&packets, 5_000_000);
+        let rep = sim(&tight, &packets, 5_000_000);
         assert_eq!(rep.delivered, packets.len() as u64, "drained without deadlock");
     }
 }

@@ -15,6 +15,7 @@ use crate::topology::Topology;
 use crate::traffic::Packet;
 use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
 use aff_sim_core::fault::FaultPlan;
+use aff_sim_core::trace::{Event, Recorder};
 use std::collections::HashMap;
 
 /// Result of replaying a packet set through the mesh.
@@ -68,23 +69,15 @@ impl DesNoc {
 
     /// Replay `packets` in order, all ready for injection at cycle 0 (the
     /// per-source network interface serializes them).
+    ///
+    /// Delegates to [`DesNoc::try_replay`] under an unlimited budget, which
+    /// performs the identical per-packet arithmetic (pinned by the
+    /// `try_replay_matches_replay_and_enforces_budgets` compat test).
+    #[deprecated(note = "use try_replay")]
     pub fn replay(&mut self, packets: &[Packet]) -> DesReport {
-        let mut finish = 0u64;
-        let mut hop_flits = 0u64;
-        for p in packets {
-            let t = self.send(p, 0);
-            finish = finish.max(t);
-            let hops = match self.router.as_deref() {
-                None => u64::from(self.topo.manhattan(p.src, p.dst)),
-                // Detours lengthen routes; limped packets keep the X-Y length.
-                Some(r) => r.route(p.src, p.dst).links.len() as u64,
-            };
-            hop_flits += p.flits * hops;
-        }
-        DesReport {
-            finish_cycle: finish,
-            packets: packets.len() as u64,
-            hop_flits,
+        match self.try_replay(packets, &RunBudget::unlimited()) {
+            Ok(rep) => rep,
+            Err(e) => unreachable!("unlimited budget cannot fail: {e}"),
         }
     }
 
@@ -97,6 +90,28 @@ impl DesNoc {
         &mut self,
         packets: &[Packet],
         budget: &RunBudget,
+    ) -> Result<DesReport, SimError> {
+        self.replay_inner(packets, budget, None)
+    }
+
+    /// [`DesNoc::try_replay`] with an event recorder attached: each packet is
+    /// reported as an [`Event::MessageDelivered`] carrying its departure and
+    /// tail-arrival cycles, on the destination router's track. Recording is
+    /// purely observational — the report is identical to the untraced run.
+    pub fn try_replay_traced(
+        &mut self,
+        packets: &[Packet],
+        budget: &RunBudget,
+        recorder: &mut dyn Recorder,
+    ) -> Result<DesReport, SimError> {
+        self.replay_inner(packets, budget, Some(recorder))
+    }
+
+    fn replay_inner(
+        &mut self,
+        packets: &[Packet],
+        budget: &RunBudget,
+        mut recorder: Option<&mut dyn Recorder>,
     ) -> Result<DesReport, SimError> {
         if let Some(limit) = budget.max_events {
             if packets.len() as u64 > limit {
@@ -113,8 +128,17 @@ impl DesNoc {
         let mut finish = 0u64;
         let mut hop_flits = 0u64;
         for (i, p) in packets.iter().enumerate() {
-            let t = self.send(p, 0);
+            let (depart, t) = self.send_timed(p, 0);
             finish = finish.max(t);
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(&Event::MessageDelivered {
+                    src: p.src,
+                    dst: p.dst,
+                    depart,
+                    arrive: t,
+                    flits: p.flits,
+                });
+            }
             if let Some(limit) = budget.max_cycles {
                 if finish > limit {
                     return Err(SimError::BudgetExhausted {
@@ -150,13 +174,20 @@ impl DesNoc {
     /// Send one packet, ready at `ready_cycle`; returns arrival cycle of its
     /// tail flit at the destination.
     pub fn send(&mut self, p: &Packet, ready_cycle: u64) -> u64 {
+        self.send_timed(p, ready_cycle).1
+    }
+
+    /// [`DesNoc::send`], also returning the cycle the packet actually
+    /// departed its source NI (after injection-port serialization) — the
+    /// trace wants both endpoints of the message's lifetime.
+    pub fn send_timed(&mut self, p: &Packet, ready_cycle: u64) -> (u64, u64) {
         let inject = self.inject_free.entry(p.src).or_insert(0);
         let start = ready_cycle.max(*inject);
         // The source NI occupies its injection port for the packet's flits.
         *inject = start + p.flits;
 
         if p.src == p.dst {
-            return start;
+            return (start, start);
         }
         // Resolve the route and the per-link cost multiplier (1 everywhere
         // on a fault-free mesh — identical arithmetic to the original model).
@@ -194,7 +225,7 @@ impl DesNoc {
             last_cost = cost;
         }
         // Tail arrives (flits - 1) link cycles after the head.
-        head_time + (p.flits * last_cost).saturating_sub(1)
+        (start, head_time + (p.flits * last_cost).saturating_sub(1))
     }
 
     /// Reset link/injection state while keeping the topology.
@@ -216,6 +247,13 @@ mod tests {
             flits,
             class: TrafficClass::Data,
         }
+    }
+
+    /// The migrated shape of the legacy `replay(packets)` calls.
+    fn replay_ok(des: &mut DesNoc, packets: &[Packet]) -> DesReport {
+        use aff_sim_core::error::RunBudget;
+        des.try_replay(packets, &RunBudget::unlimited())
+            .expect("unlimited budget cannot fail")
     }
 
     #[test]
@@ -270,7 +308,7 @@ mod tests {
         let topo = Topology::new(4, 4);
         let mut des = DesNoc::new(topo, 2);
         let pkts = vec![pkt(0, 3, 2), pkt(3, 0, 2), pkt(5, 5, 1)];
-        let rep = des.replay(&pkts);
+        let rep = replay_ok(&mut des, &pkts);
         assert_eq!(rep.packets, 3);
         assert_eq!(rep.hop_flits, 2 * 3 + 2 * 3); // local packet adds none
         assert!(rep.finish_cycle > 0);
@@ -282,7 +320,7 @@ mod tests {
         let mut plain = DesNoc::new(topo, 6);
         let mut faulted = DesNoc::with_faults(topo, 6, &FaultPlan::none());
         let pkts = vec![pkt(0, 3, 2), pkt(3, 12, 4), pkt(5, 5, 1), pkt(1, 0, 8)];
-        assert_eq!(plain.replay(&pkts), faulted.replay(&pkts));
+        assert_eq!(replay_ok(&mut plain, &pkts), replay_ok(&mut faulted, &pkts));
     }
 
     #[test]
@@ -299,7 +337,7 @@ mod tests {
         assert_eq!(t_plain, 18);
         assert_eq!(t_fault, 30, "5 hops x 6 cycles");
         faulted.reset();
-        let rep = faulted.replay(&[pkt(0, 3, 1)]);
+        let rep = replay_ok(&mut faulted, &[pkt(0, 3, 1)]);
         assert_eq!(rep.hop_flits, 5);
     }
 
@@ -331,7 +369,10 @@ mod tests {
         assert!(t_limp > t_plain, "limping must cost more ({t_limp} vs {t_plain})");
     }
 
+    /// Compat pin: the deprecated [`DesNoc::replay`] must stay byte-identical
+    /// to [`DesNoc::try_replay`] under an unlimited budget.
     #[test]
+    #[allow(deprecated)]
     fn try_replay_matches_replay_and_enforces_budgets() {
         use aff_sim_core::error::{BudgetKind, RunBudget, SimError};
         let topo = Topology::new(4, 4);
@@ -369,6 +410,30 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn traced_replay_is_observational_and_emits_deliveries() {
+        use aff_sim_core::error::RunBudget;
+        use aff_sim_core::trace::TraceRecorder;
+        let topo = Topology::new(4, 4);
+        let pkts = vec![pkt(0, 3, 2), pkt(3, 12, 4), pkt(5, 5, 1), pkt(1, 0, 8)];
+        let mut des = DesNoc::new(topo, 6);
+        let want = replay_ok(&mut des, &pkts);
+        des.reset();
+        let mut rec = TraceRecorder::default();
+        let got = des
+            .try_replay_traced(&pkts, &RunBudget::unlimited(), &mut rec)
+            .expect("unlimited budget");
+        assert_eq!(got, want, "recording must not change the report");
+        assert_eq!(rec.len(), pkts.len(), "one delivery event per packet");
+        let local = rec
+            .events()
+            .find(|te| matches!(te.event, Event::MessageDelivered { src: 5, dst: 5, .. }))
+            .expect("local packet event");
+        if let Event::MessageDelivered { depart, arrive, .. } = local.event {
+            assert_eq!(depart, arrive, "local delivery is instant");
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ use aff_sim_core::config::{MachineConfig, CACHE_LINE};
 use aff_sim_core::energy::{EnergyBreakdown, EnergyModel};
 use aff_sim_core::error::{BudgetKind, SimError};
 use aff_sim_core::fault::DegradationReport;
+use aff_sim_core::trace::{self, Event, Recorder, TrafficKind};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Iterations covered by one coarse-grained credit message (§2.2).
 pub const CREDIT_BATCH: u64 = 64;
@@ -146,6 +148,20 @@ impl Metrics {
     }
 }
 
+/// The engine's optional event sink, newtyped so [`SimEngine`] keeps its
+/// derived `Debug` without demanding `Debug` of every recorder.
+#[derive(Default)]
+struct RecorderSlot(Option<Box<dyn Recorder>>);
+
+impl fmt::Debug for RecorderSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self.0 {
+            Some(_) => "RecorderSlot(attached)",
+            None => "RecorderSlot(none)",
+        })
+    }
+}
+
 /// The accounting engine one kernel execution runs against.
 #[derive(Debug)]
 pub struct SimEngine {
@@ -185,6 +201,12 @@ pub struct SimEngine {
     report: DegradationReport,
     /// Banks whose residency has already been counted as remapped.
     remapped_seen: Vec<bool>,
+    /// Optional event sink; every charge primitive's typed [`Event`] passes
+    /// through it before the accounting applies (see [`SimEngine::record`]).
+    recorder: RecorderSlot,
+    /// Recorder present and enabled, hoisted like `healthy` so the disabled
+    /// path costs one predicted branch per event.
+    tracing: bool,
 }
 
 impl SimEngine {
@@ -207,6 +229,11 @@ impl SimEngine {
         let n = config.num_banks() as usize;
         let spare = (!config.faults.failed_banks.is_empty())
             .then(|| SpareMap::new(topo, &config.faults));
+        // A thread-local trace capture (installed by e.g. `figures --trace`)
+        // attaches automatically, so a recorder reaches engines constructed
+        // deep inside workload executors without signature plumbing.
+        let recorder: Option<Box<dyn Recorder>> = trace::thread_trace_installed()
+            .then(|| Box::new(trace::ThreadTraceRecorder) as Box<dyn Recorder>);
         Self {
             phase: PhaseTracker::new(config.num_banks()),
             timeline: OccupancyTimeline::new(),
@@ -227,6 +254,8 @@ impl SimEngine {
             remapped_seen: vec![false; n],
             pending: Vec::with_capacity(COALESCE_SLOTS),
             coalesce: true,
+            tracing: recorder.is_some(),
+            recorder: RecorderSlot(recorder),
         }
     }
 
@@ -241,6 +270,104 @@ impl SimEngine {
         match &self.spare {
             Some(s) => s.redirect(bank),
             None => bank,
+        }
+    }
+
+    /// Attach an event recorder: every subsequent charge primitive emits its
+    /// typed [`Event`]s into it. The recorder sees events *pre-coalescing*
+    /// (in primitive order, before the run-length buffer merges them) and
+    /// *post-fault-redirect* (against the bank that actually served them).
+    /// Recording is strictly observational — accounting stays byte-identical
+    /// with any recorder attached or none, pinned by the recorder-equivalence
+    /// property tests.
+    pub fn set_recorder(&mut self, rec: Box<dyn Recorder>) {
+        self.tracing = rec.is_enabled();
+        self.recorder = RecorderSlot(Some(rec));
+    }
+
+    /// Detach and return the recorder, if any (e.g. to export its trace).
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.tracing = false;
+        self.recorder.0.take()
+    }
+
+    /// The typed choke point every charge primitive routes through: the
+    /// attached recorder (if any) observes `ev`, then the accounting applies
+    /// it. `record` is public — callers may feed events directly and get
+    /// exactly the named primitives' accounting, minus their fault-redirect
+    /// sugar (events describe post-redirect reality).
+    #[inline(always)]
+    pub fn record(&mut self, ev: Event) {
+        if self.tracing {
+            return self.record_traced(ev);
+        }
+        self.apply(&ev);
+    }
+
+    /// The tracing half of [`Self::record`], outlined — the recorder
+    /// observes, then the identical [`Self::apply`]. Keeping the *whole*
+    /// traced path out of line is load-bearing for the disabled path: the
+    /// inlined `record` then never takes the event's address, so the event
+    /// dissolves into registers, the match folds to its one matching arm,
+    /// and each charge primitive compiles down to the same direct counter
+    /// updates it was before the choke point existed (the `hotpath` bench in
+    /// `aff-bench` is the regression guard).
+    #[inline(never)]
+    fn record_traced(&mut self, ev: Event) {
+        if let Some(rec) = self.recorder.0.as_deref_mut() {
+            rec.record(&ev);
+        }
+        self.apply(&ev);
+    }
+
+    /// Apply one event to the accounting state. `inline(always)` is
+    /// load-bearing: every charge primitive constructs its event with a
+    /// known discriminant, so inlining lets the match fold to the single
+    /// matching arm and the event never materializes in memory.
+    #[inline(always)]
+    fn apply(&mut self, ev: &Event) {
+        match *ev {
+            Event::Traffic {
+                src,
+                dst,
+                payload_bytes,
+                class,
+                count,
+            } => self.charge(src, dst, payload_bytes, class.into(), count),
+            Event::BankAccess { bank, count, fetch } => {
+                self.banks.access(bank, count);
+                if fetch {
+                    self.miss_eligible[bank as usize] += count;
+                }
+            }
+            Event::BankAtomic { bank, count, hops } => {
+                self.banks.atomic(bank, count);
+                self.miss_eligible[bank as usize] += count;
+                self.phase.record_atomics(bank, count, hops);
+            }
+            Event::BankResident { bank, bytes } => self.banks.add_resident(bank, bytes),
+            Event::CoreOps { count } => self.core_ops += count,
+            Event::SeOps { bank, count } => {
+                // In-Core fallback: a dead SEL3's work runs on the tile core.
+                if self.spare.as_ref().is_some_and(|s| s.is_failed(bank)) {
+                    self.core_ops += count;
+                } else {
+                    self.se_ops[bank as usize] += count;
+                }
+            }
+            Event::PrivateHits { count } => self.private_hits += count,
+            Event::ChainCycles { cycles } => self.serial_cycles += cycles,
+            Event::PhaseBegin => self.phase.begin(),
+            Event::PhaseEnd => {
+                if let Some(s) = self.phase.end(&self.config) {
+                    self.timeline.push(s);
+                }
+            }
+            // DRAM accesses are charged by the DramModel at its call sites;
+            // the NoC models' events carry no analytic accounting.
+            Event::DramAccess { .. }
+            | Event::RouterActive { .. }
+            | Event::MessageDelivered { .. } => {}
         }
     }
 
@@ -303,8 +430,27 @@ impl SimEngine {
 
     /// Direct read access to the traffic matrix (tests, DES replay). Takes
     /// `&mut self` so pending coalesced charges land before the read.
+    #[deprecated(note = "use traffic_mut (or traffic_snapshot for &self reads)")]
     pub fn traffic(&mut self) -> &TrafficMatrix {
+        self.traffic_mut()
+    }
+
+    /// The authoritative view of the traffic matrix: pending coalesced
+    /// charges are flushed first, so every primitive called so far is
+    /// reflected. Use this for tests, DES replay, and anything that compares
+    /// totals.
+    pub fn traffic_mut(&mut self) -> &TrafficMatrix {
         self.flush_charges();
+        &self.traffic
+    }
+
+    /// Borrow the traffic matrix *without* flushing. A bounded number of
+    /// charge runs (at most the coalescing window, 4 slots) may still be
+    /// pending, so totals can lag the primitives slightly; use
+    /// [`traffic_mut`](Self::traffic_mut) when exact totals matter. This is
+    /// the only way to peek at traffic from `&self` contexts (e.g. progress
+    /// reporting mid-run).
+    pub fn traffic_snapshot(&self) -> &TrafficMatrix {
         &self.traffic
     }
 
@@ -334,23 +480,19 @@ impl SimEngine {
 
     /// Charge `n` ops on the OOO cores.
     pub fn core_ops(&mut self, n: u64) {
-        self.core_ops += n;
+        self.record(Event::CoreOps { count: n });
     }
 
     /// Charge `n` ops on the stream engine / spare SMT thread at `bank`.
     /// When `bank`'s L3 slice (and with it its SEL3) is dead, the tile's
     /// core executes the work instead — the In-Core fallback.
     pub fn se_ops(&mut self, bank: BankId, n: u64) {
-        if self.spare.as_ref().is_some_and(|s| s.is_failed(bank)) {
-            self.core_ops += n;
-        } else {
-            self.se_ops[bank as usize] += n;
-        }
+        self.record(Event::SeOps { bank, count: n });
     }
 
     /// Charge `n` private L1/L2 hits (energy only; they never reach the NoC).
     pub fn private_hits(&mut self, n: u64) {
-        self.private_hits += n;
+        self.record(Event::PrivateHits { count: n });
     }
 
     // ---------- residency (capacity model inputs) ----------
@@ -366,7 +508,10 @@ impl SimEngine {
             }
             self.report.remapped_bytes += bytes;
         }
-        self.banks.add_resident(target, bytes);
+        self.record(Event::BankResident {
+            bank: target,
+            bytes,
+        });
     }
 
     /// Import a whole per-bank residency vector (e.g. from
@@ -396,9 +541,19 @@ impl SimEngine {
     /// (cold first-touch streaming that no cache can absorb).
     pub fn cold_dram_lines(&mut self, bank: BankId, lines: u64) {
         let target = self.serving_bank(bank);
-        self.dram.record_misses(target, lines, &mut self.traffic);
+        let rec: Option<&mut dyn Recorder> = if self.tracing {
+            self.recorder.0.as_mut().map(|b| b.as_mut() as _)
+        } else {
+            None
+        };
+        self.dram
+            .record_misses_rec(target, lines, &mut self.traffic, rec);
         self.explicit_dram_lines += lines;
-        self.banks.access(target, lines);
+        self.record(Event::BankAccess {
+            bank: target,
+            count: lines,
+            fetch: false,
+        });
     }
 
     // ---------- In-Core primitives ----------
@@ -407,10 +562,25 @@ impl SimEngine {
     /// request header out, full line back.
     pub fn core_read_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
         let bank = self.serving_bank(bank);
-        self.charge(core, bank, 0, TrafficClass::Control, lines);
-        self.charge(bank, core, CACHE_LINE, TrafficClass::Data, lines);
-        self.banks.access(bank, lines);
-        self.miss_eligible[bank as usize] += lines;
+        self.record(Event::Traffic {
+            src: core,
+            dst: bank,
+            payload_bytes: 0,
+            class: TrafficKind::Control,
+            count: lines,
+        });
+        self.record(Event::Traffic {
+            src: bank,
+            dst: core,
+            payload_bytes: CACHE_LINE,
+            class: TrafficKind::Data,
+            count: lines,
+        });
+        self.record(Event::BankAccess {
+            bank,
+            count: lines,
+            fetch: true,
+        });
     }
 
     /// Core writes `lines` cache lines homed at `bank`: a write-allocate
@@ -419,12 +589,38 @@ impl SimEngine {
     /// construction and "write directly to L3" (§2.1).
     pub fn core_write_lines(&mut self, core: BankId, bank: BankId, lines: u64) {
         let bank = self.serving_bank(bank);
-        self.charge(core, bank, 0, TrafficClass::Control, lines);
-        self.charge(bank, core, CACHE_LINE, TrafficClass::Data, lines);
-        self.charge(core, bank, CACHE_LINE, TrafficClass::Data, lines);
-        self.banks.access(bank, 2 * lines);
+        self.record(Event::Traffic {
+            src: core,
+            dst: bank,
+            payload_bytes: 0,
+            class: TrafficKind::Control,
+            count: lines,
+        });
+        self.record(Event::Traffic {
+            src: bank,
+            dst: core,
+            payload_bytes: CACHE_LINE,
+            class: TrafficKind::Data,
+            count: lines,
+        });
+        self.record(Event::Traffic {
+            src: core,
+            dst: bank,
+            payload_bytes: CACHE_LINE,
+            class: TrafficKind::Data,
+            count: lines,
+        });
         // Only the RFO fill can miss; the writeback is not a fetch.
-        self.miss_eligible[bank as usize] += lines;
+        self.record(Event::BankAccess {
+            bank,
+            count: lines,
+            fetch: true,
+        });
+        self.record(Event::BankAccess {
+            bank,
+            count: lines,
+            fetch: false,
+        });
     }
 
     /// Core executes an atomic on a line homed at `bank`. `contended` charges
@@ -433,17 +629,43 @@ impl SimEngine {
     /// contention).
     pub fn core_atomic(&mut self, core: BankId, bank: BankId, contended: bool, n: u64) {
         let bank = self.serving_bank(bank);
-        self.charge(core, bank, 0, TrafficClass::Control, n);
-        self.charge(bank, core, CACHE_LINE, TrafficClass::Data, n);
+        self.record(Event::Traffic {
+            src: core,
+            dst: bank,
+            payload_bytes: 0,
+            class: TrafficKind::Control,
+            count: n,
+        });
+        self.record(Event::Traffic {
+            src: bank,
+            dst: core,
+            payload_bytes: CACHE_LINE,
+            class: TrafficKind::Data,
+            count: n,
+        });
         if contended {
             // Invalidation + ownership transfer from the previous writer.
-            self.charge(bank, core, 0, TrafficClass::Control, n);
-            self.charge(core, bank, CACHE_LINE, TrafficClass::Data, n);
+            self.record(Event::Traffic {
+                src: bank,
+                dst: core,
+                payload_bytes: 0,
+                class: TrafficKind::Control,
+                count: n,
+            });
+            self.record(Event::Traffic {
+                src: core,
+                dst: bank,
+                payload_bytes: CACHE_LINE,
+                class: TrafficKind::Data,
+                count: n,
+            });
         }
-        self.banks.atomic(bank, n);
-        self.miss_eligible[bank as usize] += n;
         let hops = u64::from(self.topo.manhattan(core, bank));
-        self.phase.record_atomics(bank, n, hops);
+        self.record(Event::BankAtomic {
+            bank,
+            count: n,
+            hops,
+        });
     }
 
     // ---------- Near-L3 primitives ----------
@@ -458,8 +680,16 @@ impl SimEngine {
             // and the stream runs In-Core at the tile instead.
             self.report.incore_fallback_streams += num_streams;
         }
-        self.charge(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
-        self.serial_cycles += self.config.sel3_compute_init_latency;
+        self.record(Event::Traffic {
+            src: core,
+            dst: target,
+            payload_bytes: MIGRATE_STATE_BYTES,
+            class: TrafficKind::Offload,
+            count: num_streams,
+        });
+        self.record(Event::ChainCycles {
+            cycles: self.config.sel3_compute_init_latency,
+        });
     }
 
     /// Multicast a stream-graph configuration to every bank's SEL3 (sliced
@@ -471,9 +701,17 @@ impl SimEngine {
             if target != b {
                 self.report.incore_fallback_streams += num_streams;
             }
-            self.charge(core, target, MIGRATE_STATE_BYTES, TrafficClass::Offload, num_streams);
+            self.record(Event::Traffic {
+                src: core,
+                dst: target,
+                payload_bytes: MIGRATE_STATE_BYTES,
+                class: TrafficKind::Offload,
+                count: num_streams,
+            });
         }
-        self.serial_cycles += self.config.sel3_compute_init_latency;
+        self.record(Event::ChainCycles {
+            cycles: self.config.sel3_compute_init_latency,
+        });
     }
 
     /// Coarse-grained flow control: one credit message per [`CREDIT_BATCH`]
@@ -481,7 +719,13 @@ impl SimEngine {
     pub fn credits(&mut self, core: BankId, bank: BankId, iterations: u64) {
         let bank = self.serving_bank(bank);
         let msgs = iterations.div_ceil(CREDIT_BATCH);
-        self.charge(core, bank, 0, TrafficClass::Control, msgs);
+        self.record(Event::Traffic {
+            src: core,
+            dst: bank,
+            payload_bytes: 0,
+            class: TrafficKind::Control,
+            count: msgs,
+        });
     }
 
     /// A stream migrates from `from` to `to`, carrying its architectural
@@ -491,14 +735,26 @@ impl SimEngine {
         if f != from || t != to {
             self.report.rerouted_migrations += n;
         }
-        self.charge(f, t, MIGRATE_STATE_BYTES, TrafficClass::Offload, n);
+        self.record(Event::Traffic {
+            src: f,
+            dst: t,
+            payload_bytes: MIGRATE_STATE_BYTES,
+            class: TrafficKind::Offload,
+            count: n,
+        });
     }
 
     /// Producer stream at `from` forwards `n` values of `bytes` each to the
     /// consumer stream at `to` (Data class). Same-bank forwarding is free on
     /// the NoC — the whole point of affinity alloc.
     pub fn forward(&mut self, from: BankId, to: BankId, bytes: u64, n: u64) {
-        self.charge(from, to, bytes, TrafficClass::Data, n);
+        self.record(Event::Traffic {
+            src: from,
+            dst: to,
+            payload_bytes: bytes,
+            class: TrafficKind::Data,
+            count: n,
+        });
     }
 
     /// Stream at `bank` reads `lines` lines of its own bank's data. When the
@@ -507,11 +763,26 @@ impl SimEngine {
     pub fn bank_read_lines(&mut self, bank: BankId, lines: u64) {
         let target = self.serving_bank(bank);
         if target != bank {
-            self.charge(bank, target, 0, TrafficClass::Control, lines);
-            self.charge(target, bank, CACHE_LINE, TrafficClass::Data, lines);
+            self.record(Event::Traffic {
+                src: bank,
+                dst: target,
+                payload_bytes: 0,
+                class: TrafficKind::Control,
+                count: lines,
+            });
+            self.record(Event::Traffic {
+                src: target,
+                dst: bank,
+                payload_bytes: CACHE_LINE,
+                class: TrafficKind::Data,
+                count: lines,
+            });
         }
-        self.banks.access(target, lines);
-        self.miss_eligible[target as usize] += lines;
+        self.record(Event::BankAccess {
+            bank: target,
+            count: lines,
+            fetch: true,
+        });
     }
 
     /// Stream at `bank` re-reads `lines` lines another stream just fetched
@@ -520,10 +791,26 @@ impl SimEngine {
     pub fn bank_read_lines_reuse(&mut self, bank: BankId, lines: u64) {
         let target = self.serving_bank(bank);
         if target != bank {
-            self.charge(bank, target, 0, TrafficClass::Control, lines);
-            self.charge(target, bank, CACHE_LINE, TrafficClass::Data, lines);
+            self.record(Event::Traffic {
+                src: bank,
+                dst: target,
+                payload_bytes: 0,
+                class: TrafficKind::Control,
+                count: lines,
+            });
+            self.record(Event::Traffic {
+                src: target,
+                dst: bank,
+                payload_bytes: CACHE_LINE,
+                class: TrafficKind::Data,
+                count: lines,
+            });
         }
-        self.banks.access(target, lines);
+        self.record(Event::BankAccess {
+            bank: target,
+            count: lines,
+            fetch: false,
+        });
     }
 
     /// Stream at `bank` writes `lines` full lines to its own bank. NSC store
@@ -532,9 +819,19 @@ impl SimEngine {
     pub fn bank_write_lines(&mut self, bank: BankId, lines: u64) {
         let target = self.serving_bank(bank);
         if target != bank {
-            self.charge(bank, target, CACHE_LINE, TrafficClass::Data, lines);
+            self.record(Event::Traffic {
+                src: bank,
+                dst: target,
+                payload_bytes: CACHE_LINE,
+                class: TrafficKind::Data,
+                count: lines,
+            });
         }
-        self.banks.access(target, lines);
+        self.record(Event::BankAccess {
+            bank: target,
+            count: lines,
+            fetch: false,
+        });
     }
 
     /// Indirect remote access: request header from `from` to `to`,
@@ -542,13 +839,28 @@ impl SimEngine {
     /// remote bank.
     pub fn indirect(&mut self, from: BankId, to: BankId, resp_bytes: u64, n: u64) {
         let to = self.serving_bank(to);
-        self.charge(from, to, 0, TrafficClass::Control, n);
+        self.record(Event::Traffic {
+            src: from,
+            dst: to,
+            payload_bytes: 0,
+            class: TrafficKind::Control,
+            count: n,
+        });
         if resp_bytes > 0 {
-            self.charge(to, from, resp_bytes, TrafficClass::Data, n);
+            self.record(Event::Traffic {
+                src: to,
+                dst: from,
+                payload_bytes: resp_bytes,
+                class: TrafficKind::Data,
+                count: n,
+            });
         }
-        self.banks.access(to, n);
-        self.miss_eligible[to as usize] += n;
-        self.se_ops(to, n);
+        self.record(Event::BankAccess {
+            bank: to,
+            count: n,
+            fetch: true,
+        });
+        self.record(Event::SeOps { bank: to, count: n });
     }
 
     /// Remote atomic executed at `to` on behalf of a stream at `from`
@@ -556,13 +868,27 @@ impl SimEngine {
     /// outcome flows back (predication input for dependent streams).
     pub fn remote_atomic(&mut self, from: BankId, to: BankId, n: u64) {
         let to = self.serving_bank(to);
-        self.charge(from, to, 8, TrafficClass::Control, n);
-        self.charge(to, from, 8, TrafficClass::Data, n);
-        self.banks.atomic(to, n);
-        self.miss_eligible[to as usize] += n;
-        self.se_ops(to, n);
+        self.record(Event::Traffic {
+            src: from,
+            dst: to,
+            payload_bytes: 8,
+            class: TrafficKind::Control,
+            count: n,
+        });
+        self.record(Event::Traffic {
+            src: to,
+            dst: from,
+            payload_bytes: 8,
+            class: TrafficKind::Data,
+            count: n,
+        });
+        self.record(Event::SeOps { bank: to, count: n });
         let hops = u64::from(self.topo.manhattan(from, to));
-        self.phase.record_atomics(to, n, hops);
+        self.record(Event::BankAtomic {
+            bank: to,
+            count: n,
+            hops,
+        });
     }
 
     // ---------- serial latency ----------
@@ -570,35 +896,39 @@ impl SimEngine {
     /// Add serial dependence-chain latency that bandwidth cannot hide:
     /// `hops` link hops plus `accesses` L3 accesses on the critical path.
     pub fn chain(&mut self, hops: u64, accesses: u64) {
-        self.serial_cycles +=
-            hops * self.config.hop_latency + accesses * self.config.l3_latency;
+        let cycles = hops * self.config.hop_latency + accesses * self.config.l3_latency;
+        self.record(Event::ChainCycles { cycles });
     }
 
     /// Add raw serial cycles on the critical path.
     pub fn chain_cycles(&mut self, cycles: u64) {
-        self.serial_cycles += cycles;
+        self.record(Event::ChainCycles { cycles });
     }
 
     // ---------- phases (Fig 14) ----------
 
     /// Begin an occupancy-sampled phase (e.g. one BFS iteration).
     pub fn begin_phase(&mut self) {
-        self.phase.begin();
+        self.record(Event::PhaseBegin);
     }
 
     /// End the current phase, producing one occupancy snapshot.
     pub fn end_phase(&mut self) {
-        let snapshot = self.phase.end(&self.config);
-        if let Some(s) = snapshot {
-            self.timeline.push(s);
-        }
+        self.record(Event::PhaseEnd);
     }
 
     // ---------- finish ----------
 
     /// Resolve capacity misses, compute the cycle estimate, and produce
     /// [`Metrics`]. Consumes the engine — one engine per kernel execution.
-    pub fn finish(mut self) -> Metrics {
+    #[deprecated(note = "use try_finish")]
+    pub fn finish(self) -> Metrics {
+        self.finish_inner()
+    }
+
+    /// Shared body of [`finish`](Self::finish) and
+    /// [`try_finish`](Self::try_finish); both produce byte-identical metrics.
+    fn finish_inner(mut self) -> Metrics {
         self.flush_charges();
         // Capacity misses: each bank's accesses miss at the rate its resident
         // working set exceeds its capacity.
@@ -608,7 +938,13 @@ impl SimEngine {
             let rate = capacity::miss_rate(self.banks.resident_of(b), self.config.l3_bank_bytes);
             if rate > 0.0 {
                 let misses = (self.miss_eligible[b as usize] as f64 * rate) as u64;
-                self.dram.record_misses(b, misses, &mut self.traffic);
+                let rec: Option<&mut dyn Recorder> = if self.tracing {
+                    self.recorder.0.as_mut().map(|r| r.as_mut() as _)
+                } else {
+                    None
+                };
+                self.dram
+                    .record_misses_rec(b, misses, &mut self.traffic, rec);
                 total_misses += misses;
             }
         }
@@ -675,13 +1011,14 @@ impl SimEngine {
         }
     }
 
-    /// [`SimEngine::finish`] under the machine's [`RunBudget`]: when the
+    /// [`SimEngine::finish`] under the machine's
+    /// [`RunBudget`](aff_sim_core::error::RunBudget): when the
     /// cycle estimate exceeds `budget.max_cycles` the run reports
     /// [`SimError::BudgetExhausted`] instead of returning metrics, so a
     /// sweep can refuse to merge results from a run that blew its ceiling.
     pub fn try_finish(self) -> Result<Metrics, SimError> {
         let budget = self.config.budget;
-        let metrics = self.finish();
+        let metrics = self.finish_inner();
         if let Some(limit) = budget.max_cycles {
             if metrics.cycles > limit {
                 return Err(SimError::BudgetExhausted {
@@ -703,9 +1040,13 @@ mod tests {
         SimEngine::new(MachineConfig::paper_default())
     }
 
+    fn fin(e: SimEngine) -> Metrics {
+        e.try_finish().expect("unlimited budget")
+    }
+
     #[test]
     fn empty_run_is_one_cycle() {
-        let m = engine().finish();
+        let m = fin(engine());
         assert_eq!(m.cycles, 1);
         assert_eq!(m.total_hop_flits, 0);
         assert_eq!(m.l3_miss_rate, 0.0);
@@ -756,7 +1097,7 @@ mod tests {
         let mut b = engine();
         b.enable_packet_log();
         drive(&mut b);
-        let (ma, mb) = (a.finish(), b.finish());
+        let (ma, mb) = (fin(a), fin(b));
         assert_eq!(ma.cycles, mb.cycles);
         assert_eq!(ma.total_hop_flits, mb.total_hop_flits);
         assert_eq!(ma.breakdown, mb.breakdown);
@@ -770,14 +1111,137 @@ mod tests {
     fn traffic_accessor_flushes_pending_charges() {
         let mut e = engine();
         e.remote_atomic(0, 9, 1); // fewer charges than one coalescing window
-        assert!(e.traffic().total_hop_flits() > 0);
+        assert!(e.traffic_mut().total_hop_flits() > 0);
+    }
+
+    #[test]
+    fn traffic_snapshot_lags_by_at_most_the_coalescing_window() {
+        let mut e = engine();
+        e.remote_atomic(0, 9, 1); // two charge runs: both fit the buffer
+        assert_eq!(
+            e.traffic_snapshot().total_hop_flits(),
+            0,
+            "snapshot does not flush"
+        );
+        let flushed = e.traffic_mut().total_hop_flits();
+        assert!(flushed > 0);
+        assert_eq!(
+            e.traffic_snapshot().total_hop_flits(),
+            flushed,
+            "after a flush the snapshot agrees"
+        );
+    }
+
+    /// Compat pin: the deprecated [`SimEngine::traffic`] must stay identical
+    /// to [`SimEngine::traffic_mut`] (both flush pending charges).
+    #[test]
+    #[allow(deprecated)]
+    fn traffic_matches_traffic_mut() {
+        let mut a = engine();
+        a.remote_atomic(0, 9, 3);
+        let want = a.traffic_mut().total_hop_flits();
+        let mut b = engine();
+        b.remote_atomic(0, 9, 3);
+        assert_eq!(b.traffic().total_hop_flits(), want);
+    }
+
+    /// Compat pin: the deprecated [`SimEngine::finish`] must stay identical
+    /// to [`SimEngine::try_finish`] on an unlimited budget.
+    #[test]
+    #[allow(deprecated)]
+    fn finish_matches_try_finish() {
+        let mut a = engine();
+        busy_run(&mut a);
+        let mut b = engine();
+        busy_run(&mut b);
+        let (ma, mb) = (a.finish(), fin(b));
+        assert_eq!(ma.cycles, mb.cycles);
+        assert_eq!(ma.total_hop_flits, mb.total_hop_flits);
+        assert_eq!(ma.breakdown, mb.breakdown);
+        assert_eq!(ma.dram_accesses, mb.dram_accesses);
+    }
+
+    #[test]
+    fn attached_recorder_is_observational() {
+        use aff_sim_core::trace::TraceRecorder;
+        let mut plain = engine();
+        busy_run(&mut plain);
+        let mut traced = engine();
+        traced.set_recorder(Box::new(TraceRecorder::default()));
+        busy_run(&mut traced);
+        let (mp, mt) = (fin(plain), fin(traced));
+        assert_eq!(mp.cycles, mt.cycles);
+        assert_eq!(mp.total_hop_flits, mt.total_hop_flits);
+        assert_eq!(mp.breakdown, mt.breakdown);
+        assert_eq!(mp.dram_accesses, mt.dram_accesses);
+        assert_eq!(mp.energy, mt.energy);
+    }
+
+    #[test]
+    fn disabled_recorder_does_not_enable_tracing() {
+        use aff_sim_core::trace::NullRecorder;
+        let mut e = engine();
+        e.set_recorder(Box::new(NullRecorder));
+        busy_run(&mut e);
+        assert!(e.take_recorder().is_some(), "slot holds the null recorder");
+        let m = fin(e);
+        assert!(m.total_hop_flits > 0);
+    }
+
+    #[test]
+    fn thread_capture_attaches_to_new_engines() {
+        trace::install_thread_trace(1 << 14);
+        let mut e = engine(); // picks the capture up in new()
+        busy_run(&mut e);
+        let direct = e.banks().clone();
+        let cap = trace::take_thread_trace().expect("capture installed");
+        assert!(cap.total_seen() > 0, "engine forwarded events");
+        // Replaying the captured bank events into fresh counters reproduces
+        // the engine's accounting exactly — one stream, two consumers.
+        let mut replayed = BankCounters::new(direct.num_banks());
+        for te in cap.events() {
+            replayed.apply(&te.event);
+        }
+        assert_eq!(replayed, direct);
+        fin(e);
+    }
+
+    #[test]
+    fn record_is_equivalent_to_the_named_primitives() {
+        let mut a = engine();
+        a.core_read_lines(0, 9, 100);
+        let mut b = engine();
+        b.record(Event::Traffic {
+            src: 0,
+            dst: 9,
+            payload_bytes: 0,
+            class: TrafficKind::Control,
+            count: 100,
+        });
+        b.record(Event::Traffic {
+            src: 9,
+            dst: 0,
+            payload_bytes: CACHE_LINE,
+            class: TrafficKind::Data,
+            count: 100,
+        });
+        b.record(Event::BankAccess {
+            bank: 9,
+            count: 100,
+            fetch: true,
+        });
+        let (ma, mb) = (fin(a), fin(b));
+        assert_eq!(ma.cycles, mb.cycles);
+        assert_eq!(ma.total_hop_flits, mb.total_hop_flits);
+        assert_eq!(ma.breakdown, mb.breakdown);
+        assert_eq!(ma.dram_accesses, mb.dram_accesses);
     }
 
     #[test]
     fn core_read_charges_round_trip() {
         let mut e = engine();
         e.core_read_lines(0, 9, 100);
-        let m = e.finish();
+        let m = fin(e);
         // 0->9 is 2 hops: request 1 flit, response 3 flits (64+8 = 72B).
         assert_eq!(m.hop_flits_of(TrafficClass::Control), 200);
         assert_eq!(m.hop_flits_of(TrafficClass::Data), 600);
@@ -787,7 +1251,7 @@ mod tests {
     fn same_bank_forwarding_is_free() {
         let mut e = engine();
         e.forward(5, 5, 4, 1_000_000);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.total_hop_flits, 0);
     }
 
@@ -796,7 +1260,7 @@ mod tests {
         let mut e = engine();
         // Heavy forwarding over one link dominates all other bounds.
         e.forward(0, 1, 24, 100_000);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.breakdown.link, 100_000);
         assert_eq!(m.cycles, 100_000);
     }
@@ -806,7 +1270,7 @@ mod tests {
         let mut e = engine();
         e.bank_read_lines(3, 5_000);
         e.bank_read_lines(4, 100);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.breakdown.bank_service, 5_000);
     }
 
@@ -815,7 +1279,7 @@ mod tests {
         let mut e = engine();
         e.forward(0, 1, 24, 1000);
         e.chain(10, 2); // 10*6 + 2*20 = 100 cycles
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.cycles, 1000 + 100);
         assert_eq!(m.breakdown.chain, 100);
     }
@@ -826,7 +1290,7 @@ mod tests {
         // 4 MiB resident on a 1 MiB bank: 75% of accesses miss.
         e.register_resident(0, 4 << 20);
         e.bank_read_lines(0, 1000);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.dram_accesses, 750);
         assert!((m.l3_miss_rate - 0.75).abs() < 0.01);
     }
@@ -836,7 +1300,7 @@ mod tests {
         let mut e = engine();
         e.register_resident_spread(32 << 20); // half the 64 MiB L3
         e.bank_read_lines(0, 1000);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.dram_accesses, 0);
         assert_eq!(m.l3_miss_rate, 0.0);
     }
@@ -845,10 +1309,10 @@ mod tests {
     fn contended_core_atomic_doubles_traffic() {
         let mut q = engine();
         q.core_atomic(0, 9, false, 100);
-        let quiet = q.finish();
+        let quiet = fin(q);
         let mut c = engine();
         c.core_atomic(0, 9, true, 100);
-        let contended = c.finish();
+        let contended = fin(c);
         assert!(contended.total_hop_flits > quiet.total_hop_flits);
     }
 
@@ -858,7 +1322,7 @@ mod tests {
         e.begin_phase();
         e.remote_atomic(0, 9, 500);
         e.end_phase();
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.occupancy.len(), 1);
         assert!(m.occupancy.snapshots()[0].per_bank[9] > 0.0);
     }
@@ -872,12 +1336,12 @@ mod tests {
         for b in 0..64u32 {
             slow.forward(b, (b + 32) % 64, 24, 10_000);
         }
-        let slow = slow.finish();
+        let slow = fin(slow);
         let mut fast = engine();
         for b in 0..64u32 {
             fast.forward(b, (b + 1) % 64, 24, 10_000);
         }
-        let fast = fast.finish();
+        let fast = fin(fast);
         assert!(fast.speedup_over(&slow) > 1.0);
         assert!(fast.energy_eff_over(&slow) > 1.0);
         assert!(fast.traffic_vs(&slow) < 1.0);
@@ -887,7 +1351,7 @@ mod tests {
     fn credits_are_batched() {
         let mut e = engine();
         e.credits(0, 5, 640);
-        let m = e.finish();
+        let m = fin(e);
         // 640 iterations / 64 per credit = 10 messages * 5 hops * 1 flit.
         assert_eq!(m.hop_flits_of(TrafficClass::Control), 50);
     }
@@ -896,7 +1360,7 @@ mod tests {
     fn offload_config_charges_offload_class() {
         let mut e = engine();
         e.offload_config(0, 9, 3);
-        let m = e.finish();
+        let m = fin(e);
         assert!(m.hop_flits_of(TrafficClass::Offload) > 0);
         assert_eq!(m.hop_flits_of(TrafficClass::Data), 0);
     }
@@ -924,7 +1388,7 @@ mod tests {
     fn fault_free_run_reports_zero_degradation() {
         let mut e = engine();
         busy_run(&mut e);
-        let m = e.finish();
+        let m = fin(e);
         assert!(m.degradation.is_zero());
     }
 
@@ -934,7 +1398,7 @@ mod tests {
         busy_run(&mut healthy);
         let mut faulted = faulty_engine(FaultPlan::none());
         busy_run(&mut faulted);
-        let (a, b) = (healthy.finish(), faulted.finish());
+        let (a, b) = (fin(healthy), fin(faulted));
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.total_hop_flits, b.total_hop_flits);
         assert_eq!(a.degradation, b.degradation);
@@ -950,7 +1414,7 @@ mod tests {
         assert_eq!(e.banks().accesses_of(9), 0, "dead bank serves nothing");
         assert_eq!(e.banks().accesses_of(1), 1010);
         assert_eq!(e.banks().resident_of(1), 1 << 20);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.degradation.remapped_banks, 1);
         assert_eq!(m.degradation.remapped_bytes, 1 << 20);
         assert_eq!(
@@ -967,7 +1431,7 @@ mod tests {
         let mut e = faulty_engine(FaultPlan::none().fail_bank(9));
         e.se_ops(9, 5_000);
         e.offload_config(0, 9, 3);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.breakdown.se_compute, 0, "dead SEL3 runs nothing");
         assert!(m.breakdown.core_compute > 0, "tile core absorbs the work");
         assert_eq!(m.degradation.incore_fallback_streams, 3);
@@ -977,10 +1441,10 @@ mod tests {
     fn slowed_bank_stretches_bank_service() {
         let mut healthy = engine();
         healthy.bank_read_lines(3, 1000);
-        let h = healthy.finish();
+        let h = fin(healthy);
         let mut slowed = faulty_engine(FaultPlan::none().slow_bank(3, 4));
         slowed.bank_read_lines(3, 1000);
-        let s = slowed.finish();
+        let s = fin(slowed);
         assert_eq!(s.breakdown.bank_service, 4 * h.breakdown.bank_service);
         assert!(s.cycles >= h.cycles);
     }
@@ -989,7 +1453,7 @@ mod tests {
     fn migration_to_dead_bank_is_rerouted() {
         let mut e = faulty_engine(FaultPlan::none().fail_bank(9));
         e.migrate(4, 9, 7);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.degradation.rerouted_migrations, 7);
     }
 
@@ -1001,7 +1465,7 @@ mod tests {
             FaultPlan::none().fail_link(LinkRef::between(0, 0, 1, 0).unwrap());
         let mut e = faulty_engine(plan);
         e.forward(0, 1, 24, 10);
-        let m = e.finish();
+        let m = fin(e);
         assert_eq!(m.degradation.rerouted_messages, 10);
         assert_eq!(m.degradation.detour_hops, 20);
     }

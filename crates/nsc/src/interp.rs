@@ -123,6 +123,7 @@ impl<'a> Interp<'a> {
     /// incompatible with stream kind, missing address producer, cyclic
     /// dependences). Use [`Interp::try_execute_affine`] to get these (and
     /// budget exhaustion) as typed [`SimError`]s instead.
+    #[deprecated(note = "use try_execute_affine")]
     pub fn execute_affine(
         &mut self,
         graph: &StreamGraph,
@@ -337,7 +338,9 @@ mod tests {
                 compute: Box::new(|v| v[0] + v[1]),
             },
         ];
-        let report = Interp::new(&mut space).execute_affine(&graph, &bindings, n);
+        let report = Interp::new(&mut space)
+            .try_execute_affine(&graph, &bindings, n, &RunBudget::unlimited())
+            .expect("valid bindings");
         for i in (0..n).step_by(97) {
             assert_eq!(space.memory().read_u32(c + i * 4), (3 * i) as u32, "C[{i}]");
         }
@@ -375,7 +378,9 @@ mod tests {
                 compute: Box::new(|v| v[0]),
             },
         ];
-        Interp::new(&mut space).execute_affine(&graph, &bindings, n);
+        Interp::new(&mut space)
+            .try_execute_affine(&graph, &bindings, n, &RunBudget::unlimited())
+            .expect("valid bindings");
         for i in (0..n).step_by(13) {
             let j = (i * 37) % 1024;
             assert_eq!(space.memory().read_u64(out + i * 8), j * j, "out[{i}]");
@@ -428,7 +433,9 @@ mod tests {
                 compute: Box::new(|v| v[0]),
             },
         ];
-        let report = Interp::new(&mut space).execute_affine(&graph, &bindings, n);
+        let report = Interp::new(&mut space)
+            .try_execute_affine(&graph, &bindings, n, &RunBudget::unlimited())
+            .expect("valid bindings");
         // First visits set the parent; repeats failed the CAS.
         assert_eq!(space.memory().read_u64(parent + 3 * 8), 100);
         assert_eq!(space.memory().read_u64(parent + 5 * 8), 101);
@@ -520,8 +527,11 @@ mod tests {
         }
     }
 
+    /// Compat pin: the deprecated [`Interp::execute_affine`] must keep its
+    /// documented panic contract (delegating to `try_execute_affine`).
     #[test]
     #[should_panic(expected = "one binding per stream")]
+    #[allow(deprecated)]
     fn binding_count_checked() {
         let mut space = space();
         let graph = StreamGraph::vec_add();

@@ -36,6 +36,18 @@ pub enum BankOrder {
 ///
 /// Defaults come from [`MachineConfig::paper_default`]; tests frequently use
 /// [`MachineConfig::small_mesh`] (4×4) to keep hand-checked hop counts small.
+/// The struct is `#[non_exhaustive]` so that adding a knob is not a breaking
+/// change for downstream crates: construct one with
+/// [`MachineConfig::builder`] (or one of the presets) instead of a struct
+/// literal.
+///
+/// Serde-default audit: every field added after the original Table 2 schema
+/// (`bank_order`, `allow_npot_interleave`, `faults`, `budget`) carries
+/// `#[serde(default)]`, and each of those defaults reproduces the
+/// paper-default value (`RowMajor`, `false`, no faults, unlimited budget) —
+/// so configs serialized before those knobs existed still load and mean the
+/// same machine. Core Table 2 fields are deliberately *not* defaulted:
+/// a config missing `mesh_x` is a bug, not an old file.
 ///
 /// # Example
 ///
@@ -43,8 +55,12 @@ pub enum BankOrder {
 /// use aff_sim_core::config::MachineConfig;
 /// let m = MachineConfig::paper_default();
 /// assert_eq!(m.l3_total_bytes(), 64 * 1024 * 1024);
+///
+/// let small = MachineConfig::builder().mesh(4, 4).l3_bank_bytes(64 << 10).build();
+/// assert_eq!(small, MachineConfig::small_mesh());
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct MachineConfig {
     /// Mesh width in tiles (paper: 8).
     pub mesh_x: u32,
@@ -89,17 +105,23 @@ pub struct MachineConfig {
     pub iot_entries: u32,
     /// Throughput of one L3 bank in accesses per cycle.
     pub bank_accesses_per_cycle: f64,
-    /// Bank-numbering order on the mesh.
+    /// Bank-numbering order on the mesh. Serde-defaulted (`RowMajor`, the
+    /// paper baseline) so pre-`BankOrder` configs still load.
+    #[serde(default)]
     pub bank_order: BankOrder,
     /// Accept interleave sizes that are any multiple of a cache line, not
     /// just powers of two (§4.1 future work: costs a division instead of a
     /// shift in the Eq 1 lookup, but removes padding-driven fallbacks —
     /// e.g. a 3:1 alignment ratio needs a 192 B interleave).
+    /// Serde-defaulted (`false`) so pre-flag configs still load.
+    #[serde(default)]
     pub allow_npot_interleave: bool,
     /// Injected faults for this experiment ([`FaultPlan::none`] for a healthy
     /// machine). Lives on the machine description so every component — NoC,
     /// cache model, allocator, stream engines — sees the same broken machine
-    /// without extra plumbing.
+    /// without extra plumbing. Serde-defaulted (no faults) so configs written
+    /// before fault injection existed still load as healthy machines.
+    #[serde(default)]
     pub faults: FaultPlan,
     /// Run-to-completion budget ([`RunBudget::unlimited`] by default). Like
     /// `faults`, it lives on the machine description so the NoC simulators,
@@ -254,6 +276,192 @@ impl Default for MachineConfig {
     }
 }
 
+impl MachineConfig {
+    /// Start building a machine from the paper defaults (Table 2).
+    ///
+    /// Since `MachineConfig` is `#[non_exhaustive]`, downstream crates cannot
+    /// use struct literals; the builder is the supported way to vary a few
+    /// knobs:
+    ///
+    /// ```
+    /// use aff_sim_core::config::{BankOrder, MachineConfig};
+    /// let m = MachineConfig::builder()
+    ///     .mesh(4, 4)
+    ///     .hop_latency(3)
+    ///     .bank_order(BankOrder::Snake)
+    ///     .build();
+    /// assert_eq!(m.num_banks(), 16);
+    /// ```
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder {
+            cfg: Self::paper_default(),
+        }
+    }
+}
+
+/// Builder for [`MachineConfig`], seeded with [`MachineConfig::paper_default`].
+///
+/// Every setter overrides one Table 2 knob; [`build`](Self::build) validates
+/// the result (non-empty mesh, valid fault plan) and hands back the config.
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Mesh dimensions in tiles (`mesh_x` × `mesh_y`).
+    pub fn mesh(mut self, x: u32, y: u32) -> Self {
+        self.cfg.mesh_x = x;
+        self.cfg.mesh_y = y;
+        self
+    }
+
+    /// Core clock in MHz.
+    pub fn clock_mhz(mut self, mhz: u32) -> Self {
+        self.cfg.clock_mhz = mhz;
+        self
+    }
+
+    /// Issue width of the OOO core.
+    pub fn core_issue_width(mut self, width: u32) -> Self {
+        self.cfg.core_issue_width = width;
+        self
+    }
+
+    /// Per-bank shared-L3 capacity in bytes.
+    pub fn l3_bank_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.l3_bank_bytes = bytes;
+        self
+    }
+
+    /// Shared L3 access latency in cycles.
+    pub fn l3_latency(mut self, cycles: u64) -> Self {
+        self.cfg.l3_latency = cycles;
+        self
+    }
+
+    /// Default static-NUCA interleave in bytes.
+    pub fn default_interleave(mut self, bytes: u64) -> Self {
+        self.cfg.default_interleave = bytes;
+        self
+    }
+
+    /// Private L2 capacity in bytes and hit latency in cycles.
+    pub fn l2(mut self, bytes: u64, latency: u64) -> Self {
+        self.cfg.l2_bytes = bytes;
+        self.cfg.l2_latency = latency;
+        self
+    }
+
+    /// Private L1D capacity in bytes and hit latency in cycles.
+    pub fn l1(mut self, bytes: u64, latency: u64) -> Self {
+        self.cfg.l1_bytes = bytes;
+        self.cfg.l1_latency = latency;
+        self
+    }
+
+    /// NoC link width in bytes per cycle per direction.
+    pub fn link_bytes_per_cycle(mut self, bytes: u64) -> Self {
+        self.cfg.link_bytes_per_cycle = bytes;
+        self
+    }
+
+    /// Per-hop router latency in cycles.
+    pub fn hop_latency(mut self, cycles: u64) -> Self {
+        self.cfg.hop_latency = cycles;
+        self
+    }
+
+    /// Packet header overhead in bytes.
+    pub fn packet_header_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.packet_header_bytes = bytes;
+        self
+    }
+
+    /// Number of memory controllers.
+    pub fn num_mem_ctrls(mut self, n: u32) -> Self {
+        self.cfg.num_mem_ctrls = n;
+        self
+    }
+
+    /// DRAM aggregate bandwidth (bytes/cycle) and access latency (cycles).
+    pub fn dram(mut self, bytes_per_cycle: u64, latency: u64) -> Self {
+        self.cfg.dram_bytes_per_cycle = bytes_per_cycle;
+        self.cfg.dram_latency = latency;
+        self
+    }
+
+    /// Concurrent streams per bank on the L3 stream engine.
+    pub fn sel3_streams_per_bank(mut self, n: u32) -> Self {
+        self.cfg.sel3_streams_per_bank = n;
+        self
+    }
+
+    /// Cycles for an SEL3 to initiate a near-stream computation.
+    pub fn sel3_compute_init_latency(mut self, cycles: u64) -> Self {
+        self.cfg.sel3_compute_init_latency = cycles;
+        self
+    }
+
+    /// Interleave Override Table entries per controller.
+    pub fn iot_entries(mut self, n: u32) -> Self {
+        self.cfg.iot_entries = n;
+        self
+    }
+
+    /// Throughput of one L3 bank in accesses per cycle.
+    pub fn bank_accesses_per_cycle(mut self, rate: f64) -> Self {
+        self.cfg.bank_accesses_per_cycle = rate;
+        self
+    }
+
+    /// Bank-numbering order on the mesh.
+    pub fn bank_order(mut self, order: BankOrder) -> Self {
+        self.cfg.bank_order = order;
+        self
+    }
+
+    /// Accept non-power-of-two (line-multiple) interleave sizes.
+    pub fn allow_npot_interleave(mut self, allow: bool) -> Self {
+        self.cfg.allow_npot_interleave = allow;
+        self
+    }
+
+    /// Install a fault plan. Validated against the machine at
+    /// [`build`](Self::build) time, after all other knobs are set, so the
+    /// order of `faults` vs `mesh` calls does not matter.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Install a run-to-completion budget.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mesh (`mesh_x == 0 || mesh_y == 0`) or a fault plan
+    /// that references banks/links/controllers this machine does not have —
+    /// the same contract as [`MachineConfig::with_faults`].
+    pub fn build(self) -> MachineConfig {
+        assert!(
+            self.cfg.mesh_x > 0 && self.cfg.mesh_y > 0,
+            "machine mesh must be non-empty ({}x{})",
+            self.cfg.mesh_x,
+            self.cfg.mesh_y
+        );
+        if let Err(e) = self.cfg.faults.validate(&self.cfg) {
+            panic!("invalid fault plan for this machine: {e}");
+        }
+        self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,5 +551,81 @@ mod tests {
     fn small_and_tiny_meshes() {
         assert_eq!(MachineConfig::small_mesh().num_banks(), 16);
         assert_eq!(MachineConfig::tiny_mesh().num_banks(), 4);
+    }
+
+    #[test]
+    fn builder_defaults_to_the_paper_machine() {
+        assert_eq!(MachineConfig::builder().build(), MachineConfig::paper_default());
+    }
+
+    #[test]
+    fn builder_overrides_each_knob() {
+        let m = MachineConfig::builder()
+            .mesh(4, 2)
+            .clock_mhz(1000)
+            .core_issue_width(4)
+            .l3_bank_bytes(32 << 10)
+            .l3_latency(10)
+            .default_interleave(256)
+            .l2(128 << 10, 12)
+            .l1(16 << 10, 1)
+            .link_bytes_per_cycle(16)
+            .hop_latency(2)
+            .packet_header_bytes(4)
+            .num_mem_ctrls(2)
+            .dram(8, 50)
+            .sel3_streams_per_bank(6)
+            .sel3_compute_init_latency(2)
+            .iot_entries(8)
+            .bank_accesses_per_cycle(0.5)
+            .bank_order(BankOrder::Snake)
+            .allow_npot_interleave(true)
+            .budget(RunBudget::unlimited())
+            .build();
+        assert_eq!(m.num_banks(), 8);
+        assert_eq!(m.clock_mhz, 1000);
+        assert_eq!(m.core_issue_width, 4);
+        assert_eq!(m.l3_bank_bytes, 32 << 10);
+        assert_eq!(m.l3_latency, 10);
+        assert_eq!(m.default_interleave, 256);
+        assert_eq!((m.l2_bytes, m.l2_latency), (128 << 10, 12));
+        assert_eq!((m.l1_bytes, m.l1_latency), (16 << 10, 1));
+        assert_eq!(m.link_bytes_per_cycle, 16);
+        assert_eq!(m.hop_latency, 2);
+        assert_eq!(m.packet_header_bytes, 4);
+        assert_eq!(m.num_mem_ctrls, 2);
+        assert_eq!((m.dram_bytes_per_cycle, m.dram_latency), (8, 50));
+        assert_eq!(m.sel3_streams_per_bank, 6);
+        assert_eq!(m.sel3_compute_init_latency, 2);
+        assert_eq!(m.iot_entries, 8);
+        assert!((m.bank_accesses_per_cycle - 0.5).abs() < 1e-12);
+        assert_eq!(m.bank_order, BankOrder::Snake);
+        assert!(m.allow_npot_interleave);
+    }
+
+    #[test]
+    fn builder_validates_faults_after_mesh_regardless_of_call_order() {
+        // Bank 10 is out of range on a 2x2 mesh but fine on 4x4: setting
+        // faults *before* mesh must still validate against the final mesh.
+        let m = MachineConfig::builder()
+            .faults(FaultPlan::none().fail_bank(10))
+            .mesh(4, 4)
+            .build();
+        assert!(!m.bank_is_healthy(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn builder_rejects_invalid_fault_plans() {
+        let _ = MachineConfig::builder()
+            .mesh(2, 2)
+            .faults(FaultPlan::none().fail_bank(10))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh must be non-empty")]
+    fn builder_rejects_empty_meshes() {
+        let _ = MachineConfig::builder().mesh(0, 3).build();
     }
 }

@@ -6,7 +6,11 @@
 //! * [`energy`] — a McPAT-substitute per-event energy model,
 //! * [`stats`] — summary statistics used by the evaluation harness,
 //! * [`rng`] — deterministic random number generation so every experiment is
-//!   reproducible bit-for-bit.
+//!   reproducible bit-for-bit,
+//! * [`trace`] — the typed [`trace::Event`] vocabulary and [`trace::Recorder`]
+//!   sink every component reports through (Chrome `trace_event` export),
+//! * [`metrics`] — hierarchical named counters/histograms fed by the same
+//!   event stream.
 //!
 //! # Example
 //!
@@ -22,13 +26,17 @@ pub mod config;
 pub mod energy;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use config::MachineConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::{BudgetKind, RunBudget, SimError, StallSnapshot};
 pub use fault::{DegradationReport, FaultPlan, FaultPlanError, FaultSpec, LinkRef};
+pub use metrics::{Histogram, MetricsRecorder, MetricsRegistry, MetricsSnapshot};
+pub use trace::{Event, NullRecorder, Recorder, TraceRecorder, TrafficKind};
 
 /// A simulated cycle count.
 pub type Cycles = u64;

@@ -1,0 +1,640 @@
+//! Structured event tracing: the one instrumentation surface every component
+//! of the simulated machine reports through.
+//!
+//! Accounting used to be scattered: `SimEngine` charged the traffic matrix
+//! and bank counters directly from ~25 ad-hoc methods, the NoC models kept
+//! private cycle counters, and nothing could observe *where* cycles or flits
+//! went over time. This module defines the typed [`Event`] vocabulary and the
+//! [`Recorder`] sink that all of them now feed:
+//!
+//! * `SimEngine::record(Event)` is the choke point for the analytic model —
+//!   the coalescer, the traffic matrix, the bank counters and any attached
+//!   recorder all consume the same event stream.
+//! * `CycleNoc`/`DesNoc` emit per-router activity and per-message delivery
+//!   events from their cycle loops.
+//! * `DramModel` emits per-controller line accesses.
+//!
+//! Recording is strictly opt-in: the default is no recorder at all, and every
+//! emit site guards on one hoisted boolean, so the disabled path costs a
+//! single predicted branch per event (pinned by the perf-smoke floor in CI).
+//!
+//! [`TraceRecorder`] is the bundled ring-buffered sink; it renders the
+//! Chrome `trace_event` JSON format (load the file in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)) with one track per bank, router and
+//! DRAM controller.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+
+/// Traffic class of a NoC message, mirrored from the NoC crate so events can
+/// be defined here without a dependency cycle (`aff-noc` depends on this
+/// crate and converts losslessly in both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficKind {
+    /// Stream configuration / migration traffic.
+    Offload,
+    /// Payload data.
+    Data,
+    /// Requests, credits, coherence — header-only messages.
+    Control,
+}
+
+impl TrafficKind {
+    /// All kinds, in canonical `[Offload, Data, Control]` order.
+    pub const ALL: [TrafficKind; 3] = [
+        TrafficKind::Offload,
+        TrafficKind::Data,
+        TrafficKind::Control,
+    ];
+
+    /// Canonical index (matches `aff_noc::traffic::TrafficClass::idx`).
+    pub fn idx(self) -> usize {
+        match self {
+            TrafficKind::Offload => 0,
+            TrafficKind::Data => 1,
+            TrafficKind::Control => 2,
+        }
+    }
+
+    /// Lower-case label used in trace and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficKind::Offload => "offload",
+            TrafficKind::Data => "data",
+            TrafficKind::Control => "control",
+        }
+    }
+}
+
+/// One observable thing that happened in the simulated machine.
+///
+/// Events describe *post-fault-redirect* reality: a charge homed at a dead
+/// bank is reported against the spare that actually served it, so tracing,
+/// energy accounting and fault blame all see the same world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `count` identical messages of `payload_bytes` from `src` to `dst`.
+    Traffic {
+        /// Source tile/bank.
+        src: u32,
+        /// Destination tile/bank.
+        dst: u32,
+        /// Payload bytes per message (0 = header-only).
+        payload_bytes: u64,
+        /// Traffic class.
+        class: TrafficKind,
+        /// Message count.
+        count: u64,
+    },
+    /// `count` plain accesses served by `bank`. `fetch` marks accesses that
+    /// can produce a capacity miss (excludes writebacks and temporal hits).
+    BankAccess {
+        /// Serving bank.
+        bank: u32,
+        /// Access count.
+        count: u64,
+        /// Whether these accesses are capacity-miss eligible.
+        fetch: bool,
+    },
+    /// `count` atomics executed at `bank`, `hops` links from the requester
+    /// (the occupancy model weighs remote atomics by distance).
+    BankAtomic {
+        /// Serving bank.
+        bank: u32,
+        /// Atomic count.
+        count: u64,
+        /// Manhattan distance from the requester.
+        hops: u64,
+    },
+    /// `bytes` declared resident at `bank` for the capacity model.
+    BankResident {
+        /// Serving bank.
+        bank: u32,
+        /// Bytes resident.
+        bytes: u64,
+    },
+    /// `lines` cache lines served by DRAM controller `ctrl`.
+    DramAccess {
+        /// Memory controller index.
+        ctrl: u32,
+        /// Line count.
+        lines: u64,
+    },
+    /// `count` ops retired on the OOO cores.
+    CoreOps {
+        /// Op count.
+        count: u64,
+    },
+    /// `count` ops retired on the stream engine at `bank`.
+    SeOps {
+        /// SEL3's bank.
+        bank: u32,
+        /// Op count.
+        count: u64,
+    },
+    /// `count` private L1/L2 hits (energy only; never reach the NoC).
+    PrivateHits {
+        /// Hit count.
+        count: u64,
+    },
+    /// `cycles` of serial dependence-chain latency.
+    ChainCycles {
+        /// Cycles added to the critical path.
+        cycles: u64,
+    },
+    /// An occupancy-sampled phase begins.
+    PhaseBegin,
+    /// The current occupancy-sampled phase ends.
+    PhaseEnd,
+    /// Router `router` moved `flits` flits during NoC cycle `cycle`
+    /// (emitted by the cycle-accurate model, sampled).
+    RouterActive {
+        /// Router index.
+        router: u32,
+        /// NoC cycle.
+        cycle: u64,
+        /// Flits traversed this sample.
+        flits: u64,
+    },
+    /// A DES message of `flits` flits from `src` departed at `depart` and
+    /// fully arrived at `dst` at `arrive`.
+    MessageDelivered {
+        /// Source router.
+        src: u32,
+        /// Destination router.
+        dst: u32,
+        /// Departure cycle.
+        depart: u64,
+        /// Arrival cycle.
+        arrive: u64,
+        /// Message length in flits.
+        flits: u64,
+    },
+}
+
+/// A sink for [`Event`]s.
+///
+/// Implementations must be additive observers: recording an event must not
+/// change any simulation outcome (the recorder-equivalence property tests pin
+/// this for the engine).
+pub trait Recorder {
+    /// Observe one event.
+    fn record(&mut self, ev: &Event);
+
+    /// Whether this recorder actually consumes events. Emit sites may skip
+    /// event construction entirely when `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-cost disabled default: ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _ev: &Event) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Fan one event stream out to several sinks (e.g. trace + metrics).
+#[derive(Default)]
+pub struct MultiRecorder {
+    sinks: Vec<Box<dyn Recorder>>,
+}
+
+impl MultiRecorder {
+    /// An empty fan-out (disabled until a sink is added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sink.
+    pub fn push(&mut self, sink: Box<dyn Recorder>) {
+        self.sinks.push(sink);
+    }
+
+    /// Recover the sinks (e.g. to export each after a run).
+    pub fn into_sinks(self) -> Vec<Box<dyn Recorder>> {
+        self.sinks
+    }
+}
+
+impl Recorder for MultiRecorder {
+    fn record(&mut self, ev: &Event) {
+        for s in &mut self.sinks {
+            s.record(ev);
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.is_enabled())
+    }
+}
+
+/// An event plus its position in the recorded stream (the logical timestamp
+/// used for analytic-model events, which have no cycle of their own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// 0-based sequence number over the whole recording (pre-drop).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Default ring capacity: enough for every event of a paper-scale figure
+/// cell while bounding a runaway trace to ~4 MiB.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 17;
+
+/// Ring-buffered structured event trace.
+///
+/// Holds the most recent `capacity` events; older events are dropped (and
+/// counted) rather than growing without bound — a stalled run's trace ends
+/// with the events leading up to the stall, which is exactly the useful part.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    ring: Vec<TimedEvent>,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+    seq: u64,
+    dropped: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceRecorder {
+    /// A trace holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            ring: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+            capacity,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Events recorded (and kept) so far, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.ring[self.head..].iter().chain(&self.ring[..self.head])
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events dropped because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever offered (kept + dropped).
+    pub fn total_seen(&self) -> u64 {
+        self.seq
+    }
+
+    /// Render the Chrome `trace_event` JSON object format: one process per
+    /// component family (engine / banks / routers / DRAM), one thread track
+    /// per bank, router or controller. Loadable in `chrome://tracing` and
+    /// Perfetto.
+    ///
+    /// Analytic-model events carry no cycle, so their timestamp is the event
+    /// sequence number; `RouterActive`/`MessageDelivered` use real NoC
+    /// cycles. Timestamps are reported in "microseconds" 1:1.
+    pub fn to_chrome_json(&self) -> String {
+        const PID_ENGINE: u32 = 1;
+        const PID_BANKS: u32 = 2;
+        const PID_ROUTERS: u32 = 3;
+        const PID_DRAM: u32 = 4;
+
+        let mut out = String::with_capacity(64 * self.ring.len() + 1024);
+        out.push_str("{\n\"traceEvents\": [\n");
+
+        // Metadata: name the four component-family "processes".
+        for (pid, name) in [
+            (PID_ENGINE, "engine"),
+            (PID_BANKS, "L3 banks"),
+            (PID_ROUTERS, "NoC routers"),
+            (PID_DRAM, "DRAM controllers"),
+        ] {
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}},"
+            );
+        }
+
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push_str(",\n");
+            }
+        };
+        for te in self.events() {
+            let ts = te.seq;
+            sep(&mut out);
+            match te.event {
+                Event::Traffic {
+                    src,
+                    dst,
+                    payload_bytes,
+                    class,
+                    count,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"traffic/{}\",\"cat\":\"noc\",\
+                         \"pid\":{PID_ROUTERS},\"tid\":{src},\"ts\":{ts},\"dur\":{count},\
+                         \"args\":{{\"src\":{src},\"dst\":{dst},\"payload_bytes\":{payload_bytes},\
+                         \"count\":{count}}}}}",
+                        class.label()
+                    );
+                }
+                Event::BankAccess { bank, count, fetch } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"access\",\"cat\":\"bank\",\
+                         \"pid\":{PID_BANKS},\"tid\":{bank},\"ts\":{ts},\"dur\":{count},\
+                         \"args\":{{\"count\":{count},\"fetch\":{fetch}}}}}"
+                    );
+                }
+                Event::BankAtomic { bank, count, hops } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"atomic\",\"cat\":\"bank\",\
+                         \"pid\":{PID_BANKS},\"tid\":{bank},\"ts\":{ts},\"dur\":{count},\
+                         \"args\":{{\"count\":{count},\"hops\":{hops}}}}}"
+                    );
+                }
+                Event::BankResident { bank, bytes } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"C\",\"name\":\"resident_bytes\",\"cat\":\"bank\",\
+                         \"pid\":{PID_BANKS},\"tid\":{bank},\"ts\":{ts},\
+                         \"args\":{{\"bank {bank}\":{bytes}}}}}"
+                    );
+                }
+                Event::DramAccess { ctrl, lines } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"dram_lines\",\"cat\":\"dram\",\
+                         \"pid\":{PID_DRAM},\"tid\":{ctrl},\"ts\":{ts},\"dur\":{lines},\
+                         \"args\":{{\"lines\":{lines}}}}}"
+                    );
+                }
+                Event::CoreOps { count } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"core_ops\",\"cat\":\"compute\",\
+                         \"pid\":{PID_ENGINE},\"tid\":0,\"ts\":{ts},\"dur\":{count},\
+                         \"args\":{{\"count\":{count}}}}}"
+                    );
+                }
+                Event::SeOps { bank, count } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"se_ops\",\"cat\":\"compute\",\
+                         \"pid\":{PID_BANKS},\"tid\":{bank},\"ts\":{ts},\"dur\":{count},\
+                         \"args\":{{\"count\":{count}}}}}"
+                    );
+                }
+                Event::PrivateHits { count } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"private_hits\",\"cat\":\"compute\",\
+                         \"pid\":{PID_ENGINE},\"tid\":0,\"ts\":{ts},\"dur\":{count},\
+                         \"args\":{{\"count\":{count}}}}}"
+                    );
+                }
+                Event::ChainCycles { cycles } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"chain\",\"cat\":\"compute\",\
+                         \"pid\":{PID_ENGINE},\"tid\":0,\"ts\":{ts},\"dur\":{cycles},\
+                         \"args\":{{\"cycles\":{cycles}}}}}"
+                    );
+                }
+                Event::PhaseBegin => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"B\",\"name\":\"phase\",\"cat\":\"engine\",\
+                         \"pid\":{PID_ENGINE},\"tid\":0,\"ts\":{ts}}}"
+                    );
+                }
+                Event::PhaseEnd => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"E\",\"name\":\"phase\",\"cat\":\"engine\",\
+                         \"pid\":{PID_ENGINE},\"tid\":0,\"ts\":{ts}}}"
+                    );
+                }
+                Event::RouterActive {
+                    router,
+                    cycle,
+                    flits,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"router_active\",\"cat\":\"noc\",\
+                         \"pid\":{PID_ROUTERS},\"tid\":{router},\"ts\":{cycle},\"dur\":1,\
+                         \"args\":{{\"flits\":{flits}}}}}"
+                    );
+                }
+                Event::MessageDelivered {
+                    src,
+                    dst,
+                    depart,
+                    arrive,
+                    flits,
+                } => {
+                    let dur = arrive.saturating_sub(depart).max(1);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"message\",\"cat\":\"noc\",\
+                         \"pid\":{PID_ROUTERS},\"tid\":{dst},\"ts\":{depart},\"dur\":{dur},\
+                         \"args\":{{\"src\":{src},\"dst\":{dst},\"flits\":{flits}}}}}"
+                    );
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            "\n],\n\"displayTimeUnit\": \"ns\",\n\
+             \"otherData\": {{\"dropped_events\": {}, \"total_events\": {}}}\n}}\n",
+            self.dropped, self.seq
+        );
+        out
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record(&mut self, ev: &Event) {
+        let te = TimedEvent {
+            seq: self.seq,
+            event: *ev,
+        };
+        self.seq += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(te);
+        } else {
+            self.ring[self.head] = te;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local capture: how `figures --trace` reaches engines constructed
+// deep inside workload executors without threading a recorder through every
+// call signature. Installing a capture makes every SimEngine created *on
+// this thread* forward its events here until the buffer is taken back.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static THREAD_TRACE: RefCell<Option<TraceRecorder>> = const { RefCell::new(None) };
+}
+
+/// Install a thread-local trace capture of `capacity` events. Engines
+/// constructed on this thread after this call record into it.
+pub fn install_thread_trace(capacity: usize) {
+    THREAD_TRACE.with(|t| *t.borrow_mut() = Some(TraceRecorder::new(capacity)));
+}
+
+/// Whether a thread-local capture is installed.
+pub fn thread_trace_installed() -> bool {
+    THREAD_TRACE.with(|t| t.borrow().is_some())
+}
+
+/// Remove and return the thread-local capture (with everything it recorded).
+pub fn take_thread_trace() -> Option<TraceRecorder> {
+    THREAD_TRACE.with(|t| t.borrow_mut().take())
+}
+
+/// A [`Recorder`] forwarding into the thread-local capture, if one is
+/// installed at record time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadTraceRecorder;
+
+impl Recorder for ThreadTraceRecorder {
+    fn record(&mut self, ev: &Event) {
+        THREAD_TRACE.with(|t| {
+            if let Some(rec) = t.borrow_mut().as_mut() {
+                rec.record(ev);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> Event {
+        Event::CoreOps { count: i }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder.is_enabled());
+        let mut r = NullRecorder;
+        r.record(&ev(1)); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let mut t = TraceRecorder::new(4);
+        for i in 0..10 {
+            t.record(&ev(i));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.total_seen(), 10);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, newest kept");
+    }
+
+    #[test]
+    fn chrome_export_contains_tracks_and_events() {
+        let mut t = TraceRecorder::default();
+        t.record(&Event::Traffic {
+            src: 3,
+            dst: 7,
+            payload_bytes: 64,
+            class: TrafficKind::Data,
+            count: 2,
+        });
+        t.record(&Event::BankAccess {
+            bank: 7,
+            count: 2,
+            fetch: true,
+        });
+        t.record(&Event::DramAccess { ctrl: 1, lines: 5 });
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("traffic/data"));
+        assert!(json.contains("\"name\":\"access\""));
+        assert!(json.contains("NoC routers"));
+        assert!(json.contains("L3 banks"));
+        assert!(json.contains("\"dropped_events\": 0"));
+        // Every event object is well-formed enough to balance its braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced JSON braces"
+        );
+    }
+
+    #[test]
+    fn multi_recorder_fans_out() {
+        let mut m = MultiRecorder::new();
+        assert!(!m.is_enabled(), "empty fan-out is disabled");
+        m.push(Box::new(TraceRecorder::new(8)));
+        m.push(Box::new(NullRecorder));
+        assert!(m.is_enabled());
+        m.record(&ev(1));
+        m.record(&ev(2));
+        let sinks = m.into_sinks();
+        assert_eq!(sinks.len(), 2);
+    }
+
+    #[test]
+    fn thread_capture_roundtrip() {
+        assert!(!thread_trace_installed());
+        assert!(take_thread_trace().is_none());
+        install_thread_trace(16);
+        assert!(thread_trace_installed());
+        let mut fwd = ThreadTraceRecorder;
+        fwd.record(&ev(7));
+        let cap = take_thread_trace().expect("installed capture");
+        assert_eq!(cap.len(), 1);
+        assert!(!thread_trace_installed());
+        // Forwarding with no capture installed is a silent no-op.
+        fwd.record(&ev(8));
+    }
+
+    #[test]
+    fn traffic_kind_roundtrip() {
+        for (i, k) in TrafficKind::ALL.iter().enumerate() {
+            assert_eq!(k.idx(), i);
+        }
+        assert_eq!(TrafficKind::Data.label(), "data");
+    }
+}

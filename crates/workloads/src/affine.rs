@@ -208,11 +208,11 @@ pub fn run_stencil_opts(s: &Stencil, cfg: &RunConfig, private_filter: bool) -> M
         let mut top: Vec<(usize, u64)> = acc.iter().copied().enumerate().collect();
         top.sort_by_key(|&(_, a)| std::cmp::Reverse(a));
         eprintln!("top banks: {:?}", &top[..6]);
-        let mut links: Vec<(usize, u64)> = engine.traffic().link_flits().iter().copied().enumerate().collect();
+        let mut links: Vec<(usize, u64)> = engine.traffic_mut().link_flits().iter().copied().enumerate().collect();
         links.sort_by_key(|&(_, a)| std::cmp::Reverse(a));
         eprintln!("top links: {:?}", &links[..6]);
     }
-    let mut m = engine.finish();
+    let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
     m
 }
@@ -265,7 +265,7 @@ pub fn run_vecadd_forced_delta(n: u64, delta: Option<u32>, cfg: &RunConfig) -> M
         SystemConfig::InCore => run_in_core(&s, &arrays, &mut alloc, &mut engine, true),
         _ => run_near_l3(&s, &arrays, &mut alloc, &mut engine),
     }
-    let mut m = engine.finish();
+    let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
     m
 }

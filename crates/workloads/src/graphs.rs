@@ -409,7 +409,7 @@ impl GraphInstance {
     /// Consume the instance, producing metrics. The allocator's degradation
     /// (excluded banks, fallback-chain use) is folded into the engine's.
     pub fn finish(self) -> Metrics {
-        let mut m = self.engine.finish();
+        let mut m = self.engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
         m.degradation.merge(&self.alloc.degradation());
         m
     }

@@ -169,7 +169,7 @@ pub fn run_link_list(params: LinkListParams, cfg: &RunConfig) -> Metrics {
         u64::from(cfg.machine.num_banks()) * u64::from(cfg.machine.sel3_streams_per_bank)
     };
     fold_serial(&mut engine, &serials, concurrency);
-    let mut m = engine.finish();
+    let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
     m
 }
@@ -208,7 +208,7 @@ pub fn run_hash_join(params: HashJoinParams, cfg: &RunConfig) -> Metrics {
         u64::from(cfg.machine.num_banks()) * u64::from(cfg.machine.sel3_streams_per_bank)
     };
     fold_serial(&mut engine, &serials, concurrency);
-    let mut m = engine.finish();
+    let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
     m
 }
@@ -240,7 +240,7 @@ pub fn run_bin_tree(params: BinTreeParams, cfg: &RunConfig) -> Metrics {
         u64::from(cfg.machine.num_banks()) * u64::from(cfg.machine.sel3_streams_per_bank)
     };
     fold_serial(&mut engine, &serials, concurrency);
-    let mut m = engine.finish();
+    let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
     m
 }

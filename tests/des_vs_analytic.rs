@@ -12,7 +12,23 @@ use affinity_alloc_repro::noc::topology::Topology;
 use affinity_alloc_repro::noc::traffic::{TrafficClass, TrafficMatrix};
 use affinity_alloc_repro::sim::config::MachineConfig;
 use affinity_alloc_repro::sim::fault::{FaultPlan, FaultSpec};
+use affinity_alloc_repro::noc::cyclesim::CycleReport;
+use affinity_alloc_repro::noc::des::DesReport;
+use affinity_alloc_repro::noc::traffic::Packet;
+use affinity_alloc_repro::sim::error::RunBudget;
 use affinity_alloc_repro::sim::rng::SimRng;
+
+/// Budget-checked replacement for the deprecated `DesNoc::replay`.
+fn replay(des: &mut DesNoc, pkts: &[Packet]) -> DesReport {
+    des.try_replay(pkts, &RunBudget::unlimited())
+        .expect("unlimited budget cannot fail")
+}
+
+/// Budget-checked replacement for the deprecated `CycleNoc::simulate`.
+fn simulate(noc: &CycleNoc, pkts: &[Packet], max_cycles: u64) -> CycleReport {
+    noc.try_simulate(pkts, &RunBudget::unlimited().with_max_cycles(max_cycles))
+        .expect("generous cycle ceiling")
+}
 
 fn machine_matrix(logging: bool) -> (MachineConfig, TrafficMatrix) {
     let cfg = MachineConfig::paper_default();
@@ -35,7 +51,7 @@ fn hop_flits_agree_exactly() {
         m.record(src, dst, bytes, TrafficClass::Data);
     }
     let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
-    let report = des.replay(m.packets().expect("logging enabled"));
+    let report = replay(&mut des, m.packets().expect("logging enabled"));
     assert_eq!(report.hop_flits, m.total_hop_flits());
     // Same-bank messages never enter the network, so the log holds exactly
     // the non-local messages.
@@ -53,7 +69,7 @@ fn des_never_beats_the_link_bound() {
         m.record_n(src, 0, 64, TrafficClass::Data, 50);
     }
     let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
-    let report = des.replay(m.packets().expect("logging enabled"));
+    let report = replay(&mut des, m.packets().expect("logging enabled"));
     let analytic_bound = m.bottleneck_link_flits();
     assert!(
         report.finish_cycle >= analytic_bound,
@@ -73,7 +89,7 @@ fn des_tracks_analytic_within_constant_factor_for_spread_traffic() {
         m.record_n(b, (b + 1) % 64, 24, TrafficClass::Data, 200);
     }
     let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
-    let report = des.replay(m.packets().expect("logging enabled"));
+    let report = replay(&mut des, m.packets().expect("logging enabled"));
     let analytic = m.bottleneck_link_flits();
     assert!(report.finish_cycle >= analytic);
     assert!(
@@ -94,7 +110,7 @@ fn pathological_layout_is_pathological_in_both_models() {
             m.record_n(b, (b + delta) % 64, 64, TrafficClass::Data, 40);
         }
         let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
-        let report = des.replay(m.packets().expect("logging enabled"));
+        let report = replay(&mut des, m.packets().expect("logging enabled"));
         (m.bottleneck_link_flits(), report.finish_cycle)
     };
     let (analytic_near, des_near) = run(1);
@@ -115,8 +131,8 @@ fn three_tiers_agree_on_flit_hops_and_ordering() {
         }
         let pkts = m.packets().expect("logging enabled").to_vec();
         let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
-        let des_rep = des.replay(&pkts);
-        let cyc = CycleNoc::new(m.topology(), cfg.hop_latency, 8).simulate(&pkts, 10_000_000);
+        let des_rep = replay(&mut des, &pkts);
+        let cyc = simulate(&CycleNoc::new(m.topology(), cfg.hop_latency, 8), &pkts, 10_000_000);
         assert_eq!(des_rep.hop_flits, m.total_hop_flits(), "greedy DES volume");
         assert_eq!(cyc.flit_hops, m.total_hop_flits(), "cycle-sim volume");
         assert_eq!(cyc.delivered, pkts.len() as u64, "everything delivers");
@@ -179,8 +195,8 @@ fn seeded_random_sweep_des_and_cycle_agree_on_flits_and_envelope() {
         random_pattern(&mut m, 0xD1FF, pattern, msgs);
         let pkts = m.packets().expect("logging enabled").to_vec();
         let mut des = DesNoc::new(m.topology(), cfg.hop_latency);
-        let des_rep = des.replay(&pkts);
-        let cyc = CycleNoc::new(m.topology(), cfg.hop_latency, 8).simulate(&pkts, 100_000_000);
+        let des_rep = replay(&mut des, &pkts);
+        let cyc = simulate(&CycleNoc::new(m.topology(), cfg.hop_latency, 8), &pkts, 100_000_000);
         assert_eq!(
             des_rep.hop_flits,
             m.total_hop_flits(),
@@ -232,7 +248,7 @@ fn seeded_random_sweep_under_fault_plans() {
         random_pattern(&mut m, 0xFA11, pattern, 800);
         let pkts = m.packets().expect("logging enabled").to_vec();
         let mut des = DesNoc::with_faults(topo, cfg.hop_latency, &plan);
-        let des_rep = des.replay(&pkts);
+        let des_rep = replay(&mut des, &pkts);
         // BFS detour tables are loop-free but, unlike X-Y, not provably
         // deadlock-free under backpressure (see `CycleNoc::with_faults`).
         // Deep buffers take backpressure out of the picture — every head
@@ -240,8 +256,11 @@ fn seeded_random_sweep_under_fault_plans() {
         // drains — letting this test pin down flit conservation and the
         // latency envelope rather than buffer-pressure pathologies.
         let deep_buffers = pkts.iter().map(|p| p.flits).sum::<u64>() as usize;
-        let cyc = CycleNoc::with_faults(topo, cfg.hop_latency, deep_buffers.max(1), &plan)
-            .simulate(&pkts, 5_000_000);
+        let cyc = simulate(
+            &CycleNoc::with_faults(topo, cfg.hop_latency, deep_buffers.max(1), &plan),
+            &pkts,
+            5_000_000,
+        );
         assert_eq!(
             des_rep.hop_flits,
             m.total_hop_flits(),
@@ -292,8 +311,8 @@ fn shallow_buffer_fault_deadlock_is_a_typed_stall_not_a_hang() {
     // must convert that hang into `SimError::Stalled` with a diagnosable
     // snapshot — blaming the fault plan's links — instead of spinning until
     // the `max_cycles` safety net.
-    use affinity_alloc_repro::noc::traffic::{Packet, TrafficClass};
-    use affinity_alloc_repro::sim::error::{RunBudget, SimError};
+    use affinity_alloc_repro::noc::traffic::TrafficClass;
+    use affinity_alloc_repro::sim::error::SimError;
 
     let spec = FaultSpec {
         failed_links: 5,
