@@ -12,6 +12,8 @@
 //! figures --cell-timeout-ms 60000 --max-retries 1 all  # run-to-completion
 //! figures --metrics fig13            # per-cell metrics in the sweep report
 //! figures --trace t.json fig13       # + one traced cell as Chrome JSON
+//! figures --chaos 7 fig13            # deterministic fault-timeline chaos
+//! figures --chaos 7 --chaos-intensity 12 all   # denser fault schedules
 //! ```
 //!
 //! Figure tables/JSON go to **stdout** and are byte-identical for any
@@ -39,12 +41,16 @@ fn usage() {
     eprintln!(
         "usage: figures [--full] [--seed N] [--jobs N] [--json] [--sweep-json PATH|none] \
          [--journal PATH|none] [--resume] [--cell-timeout-ms N] [--max-retries N] \
-         [--metrics] [--trace PATH] (all | figN...)"
+         [--metrics] [--trace PATH] [--chaos SEED] [--chaos-intensity N] (all | figN...)"
     );
     eprintln!("known figures: {ALL_FIGURES:?}");
     eprintln!("  --metrics      record per-cell simulation metrics in the sweep report");
     eprintln!("  --trace PATH   additionally run one traced fig13 cell and write a");
     eprintln!("                 chrome://tracing-loadable JSON trace to PATH");
+    eprintln!("  --chaos SEED   run every cell under a deterministic fault timeline");
+    eprintln!("                 sampled from SEED; online invariant checks fail cells");
+    eprintln!("                 soft (exit 3) instead of aborting the sweep");
+    eprintln!("  --chaos-intensity N   fault events per sampled timeline (default 4)");
     eprintln!("exit codes: 0 ok, 2 usage, 3 cell failures, 4 budget/timeout/stall failures");
 }
 
@@ -60,6 +66,8 @@ fn main() {
     let mut max_retries: u32 = 0;
     let mut metrics = false;
     let mut trace_path: Option<String> = None;
+    let mut chaos: Option<u64> = None;
+    let mut chaos_intensity: u32 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -99,6 +107,20 @@ fn main() {
                 Some(Ok(v)) => max_retries = v,
                 _ => {
                     eprintln!("--max-retries needs an integer value");
+                    std::process::exit(2);
+                }
+            },
+            "--chaos" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => chaos = Some(v),
+                _ => {
+                    eprintln!("--chaos needs an integer seed");
+                    std::process::exit(2);
+                }
+            },
+            "--chaos-intensity" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(v)) if v >= 1 => chaos_intensity = v,
+                _ => {
+                    eprintln!("--chaos-intensity needs an integer value >= 1");
                     std::process::exit(2);
                 }
             },
@@ -149,6 +171,12 @@ fn main() {
         context_bytes.push(b'\n');
     }
     context_bytes.push(u8::from(opts.full));
+    // Chaos runs journal different bits for the same cells, so the chaos
+    // seed and intensity are part of the experiment identity too.
+    if let Some(c) = chaos {
+        context_bytes.extend_from_slice(&c.to_le_bytes());
+        context_bytes.extend_from_slice(&chaos_intensity.to_le_bytes());
+    }
     let context = fnv1a(&context_bytes);
 
     let start = std::time::Instant::now();
@@ -165,6 +193,8 @@ fn main() {
         resume,
         context,
         collect_metrics: metrics,
+        chaos,
+        chaos_intensity,
     };
     let (figures, report) = run_plans_opts(plans, &run_opts);
     for fig in &figures {

@@ -38,14 +38,14 @@ use crate::sweep::CellData;
 use aff_nsc::engine::{CycleBreakdown, Metrics};
 use aff_nsc::occupancy::{OccupancySnapshot, OccupancyTimeline};
 use aff_sim_core::energy::EnergyBreakdown;
-use aff_sim_core::fault::DegradationReport;
+use aff_sim_core::fault::{DegradationReport, FaultChange, FaultEvent, LinkRef};
 use aff_workloads::graphs::{Direction, IterStat};
 use aff_workloads::suite::SuiteRun;
 
 /// File magic: identifies the format *and* its version. Bump the trailing
 /// digit on any payload-layout change so old journals are refused, not
-/// misparsed.
-const MAGIC: &[u8; 8] = b"AFFJRNL1";
+/// misparsed. (v2: fault-epoch counters + the transition log in `Metrics`.)
+const MAGIC: &[u8; 8] = b"AFFJRNL2";
 
 /// Header length: magic + seed + context hash.
 const HEADER_LEN: u64 = 24;
@@ -290,8 +290,52 @@ fn put_metrics(out: &mut Vec<u8>, m: &Metrics) {
         m.degradation.rerouted_migrations,
         m.degradation.excluded_banks,
         m.degradation.fallback_allocations,
+        m.degradation.fault_epochs,
+        m.degradation.evacuated_lines,
     ] {
         put_u64(out, v);
+    }
+    put_u32(out, m.transitions.len() as u32);
+    for t in &m.transitions {
+        put_fault_event(out, t);
+    }
+}
+
+fn put_link(out: &mut Vec<u8>, l: &LinkRef) {
+    for v in [l.fx, l.fy, l.tx, l.ty] {
+        put_u32(out, v);
+    }
+}
+
+fn put_fault_event(out: &mut Vec<u8>, e: &FaultEvent) {
+    put_u64(out, e.cycle);
+    match e.change {
+        FaultChange::BankFail(b) => {
+            out.push(0);
+            put_u32(out, b);
+        }
+        FaultChange::BankRepair(b) => {
+            out.push(1);
+            put_u32(out, b);
+        }
+        FaultChange::BankSlow { bank, multiplier } => {
+            out.push(2);
+            put_u32(out, bank);
+            put_u32(out, multiplier);
+        }
+        FaultChange::LinkFail(l) => {
+            out.push(3);
+            put_link(out, &l);
+        }
+        FaultChange::LinkRepair(l) => {
+            out.push(4);
+            put_link(out, &l);
+        }
+        FaultChange::LinkDegrade { link, multiplier } => {
+            out.push(5);
+            put_link(out, &link);
+            put_u32(out, multiplier);
+        }
     }
 }
 
@@ -432,7 +476,14 @@ impl<'a> Dec<'a> {
             rerouted_migrations: self.u64()?,
             excluded_banks: self.u64()?,
             fallback_allocations: self.u64()?,
+            fault_epochs: self.u64()?,
+            evacuated_lines: self.u64()?,
         };
+        let n_transitions = self.u32()? as usize;
+        let mut transitions = Vec::with_capacity(n_transitions.min(1 << 16));
+        for _ in 0..n_transitions {
+            transitions.push(self.fault_event()?);
+        }
         Some(Metrics {
             cycles,
             breakdown,
@@ -446,7 +497,37 @@ impl<'a> Dec<'a> {
             bank_imbalance,
             occupancy,
             degradation,
+            transitions,
         })
+    }
+
+    fn link(&mut self) -> Option<LinkRef> {
+        Some(LinkRef {
+            fx: self.u32()?,
+            fy: self.u32()?,
+            tx: self.u32()?,
+            ty: self.u32()?,
+        })
+    }
+
+    fn fault_event(&mut self) -> Option<FaultEvent> {
+        let cycle = self.u64()?;
+        let change = match self.u8()? {
+            0 => FaultChange::BankFail(self.u32()?),
+            1 => FaultChange::BankRepair(self.u32()?),
+            2 => FaultChange::BankSlow {
+                bank: self.u32()?,
+                multiplier: self.u32()?,
+            },
+            3 => FaultChange::LinkFail(self.link()?),
+            4 => FaultChange::LinkRepair(self.link()?),
+            5 => FaultChange::LinkDegrade {
+                link: self.link()?,
+                multiplier: self.u32()?,
+            },
+            _ => return None,
+        };
+        Some(FaultEvent { cycle, change })
     }
 
     fn cell_data(&mut self, tag: u8) -> Option<CellData> {
@@ -560,8 +641,28 @@ mod tests {
             degradation: DegradationReport {
                 rerouted_messages: 1,
                 detour_hops: 2,
+                fault_epochs: 2,
+                evacuated_lines: 4096,
                 ..DegradationReport::default()
             },
+            transitions: vec![
+                FaultEvent {
+                    cycle: 100,
+                    change: FaultChange::BankFail(9),
+                },
+                FaultEvent {
+                    cycle: 2_000,
+                    change: FaultChange::LinkDegrade {
+                        link: LinkRef {
+                            fx: 1,
+                            fy: 1,
+                            tx: 2,
+                            ty: 1,
+                        },
+                        multiplier: 4,
+                    },
+                },
+            ],
         }
     }
 

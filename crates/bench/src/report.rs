@@ -188,14 +188,16 @@ impl Figure {
     }
 }
 
-/// Per-cell simulation metrics sidecar (schema `aff-bench/sweep-v3`).
+/// Per-cell simulation metrics sidecar (schema `aff-bench/sweep-v4`).
 ///
 /// A compact, plotting-oriented projection of
 /// [`Metrics`](aff_nsc::engine::Metrics): the handful of scalars the paper's
 /// figures are built from, recorded per sweep cell when the harness runs
 /// with `--metrics`. Collection is opt-in because the sidecar roughly
 /// doubles the `BENCH_sweep.json` size and most CI runs only need the
-/// wall-time/throughput columns.
+/// wall-time/throughput columns. v4 over v3: the fault-recovery triple
+/// (`fault_epochs`, `evacuated_lines`, `transitions`) — all zero/empty on
+/// plain runs, populated under a fault timeline or `--chaos`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellMetrics {
     /// Analytic cycle estimate.
@@ -212,6 +214,16 @@ pub struct CellMetrics {
     pub energy_pj: f64,
     /// Busiest-bank / mean-bank access ratio.
     pub bank_imbalance: f64,
+    /// Fault epochs the run crossed (timeline events that fired).
+    #[serde(default)]
+    pub fault_epochs: u64,
+    /// Cache lines evacuated off dying banks at those epochs.
+    #[serde(default)]
+    pub evacuated_lines: u64,
+    /// The fired transition log, rendered (`"bank-fail(9)@100"`), in the
+    /// order the events landed.
+    #[serde(default)]
+    pub transitions: Vec<String>,
 }
 
 impl From<&aff_nsc::engine::Metrics> for CellMetrics {
@@ -224,6 +236,9 @@ impl From<&aff_nsc::engine::Metrics> for CellMetrics {
             dram_accesses: m.dram_accesses,
             energy_pj: m.energy_pj,
             bank_imbalance: m.bank_imbalance,
+            fault_epochs: m.degradation.fault_epochs,
+            evacuated_lines: m.degradation.evacuated_lines,
+            transitions: m.transitions.iter().map(|t| t.to_string()).collect(),
         }
     }
 }
@@ -235,7 +250,8 @@ impl CellMetrics {
         format!(
             "{{ \"cycles\": {}, \"total_hop_flits\": {}, \"noc_utilization\": {}, \
              \"l3_miss_rate\": {}, \"dram_accesses\": {}, \"energy_pj\": {}, \
-             \"bank_imbalance\": {} }}",
+             \"bank_imbalance\": {}, \"fault_epochs\": {}, \"evacuated_lines\": {}, \
+             \"transitions\": {} }}",
             self.cycles,
             self.total_hop_flits,
             num(self.noc_utilization),
@@ -243,6 +259,9 @@ impl CellMetrics {
             self.dram_accesses,
             num(self.energy_pj),
             num(self.bank_imbalance),
+            self.fault_epochs,
+            self.evacuated_lines,
+            str_list(&self.transitions),
         )
     }
 }
@@ -351,7 +370,7 @@ impl SweepReport {
         (self.total_sim_cycles() as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
     }
 
-    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v3`).
+    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v4`).
     ///
     /// v3 over v2: every cell object carries a `"metrics"` key — the
     /// [`CellMetrics`] sidecar object when collected, `null` otherwise.
@@ -386,7 +405,7 @@ impl SweepReport {
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"aff-bench/sweep-v3\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+            "{{\n  \"schema\": \"aff-bench/sweep-v4\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
              \"wall_ms\": {},\n  \"total_sim_cycles\": {},\n  \"total_cell_wall_ms\": {},\n  \
              \"mcycles_per_sec\": {},\n  \"parallelism\": {},\n  \"failed_cells\": {},\n  \
              \"budget_failed_cells\": {},\n  \"resumed_cells\": {},\n  \"journal_error\": {},\n  \
@@ -513,6 +532,12 @@ mod tests {
                         dram_accesses: 77,
                         energy_pj: 1.5e6,
                         bank_imbalance: f64::NAN,
+                        fault_epochs: 2,
+                        evacuated_lines: 4096,
+                        transitions: vec![
+                            "bank-fail(9)@100".into(),
+                            "bank-repair(9)@2000".into(),
+                        ],
                     }),
                 },
                 CellStat {
@@ -546,7 +571,7 @@ mod tests {
     #[test]
     fn sweep_report_json_is_well_formed() {
         let j = sample_sweep().to_json();
-        assert!(j.contains("\"schema\": \"aff-bench/sweep-v3\""));
+        assert!(j.contains("\"schema\": \"aff-bench/sweep-v4\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"failed_cells\": 1"));
         assert!(j.contains("\"budget_failed_cells\": 0"));
@@ -562,6 +587,10 @@ mod tests {
         assert!(j.contains("\"total_hop_flits\": 1234"));
         assert!(j.contains("\"dram_accesses\": 77"));
         assert!(j.contains("\"bank_imbalance\": null"));
+        // v4 fault-recovery triple.
+        assert!(j.contains("\"fault_epochs\": 2"));
+        assert!(j.contains("\"evacuated_lines\": 4096"));
+        assert!(j.contains("\"transitions\": [\"bank-fail(9)@100\", \"bank-repair(9)@2000\"]"));
         assert_eq!(j.matches("\"figure\"").count(), 2);
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the dep tree).

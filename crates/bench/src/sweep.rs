@@ -41,6 +41,9 @@ use std::time::Instant;
 use crate::journal::{read_journal, JournalEntry, JournalError, JournalWriter};
 use crate::report::{CellStat, Figure, Row, SweepReport};
 use aff_nsc::engine::Metrics;
+use aff_sim_core::config::MachineConfig;
+use aff_sim_core::error::SimError;
+use aff_sim_core::fault::{self, FaultTimeline};
 use aff_sim_core::rng::SimRng;
 use aff_workloads::suite::SuiteRun;
 
@@ -290,10 +293,20 @@ pub struct RunOpts {
     /// header; a mismatch on resume discards the journal.
     pub context: u64,
     /// Record the per-cell [`CellMetrics`](crate::report::CellMetrics)
-    /// sidecar (schema `aff-bench/sweep-v3`) for every cell that produces
+    /// sidecar (schema `aff-bench/sweep-v4`) for every cell that produces
     /// engine metrics. Off by default: the sidecar roughly doubles the sweep
     /// report and most runs only need the throughput columns.
     pub collect_metrics: bool,
+    /// Chaos mode: sample a deterministic per-cell [`FaultTimeline`] from
+    /// this seed (split on the cell's own stream id, so results are
+    /// schedule-independent) and install it thread-locally around the cell.
+    /// Every finished cell is held to the online chaos invariants; a
+    /// violation fails the cell soft — into the same retry/journal
+    /// machinery as a panic — rather than aborting the sweep.
+    pub chaos: Option<u64>,
+    /// Fault-event budget per sampled chaos timeline (0 means the default
+    /// of 4; only read when `chaos` is set).
+    pub chaos_intensity: u32,
 }
 
 impl RunOpts {
@@ -349,32 +362,102 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "cell panicked".to_string())
 }
 
+/// Sample the chaos timeline for one attempt, when chaos mode is on. The
+/// generator splits on the attempt's RNG stream, so the timeline is as
+/// schedule-independent (and retry-perturbed) as the cell's own randomness.
+fn chaos_timeline(opts: &RunOpts, stream: u64) -> Option<FaultTimeline> {
+    opts.chaos.map(|chaos_seed| {
+        let mut rng = SimRng::split(chaos_seed, stream);
+        FaultTimeline::chaos(
+            &mut rng,
+            &MachineConfig::paper_default(),
+            opts.chaos_intensity.max(4),
+        )
+    })
+}
+
+/// Online invariant checks a chaos cell's result must pass. Cells without
+/// engine metrics (pre-rendered tables) only carry the no-panic guarantee.
+fn chaos_invariants(data: &CellData, timeline: &FaultTimeline) -> Result<(), String> {
+    let Some(m) = data.metrics() else {
+        return Ok(());
+    };
+    // Conservation: the per-class flit counters partition the total.
+    let class_sum: u64 = m.hop_flits.iter().sum();
+    if class_sum != m.total_hop_flits {
+        return Err(format!(
+            "flit conservation: classes sum to {class_sum}, total says {}",
+            m.total_hop_flits
+        ));
+    }
+    // Monotone cycles: the estimate is exactly the (nonzero) breakdown total.
+    if m.cycles == 0 || m.cycles != m.breakdown.total().max(1) {
+        return Err(format!(
+            "cycle monotonicity: cycles {} vs breakdown total {}",
+            m.cycles,
+            m.breakdown.total()
+        ));
+    }
+    // The transition log must be an order-preserving subsequence of the
+    // installed timeline (engines drop events their machine cannot express,
+    // and events past the run's end never fire — but nothing may fire out
+    // of order or from outside the schedule).
+    let mut remaining = timeline.events().iter();
+    for t in &m.transitions {
+        if !remaining.any(|e| e == t) {
+            return Err(format!("transition {t:?} is not in the installed timeline"));
+        }
+    }
+    if m.degradation.fault_epochs != m.transitions.len() as u64 {
+        return Err(format!(
+            "epoch count: report says {}, transition log has {}",
+            m.degradation.fault_epochs,
+            m.transitions.len()
+        ));
+    }
+    Ok(())
+}
+
+/// One in-thread execution: install the attempt's chaos timeline (when
+/// present) for the duration of the job, catch panics, and hold the
+/// finished cell to the chaos invariants. The timeline is uninstalled even
+/// when the job panics — workers are reused across cells.
+fn run_attempt(
+    job: &CellJob,
+    seed: u64,
+    stream: u64,
+    chaos: Option<FaultTimeline>,
+) -> Result<CellData, String> {
+    if let Some(tl) = &chaos {
+        fault::install_thread_chaos(tl.clone());
+    }
+    let mut rng = SimRng::split(seed, stream);
+    let result = catch_unwind(AssertUnwindSafe(|| job(&mut rng))).map_err(panic_message);
+    if chaos.is_some() {
+        let _ = fault::take_thread_chaos();
+    }
+    if let (Ok(data), Some(tl)) = (&result, &chaos) {
+        chaos_invariants(data, tl).map_err(|e| format!("chaos invariant violated: {e}"))?;
+    }
+    result
+}
+
 /// One execution attempt: inline on the calling worker, or — when a timeout
 /// is configured — on a watchdog thread that the worker abandons if the
 /// deadline passes (the thread keeps running detached; its result is
 /// discarded on arrival).
-fn attempt_cell(
-    job: &CellJob,
-    seed: u64,
-    stream: u64,
-    timeout_ms: Option<u64>,
-) -> Result<CellData, String> {
-    match timeout_ms {
-        None => {
-            let mut rng = SimRng::split(seed, stream);
-            let job = Arc::clone(job);
-            catch_unwind(AssertUnwindSafe(move || job(&mut rng))).map_err(panic_message)
-        }
+fn attempt_cell(job: &CellJob, opts: &RunOpts, stream: u64) -> Result<CellData, String> {
+    let seed = opts.seed;
+    let chaos = chaos_timeline(opts, stream);
+    match opts.cell_timeout_ms {
+        None => run_attempt(job, seed, stream, chaos),
         Some(ms) => {
             let (tx, rx) = std::sync::mpsc::channel();
             let job = Arc::clone(job);
             let spawned = std::thread::Builder::new()
                 .name("sweep-cell".into())
                 .spawn(move || {
-                    let mut rng = SimRng::split(seed, stream);
-                    let result =
-                        catch_unwind(AssertUnwindSafe(move || job(&mut rng))).map_err(panic_message);
-                    let _ = tx.send(result);
+                    let _ = tx.send(run_attempt(&job, seed, stream, chaos));
                 });
             match spawned {
                 Err(e) => Err(format!("could not spawn cell thread: {e}")),
@@ -397,7 +480,7 @@ fn run_task(task: Task, opts: &RunOpts) -> (usize, usize, CellOutcome, CellStat)
     let result = loop {
         let stream = retry_stream(base_stream, attempts);
         attempts += 1;
-        let result = attempt_cell(&task.job, opts.seed, stream, opts.cell_timeout_ms);
+        let result = attempt_cell(&task.job, opts, stream);
         if result.is_ok() || attempts > opts.max_retries {
             break result;
         }
@@ -426,16 +509,29 @@ fn run_task(task: Task, opts: &RunOpts) -> (usize, usize, CellOutcome, CellStat)
 }
 
 /// Mutable journal side of a run: the writer (when journaling is on) and the
-/// first error that disabled it. Workers serialize on a mutex around this —
-/// appends are tiny next to cell compute time.
+/// first [`SimError::Journal`] that disabled it. Workers serialize on a mutex
+/// around this — appends are tiny next to cell compute time.
 struct JournalState {
     writer: Option<JournalWriter>,
-    error: Option<String>,
+    error: Option<SimError>,
 }
 
-/// Append one finished cell to the journal; an append failure disables
-/// journaling for the rest of the run (recorded in the report) rather than
-/// aborting the sweep.
+impl JournalState {
+    /// Degrade to journal-less execution: drop the writer, keep the typed
+    /// error for the report, and warn immediately on stderr — a full disk
+    /// (`ENOSPC`) or dying device (`EIO`) mid-sweep costs durability, never
+    /// the figures.
+    fn degrade(&mut self, op: &'static str, err: &std::io::Error) {
+        self.writer = None;
+        let typed = SimError::journal(op, err);
+        eprintln!("warning: {typed}");
+        self.error = Some(typed);
+    }
+}
+
+/// Append one finished cell to the journal; an append failure (fsync/write —
+/// ENOSPC, EIO, ...) disables journaling for the rest of the run via
+/// [`JournalState::degrade`] rather than aborting the sweep.
 fn journal_append(
     state: &Mutex<JournalState>,
     figure: &str,
@@ -456,8 +552,7 @@ fn journal_append(
             result: outcome.result.clone(),
         };
         if let Err(e) = w.append(&entry) {
-            s.writer = None;
-            s.error = Some(format!("journaling disabled after append failure: {e}"));
+            s.degrade("append", &e);
         }
     }
 }
@@ -511,23 +606,23 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
         error: None,
     };
     if let Some(path) = &opts.journal {
-        let created = if opts.resume {
+        let (op, created) = if opts.resume {
             match read_journal(path, seed, opts.context) {
                 Ok(replay) => {
                     cached = replay.entries;
-                    JournalWriter::resume(path, replay.valid_len)
+                    ("resume", JournalWriter::resume(path, replay.valid_len))
                 }
                 Err(JournalError::Missing | JournalError::HeaderMismatch) => {
-                    JournalWriter::create(path, seed, opts.context)
+                    ("create", JournalWriter::create(path, seed, opts.context))
                 }
-                Err(JournalError::Io(e)) => Err(e),
+                Err(JournalError::Io(e)) => ("resume", Err(e)),
             }
         } else {
-            JournalWriter::create(path, seed, opts.context)
+            ("create", JournalWriter::create(path, seed, opts.context))
         };
         match created {
             Ok(w) => journal.writer = Some(w),
-            Err(e) => journal.error = Some(format!("journaling disabled: {e}")),
+            Err(e) => journal.degrade(op, &e),
         }
     }
 
@@ -631,10 +726,14 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
         })
     };
     done.extend(executed);
+    // The report serializes the typed error's stable rendering; its `kind()`
+    // tag ("journal") prefixes it so downstream tooling can dispatch without
+    // string-matching the message.
     let journal_error = journal
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .error;
+        .error
+        .map(|e| format!("{}: {e}", e.kind()));
 
     // Scatter outcomes back into declaration order.
     let mut per_plan: Vec<Vec<Option<CellOutcome>>> =
@@ -733,6 +832,28 @@ mod tests {
         let broken = &report.cells[1];
         assert!(!broken.ok);
         assert_eq!(report.cells[0].sim_cycles, 7);
+    }
+
+    #[test]
+    fn unwritable_journal_degrades_to_journal_less_execution() {
+        // A journal path that is a directory makes `create` fail with a real
+        // I/O error — the same shape as ENOSPC/EIO mid-sweep. The sweep must
+        // still compute every figure, with the typed journal error recorded.
+        let dir = std::env::temp_dir().join("aff_sweep_journal_is_a_dir");
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        let opts = RunOpts {
+            journal: Some(dir.clone()),
+            ..RunOpts::new(2, 42)
+        };
+        let (figs, report) = run_plans_opts(vec![toy_plan("a")], &opts);
+        let (clean, _) = run_plans(vec![toy_plan("a")], 2, 42);
+        assert_eq!(figs[0].to_json(), clean[0].to_json(), "results unaffected");
+        assert!(report.cells.iter().all(|c| c.ok));
+        let err = report.journal_error.expect("degrade recorded");
+        assert!(err.starts_with("journal: "), "typed kind() prefix: {err}");
+        assert!(err.contains("journal create failed"), "{err}");
+        assert!(err.contains("continuing without checkpoints"), "{err}");
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]
@@ -884,6 +1005,100 @@ mod tests {
         assert_eq!(m.cycles, with.cells[0].sim_cycles);
         // Table-style cells have no engine metrics to record.
         assert!(with.cells[1].metrics.is_none());
+    }
+
+    fn engine_plan(figure: &'static str) -> SweepPlan {
+        let mut b = PlanBuilder::new(figure);
+        let mut ids = Vec::new();
+        for i in 0..3u64 {
+            ids.push(b.cell(format!("cell{i}"), move |_| {
+                let mut e = aff_nsc::engine::SimEngine::new(MachineConfig::paper_default());
+                e.begin_phase();
+                e.register_resident((i % 4) as u32 * 9, 1 << 16);
+                e.bank_read_lines((i % 4) as u32 * 9, 200 + i);
+                e.remote_atomic(0, 9, 50);
+                e.end_phase();
+                e.try_finish().expect("unlimited budget").into()
+            }));
+        }
+        b.merge(move |o| {
+            let mut fig = Figure::new(figure, "chaos determinism", vec!["cycles", "flits", "epochs"]);
+            for &i in &ids {
+                fig.push(
+                    format!("cell{i}"),
+                    vec![
+                        o.field(i, |m| m.cycles as f64),
+                        o.field(i, |m| m.total_hop_flits as f64),
+                        o.field(i, |m| m.degradation.fault_epochs as f64),
+                    ],
+                );
+            }
+            o.annotate_failures(&mut fig);
+            fig
+        })
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_across_job_counts() {
+        let run = |jobs| {
+            let opts = RunOpts {
+                chaos: Some(7),
+                chaos_intensity: 6,
+                ..RunOpts::new(jobs, 42)
+            };
+            let (figs, report) = run_plans_opts(vec![engine_plan("chaos")], &opts);
+            assert!(report.cells.iter().all(|c| c.ok), "{:?}", report.cells);
+            figs[0].to_json()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn chaos_timeline_reaches_the_engine_and_passes_invariants() {
+        use aff_sim_core::fault::FaultChange;
+        // A hand-made cycle-0 bank death: the engine must adopt it from the
+        // thread-local install, log the transition, and the chaos invariant
+        // checks must accept the result.
+        let tl = FaultTimeline::none().at(0, FaultChange::BankFail(9));
+        let job: CellJob = Arc::new(|_rng: &mut SimRng| {
+            let mut e = aff_nsc::engine::SimEngine::new(MachineConfig::paper_default());
+            e.bank_read_lines(9, 100);
+            e.try_finish().expect("unlimited budget").into()
+        });
+        let data = run_attempt(&job, 1, 2, Some(tl.clone())).expect("chaos cell runs clean");
+        let m = data.metrics().expect("engine cell");
+        assert_eq!(m.transitions, tl.events());
+        assert_eq!(m.degradation.fault_epochs, 1);
+        // The install is scoped to the attempt: nothing leaks to this thread.
+        assert!(!fault::thread_chaos_installed());
+    }
+
+    #[test]
+    fn chaos_invariant_violation_fails_the_cell_soft() {
+        let mut b = PlanBuilder::new("doctored");
+        b.cell("doctored", |_| {
+            let mut e = aff_nsc::engine::SimEngine::new(MachineConfig::paper_default());
+            e.remote_atomic(0, 9, 10);
+            let mut m = e.try_finish().expect("unlimited budget");
+            m.total_hop_flits += 1; // break flit conservation
+            m.into()
+        });
+        let plan = b.merge(|o| {
+            let mut fig = Figure::new("doctored", "t", vec!["v"]);
+            o.annotate_failures(&mut fig);
+            fig
+        });
+        let opts = RunOpts {
+            chaos: Some(3),
+            ..RunOpts::new(1, 5)
+        };
+        let (figs, report) = run_plans_opts(vec![plan], &opts);
+        assert!(!report.cells[0].ok);
+        assert!(report.cells[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("chaos invariant violated")));
+        assert!(figs[0].notes.iter().any(|n| n.contains("flit conservation")));
     }
 
     #[test]

@@ -49,6 +49,19 @@ impl BankCounters {
         self.resident_bytes[bank as usize] += bytes;
     }
 
+    /// Move every resident byte from one bank to another (a dying bank
+    /// evacuating to its spare) and return how many bytes moved. A
+    /// self-transfer — the degenerate all-banks-dead spare map — is a no-op
+    /// that still reports the bank's residency.
+    pub fn evacuate_resident(&mut self, from: u32, to: u32) -> u64 {
+        let bytes = self.resident_bytes[from as usize];
+        if from != to {
+            self.resident_bytes[from as usize] = 0;
+            self.resident_bytes[to as usize] += bytes;
+        }
+        bytes
+    }
+
     /// Accesses to one bank.
     pub fn accesses_of(&self, bank: u32) -> u64 {
         self.accesses[bank as usize]
@@ -161,6 +174,20 @@ mod tests {
         assert_eq!(c.resident_of(1), 8192);
         assert_eq!(c.total_resident(), 8192);
         assert_eq!(c.max_resident(), 8192);
+    }
+
+    #[test]
+    fn evacuate_moves_residency_once() {
+        let mut c = BankCounters::new(4);
+        c.add_resident(2, 1024);
+        c.add_resident(3, 8);
+        assert_eq!(c.evacuate_resident(2, 3), 1024);
+        assert_eq!(c.resident_of(2), 0);
+        assert_eq!(c.resident_of(3), 1032);
+        // Second evacuation finds nothing; self-transfer keeps the bytes.
+        assert_eq!(c.evacuate_resident(2, 3), 0);
+        assert_eq!(c.evacuate_resident(3, 3), 1032);
+        assert_eq!(c.resident_of(3), 1032);
     }
 
     #[test]

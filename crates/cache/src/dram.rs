@@ -115,6 +115,17 @@ impl DramModel {
         }
     }
 
+    /// Refresh the per-controller slowdown multipliers from a new fault plan
+    /// (a timeline epoch fired mid-run). Like the bank-service bound, the
+    /// final [`activity`](Self::activity) prices every recorded access under
+    /// the *currently active* machine — identical to construction-time
+    /// faults when no timeline is set.
+    pub fn apply_fault_plan(&mut self, plan: &aff_sim_core::fault::FaultPlan) {
+        for (c, slot) in self.ctrl_slowdown.iter_mut().enumerate() {
+            *slot = plan.mem_ctrl_slowdown(c as u32);
+        }
+    }
+
     /// Total line accesses recorded.
     pub fn accesses(&self) -> u64 {
         self.accesses
@@ -192,6 +203,21 @@ mod tests {
         // Misses at the opposite corner hit controller 3, which is healthy.
         dram.record_misses(63, 13, &mut traffic);
         assert_eq!(dram.activity().service_cycles, 256 + 64);
+    }
+
+    #[test]
+    fn live_replan_reprices_controller_service() {
+        use aff_sim_core::fault::FaultPlan;
+        // The mid-run analogue of `slowed_ctrl_multiplies_service_time`:
+        // the 4× slowdown arrives via apply_fault_plan, not the constructor.
+        let (mut dram, mut traffic) = setup();
+        dram.record_misses(0, 13, &mut traffic);
+        assert_eq!(dram.activity().service_cycles, 64);
+        dram.apply_fault_plan(&FaultPlan::none().slow_mem_ctrl(0, 4));
+        assert_eq!(dram.activity().service_cycles, 256);
+        // Repair restores the healthy pricing exactly.
+        dram.apply_fault_plan(&FaultPlan::none());
+        assert_eq!(dram.activity().service_cycles, 64);
     }
 
     #[test]

@@ -122,6 +122,25 @@ mod tests {
     }
 
     #[test]
+    fn slowdown_weighted_load_shifts_the_argmin() {
+        // The runtime feeds Eq 4 `load × bank_slowdown` for degraded banks:
+        // a 4×-slower bank at average load must score like a 4×-loaded one,
+        // so the argmin moves to a healthy bank one hop away. This pins the
+        // weighting a live fault epoch applies when it slows a bank.
+        let avg = 10.0;
+        let healthy_home = argmin_score([
+            (0, score(0.0, 10, avg, 5.0)),
+            (1, score(1.0, 10, avg, 5.0)),
+        ]);
+        assert_eq!(healthy_home, Some(0), "no fault: affinity wins");
+        let slowed_home = argmin_score([
+            (0, score(0.0, 10 * 4, avg, 5.0)), // home bank, slowed 4×
+            (1, score(1.0, 10, avg, 5.0)),
+        ]);
+        assert_eq!(slowed_home, Some(1), "slowdown repels the argmin");
+    }
+
+    #[test]
     fn argmin_breaks_ties_deterministically() {
         let winner = argmin_score([(3, 1.0), (1, 1.0), (2, 5.0)]);
         assert_eq!(winner, Some(1));

@@ -24,7 +24,7 @@ use aff_mem::pool::PoolId;
 use aff_mem::space::AddressSpace;
 use aff_noc::topology::Topology;
 use aff_sim_core::config::{MachineConfig, CACHE_LINE};
-use aff_sim_core::fault::DegradationReport;
+use aff_sim_core::fault::{DegradationReport, FaultPlan};
 use aff_sim_core::rng::SimRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -111,6 +111,10 @@ pub struct AffinityAllocator {
     /// Banks eligible for placement — all banks on a healthy machine, the
     /// non-failed ones under a fault plan.
     healthy: Vec<u32>,
+    /// The fault plan the Eq-4 load weighting currently reflects. Starts as
+    /// the config's static plan; [`apply_fault_plan`](Self::apply_fault_plan)
+    /// replaces it when a timeline epoch fires mid-run.
+    active_faults: FaultPlan,
     /// Graceful-degradation counters (excluded banks, fallback chain use).
     report: DegradationReport,
 }
@@ -152,6 +156,7 @@ impl AffinityAllocator {
             excluded_banks: u64::from(config.num_banks()) - healthy.len() as u64,
             ..DegradationReport::default()
         };
+        let active_faults = config.faults.clone();
         Self {
             space: AddressSpace::new(config),
             topo,
@@ -167,8 +172,35 @@ impl AffinityAllocator {
             live_irregular: HashSet::new(),
             stats: AllocStats::default(),
             healthy,
+            active_faults,
             report,
         }
+    }
+
+    /// Re-solve placement eligibility under a new fault plan — the
+    /// allocator's half of a fault-timeline epoch. Failed banks leave the
+    /// Eq-4 candidate set, repaired banks rejoin it, and slowed banks' load
+    /// multiplier tracks the new plan. Existing allocations stay where they
+    /// are (migration is the cache layer's job); only *subsequent* argmins
+    /// see the new machine. An all-dead plan degrades to ignoring the
+    /// exclusions, mirroring the constructor.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let banks = self.space.config().num_banks();
+        let mut healthy: Vec<u32> =
+            (0..banks).filter(|b| !plan.failed_banks.contains(b)).collect();
+        if healthy.is_empty() {
+            healthy = (0..banks).collect();
+        }
+        self.report.excluded_banks = u64::from(banks) - healthy.len() as u64;
+        // Round-robin state may point at a bank that just died; the Lnr arm
+        // skips unhealthy banks, so only the candidate set needs refreshing.
+        self.healthy = healthy;
+        self.active_faults = plan.clone();
+    }
+
+    /// The fault plan currently steering placement.
+    pub fn active_faults(&self) -> &FaultPlan {
+        &self.active_faults
     }
 
     /// The bank-select policy in force.
@@ -633,7 +665,7 @@ impl AffinityAllocator {
                 let avg_load = total_load as f64 / f64::from(banks);
                 let topo = self.topo;
                 let loads = &self.loads;
-                let faults = &self.space.config().faults;
+                let faults = &self.active_faults;
                 argmin_score(self.healthy.iter().map(|&b| {
                     let avg_hops = if aff_banks.is_empty() {
                         0.0
@@ -1334,6 +1366,55 @@ mod tests {
             }
             assert_eq!(a.degradation().excluded_banks, 3);
         }
+    }
+
+    #[test]
+    fn live_replan_excludes_then_readmits_a_bank() {
+        // The mid-run analogue of `failed_banks_are_never_selected`: the
+        // bank dies *after* the allocator was built, via apply_fault_plan.
+        let mut a = alloc(BankSelectPolicy::MinHop);
+        let anchor = a.malloc_aff(64, &[]).unwrap();
+        let home = a.bank_of(anchor);
+        // Healthy machine: affinity keeps children on the anchor's bank.
+        let v = a.malloc_aff(64, &[anchor]).unwrap();
+        assert_eq!(a.bank_of(v), home);
+        // Epoch 1: the home bank dies. Subsequent argmins must avoid it.
+        a.apply_fault_plan(&FaultPlan::none().fail_bank(home));
+        assert_eq!(a.degradation().excluded_banks, 1);
+        for _ in 0..50 {
+            let v = a.malloc_aff(64, &[anchor]).unwrap();
+            assert_ne!(a.bank_of(v), home, "placed on a bank that died live");
+        }
+        // Epoch 2: repair. The bank is eligible again, and Min-Hop's pure
+        // affinity immediately returns to it.
+        a.apply_fault_plan(&FaultPlan::none());
+        assert_eq!(a.degradation().excluded_banks, 0);
+        let v = a.malloc_aff(64, &[anchor]).unwrap();
+        assert_eq!(a.bank_of(v), home);
+    }
+
+    #[test]
+    fn live_replan_slowdown_steers_hybrid_load() {
+        // Slowing a bank via a live re-plan must repel Hybrid the same way a
+        // static slow plan does (select_bank reads the *active* plan).
+        let mut a = alloc(BankSelectPolicy::Hybrid { h: 5.0 });
+        let anchor = a.malloc_aff(64, &[]).unwrap();
+        let home = a.bank_of(anchor);
+        let count_on_home = |a: &mut AffinityAllocator| {
+            (0..100)
+                .filter(|_| {
+                    let v = a.malloc_aff(64, &[anchor]).unwrap();
+                    a.bank_of(v) == home
+                })
+                .count()
+        };
+        let before = count_on_home(&mut a);
+        a.apply_fault_plan(&FaultPlan::none().slow_bank(home, 8));
+        let after = count_on_home(&mut a);
+        assert!(
+            after < before,
+            "live slowdown must repel allocations: {after} >= {before}"
+        );
     }
 
     #[test]

@@ -14,10 +14,14 @@
 use crate::fault_route::FaultRouter;
 use crate::topology::{BankId, Coord, Link, Topology};
 use crate::traffic::Packet;
-use aff_sim_core::error::{BudgetKind, RunBudget, SimError, StallSnapshot};
-use aff_sim_core::fault::{FaultPlan, LinkRef};
+use aff_sim_core::error::{BudgetKind, RunBudget, SimError, StallSnapshot, STALL_TRACE_TAIL};
+use aff_sim_core::fault::{FaultPlan, FaultTimeline, LinkRef};
 use aff_sim_core::trace::{Event, Recorder};
 use std::collections::VecDeque;
+
+/// One fault epoch of a timeline simulation: from `cycle` on, flits route
+/// under these tables (`None` = plain X-Y).
+type EpochTables = (u64, Option<Box<FaultRouter>>);
 
 /// Input/output port of a router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,8 +153,8 @@ impl CycleNoc {
 
     /// The output port for `dst` at `here`, honoring fault-aware tables when
     /// present. Unreachable pairs fall back to plain X-Y (the limp path).
-    fn out_port(&self, here: Coord, dst: Coord) -> Port {
-        if let Some(r) = self.router.as_deref() {
+    fn out_port(&self, router: Option<&FaultRouter>, here: Coord, dst: Coord) -> Port {
+        if let Some(r) = router {
             let here_bank = self.topo.bank_of(here);
             let dst_bank = self.topo.bank_of(dst);
             if let Some(next) = r.next_hop(here_bank, dst_bank) {
@@ -188,7 +192,7 @@ impl CycleNoc {
     /// driven by a fault plan.
     #[deprecated(note = "use try_simulate")]
     pub fn simulate(&self, packets: &[Packet], max_cycles: u64) -> CycleReport {
-        self.run_inner(packets, max_cycles, 0, None, None).report
+        self.run_inner(packets, max_cycles, 0, None, None, None).report
     }
 
     /// Simulate `packets` under `budget`, distinguishing *how* a run ended:
@@ -221,11 +225,63 @@ impl CycleNoc {
         self.try_simulate_rec(packets, budget, Some(recorder))
     }
 
+    /// [`CycleNoc::try_simulate`] under a live [`FaultTimeline`]: the
+    /// simulation starts from `base` faults (plus any cycle-0 events) and
+    /// swaps in freshly built next-hop tables at every fault epoch, so flits
+    /// already in flight bend around links that die under them and reclaim
+    /// shorter paths when links are repaired. Watchdog patience restarts at
+    /// each epoch (new tables can legitimately free a wedged clot). An empty
+    /// timeline takes exactly the [`CycleNoc::try_simulate`] code path.
+    pub fn try_simulate_timeline(
+        &self,
+        packets: &[Packet],
+        budget: &RunBudget,
+        base: &FaultPlan,
+        timeline: &FaultTimeline,
+    ) -> Result<CycleReport, SimError> {
+        if timeline.is_empty() {
+            return self.try_simulate(packets, budget);
+        }
+        let mut cycles = vec![0u64];
+        cycles.extend(timeline.epoch_cycles().into_iter().filter(|&c| c > 0));
+        let mut schedule: Vec<EpochTables> = Vec::with_capacity(cycles.len());
+        let mut blamed = self.blamed_links.clone();
+        for c in cycles {
+            let plan = timeline.plan_at(base, c);
+            for l in plan
+                .failed_links
+                .iter()
+                .copied()
+                .chain(plan.degraded_links.keys().copied())
+            {
+                if !blamed.contains(&l) {
+                    blamed.push(l);
+                }
+            }
+            let router = plan
+                .has_link_faults()
+                .then(|| Box::new(FaultRouter::new(self.topo, &plan)));
+            schedule.push((c, router));
+        }
+        self.simulate_scheduled(packets, budget, None, Some(&schedule), blamed)
+    }
+
     fn try_simulate_rec(
         &self,
         packets: &[Packet],
         budget: &RunBudget,
         recorder: Option<&mut dyn Recorder>,
+    ) -> Result<CycleReport, SimError> {
+        self.simulate_scheduled(packets, budget, recorder, None, self.blamed_links.clone())
+    }
+
+    fn simulate_scheduled(
+        &self,
+        packets: &[Packet],
+        budget: &RunBudget,
+        recorder: Option<&mut dyn Recorder>,
+        schedule: Option<&[EpochTables]>,
+        blamed_links: Vec<LinkRef>,
     ) -> Result<CycleReport, SimError> {
         let total_flits: u64 = packets.iter().map(|p| p.flits).sum();
         if let Some(limit) = budget.max_events {
@@ -241,14 +297,26 @@ impl CycleNoc {
             .wall_ms
             .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let max_cycles = budget.max_cycles.unwrap_or(u64::MAX);
-        let run = self.run_inner(packets, max_cycles, budget.stall_patience, deadline, recorder);
+        let run = self.run_inner(
+            packets,
+            max_cycles,
+            budget.stall_patience,
+            deadline,
+            recorder,
+            schedule,
+        );
         if run.stalled {
             return Err(SimError::Stalled(Box::new(StallSnapshot {
                 cycle: run.cycle,
                 in_flight: run.in_flight,
                 stalled_for: run.stalled_for,
                 router_occupancy: run.occupancy,
-                blamed_links: self.blamed_links.clone(),
+                blamed_links,
+                // Diagnose the wedge from the events leading into it: if
+                // this thread has a trace capture installed (figures
+                // --trace, or any engine-level recording), its tail rides
+                // along in the error instead of requiring a traced re-run.
+                recent_events: aff_sim_core::trace::thread_trace_tail(STALL_TRACE_TAIL),
             })));
         }
         if run.wall_exceeded {
@@ -275,7 +343,17 @@ impl CycleNoc {
         patience: u64,
         deadline: Option<std::time::Instant>,
         mut recorder: Option<&mut dyn Recorder>,
+        schedule: Option<&[EpochTables]>,
     ) -> InnerRun {
+        // The tables flits route under right now; a schedule swaps them at
+        // its epoch cycles, otherwise they are the constructor's for the
+        // whole run (entry 0 of a schedule is always the cycle-0 plan).
+        let mut active_router: Option<&FaultRouter> = self.router.as_deref();
+        let mut sched_idx = 0usize;
+        if let Some(s) = schedule {
+            active_router = s[0].1.as_deref();
+            sched_idx = 1;
+        }
         let n_routers = self.topo.num_banks() as usize;
         // Per router: 5 input FIFOs.
         let mut buffers: Vec<[VecDeque<Flit>; 5]> = (0..n_routers)
@@ -308,6 +386,15 @@ impl CycleNoc {
         let mut wall_exceeded = false;
         while in_flight_flits > 0 && cycle < max_cycles {
             cycle += 1;
+            if let Some(s) = schedule {
+                while sched_idx < s.len() && s[sched_idx].0 <= cycle {
+                    active_router = s[sched_idx].1.as_deref();
+                    sched_idx += 1;
+                    // Fresh tables can free a wedged clot (or create one);
+                    // give the watchdog its full patience again.
+                    idle_cycles = 0;
+                }
+            }
             let mut progressed = false;
             // Ejection: local-bound flits at their destination leave first,
             // freeing buffer space this cycle.
@@ -353,11 +440,11 @@ impl CycleNoc {
                         if f.ready_at > cycle || f.dst as usize == r {
                             continue;
                         }
-                        if self.out_port(here, self.topo.coord_of(f.dst)) != out {
+                        if self.out_port(active_router, here, self.topo.coord_of(f.dst)) != out {
                             continue;
                         }
                         let next_coord = self.neighbor(here, out);
-                        if let Some(fr) = self.router.as_deref() {
+                        if let Some(fr) = active_router {
                             let idx = self.topo.link_index(Link {
                                 from: here,
                                 to: next_coord,
@@ -766,6 +853,76 @@ mod tests {
             .try_simulate(&saturating_traffic(), &budget)
             .expect("deeper buffers drain the same plan");
         assert_eq!(rep.delivered, saturating_traffic().len() as u64);
+    }
+
+    #[test]
+    fn empty_timeline_matches_try_simulate_exactly() {
+        use aff_sim_core::error::RunBudget;
+        use aff_sim_core::fault::FaultTimeline;
+        let packets = saturating_traffic();
+        let budget = RunBudget::unlimited();
+        let want = noc().try_simulate(&packets, &budget).expect("drains");
+        let got = noc()
+            .try_simulate_timeline(&packets, &budget, &FaultPlan::none(), &FaultTimeline::none())
+            .expect("drains");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mid_run_link_death_bends_in_flight_traffic() {
+        use aff_sim_core::error::RunBudget;
+        use aff_sim_core::fault::{FaultChange, FaultTimeline, LinkRef};
+        let topo = Topology::new(4, 4);
+        let noc = CycleNoc::new(topo, 2, 4);
+        let dead = LinkRef::between(1, 0, 2, 0).expect("adjacent");
+        // Many packets crossing the row-0 X leg; the middle link dies at
+        // cycle 40, well before they all drain.
+        let packets: Vec<Packet> = (0..30).map(|_| pkt(0, 3, 2)).collect();
+        let budget = RunBudget::unlimited();
+        let healthy = noc.try_simulate(&packets, &budget).expect("drains");
+        let timeline = FaultTimeline::none().at(40, FaultChange::LinkFail(dead));
+        let rep = noc
+            .try_simulate_timeline(&packets, &budget, &FaultPlan::none(), &timeline)
+            .expect("drains around the mid-run death");
+        assert_eq!(rep.delivered, packets.len() as u64);
+        assert!(
+            rep.flit_hops > healthy.flit_hops,
+            "post-death flits detour: {} vs {}",
+            rep.flit_hops,
+            healthy.flit_hops
+        );
+        // Determinism: the same timeline replays byte-identically.
+        let again = noc
+            .try_simulate_timeline(&packets, &budget, &FaultPlan::none(), &timeline)
+            .expect("drains");
+        assert_eq!(again, rep);
+    }
+
+    #[test]
+    fn mid_run_repair_restores_short_routes() {
+        use aff_sim_core::error::RunBudget;
+        use aff_sim_core::fault::{FaultChange, FaultTimeline, LinkRef};
+        let topo = Topology::new(4, 4);
+        let noc = CycleNoc::new(topo, 2, 4);
+        let dead = LinkRef::between(1, 0, 2, 0).expect("adjacent");
+        let base = FaultPlan::none().fail_link(dead);
+        let packets: Vec<Packet> = (0..30).map(|_| pkt(0, 3, 2)).collect();
+        let budget = RunBudget::unlimited();
+        let broken = CycleNoc::with_faults(topo, 2, 4, &base)
+            .try_simulate(&packets, &budget)
+            .expect("drains via detours");
+        // Repair at cycle 10: most packets reclaim the 3-hop X-Y route.
+        let timeline = FaultTimeline::none().at(10, FaultChange::LinkRepair(dead));
+        let rep = noc
+            .try_simulate_timeline(&packets, &budget, &base, &timeline)
+            .expect("drains after repair");
+        assert_eq!(rep.delivered, packets.len() as u64);
+        assert!(
+            rep.flit_hops < broken.flit_hops,
+            "repair shortens routes: {} vs {}",
+            rep.flit_hops,
+            broken.flit_hops
+        );
     }
 
     #[test]

@@ -67,6 +67,18 @@ impl DesNoc {
         des
     }
 
+    /// Install a new fault plan mid-run (a fault epoch): packets sent after
+    /// this call route under the new tables, while accumulated link and
+    /// injection contention state is kept — in-flight history is not
+    /// rewritten. An empty plan restores plain X-Y routing.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.router = if plan.has_link_faults() {
+            Some(Box::new(FaultRouter::new(self.topo, plan)))
+        } else {
+            None
+        };
+    }
+
     /// Replay `packets` in order, all ready for injection at cycle 0 (the
     /// per-source network interface serializes them).
     ///
@@ -434,6 +446,22 @@ mod tests {
         if let Event::MessageDelivered { depart, arrive, .. } = local.event {
             assert_eq!(depart, arrive, "local delivery is instant");
         }
+    }
+
+    #[test]
+    fn set_fault_plan_swaps_routing_mid_run() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let dead = LinkRef::between(1, 0, 2, 0).expect("adjacent");
+        let mut des = DesNoc::new(topo, 6);
+        // Healthy: 0 -> 3 in 3 hops x 6 cycles.
+        assert_eq!(des.send(&pkt(0, 3, 1), 100), 118);
+        des.set_fault_plan(&FaultPlan::none().fail_link(dead));
+        // Dead middle link: later sends bend (5 hops), contention state kept.
+        assert_eq!(des.send(&pkt(0, 3, 1), 200), 230);
+        des.set_fault_plan(&FaultPlan::none());
+        // Repair restores X-Y for sends after the epoch.
+        assert_eq!(des.send(&pkt(0, 3, 1), 300), 318);
     }
 
     #[test]

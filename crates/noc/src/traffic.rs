@@ -206,6 +206,30 @@ impl RouteTable {
     fn links(&self, e: RouteEntry) -> &[u32] {
         &self.arena[e.start as usize..(e.start + e.len) as usize]
     }
+
+    /// Drop the entries a fault-epoch change can affect: those whose cached
+    /// links changed state (`changed_links[idx]`), plus every rerouted or
+    /// limped entry — a repair elsewhere may now offer them a better path.
+    /// Entries whose X-Y routes run over untouched healthy links survive
+    /// (the BFS tie-break reproduces X-Y whenever the X-Y path is healthy).
+    /// Invalidated arena segments are left in place: the table trades a
+    /// little arena garbage for not rebuilding untouched routes.
+    fn invalidate(&mut self, changed_links: &[bool]) {
+        for slot in 0..self.entries.len() {
+            let e = self.entries[slot];
+            if e.start == UNRESOLVED {
+                continue;
+            }
+            let hit = e.rerouted
+                || e.limped
+                || self.arena[e.start as usize..(e.start + e.len) as usize]
+                    .iter()
+                    .any(|&l| changed_links[l as usize]);
+            if hit {
+                self.entries[slot] = RouteEntry::EMPTY;
+            }
+        }
+    }
 }
 
 /// A resolved route as the dense table records it (tests, diagnostics).
@@ -296,6 +320,41 @@ impl TrafficMatrix {
         m
     }
 
+    /// Re-plan this matrix at a fault epoch: rebuild the fault router for
+    /// `plan` and incrementally invalidate only the cached routes the change
+    /// can affect (links that changed state, plus previously rerouted or
+    /// limped pairs that a repair may improve). Accumulated traffic carries
+    /// across epochs — counters are never reset — and an empty-to-empty
+    /// transition is a no-op, so a fault-free matrix keeps its original code
+    /// path byte for byte.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let new_router = if plan.has_link_faults() {
+            Some(Box::new(FaultRouter::new(self.topo, plan)))
+        } else {
+            None
+        };
+        if new_router.is_none() && self.router.is_none() {
+            return;
+        }
+        let mut changed = vec![false; self.topo.num_links()];
+        for (idx, slot) in changed.iter_mut().enumerate() {
+            let state = |r: Option<&FaultRouter>| match r {
+                Some(r) => (r.link_is_failed(idx), r.link_cost(idx)),
+                None => (false, 1),
+            };
+            *slot = state(self.router.as_deref()) != state(new_router.as_deref());
+        }
+        self.routes.invalidate(&changed);
+        self.router = new_router;
+        if self.router.is_some() && self.effective_link_flits.is_none() {
+            // Effective (cost-weighted) accounting starts at this epoch;
+            // everything recorded before it crossed healthy links at cost 1,
+            // so seed it with the physical counts to keep the per-link
+            // invariant `effective >= physical`.
+            self.effective_link_flits = Some(self.link_flits.clone());
+        }
+    }
+
     /// Enable packet logging (needed to replay through the DES model).
     pub fn enable_log(&mut self) {
         if self.log.is_none() {
@@ -362,16 +421,17 @@ impl TrafficMatrix {
         for &idx in self.routes.links(route) {
             self.link_flits[idx as usize] += flits * count;
         }
-        if let (Some(eff), Some(router)) =
-            (&mut self.effective_link_flits, self.router.as_deref())
-        {
+        if let Some(eff) = &mut self.effective_link_flits {
+            let router = self.router.as_deref();
             for &idx in self.routes.links(route) {
                 // A limped route pays the penalty on every crossing; healthy
-                // routes pay each link's own degradation multiplier.
+                // routes pay each link's own degradation multiplier. After a
+                // full repair the router is gone but the effective history is
+                // kept, and new flits charge cost 1.
                 let mult = if route.limped {
                     LIMP_COST
                 } else {
-                    router.link_cost(idx as usize)
+                    router.map_or(1, |r| r.link_cost(idx as usize))
                 };
                 eff[idx as usize] += flits * count * mult;
             }
@@ -715,6 +775,90 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.routing_degradation().rerouted_messages, 2);
         assert_eq!(a.routing_degradation().detour_hops, 4);
+    }
+
+    #[test]
+    fn apply_fault_plan_reroutes_later_messages_only() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let dead = LinkRef::between(1, 0, 2, 0).expect("adjacent");
+        let mut m = TrafficMatrix::new(topo, 32, 8);
+        // Pre-epoch traffic routes plain X-Y: 3 hops x 1 flit.
+        m.record(0, 3, 24, TrafficClass::Data);
+        assert_eq!(m.total_hop_flits(), 3);
+        m.apply_fault_plan(&FaultPlan::none().fail_link(dead));
+        // Post-epoch traffic bends around the dead link (5 hops) and the
+        // pre-epoch accounting is untouched.
+        m.record(0, 3, 24, TrafficClass::Data);
+        assert_eq!(m.total_hop_flits(), 3 + 5);
+        let report = m.routing_degradation();
+        assert_eq!(report.rerouted_messages, 1);
+        assert_eq!(report.detour_hops, 2);
+        // Effective accounting was seeded with the pre-epoch physical flits.
+        assert_eq!(m.sum_link_flits(), 8);
+    }
+
+    #[test]
+    fn apply_fault_plan_repair_restores_xy_routes() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let dead = LinkRef::between(1, 0, 2, 0).expect("adjacent");
+        let plan = FaultPlan::none().fail_link(dead);
+        let mut m = TrafficMatrix::with_faults(topo, 32, 8, &plan);
+        m.record(0, 3, 24, TrafficClass::Data); // rerouted, 5 hops
+        m.apply_fault_plan(&FaultPlan::none());
+        let route = m.route_of(0, 3);
+        assert!(!route.rerouted && !route.limped, "repair restores X-Y");
+        assert_eq!(route.links.len(), 3);
+        m.record(0, 3, 24, TrafficClass::Data);
+        assert_eq!(m.total_hop_flits(), 5 + 3);
+        // Degradation counters keep their fault-era history.
+        assert_eq!(m.routing_degradation().rerouted_messages, 1);
+    }
+
+    #[test]
+    fn apply_empty_plan_on_healthy_matrix_is_a_noop() {
+        let topo = Topology::new(4, 4);
+        let mut a = TrafficMatrix::new(topo, 32, 8);
+        let mut b = TrafficMatrix::new(topo, 32, 8);
+        a.record(0, 15, 64, TrafficClass::Data);
+        b.record(0, 15, 64, TrafficClass::Data);
+        a.apply_fault_plan(&FaultPlan::none());
+        a.record(15, 0, 64, TrafficClass::Data);
+        b.record(15, 0, 64, TrafficClass::Data);
+        assert_eq!(a.link_flits(), b.link_flits());
+        assert_eq!(a.bottleneck_link_flits(), b.bottleneck_link_flits());
+    }
+
+    #[test]
+    fn incremental_invalidation_matches_fresh_router() {
+        use crate::fault_route::FaultRouter;
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(4, 4);
+        let n = topo.num_banks();
+        let plan_a = FaultPlan::none().fail_link(LinkRef::between(1, 0, 2, 0).expect("adjacent"));
+        let plan_b = FaultPlan::none()
+            .fail_link(LinkRef::between(2, 1, 2, 2).expect("adjacent"))
+            .degrade_link(LinkRef::between(0, 3, 1, 3).expect("adjacent"), 4);
+        let mut m = TrafficMatrix::with_faults(topo, 32, 8, &plan_a);
+        // Resolve every pair under plan A, then re-plan to B and check the
+        // surviving + rebuilt table agrees with a from-scratch router.
+        for src in 0..n {
+            for dst in 0..n {
+                let _ = m.route_of(src, dst);
+            }
+        }
+        m.apply_fault_plan(&plan_b);
+        let fresh = FaultRouter::new(topo, &plan_b);
+        for src in 0..n {
+            for dst in 0..n {
+                let want = fresh.route(src, dst);
+                let got = m.route_of(src, dst);
+                assert_eq!(got.links, &want.links[..], "{src}->{dst}");
+                assert_eq!(got.rerouted, want.rerouted, "{src}->{dst}");
+                assert_eq!(got.limped, want.limped, "{src}->{dst}");
+            }
+        }
     }
 
     #[test]

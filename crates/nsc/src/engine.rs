@@ -27,7 +27,7 @@ use aff_noc::traffic::{TrafficClass, TrafficMatrix};
 use aff_sim_core::config::{MachineConfig, CACHE_LINE};
 use aff_sim_core::energy::{EnergyBreakdown, EnergyModel};
 use aff_sim_core::error::{BudgetKind, SimError};
-use aff_sim_core::fault::DegradationReport;
+use aff_sim_core::fault::{self, DegradationReport, FaultEvent, FaultPlan, FaultTimeline};
 use aff_sim_core::trace::{self, Event, Recorder, TrafficKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -120,6 +120,12 @@ pub struct Metrics {
     /// How much the run degraded under the machine's fault plan. All zeros on
     /// a healthy machine.
     pub degradation: DegradationReport,
+    /// The fault-timeline events this run actually applied, in order — the
+    /// transition log a chaos harness checks against the schedule. Empty for
+    /// a static fault plan (and for every run recorded before timelines
+    /// existed, hence the serde default).
+    #[serde(default)]
+    pub transitions: Vec<FaultEvent>,
 }
 
 impl Metrics {
@@ -201,6 +207,17 @@ pub struct SimEngine {
     report: DegradationReport,
     /// Banks whose residency has already been counted as remapped.
     remapped_seen: Vec<bool>,
+    /// The fault plan currently in effect: `config.faults` plus every
+    /// timeline event applied so far. Equals `config.faults` for the whole
+    /// run when the timeline is empty.
+    active_faults: FaultPlan,
+    /// Cycle-stamped schedule of pending fault events (from the config, or
+    /// a thread-installed chaos timeline when the config carries none).
+    fault_schedule: FaultTimeline,
+    /// Index of the next unapplied schedule event.
+    next_fault_event: usize,
+    /// Applied events, in order — becomes [`Metrics::transitions`].
+    transitions: Vec<FaultEvent>,
     /// Optional event sink; every charge primitive's typed [`Event`] passes
     /// through it before the accounting applies (see [`SimEngine::record`]).
     recorder: RecorderSlot,
@@ -234,7 +251,22 @@ impl SimEngine {
         // deep inside workload executors without signature plumbing.
         let recorder: Option<Box<dyn Recorder>> = trace::thread_trace_installed()
             .then(|| Box::new(trace::ThreadTraceRecorder) as Box<dyn Recorder>);
-        Self {
+        // A config-carried timeline wins; otherwise a thread-installed chaos
+        // timeline (set by `figures --chaos`) attaches the same way the
+        // thread trace does — without signature plumbing. Both empty leaves
+        // the engine permanently on its static-plan paths.
+        let fault_schedule = if !config.fault_timeline.is_empty() {
+            config.fault_timeline.clone()
+        } else {
+            // Chaos timelines are sampled against the reference machine;
+            // sanitize so a smaller mesh drops events it cannot express
+            // instead of indexing out of bounds.
+            fault::thread_chaos_timeline()
+                .map(|t| t.sanitized_for(&config, &config.faults))
+                .unwrap_or_default()
+        };
+        let active_faults = config.faults.clone();
+        let mut engine = Self {
             phase: PhaseTracker::new(config.num_banks()),
             timeline: OccupancyTimeline::new(),
             config,
@@ -252,11 +284,20 @@ impl SimEngine {
             spare,
             report: DegradationReport::default(),
             remapped_seen: vec![false; n],
+            active_faults,
+            fault_schedule,
+            next_fault_event: 0,
+            transitions: Vec::new(),
             pending: Vec::with_capacity(COALESCE_SLOTS),
             coalesce: true,
             tracing: recorder.is_some(),
             recorder: RecorderSlot(recorder),
-        }
+        };
+        // Fire any cycle-0 fault events immediately: a timeline that kills a
+        // bank "at birth" must behave exactly like a static `FaultPlan` that
+        // never had it.
+        engine.advance_faults(0);
+        engine
     }
 
     /// The bank that actually serves accesses homed at `bank`: `bank` itself
@@ -271,6 +312,105 @@ impl SimEngine {
             Some(s) => s.redirect(bank),
             None => bank,
         }
+    }
+
+    // ---------- fault epochs (live recovery) ----------
+
+    /// Fire every scheduled fault event with `cycle <=` the given cycle, in
+    /// timeline order. Public cold path: a harness that tracks its own clock
+    /// (DES replay, a phase-stepped driver) may place epochs explicitly;
+    /// analytic runs also advance automatically — on the engine's own
+    /// progress estimate — at every phase end and at finish.
+    pub fn advance_faults(&mut self, cycle: u64) {
+        while self.next_fault_event < self.fault_schedule.len() {
+            let ev = self.fault_schedule.events()[self.next_fault_event];
+            if ev.cycle > cycle {
+                break;
+            }
+            self.next_fault_event += 1;
+            self.apply_fault_event(ev);
+        }
+    }
+
+    /// Fault transitions applied so far, in firing order.
+    pub fn fault_transitions(&self) -> &[FaultEvent] {
+        &self.transitions
+    }
+
+    /// The fault plan currently in force (the static plan merged with every
+    /// timeline event fired so far).
+    pub fn active_faults(&self) -> &FaultPlan {
+        &self.active_faults
+    }
+
+    #[cold]
+    fn apply_fault_event(&mut self, ev: FaultEvent) {
+        self.flush_charges();
+        let mut plan = self.active_faults.clone();
+        ev.change.apply_to(&mut plan);
+        self.apply_fault_plan_internal(plan);
+        self.transitions.push(ev);
+        self.report.fault_epochs += 1;
+    }
+
+    /// Swap the machine onto a new fault plan mid-run: the traffic matrix
+    /// re-plans its routes incrementally, residency on newly dead banks
+    /// migrates to their spares through the real NoC, and in-flight offload
+    /// work queued on a dying SEL3 drains to the In-Core fallback. Repairs
+    /// bring a bank back for *future* placement only — evacuated lines stay
+    /// where they landed (the recovery model is conservative, not clairvoyant).
+    fn apply_fault_plan_internal(&mut self, plan: FaultPlan) {
+        let n = self.config.num_banks();
+        let old_failed: Vec<bool> = (0..n)
+            .map(|b| self.spare.as_ref().is_some_and(|s| s.is_failed(b)))
+            .collect();
+        let new_spare = (!plan.failed_banks.is_empty()).then(|| SpareMap::new(self.topo, &plan));
+        // New routes first, so migration flits pay the topology they would
+        // actually traverse at this epoch.
+        self.traffic.apply_fault_plan(&plan);
+        self.dram.apply_fault_plan(&plan);
+        for b in 0..n {
+            let newly_dead =
+                !old_failed[b as usize] && new_spare.as_ref().is_some_and(|s| s.is_failed(b));
+            if !newly_dead {
+                continue;
+            }
+            let target = new_spare.as_ref().map_or(b, |s| s.redirect(b));
+            let bytes = self.banks.evacuate_resident(b, target);
+            if bytes > 0 && target != b {
+                let lines = bytes.div_ceil(CACHE_LINE);
+                self.record(Event::Traffic {
+                    src: b,
+                    dst: target,
+                    payload_bytes: CACHE_LINE,
+                    class: TrafficKind::Data,
+                    count: lines,
+                });
+                self.flush_charges();
+                self.report.evacuated_lines += lines;
+                self.report.remapped_bytes += bytes;
+            }
+            if !self.remapped_seen[b as usize] {
+                self.remapped_seen[b as usize] = true;
+                self.report.remapped_banks += 1;
+            }
+            // In-flight offloads drain to the In-Core fallback: the tile
+            // core finishes what its dead SEL3 had queued.
+            self.core_ops += std::mem::take(&mut self.se_ops[b as usize]);
+        }
+        self.spare = new_spare;
+        self.healthy = self.spare.is_none();
+        self.active_faults = plan;
+    }
+
+    /// Place pending fault epochs on the run's own clock: the analytic cycle
+    /// estimate over the counters accumulated so far is "now". Guarded by
+    /// callers on `next_fault_event`, so fault-free runs never reach it.
+    #[cold]
+    fn advance_faults_by_progress(&mut self) {
+        self.flush_charges();
+        let now = self.current_breakdown().total();
+        self.advance_faults(now);
     }
 
     /// Attach an event recorder: every subsequent charge primitive emits its
@@ -361,6 +501,12 @@ impl SimEngine {
             Event::PhaseEnd => {
                 if let Some(s) = self.phase.end(&self.config) {
                     self.timeline.push(s);
+                }
+                // Phase boundaries are the natural epoch points of an
+                // analytic run; the guard keeps the fault-free fast path one
+                // predictable branch.
+                if self.next_fault_event < self.fault_schedule.len() {
+                    self.advance_faults_by_progress();
                 }
             }
             // DRAM accesses are charged by the DramModel at its call sites;
@@ -926,10 +1072,42 @@ impl SimEngine {
         self.finish_inner()
     }
 
+    /// The analytic cycle breakdown over the counters accumulated so far.
+    /// Callers flush pending coalesced charges first (capacity misses and
+    /// fault epochs write the traffic matrix directly, so both call sites
+    /// are exact). Slowed banks pay the *currently active* fault plan's
+    /// multiplier — identical to the static plan when no timeline is set.
+    fn current_breakdown(&self) -> CycleBreakdown {
+        let aggregate_issue =
+            u64::from(self.config.core_issue_width).max(1) * u64::from(self.config.num_banks());
+        // Busiest bank's service time, with slowed banks paying their fault
+        // multiplier per access. With no slowed banks this is exactly
+        // max_accesses / bank_accesses_per_cycle as before.
+        let weighted_bank_accesses = (0..self.config.num_banks())
+            .map(|b| self.banks.accesses_of(b) * self.active_faults.bank_slowdown(b))
+            .max()
+            .unwrap_or(0);
+        CycleBreakdown {
+            core_compute: self.core_ops / aggregate_issue,
+            se_compute: self.se_ops.iter().copied().max().unwrap_or(0),
+            bank_service: (weighted_bank_accesses as f64 / self.config.bank_accesses_per_cycle)
+                as u64,
+            link: self.traffic.bottleneck_link_flits(),
+            dram: self.dram.activity().service_cycles,
+            chain: self.serial_cycles,
+        }
+    }
+
     /// Shared body of [`finish`](Self::finish) and
     /// [`try_finish`](Self::try_finish); both produce byte-identical metrics.
     fn finish_inner(mut self) -> Metrics {
         self.flush_charges();
+        // Any fault events the phase boundaries did not reach fire now, at
+        // the final progress estimate — events scheduled beyond the run's
+        // end stay unfired (the machine outlived them).
+        if self.next_fault_event < self.fault_schedule.len() {
+            self.advance_faults_by_progress();
+        }
         // Capacity misses: each bank's accesses miss at the rate its resident
         // working set exceeds its capacity.
         let mut total_misses = 0u64;
@@ -950,24 +1128,7 @@ impl SimEngine {
         }
         total_misses += self.explicit_dram_lines;
 
-        let aggregate_issue =
-            u64::from(self.config.core_issue_width).max(1) * u64::from(self.config.num_banks());
-        // Busiest bank's service time, with slowed banks paying their fault
-        // multiplier per access. With no slowed banks this is exactly
-        // max_accesses / bank_accesses_per_cycle as before.
-        let weighted_bank_accesses = (0..self.config.num_banks())
-            .map(|b| self.banks.accesses_of(b) * self.config.faults.bank_slowdown(b))
-            .max()
-            .unwrap_or(0);
-        let breakdown = CycleBreakdown {
-            core_compute: self.core_ops / aggregate_issue,
-            se_compute: self.se_ops.iter().copied().max().unwrap_or(0),
-            bank_service: (weighted_bank_accesses as f64 / self.config.bank_accesses_per_cycle)
-                as u64,
-            link: self.traffic.bottleneck_link_flits(),
-            dram: self.dram.activity().service_cycles,
-            chain: self.serial_cycles,
-        };
+        let breakdown = self.current_breakdown();
         let cycles = breakdown.total().max(1);
 
         let mut report = self.report;
@@ -1008,6 +1169,7 @@ impl SimEngine {
             bank_imbalance: self.banks.access_imbalance(),
             occupancy: self.timeline,
             degradation: report,
+            transitions: self.transitions,
         }
     }
 
@@ -1382,6 +1544,101 @@ mod tests {
         e.register_resident(9, 1 << 18);
         e.bank_read_lines(9, 300);
         e.bank_write_lines(9, 100);
+    }
+
+    #[test]
+    fn mid_run_bank_death_migrates_residency_and_drains_offloads() {
+        use aff_sim_core::fault::FaultChange;
+        let timeline = FaultTimeline::none().at(1, FaultChange::BankFail(9));
+        let cfg = MachineConfig::paper_default().with_fault_timeline(timeline.clone());
+        let mut e = SimEngine::new(cfg);
+        // Phase 1: bank 9 is alive — residency and offload work land on it.
+        e.begin_phase();
+        e.register_resident(9, 1 << 18);
+        e.se_ops(9, 500);
+        e.bank_read_lines(9, 300);
+        e.end_phase(); // progress ≥ 1 cycle → the death epoch fires here
+        assert_eq!(e.fault_transitions(), timeline.events());
+        assert!(e.active_faults().failed_banks.contains(&9));
+        // Phase 2: work homed at 9 is served by its spare.
+        e.begin_phase();
+        e.register_resident(9, 1 << 10);
+        e.se_ops(9, 40); // In-Core fallback now
+        e.end_phase();
+        assert_eq!(e.banks().resident_of(9), 0, "dead bank holds nothing");
+        assert_eq!(
+            e.banks().total_resident(),
+            (1 << 18) + (1 << 10),
+            "evacuated + redirected bytes all survived the move"
+        );
+        let m = fin(e);
+        assert_eq!(m.degradation.fault_epochs, 1);
+        assert_eq!(
+            m.degradation.evacuated_lines,
+            (1 << 18) / aff_sim_core::config::CACHE_LINE,
+            "every resident line crossed the NoC once"
+        );
+        assert_eq!(m.transitions, timeline.events());
+        assert_eq!(
+            m.breakdown.se_compute, 0,
+            "queued offload work drained to the In-Core fallback at the death epoch"
+        );
+        assert!(
+            m.breakdown.core_compute > 0,
+            "the drained 500 SE ops (plus the post-death 40) retired on the cores"
+        );
+        // The migration flits are real Data-class traffic.
+        assert!(m.hop_flits_of(TrafficClass::Data) > 0);
+    }
+
+    #[test]
+    fn cycle_zero_death_matches_the_static_fault_plan() {
+        use aff_sim_core::fault::{FaultChange, FaultPlan};
+        let cfg_static = MachineConfig::paper_default()
+            .with_faults(FaultPlan::none().fail_bank(9));
+        let cfg_timeline = MachineConfig::paper_default()
+            .with_fault_timeline(FaultTimeline::none().at(0, FaultChange::BankFail(9)));
+        let run = |cfg: MachineConfig| {
+            let mut e = SimEngine::new(cfg);
+            busy_run(&mut e);
+            fin(e)
+        };
+        let (a, b) = (run(cfg_static), run(cfg_timeline));
+        // A bank dead "at birth" is indistinguishable from one that never
+        // existed — nothing was resident yet, so nothing migrates.
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.total_hop_flits, b.total_hop_flits);
+        assert_eq!(b.degradation.evacuated_lines, 0);
+        assert_eq!(b.degradation.fault_epochs, 1);
+        assert_eq!(b.degradation.remapped_banks, a.degradation.remapped_banks);
+    }
+
+    #[test]
+    fn events_scheduled_past_the_run_end_never_fire() {
+        use aff_sim_core::fault::FaultChange;
+        let cfg = MachineConfig::paper_default().with_fault_timeline(
+            FaultTimeline::none().at(u64::MAX, FaultChange::BankFail(9)),
+        );
+        let mut e = SimEngine::new(cfg);
+        busy_run(&mut e);
+        let m = fin(e);
+        assert!(m.transitions.is_empty(), "the machine outlived the event");
+        assert_eq!(m.degradation.fault_epochs, 0);
+    }
+
+    #[test]
+    fn empty_timeline_is_byte_identical_to_no_timeline() {
+        let mut a = engine();
+        busy_run(&mut a);
+        let cfg =
+            MachineConfig::paper_default().with_fault_timeline(FaultTimeline::none());
+        let mut b = SimEngine::new(cfg);
+        busy_run(&mut b);
+        let (ma, mb) = (fin(a), fin(b));
+        // Metrics carries floats and nested reports; the derived Debug repr
+        // covers every field, so equal strings mean byte-identical metrics.
+        assert_eq!(format!("{ma:?}"), format!("{mb:?}"));
     }
 
     #[test]

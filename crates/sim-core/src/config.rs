@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::RunBudget;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, FaultTimeline};
 
 /// Size of one cache line in bytes. Sub-line interleaving is unsupported by
 /// the paper (it would spread a line across banks), so this is the global
@@ -42,12 +42,13 @@ pub enum BankOrder {
 /// literal.
 ///
 /// Serde-default audit: every field added after the original Table 2 schema
-/// (`bank_order`, `allow_npot_interleave`, `faults`, `budget`) carries
-/// `#[serde(default)]`, and each of those defaults reproduces the
-/// paper-default value (`RowMajor`, `false`, no faults, unlimited budget) —
-/// so configs serialized before those knobs existed still load and mean the
-/// same machine. Core Table 2 fields are deliberately *not* defaulted:
-/// a config missing `mesh_x` is a bug, not an old file.
+/// (`bank_order`, `allow_npot_interleave`, `faults`, `budget`,
+/// `fault_timeline`) carries `#[serde(default)]`, and each of those defaults
+/// reproduces the paper-default value (`RowMajor`, `false`, no faults,
+/// unlimited budget, empty timeline) — so configs serialized before those
+/// knobs existed still load and mean the same machine. Core Table 2 fields
+/// are deliberately *not* defaulted: a config missing `mesh_x` is a bug, not
+/// an old file.
 ///
 /// # Example
 ///
@@ -129,6 +130,13 @@ pub struct MachineConfig {
     /// Serde-defaulted so configs written before budgets existed still load.
     #[serde(default)]
     pub budget: RunBudget,
+    /// Cycle-stamped schedule of fault arrivals and repairs that land while
+    /// the run is live ([`FaultTimeline::none`] for a machine whose fault
+    /// state never changes — the `faults` plan alone). Serde-defaulted (empty
+    /// timeline) so configs written before online faults existed still load
+    /// and mean the same machine.
+    #[serde(default)]
+    pub fault_timeline: FaultTimeline,
 }
 
 impl MachineConfig {
@@ -162,6 +170,7 @@ impl MachineConfig {
             allow_npot_interleave: false,
             faults: FaultPlan::none(),
             budget: RunBudget::unlimited(),
+            fault_timeline: FaultTimeline::none(),
         }
     }
 
@@ -183,6 +192,22 @@ impl MachineConfig {
             panic!("invalid fault plan for this machine: {e}");
         }
         self.faults = faults;
+        self
+    }
+
+    /// The same machine with a fault timeline installed. The timeline must
+    /// validate against this machine and its cycle-0 fault plan (install
+    /// `faults` first when combining both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheduled event references banks/links this machine does
+    /// not have, or if some prefix of the schedule kills every bank.
+    pub fn with_fault_timeline(mut self, timeline: FaultTimeline) -> Self {
+        if let Err(e) = timeline.validate(&self, &self.faults) {
+            panic!("invalid fault timeline for this machine: {e}");
+        }
+        self.fault_timeline = timeline;
         self
     }
 
@@ -441,6 +466,14 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Install a fault timeline. Validated against the machine (and the
+    /// cycle-0 fault plan) at [`build`](Self::build) time, after all other
+    /// knobs are set, so call order does not matter.
+    pub fn fault_timeline(mut self, timeline: FaultTimeline) -> Self {
+        self.cfg.fault_timeline = timeline;
+        self
+    }
+
     /// Finish building.
     ///
     /// # Panics
@@ -457,6 +490,9 @@ impl MachineConfigBuilder {
         );
         if let Err(e) = self.cfg.faults.validate(&self.cfg) {
             panic!("invalid fault plan for this machine: {e}");
+        }
+        if let Err(e) = self.cfg.fault_timeline.validate(&self.cfg, &self.cfg.faults) {
+            panic!("invalid fault timeline for this machine: {e}");
         }
         self.cfg
     }
@@ -545,6 +581,43 @@ mod tests {
     #[should_panic(expected = "invalid fault plan")]
     fn with_faults_rejects_out_of_range_banks() {
         let _ = MachineConfig::tiny_mesh().with_faults(FaultPlan::none().fail_bank(64));
+    }
+
+    #[test]
+    fn default_machine_has_an_empty_timeline() {
+        let m = MachineConfig::paper_default();
+        assert!(m.fault_timeline.is_empty());
+    }
+
+    #[test]
+    fn with_fault_timeline_installs_a_valid_schedule() {
+        use crate::fault::FaultChange;
+        let tl = FaultTimeline::none()
+            .at(100, FaultChange::BankFail(3))
+            .at(500, FaultChange::BankRepair(3));
+        let m = MachineConfig::small_mesh().with_fault_timeline(tl.clone());
+        assert_eq!(m.fault_timeline, tl);
+        // The cycle-0 plan is untouched: the machine starts healthy.
+        assert_eq!(m.num_healthy_banks(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault timeline")]
+    fn with_fault_timeline_rejects_out_of_range_events() {
+        use crate::fault::FaultChange;
+        let tl = FaultTimeline::none().at(10, FaultChange::BankFail(64));
+        let _ = MachineConfig::tiny_mesh().with_fault_timeline(tl);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault timeline")]
+    fn builder_rejects_timeline_killing_every_bank() {
+        use crate::fault::FaultChange;
+        let mut tl = FaultTimeline::none();
+        for b in 0..4 {
+            tl.push(10, FaultChange::BankFail(b));
+        }
+        let _ = MachineConfig::builder().mesh(2, 2).fault_timeline(tl).build();
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct RunBudget {
 /// Default watchdog patience (cycles of zero progress with flits in flight).
 pub const DEFAULT_STALL_PATIENCE: u64 = 10_000;
 
+/// How many trailing thread-local trace events a [`StallSnapshot`] carries.
+/// Enough to see the last few phases/packets leading into the wedge without
+/// bloating serialized error reports.
+pub const STALL_TRACE_TAIL: usize = 32;
+
 impl RunBudget {
     /// Unlimited budget: never trips, watchdog at default patience.
     pub fn unlimited() -> Self {
@@ -133,6 +138,12 @@ pub struct StallSnapshot {
     /// Links the active `FaultPlan` killed or degraded — prime suspects for
     /// detour-induced cyclic channel dependences (empty on a healthy mesh).
     pub blamed_links: Vec<LinkRef>,
+    /// Tail of the thread-local event trace at the moment the watchdog
+    /// fired (newest last, at most [`STALL_TRACE_TAIL`] entries) — what the
+    /// machine was doing right before it wedged, without needing a re-run.
+    /// Empty when no thread trace was installed.
+    #[serde(default)]
+    pub recent_events: Vec<String>,
 }
 
 impl StallSnapshot {
@@ -176,6 +187,17 @@ pub enum SimError {
     /// The run was asked to simulate something the machine cannot express
     /// (mismatched bindings, cyclic stream dependences, invalid plans).
     InvalidConfig(String),
+    /// The checkpoint journal could not be written (`ENOSPC`, `EIO`, a path
+    /// that is a directory, ...). Fatal for durability, not for results: the
+    /// sweep degrades to journal-less execution, records this in the report,
+    /// and keeps computing figures.
+    Journal {
+        /// Which journal operation failed (`create`, `resume`, `append`).
+        op: &'static str,
+        /// The underlying I/O error, stringified (`io::Error` is not
+        /// `Clone`, and the category tag is what policy dispatches on).
+        message: String,
+    },
 }
 
 impl SimError {
@@ -187,6 +209,15 @@ impl SimError {
             SimError::BudgetExhausted { .. } => "budget",
             SimError::Timeout { .. } => "timeout",
             SimError::InvalidConfig(_) => "invalid-config",
+            SimError::Journal { .. } => "journal",
+        }
+    }
+
+    /// Wrap a journal I/O failure (`create`, `resume`, `append`).
+    pub fn journal(op: &'static str, err: &std::io::Error) -> Self {
+        SimError::Journal {
+            op,
+            message: err.to_string(),
         }
     }
 }
@@ -211,6 +242,13 @@ impl std::fmt::Display for SimError {
                         write!(f, "({},{})->({},{})", l.fx, l.fy, l.tx, l.ty)?;
                     }
                 }
+                if !s.recent_events.is_empty() {
+                    write!(
+                        f,
+                        "; last {} trace events attached",
+                        s.recent_events.len()
+                    )?;
+                }
                 Ok(())
             }
             SimError::BudgetExhausted {
@@ -225,6 +263,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "timeout: cell exceeded {limit_ms} ms wall clock")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Journal { op, message } => write!(
+                f,
+                "journal {op} failed: {message}; continuing without checkpoints"
+            ),
         }
     }
 }
@@ -266,11 +308,24 @@ mod tests {
                 tx: 2,
                 ty: 0,
             }],
+            recent_events: vec!["#41 PhaseBegin".into(), "#42 CoreOps { count: 7 }".into()],
         };
         assert_eq!(snap.congested_routers().count(), 2);
         let msg = SimError::Stalled(Box::new(snap)).to_string();
         assert!(msg.contains("10000 cycles"), "{msg}");
         assert!(msg.contains("(1,0)->(2,0)"), "{msg}");
+        assert!(msg.contains("last 2 trace events"), "{msg}");
+    }
+
+    #[test]
+    fn journal_errors_are_typed_and_soft_worded() {
+        let io = std::io::Error::other("no space left on device");
+        let e = SimError::journal("append", &io);
+        assert_eq!(e.kind(), "journal");
+        let msg = e.to_string();
+        assert!(msg.contains("journal append failed"), "{msg}");
+        assert!(msg.contains("no space left"), "{msg}");
+        assert!(msg.contains("continuing without checkpoints"), "{msg}");
     }
 
     #[test]

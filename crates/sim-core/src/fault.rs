@@ -24,6 +24,7 @@
 //! floats: this keeps the plan `Eq`/`Hash`-able and byte-for-byte
 //! reproducible across platforms.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
@@ -371,6 +372,402 @@ impl FaultPlan {
     }
 }
 
+/// One scheduled change to the machine's fault state.
+///
+/// Repair variants clear *both* the hard and the degraded form of a fault
+/// (`BankRepair` revives a dead bank and clears any slowdown; `LinkRepair`
+/// revives a dead link and clears any degradation), so a timeline never has
+/// to know which form was active when the repair lands.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum FaultChange {
+    /// A bank's L3 slice dies; resident lines must evacuate to a spare.
+    BankFail(u32),
+    /// A dead or slowed bank returns to full-speed service.
+    BankRepair(u32),
+    /// A bank starts serving at `multiplier`× its normal latency (≥ 2).
+    BankSlow {
+        /// The slowed bank.
+        bank: u32,
+        /// Integer service-time multiplier.
+        multiplier: u32,
+    },
+    /// A directed link stops carrying traffic.
+    LinkFail(LinkRef),
+    /// A dead or degraded link returns to full-speed service.
+    LinkRepair(LinkRef),
+    /// A directed link starts charging `multiplier`× per flit crossing (≥ 2).
+    LinkDegrade {
+        /// The degraded link.
+        link: LinkRef,
+        /// Integer cost multiplier.
+        multiplier: u32,
+    },
+}
+
+impl FaultChange {
+    /// Stable lowercase tag for logs and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultChange::BankFail(_) => "bank-fail",
+            FaultChange::BankRepair(_) => "bank-repair",
+            FaultChange::BankSlow { .. } => "bank-slow",
+            FaultChange::LinkFail(_) => "link-fail",
+            FaultChange::LinkRepair(_) => "link-repair",
+            FaultChange::LinkDegrade { .. } => "link-degrade",
+        }
+    }
+
+    /// Whether applying this change can alter NoC route tables.
+    pub fn touches_links(&self) -> bool {
+        matches!(
+            self,
+            FaultChange::LinkFail(_)
+                | FaultChange::LinkRepair(_)
+                | FaultChange::LinkDegrade { .. }
+        )
+    }
+
+    /// Apply this change onto a cumulative plan. Idempotent: re-applying a
+    /// change the plan already reflects is a no-op.
+    pub fn apply_to(&self, plan: &mut FaultPlan) {
+        match *self {
+            FaultChange::BankFail(b) => {
+                plan.slowed_banks.remove(&b);
+                plan.failed_banks.insert(b);
+            }
+            FaultChange::BankRepair(b) => {
+                plan.failed_banks.remove(&b);
+                plan.slowed_banks.remove(&b);
+            }
+            FaultChange::BankSlow { bank, multiplier } => {
+                if multiplier >= 2 && !plan.failed_banks.contains(&bank) {
+                    plan.slowed_banks.insert(bank, multiplier);
+                }
+            }
+            FaultChange::LinkFail(l) => {
+                plan.degraded_links.remove(&l);
+                plan.failed_links.insert(l);
+            }
+            FaultChange::LinkRepair(l) => {
+                plan.failed_links.remove(&l);
+                plan.degraded_links.remove(&l);
+            }
+            FaultChange::LinkDegrade { link, multiplier } => {
+                if multiplier >= 2 && !plan.failed_links.contains(&link) {
+                    plan.degraded_links.insert(link, multiplier);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultChange {
+    /// Human/log rendering: `bank-fail(9)`, `bank-slow(9, x4)`,
+    /// `link-degrade((1,1)->(2,1), x4)` — the [`Self::label`] tag plus the
+    /// target, compact enough for transition logs and JSON sidecars.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let link = |f: &mut std::fmt::Formatter<'_>, l: &LinkRef| {
+            write!(f, "({},{})->({},{})", l.fx, l.fy, l.tx, l.ty)
+        };
+        write!(f, "{}(", self.label())?;
+        match self {
+            FaultChange::BankFail(b) | FaultChange::BankRepair(b) => write!(f, "{b}")?,
+            FaultChange::BankSlow { bank, multiplier } => write!(f, "{bank}, x{multiplier}")?,
+            FaultChange::LinkFail(l) | FaultChange::LinkRepair(l) => link(f, l)?,
+            FaultChange::LinkDegrade { link: l, multiplier } => {
+                link(f, l)?;
+                write!(f, ", x{multiplier}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A [`FaultChange`] stamped with the simulated cycle it takes effect.
+///
+/// Doubles as the *transition log* entry type: engines that apply a timeline
+/// record exactly which events they applied (and when), so a chaos harness
+/// can check the observed transitions against the schedule.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FaultEvent {
+    /// Simulated cycle at which the change takes effect.
+    pub cycle: u64,
+    /// The change itself.
+    pub change: FaultChange,
+}
+
+impl std::fmt::Display for FaultEvent {
+    /// `bank-fail(9)@100` — the change plus when it landed.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.change, self.cycle)
+    }
+}
+
+/// A cycle-stamped schedule of [`FaultEvent`]s — the online generalization of
+/// the static [`FaultPlan`].
+///
+/// The plan describes the machine's state *at cycle 0*; the timeline describes
+/// how that state evolves while traffic is live. Events are kept sorted by
+/// cycle (stable for equal cycles, so same-cycle events apply in insertion
+/// order). The empty timeline upholds the same invariant an empty plan does:
+/// every consumer takes its original code path, byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// The empty timeline: nothing ever changes mid-run.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no event is scheduled (the guaranteed-original-path state).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scheduled events, sorted by cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Builder: schedule `change` at `cycle`. Keeps the schedule sorted;
+    /// events at the same cycle apply in the order they were added.
+    pub fn at(mut self, cycle: u64, change: FaultChange) -> Self {
+        self.push(cycle, change);
+        self
+    }
+
+    /// In-place form of [`at`](Self::at).
+    pub fn push(&mut self, cycle: u64, change: FaultChange) {
+        let idx = self.events.partition_point(|e| e.cycle <= cycle);
+        self.events.insert(idx, FaultEvent { cycle, change });
+    }
+
+    /// The distinct cycles at which the fault state changes (ascending).
+    pub fn epoch_cycles(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.events.iter().map(|e| e.cycle).collect();
+        out.dedup();
+        out
+    }
+
+    /// The cumulative fault state at `cycle`: `base` with every event stamped
+    /// `<= cycle` applied in order.
+    pub fn plan_at(&self, base: &FaultPlan, cycle: u64) -> FaultPlan {
+        let mut plan = base.clone();
+        for e in self.events.iter().take_while(|e| e.cycle <= cycle) {
+            e.change.apply_to(&mut plan);
+        }
+        plan
+    }
+
+    /// The fault state after every scheduled event has landed.
+    pub fn final_plan(&self, base: &FaultPlan) -> FaultPlan {
+        self.plan_at(base, u64::MAX)
+    }
+
+    /// Check the timeline against a machine and its cycle-0 plan: every
+    /// event's target must be in range (links adjacent and inside the mesh,
+    /// multipliers ≥ 2), and no prefix of the schedule may leave the machine
+    /// without a healthy bank.
+    pub fn validate(
+        &self,
+        cfg: &MachineConfig,
+        base: &FaultPlan,
+    ) -> Result<(), FaultPlanError> {
+        let banks = cfg.num_banks();
+        let link_ok = |l: &LinkRef| {
+            l.fx < cfg.mesh_x
+                && l.tx < cfg.mesh_x
+                && l.fy < cfg.mesh_y
+                && l.ty < cfg.mesh_y
+                && LinkRef::between(l.fx, l.fy, l.tx, l.ty).is_some()
+        };
+        let mut plan = base.clone();
+        for e in &self.events {
+            match e.change {
+                FaultChange::BankFail(b) | FaultChange::BankRepair(b) => {
+                    if b >= banks {
+                        return Err(FaultPlanError::BankOutOfRange(b));
+                    }
+                }
+                FaultChange::BankSlow { bank, multiplier } => {
+                    if bank >= banks {
+                        return Err(FaultPlanError::BankOutOfRange(bank));
+                    }
+                    if multiplier < 2 {
+                        return Err(FaultPlanError::BadMultiplier(multiplier));
+                    }
+                }
+                FaultChange::LinkFail(l) | FaultChange::LinkRepair(l) => {
+                    if !link_ok(&l) {
+                        return Err(FaultPlanError::BadLink(l));
+                    }
+                }
+                FaultChange::LinkDegrade { link, multiplier } => {
+                    if !link_ok(&link) {
+                        return Err(FaultPlanError::BadLink(link));
+                    }
+                    if multiplier < 2 {
+                        return Err(FaultPlanError::BadMultiplier(multiplier));
+                    }
+                }
+            }
+            e.change.apply_to(&mut plan);
+            if plan.failed_banks.len() >= banks as usize {
+                return Err(FaultPlanError::NoHealthyBank);
+            }
+        }
+        Ok(())
+    }
+
+    /// The timeline restricted to events this machine can actually express:
+    /// out-of-range banks, out-of-mesh links, and bad multipliers are
+    /// dropped, as is any `BankFail` that would leave a prefix of the
+    /// schedule with no healthy bank. Chaos timelines are sampled against
+    /// one reference machine but installed thread-wide, so an engine built
+    /// for a smaller mesh sanitizes rather than indexing out of bounds.
+    pub fn sanitized_for(&self, cfg: &MachineConfig, base: &FaultPlan) -> FaultTimeline {
+        let banks = cfg.num_banks();
+        let link_ok = |l: &LinkRef| {
+            l.fx < cfg.mesh_x
+                && l.tx < cfg.mesh_x
+                && l.fy < cfg.mesh_y
+                && l.ty < cfg.mesh_y
+                && LinkRef::between(l.fx, l.fy, l.tx, l.ty).is_some()
+        };
+        let mut out = FaultTimeline::none();
+        let mut plan = base.clone();
+        for e in &self.events {
+            let keep = match e.change {
+                FaultChange::BankFail(b) => {
+                    b < banks && {
+                        let mut probe = plan.clone();
+                        e.change.apply_to(&mut probe);
+                        probe.failed_banks.len() < banks as usize
+                    }
+                }
+                FaultChange::BankRepair(b) => b < banks,
+                FaultChange::BankSlow { bank, multiplier } => bank < banks && multiplier >= 2,
+                FaultChange::LinkFail(l) | FaultChange::LinkRepair(l) => link_ok(&l),
+                FaultChange::LinkDegrade { link, multiplier } => {
+                    link_ok(&link) && multiplier >= 2
+                }
+            };
+            if keep {
+                e.change.apply_to(&mut plan);
+                out.push(e.cycle, e.change);
+            }
+        }
+        debug_assert!(out.validate(cfg, base).is_ok());
+        out
+    }
+
+    /// Draw a chaos timeline from an already-split generator. Deterministic:
+    /// equal generator states over equal `(cfg, intensity)` give byte-equal
+    /// timelines, and the result always validates against `cfg` with an empty
+    /// cycle-0 plan (at least one bank stays healthy at every prefix; roughly
+    /// half of the injected faults get a matching repair scheduled later).
+    pub fn chaos(rng: &mut SimRng, cfg: &MachineConfig, intensity: u32) -> Self {
+        const HORIZON: u64 = 1 << 20;
+        let banks = cfg.num_banks();
+        let mut links: Vec<LinkRef> = Vec::new();
+        for y in 0..cfg.mesh_y {
+            for x in 0..cfg.mesh_x {
+                if x + 1 < cfg.mesh_x {
+                    links.push(LinkRef { fx: x, fy: y, tx: x + 1, ty: y });
+                    links.push(LinkRef { fx: x + 1, fy: y, tx: x, ty: y });
+                }
+                if y + 1 < cfg.mesh_y {
+                    links.push(LinkRef { fx: x, fy: y, tx: x, ty: y + 1 });
+                    links.push(LinkRef { fx: x, fy: y + 1, tx: x, ty: y });
+                }
+            }
+        }
+        let mut tl = FaultTimeline::none();
+        let mut running = FaultPlan::none();
+        for _ in 0..intensity {
+            let cycle = 1 + rng.below(HORIZON);
+            let change = match rng.below(4) {
+                0 if (running.failed_banks.len() as u32) + 2 < banks => {
+                    FaultChange::BankFail(rng.below(u64::from(banks)) as u32)
+                }
+                0 | 1 => FaultChange::BankSlow {
+                    bank: rng.below(u64::from(banks)) as u32,
+                    multiplier: 2 + rng.below(6) as u32,
+                },
+                2 => FaultChange::LinkFail(links[rng.index(links.len())]),
+                _ => FaultChange::LinkDegrade {
+                    link: links[rng.index(links.len())],
+                    multiplier: 2 + rng.below(6) as u32,
+                },
+            };
+            change.apply_to(&mut running);
+            tl.push(cycle, change);
+            if rng.chance(0.5) {
+                let repair_at = cycle + 1 + rng.below(HORIZON);
+                let repair = match change {
+                    FaultChange::BankFail(b)
+                    | FaultChange::BankRepair(b)
+                    | FaultChange::BankSlow { bank: b, .. } => FaultChange::BankRepair(b),
+                    FaultChange::LinkFail(l)
+                    | FaultChange::LinkRepair(l)
+                    | FaultChange::LinkDegrade { link: l, .. } => FaultChange::LinkRepair(l),
+                };
+                // The running prefix tracker only needs fault arrivals; a
+                // repair can never invalidate a prefix.
+                tl.push(repair_at, repair);
+            }
+        }
+        debug_assert!(tl.validate(cfg, &FaultPlan::none()).is_ok());
+        tl
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local chaos context: how the sweep harness reaches engines
+// constructed deep inside workload executors without threading a timeline
+// through every call signature (the same pattern as
+// `trace::install_thread_trace`). Installing a timeline makes every
+// fault-timeline-aware engine created *on this thread* adopt it, unless its
+// config already carries an explicit timeline.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static THREAD_CHAOS: RefCell<Option<FaultTimeline>> = const { RefCell::new(None) };
+}
+
+/// Install a thread-local chaos timeline. Engines constructed on this thread
+/// after this call adopt it (config-carried timelines win).
+pub fn install_thread_chaos(timeline: FaultTimeline) {
+    THREAD_CHAOS.with(|t| *t.borrow_mut() = Some(timeline));
+}
+
+/// Whether a thread-local chaos timeline is installed.
+pub fn thread_chaos_installed() -> bool {
+    THREAD_CHAOS.with(|t| t.borrow().is_some())
+}
+
+/// A clone of the installed thread-local chaos timeline, if any.
+pub fn thread_chaos_timeline() -> Option<FaultTimeline> {
+    THREAD_CHAOS.with(|t| t.borrow().clone())
+}
+
+/// Remove and return the thread-local chaos timeline.
+pub fn take_thread_chaos() -> Option<FaultTimeline> {
+    THREAD_CHAOS.with(|t| t.borrow_mut().take())
+}
+
 /// How much the machine degraded under a [`FaultPlan`] — integer counters
 /// only, so reports are `Eq` and reproducible. A fault-free run reports all
 /// zeros.
@@ -403,6 +800,14 @@ pub struct DegradationReport {
     /// Affine allocations that fell back down the degradation chain
     /// (derived interleave → coarser interleave → baseline heap).
     pub fallback_allocations: u64,
+    /// Timeline events applied while the run was live (0 without a
+    /// [`FaultTimeline`]).
+    #[serde(default)]
+    pub fault_epochs: u64,
+    /// Cache lines evacuated through the NoC when a dying bank's residency
+    /// moved to its spare.
+    #[serde(default)]
+    pub evacuated_lines: u64,
 }
 
 impl DegradationReport {
@@ -424,6 +829,8 @@ impl DegradationReport {
         self.rerouted_migrations += other.rerouted_migrations;
         self.excluded_banks += other.excluded_banks;
         self.fallback_allocations += other.fallback_allocations;
+        self.fault_epochs += other.fault_epochs;
+        self.evacuated_lines += other.evacuated_lines;
     }
 }
 
@@ -538,6 +945,149 @@ mod tests {
         let plan = FaultPlan::seeded(9, &cfg, FaultSpec::default());
         assert!(plan.is_empty());
         assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn timeline_orders_events_and_accumulates_plans() {
+        let l = LinkRef::between(0, 0, 1, 0).unwrap();
+        let tl = FaultTimeline::none()
+            .at(500, FaultChange::LinkFail(l))
+            .at(100, FaultChange::BankFail(3))
+            .at(900, FaultChange::BankRepair(3))
+            .at(100, FaultChange::BankSlow { bank: 5, multiplier: 4 });
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl.epoch_cycles(), vec![100, 500, 900]);
+        let base = FaultPlan::none();
+        assert!(tl.plan_at(&base, 0).is_empty());
+        let mid = tl.plan_at(&base, 100);
+        assert!(mid.failed_banks.contains(&3));
+        assert_eq!(mid.bank_slowdown(5), 4);
+        assert!(!mid.has_link_faults());
+        let late = tl.plan_at(&base, 500);
+        assert!(late.failed_links.contains(&l));
+        let end = tl.final_plan(&base);
+        assert!(!end.failed_banks.contains(&3), "repair revives the bank");
+        assert!(end.failed_links.contains(&l));
+    }
+
+    #[test]
+    fn empty_timeline_changes_nothing() {
+        let tl = FaultTimeline::none();
+        assert!(tl.is_empty());
+        let base = FaultPlan::none().fail_bank(2);
+        assert_eq!(tl.plan_at(&base, u64::MAX), base);
+        assert!(tl
+            .validate(&MachineConfig::paper_default(), &base)
+            .is_ok());
+    }
+
+    #[test]
+    fn repair_clears_both_fault_forms() {
+        let mut p = FaultPlan::none();
+        FaultChange::BankSlow { bank: 1, multiplier: 3 }.apply_to(&mut p);
+        FaultChange::BankFail(1).apply_to(&mut p);
+        assert!(p.failed_banks.contains(&1));
+        assert!(!p.slowed_banks.contains_key(&1));
+        FaultChange::BankRepair(1).apply_to(&mut p);
+        assert!(p.is_empty());
+        let l = LinkRef::between(1, 0, 1, 1).unwrap();
+        FaultChange::LinkDegrade { link: l, multiplier: 2 }.apply_to(&mut p);
+        FaultChange::LinkRepair(l).apply_to(&mut p);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn timeline_validate_rejects_bad_events() {
+        let cfg = MachineConfig::small_mesh(); // 4x4
+        let tl = FaultTimeline::none().at(10, FaultChange::BankFail(99));
+        assert_eq!(
+            tl.validate(&cfg, &FaultPlan::none()),
+            Err(FaultPlanError::BankOutOfRange(99))
+        );
+        let tl = FaultTimeline::none()
+            .at(10, FaultChange::BankSlow { bank: 0, multiplier: 1 });
+        assert_eq!(
+            tl.validate(&cfg, &FaultPlan::none()),
+            Err(FaultPlanError::BadMultiplier(1))
+        );
+        let bad = LinkRef { fx: 3, fy: 3, tx: 4, ty: 3 };
+        let tl = FaultTimeline::none().at(10, FaultChange::LinkFail(bad));
+        assert_eq!(
+            tl.validate(&cfg, &FaultPlan::none()),
+            Err(FaultPlanError::BadLink(bad))
+        );
+        // A prefix that kills every bank is rejected even if later repairs
+        // would revive some.
+        let mut tl = FaultTimeline::none();
+        for b in 0..16 {
+            tl.push(10, FaultChange::BankFail(b));
+        }
+        tl.push(20, FaultChange::BankRepair(0));
+        assert_eq!(
+            tl.validate(&cfg, &FaultPlan::none()),
+            Err(FaultPlanError::NoHealthyBank)
+        );
+    }
+
+    #[test]
+    fn chaos_timelines_are_deterministic_and_valid() {
+        let cfg = MachineConfig::paper_default();
+        for stream in 0..8u64 {
+            let mut a = SimRng::split(7, stream);
+            let mut b = SimRng::split(7, stream);
+            let ta = FaultTimeline::chaos(&mut a, &cfg, 6);
+            let tb = FaultTimeline::chaos(&mut b, &cfg, 6);
+            assert_eq!(ta, tb);
+            assert!(ta.validate(&cfg, &FaultPlan::none()).is_ok());
+            assert!(!ta.is_empty());
+        }
+        let mut z = SimRng::split(7, 0);
+        assert!(FaultTimeline::chaos(&mut z, &cfg, 0).is_empty());
+    }
+
+    #[test]
+    fn thread_chaos_roundtrip() {
+        assert!(!thread_chaos_installed());
+        assert!(take_thread_chaos().is_none());
+        let tl = FaultTimeline::none().at(5, FaultChange::BankFail(1));
+        install_thread_chaos(tl.clone());
+        assert!(thread_chaos_installed());
+        assert_eq!(thread_chaos_timeline(), Some(tl.clone()));
+        assert_eq!(take_thread_chaos(), Some(tl));
+        assert!(!thread_chaos_installed());
+    }
+
+    #[test]
+    fn fault_events_render_compactly() {
+        let l = LinkRef::between(1, 1, 2, 1).expect("adjacent");
+        let cases = [
+            (FaultChange::BankFail(9), "bank-fail(9)"),
+            (FaultChange::BankRepair(9), "bank-repair(9)"),
+            (
+                FaultChange::BankSlow {
+                    bank: 9,
+                    multiplier: 4,
+                },
+                "bank-slow(9, x4)",
+            ),
+            (FaultChange::LinkFail(l), "link-fail((1,1)->(2,1))"),
+            (FaultChange::LinkRepair(l), "link-repair((1,1)->(2,1))"),
+            (
+                FaultChange::LinkDegrade {
+                    link: l,
+                    multiplier: 4,
+                },
+                "link-degrade((1,1)->(2,1), x4)",
+            ),
+        ];
+        for (change, want) in cases {
+            assert_eq!(change.to_string(), want);
+        }
+        let ev = FaultEvent {
+            cycle: 100,
+            change: FaultChange::BankFail(9),
+        };
+        assert_eq!(ev.to_string(), "bank-fail(9)@100");
     }
 
     #[test]

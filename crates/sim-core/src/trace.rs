@@ -528,6 +528,28 @@ pub fn take_thread_trace() -> Option<TraceRecorder> {
     THREAD_TRACE.with(|t| t.borrow_mut().take())
 }
 
+/// Format the last `n` events of the thread-local capture (oldest first)
+/// **without** consuming it — the capture stays installed and keeps
+/// recording. This is the diagnostic feed for
+/// [`StallSnapshot::recent_events`](crate::error::StallSnapshot): when the
+/// progress watchdog fires, the snapshot carries what the machine was doing
+/// right before it wedged. Returns an empty vector when no capture is
+/// installed (tracing stays strictly opt-in).
+pub fn thread_trace_tail(n: usize) -> Vec<String> {
+    THREAD_TRACE.with(|t| {
+        t.borrow()
+            .as_ref()
+            .map(|rec| {
+                let skip = rec.len().saturating_sub(n);
+                rec.events()
+                    .skip(skip)
+                    .map(|te| format!("#{} {:?}", te.seq, te.event))
+                    .collect()
+            })
+            .unwrap_or_default()
+    })
+}
+
 /// A [`Recorder`] forwarding into the thread-local capture, if one is
 /// installed at record time.
 #[derive(Debug, Default, Clone, Copy)]
@@ -628,6 +650,27 @@ mod tests {
         assert!(!thread_trace_installed());
         // Forwarding with no capture installed is a silent no-op.
         fwd.record(&ev(8));
+    }
+
+    #[test]
+    fn trace_tail_is_nondestructive_and_newest_last() {
+        assert!(thread_trace_tail(8).is_empty(), "no capture installed");
+        install_thread_trace(4);
+        let mut fwd = ThreadTraceRecorder;
+        for i in 0..10 {
+            fwd.record(&ev(i));
+        }
+        let tail = thread_trace_tail(2);
+        assert_eq!(tail.len(), 2);
+        assert!(tail[0].starts_with("#8 "), "{tail:?}");
+        assert!(tail[1].starts_with("#9 "), "{tail:?}");
+        assert!(tail[1].contains("CoreOps"), "{tail:?}");
+        // The capture is still installed and still recording.
+        assert!(thread_trace_installed());
+        fwd.record(&ev(10));
+        assert!(thread_trace_tail(1)[0].starts_with("#10 "));
+        let cap = take_thread_trace().expect("still installed");
+        assert_eq!(cap.total_seen(), 11);
     }
 
     #[test]
