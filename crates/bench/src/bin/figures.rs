@@ -33,17 +33,20 @@
 //!   budget, stall watchdog, or `--cell-timeout-ms`); takes precedence
 //!   over 3 when both classes occur.
 
-use aff_bench::figures::{plan_figure, traced_fig13_cell, HarnessOpts, ALL_FIGURES};
+use aff_bench::figures::{plan_figure, traced_fig13_cell, GeometrySpec, HarnessOpts, ALL_FIGURES};
 use aff_bench::journal::fnv1a;
 use aff_bench::sweep::{run_plans_opts, RunOpts};
 
 fn usage() {
     eprintln!(
-        "usage: figures [--full] [--seed N] [--jobs N] [--json] [--sweep-json PATH|none] \
-         [--journal PATH|none] [--resume] [--cell-timeout-ms N] [--max-retries N] \
-         [--metrics] [--trace PATH] [--chaos SEED] [--chaos-intensity N] (all | figN...)"
+        "usage: figures [--full] [--seed N] [--geometry WxH[:torus|:cmesh]] [--jobs N] [--json] \
+         [--sweep-json PATH|none] [--journal PATH|none] [--resume] [--cell-timeout-ms N] \
+         [--max-retries N] [--metrics] [--trace PATH] [--chaos SEED] [--chaos-intensity N] \
+         (all | figN...)"
     );
     eprintln!("known figures: {ALL_FIGURES:?}");
+    eprintln!("  --geometry SPEC   machine geometry, e.g. 16x16, 32x32, 8x8:torus, 8x8:cmesh");
+    eprintln!("                    (default 8x8 — the paper's mesh; output stays byte-identical)");
     eprintln!("  --metrics      record per-cell simulation metrics in the sweep report");
     eprintln!("  --trace PATH   additionally run one traced fig13 cell and write a");
     eprintln!("                 chrome://tracing-loadable JSON trace to PATH");
@@ -86,6 +89,17 @@ fn main() {
                 Some(Ok(v)) => opts.seed = v,
                 _ => {
                     eprintln!("--seed needs an integer value");
+                    std::process::exit(2);
+                }
+            },
+            "--geometry" => match args.next().as_deref().map(GeometrySpec::parse) {
+                Some(Ok(g)) => opts.geometry = g,
+                Some(Err(e)) => {
+                    eprintln!("--geometry: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--geometry needs a WxH[:torus|:cmesh] spec");
                     std::process::exit(2);
                 }
             },
@@ -171,6 +185,12 @@ fn main() {
         context_bytes.push(b'\n');
     }
     context_bytes.push(u8::from(opts.full));
+    // A non-default geometry changes every cell's machine; feed it into the
+    // experiment identity. Appending nothing for the default keeps existing
+    // 8×8 journals replayable.
+    if !opts.geometry.is_default() {
+        context_bytes.extend_from_slice(opts.geometry.label().as_bytes());
+    }
     // Chaos runs journal different bits for the same cells, so the chaos
     // seed and intensity are part of the experiment identity too.
     if let Some(c) = chaos {
@@ -196,7 +216,14 @@ fn main() {
         chaos,
         chaos_intensity,
     };
-    let (figures, report) = run_plans_opts(plans, &run_opts);
+    let (mut figures, report) = run_plans_opts(plans, &run_opts);
+    if !opts.geometry.is_default() {
+        // Label off-default geometries in every figure; the default adds
+        // nothing so 8×8 output bytes are untouched.
+        for fig in &mut figures {
+            fig.note(format!("geometry = {}", opts.geometry.label()));
+        }
+    }
     for fig in &figures {
         if json {
             println!("{}", fig.to_json());

@@ -1,7 +1,10 @@
 //! Hot-path microbenchmark: times the per-message accounting layers in
 //! isolation — dense route table, heap translation, engine charge
 //! coalescing — each against the hash-map/write-through baseline it
-//! replaced, and writes `BENCH_hotpath.json` (schema `aff-bench/hotpath-v1`).
+//! replaced, and writes `BENCH_hotpath.json` (schema `aff-bench/hotpath-v2`).
+//! The route layer runs at 8×8 (dense CSR) *and* 16×16 (on-demand rows),
+//! and a `route_memory` section records the resident route-store bytes at
+//! 1024 banks against the dense `n²` entry-array curve.
 //!
 //! ```text
 //! cargo run --release -p aff-bench --bin hotpath -- [--ops N] [--out PATH]
@@ -50,11 +53,11 @@ fn pair_stream(ops: usize, banks: u32, max_run: u64) -> Vec<(u32, u32)> {
     pairs
 }
 
-/// Layer 1: `TrafficMatrix::record_n` through the dense CSR route table
-/// versus the old shape — a `HashMap<(src, dst), Vec<link>>` cache probed
-/// per message.
-fn bench_route_table(ops: u64) -> Layer {
-    let topo = Topology::new(8, 8);
+/// Layer 1: `TrafficMatrix::record_n` through the route store (dense CSR at
+/// 8×8, bounded on-demand rows at 16×16) versus the old shape — a
+/// `HashMap<(src, dst), Vec<link>>` cache probed per message.
+fn bench_route_table(ops: u64, name: &'static str, mesh: u32) -> Layer {
+    let topo = Topology::new(mesh, mesh);
     let pairs = pair_stream(ops as usize, topo.num_banks(), 4);
     let cfg = MachineConfig::paper_default();
 
@@ -86,11 +89,39 @@ fn bench_route_table(ops: u64) -> Layer {
     assert_eq!(fast_sum, base_sum, "route layers must account identically");
 
     Layer {
-        name: "route_table",
+        name,
         ops,
         fast_mops: mops(ops, fast),
         base_mops: mops(ops, base),
         checksum: fast_sum,
+    }
+}
+
+/// Route-store memory at scale: resident bytes after a realistic message
+/// stream on a 32×32 mesh (1024 banks), against what the dense CSR entry
+/// array alone would cost at that size. The on-demand store keeps a bounded
+/// row arena, so its footprint must stay far below the dense `n²` curve.
+struct RouteMemory {
+    banks: u32,
+    on_demand_bytes: usize,
+    dense_entry_bytes: usize,
+}
+
+fn measure_route_memory(ops: u64) -> RouteMemory {
+    let topo = Topology::new(32, 32);
+    let n = topo.num_banks();
+    let cfg = MachineConfig::paper_default();
+    let pairs = pair_stream((ops as usize).min(1 << 20), n, 4);
+    let mut m = TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes);
+    for &(s, d) in &pairs {
+        m.record_n(s, d, 64, TrafficClass::Data, 1);
+    }
+    RouteMemory {
+        banks: n,
+        on_demand_bytes: m.route_table_bytes(),
+        // The dense store's entry array is n² × 8 B (two u32s per pair)
+        // before counting its link arena — the curve on-demand rows avoid.
+        dense_entry_bytes: n as usize * n as usize * 8,
     }
 }
 
@@ -176,8 +207,8 @@ fn bench_coalescing(ops: u64) -> Layer {
     }
 }
 
-fn render_json(layers: &[Layer]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"aff-bench/hotpath-v1\",\n  \"layers\": [\n");
+fn render_json(layers: &[Layer], mem: &RouteMemory) -> String {
+    let mut out = String::from("{\n  \"schema\": \"aff-bench/hotpath-v2\",\n  \"layers\": [\n");
     for (i, l) in layers.iter().enumerate() {
         let speedup = l.fast_mops / l.base_mops.max(1e-12);
         out.push_str(&format!(
@@ -192,7 +223,14 @@ fn render_json(layers: &[Layer]) -> String {
             if i + 1 < layers.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&format!(
+        "  ],\n  \"route_memory\": {{\"banks\": {}, \"on_demand_bytes\": {}, \
+         \"dense_entry_bytes\": {}, \"dense_over_on_demand\": {:.2}}}\n}}\n",
+        mem.banks,
+        mem.on_demand_bytes,
+        mem.dense_entry_bytes,
+        mem.dense_entry_bytes as f64 / mem.on_demand_bytes.max(1) as f64,
+    ));
     out
 }
 
@@ -227,20 +265,29 @@ fn main() {
     }
 
     let layers = [
-        bench_route_table(ops),
+        bench_route_table(ops, "route_table", 8),
+        bench_route_table(ops, "route_table_16x16", 16),
         bench_translation(ops),
         bench_coalescing(ops),
     ];
     for l in &layers {
         println!(
-            "{:<12} {:>7.1} Mops/s vs baseline {:>7.1} Mops/s  ({:.2}x)",
+            "{:<18} {:>7.1} Mops/s vs baseline {:>7.1} Mops/s  ({:.2}x)",
             l.name,
             l.fast_mops,
             l.base_mops,
             l.fast_mops / l.base_mops.max(1e-12)
         );
     }
-    let json = render_json(&layers);
+    let mem = measure_route_memory(ops);
+    println!(
+        "route_memory @ {} banks: {} B resident vs {} B dense entries ({:.1}x smaller)",
+        mem.banks,
+        mem.on_demand_bytes,
+        mem.dense_entry_bytes,
+        mem.dense_entry_bytes as f64 / mem.on_demand_bytes.max(1) as f64
+    );
+    let json = render_json(&layers, &mem);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(3);

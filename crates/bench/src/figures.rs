@@ -20,7 +20,7 @@
 
 use crate::report::{Figure, Row};
 use crate::sweep::{run_plans, CellData, PlanBuilder, SweepPlan};
-use aff_sim_core::config::MachineConfig;
+use aff_sim_core::config::{MachineConfig, TopologyKind};
 use aff_sim_core::stats::geomean;
 use aff_workloads::affine::{run_stencil, run_vecadd_forced_delta, Stencil};
 use aff_workloads::config::{RunConfig, SystemConfig};
@@ -28,6 +28,80 @@ use aff_workloads::gen;
 use aff_workloads::graphs::{pick_source, Direction, DirectionPolicy, GraphInstance, GraphRun};
 use aff_workloads::suite::{self, WorkloadName};
 use affinity_alloc::BankSelectPolicy;
+
+/// One point on the `figures --geometry` sweep axis: mesh dimensions plus
+/// topology kind. The default is the paper's 8×8 mesh, under which every
+/// figure stays byte-identical to a harness without the axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometrySpec {
+    /// Tile-grid width.
+    pub x: u32,
+    /// Tile-grid height.
+    pub y: u32,
+    /// Interconnect family laid over the grid.
+    pub kind: TopologyKind,
+}
+
+impl Default for GeometrySpec {
+    fn default() -> Self {
+        Self {
+            x: 8,
+            y: 8,
+            kind: TopologyKind::Mesh,
+        }
+    }
+}
+
+impl GeometrySpec {
+    /// Parse a `WxH[:torus|:cmesh]` spec (e.g. `16x16`, `8x8:torus`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed specs, zero dimensions, unknown topology kinds, and
+    /// odd-dimension concentrated meshes.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (dims, kind) = match s.split_once(':') {
+            None => (s, TopologyKind::Mesh),
+            Some((d, "torus")) => (d, TopologyKind::Torus),
+            Some((d, "cmesh")) => (d, TopologyKind::CMesh),
+            Some((_, k)) => return Err(format!("unknown topology kind {k:?} (torus|cmesh)")),
+        };
+        let (xs, ys) = dims
+            .split_once('x')
+            .ok_or_else(|| format!("geometry {s:?} is not WxH[:torus|:cmesh]"))?;
+        let parse_dim = |v: &str| {
+            v.parse::<u32>()
+                .ok()
+                .filter(|&d| d > 0)
+                .ok_or_else(|| format!("geometry {s:?} needs positive integer dimensions"))
+        };
+        let (x, y) = (parse_dim(xs)?, parse_dim(ys)?);
+        if kind == TopologyKind::CMesh && (x % 2 != 0 || y % 2 != 0) {
+            return Err(format!("concentrated mesh needs even dimensions, got {x}x{y}"));
+        }
+        Ok(Self { x, y, kind })
+    }
+
+    /// The canonical spec string (`16x16`, `8x8:torus`, ...).
+    pub fn label(&self) -> String {
+        match self.kind {
+            TopologyKind::Mesh => format!("{}x{}", self.x, self.y),
+            k => format!("{}x{}:{}", self.x, self.y, k.label()),
+        }
+    }
+
+    /// Whether this is the paper's default 8×8 mesh.
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Apply the geometry to a machine config.
+    pub fn apply(&self, m: &mut MachineConfig) {
+        m.mesh_x = self.x;
+        m.mesh_y = self.y;
+        m.topology = self.kind;
+    }
+}
 
 /// Harness-wide options.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +111,8 @@ pub struct HarnessOpts {
     /// Use full Table 3 input sizes (slower) instead of the harness
     /// defaults.
     pub full: bool,
+    /// Machine geometry to run every figure on (`--geometry`).
+    pub geometry: GeometrySpec,
 }
 
 impl Default for HarnessOpts {
@@ -44,6 +120,7 @@ impl Default for HarnessOpts {
         Self {
             seed: 2023,
             full: false,
+            geometry: GeometrySpec::default(),
         }
     }
 }
@@ -57,10 +134,21 @@ impl HarnessOpts {
         }
     }
 
+    /// The machine every cell simulates: the paper default with the
+    /// `--geometry` axis applied. Value-identical to
+    /// [`MachineConfig::paper_default`] at the default 8×8 mesh, which keeps
+    /// default-geometry figures byte-identical.
+    pub fn machine(&self) -> MachineConfig {
+        let mut m = MachineConfig::paper_default();
+        self.geometry.apply(&mut m);
+        m
+    }
+
     fn cfg(&self, system: SystemConfig) -> RunConfig {
         RunConfig::new(system)
             .with_seed(self.seed)
             .with_scale(self.graph_scale())
+            .with_machine(self.machine())
     }
 }
 
@@ -82,7 +170,9 @@ pub fn fig4_plan(opts: HarnessOpts) -> SweepPlan {
     let _ = opts.full;
     let mut b = PlanBuilder::new("fig4");
     let incore = b.cell("In-Core", move |_| {
-        let cfg = RunConfig::new(SystemConfig::InCore).with_seed(opts.seed);
+        let cfg = RunConfig::new(SystemConfig::InCore)
+            .with_seed(opts.seed)
+            .with_machine(opts.machine());
         run_vecadd_forced_delta(n, Some(0), &cfg).into()
     });
     // (label, cell id) in row order; the In-Core row reuses the In-Core cell.
@@ -90,13 +180,17 @@ pub fn fig4_plan(opts: HarnessOpts) -> SweepPlan {
     for delta in (0..=64u32).step_by(4) {
         let label = format!("Δ Bank {delta}");
         let id = b.cell(label.clone(), move |_| {
-            let cfg = RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed);
+            let cfg = RunConfig::new(SystemConfig::NearL3)
+                .with_seed(opts.seed)
+                .with_machine(opts.machine());
             run_vecadd_forced_delta(n, Some(delta), &cfg).into()
         });
         cells.push((label, id));
     }
     let id = b.cell("Random", move |_| {
-        let cfg = RunConfig::new(SystemConfig::NearL3).with_seed(opts.seed);
+        let cfg = RunConfig::new(SystemConfig::NearL3)
+            .with_seed(opts.seed)
+            .with_machine(opts.machine());
         run_vecadd_forced_delta(n, None, &cfg).into()
     });
     cells.push(("Random".into(), id));
@@ -435,7 +529,10 @@ pub fn fig15_plan(opts: HarnessOpts) -> SweepPlan {
             let mk = *mk;
             let mut cell_for = |sys_label: &str, system: SystemConfig| {
                 b.cell(format!("{name}/{scale}x/{sys_label}"), move |_| {
-                    run_stencil(&mk(scale), &RunConfig::new(system).with_seed(opts.seed)).into()
+                    let cfg = RunConfig::new(system)
+                        .with_seed(opts.seed)
+                        .with_machine(opts.machine());
+                    run_stencil(&mk(scale), &cfg).into()
                 })
             };
             let incore = cell_for("In-Core", SystemConfig::InCore);
@@ -480,7 +577,7 @@ pub fn fig15(opts: HarnessOpts) -> Figure {
 /// Fig 16 as a sweep plan: one cell per (workload, |V| scale, system), with
 /// the capacity-matched L3 cloned into every cell.
 pub fn fig16_plan(opts: HarnessOpts) -> SweepPlan {
-    let mut machine = MachineConfig::paper_default();
+    let mut machine = opts.machine();
     if !opts.full {
         // Preserve the paper's footprint/capacity ratios at harness sizes:
         // the scale-1 graph (≈2.5 MiB) fits at ~30% of an 8 MiB L3; the 2×
@@ -698,7 +795,9 @@ fn fig19_cell(
     } else {
         base_graph
     };
-    let cfg = RunConfig::new(system).with_seed(opts.seed);
+    let cfg = RunConfig::new(system)
+        .with_seed(opts.seed)
+        .with_machine(opts.machine());
     let src = pick_source(&graph);
     let inst = GraphInstance::new(graph, &cfg);
     match w {
@@ -790,7 +889,9 @@ fn fig20_cell(
     } else {
         base_graph
     };
-    let cfg = RunConfig::new(system).with_seed(opts.seed);
+    let cfg = RunConfig::new(system)
+        .with_seed(opts.seed)
+        .with_machine(opts.machine());
     let src = pick_source(&graph);
     let inst = GraphInstance::new(graph, &cfg);
     match w {
@@ -868,10 +969,10 @@ pub fn fig20(opts: HarnessOpts) -> Figure {
 }
 
 /// Table 2 as a (single-cell) sweep plan.
-pub fn table2_plan(_opts: HarnessOpts) -> SweepPlan {
+pub fn table2_plan(opts: HarnessOpts) -> SweepPlan {
     let mut b = PlanBuilder::new("table2");
     let cell = b.cell("params", move |_| {
-        let m = MachineConfig::paper_default();
+        let m = opts.machine();
         let rows = [
             ("mesh", f64::from(m.mesh_x * 10 + m.mesh_y)),
             ("clock_mhz", f64::from(m.clock_mhz)),
@@ -1006,4 +1107,60 @@ pub fn traced_fig13_cell(opts: HarnessOpts) -> (String, String) {
     let _run = suite::run(w, &opts.cfg(SystemConfig::AffAlloc(p)));
     let rec = take_thread_trace().expect("capture installed above on this thread");
     (rec.to_chrome_json(), format!("{}/{}", w.label(), p.label()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_spec_parses_every_form() {
+        assert_eq!(GeometrySpec::parse("8x8"), Ok(GeometrySpec::default()));
+        assert_eq!(
+            GeometrySpec::parse("16x16"),
+            Ok(GeometrySpec { x: 16, y: 16, kind: TopologyKind::Mesh })
+        );
+        assert_eq!(
+            GeometrySpec::parse("8x8:torus"),
+            Ok(GeometrySpec { x: 8, y: 8, kind: TopologyKind::Torus })
+        );
+        assert_eq!(
+            GeometrySpec::parse("4x2:cmesh"),
+            Ok(GeometrySpec { x: 4, y: 2, kind: TopologyKind::CMesh })
+        );
+        for bad in ["", "8", "8x", "x8", "0x8", "8x0", "8x8:ring", "5x5:cmesh", "ax8"] {
+            assert!(GeometrySpec::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn geometry_label_roundtrips_through_parse() {
+        for s in ["8x8", "16x16", "32x8", "8x8:torus", "16x16:cmesh"] {
+            let g = GeometrySpec::parse(s).expect("valid spec");
+            assert_eq!(g.label(), s);
+            assert_eq!(GeometrySpec::parse(&g.label()), Ok(g));
+        }
+    }
+
+    /// The byte-identity keystone: at the default geometry, the harness
+    /// machine IS the paper default, so installing it via `with_machine`
+    /// cannot change any figure.
+    #[test]
+    fn default_geometry_machine_is_the_paper_default() {
+        let opts = HarnessOpts::default();
+        assert!(opts.geometry.is_default());
+        assert_eq!(opts.machine(), MachineConfig::paper_default());
+    }
+
+    #[test]
+    fn off_default_geometry_reshapes_the_machine() {
+        let opts = HarnessOpts {
+            geometry: GeometrySpec::parse("16x16:torus").expect("valid"),
+            ..HarnessOpts::default()
+        };
+        let m = opts.machine();
+        assert_eq!((m.mesh_x, m.mesh_y), (16, 16));
+        assert_eq!(m.topology, TopologyKind::Torus);
+        assert_eq!(m.num_banks(), 256);
+    }
 }

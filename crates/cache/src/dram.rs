@@ -155,7 +155,7 @@ mod tests {
 
     fn setup() -> (DramModel, TrafficMatrix) {
         let cfg = MachineConfig::paper_default();
-        let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+        let topo = Topology::for_machine(&cfg);
         (
             DramModel::new(&cfg),
             TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes),
@@ -194,7 +194,7 @@ mod tests {
         // Controller 0 (bank 0's corner) slowed 4x.
         let cfg = MachineConfig::paper_default()
             .with_faults(FaultPlan::none().slow_mem_ctrl(0, 4));
-        let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+        let topo = Topology::for_machine(&cfg);
         let mut traffic =
             TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes);
         let mut dram = DramModel::new(&cfg);

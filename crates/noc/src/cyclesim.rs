@@ -5,14 +5,27 @@
 //! this model simulates every cycle: five-port routers (N/S/E/W/Local) with
 //! finite input FIFOs, round-robin output arbitration, backpressure from
 //! full downstream buffers, and a configurable router pipeline depth.
-//! X-Y dimension-ordered routing keeps it deadlock-free.
+//! X-Y dimension-ordered routing keeps it deadlock-free on meshes.
+//!
+//! The simulator operates on the topology's *node* (router) graph, so it
+//! runs unchanged on any [`Topology`] geometry: tori add wrap links
+//! (selected whenever the wrap direction is shorter), and concentrated
+//! meshes share one router among several banks — same-router packets eject
+//! straight from the injection queue like same-tile packets.
+//!
+//! Deadlock caveat: X-Y routing is only provably deadlock-free on *meshes*.
+//! Torus wrap links close each ring into a channel-dependence cycle (the
+//! textbook reason real tori add virtual channels or datelines), so — like
+//! the BFS detour tables under fault plans — saturating torus traffic needs
+//! generous `buffer_depth`, and [`CycleNoc::try_simulate`]'s watchdog turns
+//! any wedge into a typed [`SimError::Stalled`] instead of a hang.
 //!
 //! It exists to validate the cheaper models (`tests/des_vs_analytic.rs`
 //! cross-checks all three tiers), and for anyone extending this repo toward
 //! full cycle-accuracy.
 
 use crate::fault_route::FaultRouter;
-use crate::topology::{BankId, Coord, Link, Topology};
+use crate::topology::{Link, Topology};
 use crate::traffic::Packet;
 use aff_sim_core::error::{BudgetKind, RunBudget, SimError, StallSnapshot, STALL_TRACE_TAIL};
 use aff_sim_core::fault::{FaultPlan, FaultTimeline, LinkRef};
@@ -48,8 +61,8 @@ fn port_index(p: Port) -> usize {
 /// One flit in flight.
 #[derive(Debug, Clone, Copy)]
 struct Flit {
-    /// Destination tile.
-    dst: BankId,
+    /// Destination *node* (router) — banks are mapped to nodes at injection.
+    dst: u32,
     /// Whether this is the packet's tail flit.
     tail: bool,
     /// Cycle at which the flit becomes eligible to move (router pipeline).
@@ -136,51 +149,32 @@ impl CycleNoc {
         noc
     }
 
-    /// The output port X-Y routing selects at `here` for destination `dst`.
-    fn route_port(&self, here: Coord, dst: Coord) -> Port {
-        if dst.x > here.x {
-            Port::East
-        } else if dst.x < here.x {
-            Port::West
-        } else if dst.y > here.y {
-            Port::South
-        } else if dst.y < here.y {
-            Port::North
-        } else {
-            Port::Local
+    /// The output port dimension-ordered routing selects at node `here` for
+    /// destination node `dst`. `PORTS[dir]` matches the topology's direction
+    /// indices (E/W/S/N), so the geometry's tie-breaks (e.g. torus
+    /// wrap-or-not) carry over unchanged.
+    fn route_port(&self, here: u32, dst: u32) -> Port {
+        match self.topo.route_dir(here, dst) {
+            Some(dir) => PORTS[dir],
+            None => Port::Local,
         }
     }
 
-    /// The output port for `dst` at `here`, honoring fault-aware tables when
-    /// present. Unreachable pairs fall back to plain X-Y (the limp path).
-    fn out_port(&self, router: Option<&FaultRouter>, here: Coord, dst: Coord) -> Port {
+    /// The output port for node `dst` at node `here`, honoring fault-aware
+    /// tables when present. Unreachable pairs fall back to plain
+    /// dimension-ordered routing (the limp path).
+    fn out_port(&self, router: Option<&FaultRouter>, here: u32, dst: u32) -> Port {
         if let Some(r) = router {
-            let here_bank = self.topo.bank_of(here);
-            let dst_bank = self.topo.bank_of(dst);
-            if let Some(next) = r.next_hop(here_bank, dst_bank) {
-                let n = self.topo.coord_of(next);
-                return if n.x > here.x {
-                    Port::East
-                } else if n.x < here.x {
-                    Port::West
-                } else if n.y > here.y {
-                    Port::South
-                } else {
-                    Port::North
-                };
+            if let Some(next) = r.next_hop(here, dst) {
+                for (dir, &port) in PORTS.iter().enumerate() {
+                    if self.topo.node_in_dir(here, dir) == Some(next) {
+                        return port;
+                    }
+                }
+                unreachable!("next-hop tables only ever point at neighbors");
             }
         }
         self.route_port(here, dst)
-    }
-
-    fn neighbor(&self, here: Coord, port: Port) -> Coord {
-        match port {
-            Port::East => Coord { x: here.x + 1, y: here.y },
-            Port::West => Coord { x: here.x - 1, y: here.y },
-            Port::South => Coord { x: here.x, y: here.y + 1 },
-            Port::North => Coord { x: here.x, y: here.y - 1 },
-            Port::Local => here,
-        }
     }
 
     /// Simulate `packets` (all ready at cycle 0, injected in order per
@@ -354,20 +348,23 @@ impl CycleNoc {
             active_router = s[0].1.as_deref();
             sched_idx = 1;
         }
-        let n_routers = self.topo.num_banks() as usize;
+        let n_routers = self.topo.num_nodes() as usize;
         // Per router: 5 input FIFOs.
         let mut buffers: Vec<[VecDeque<Flit>; 5]> = (0..n_routers)
             .map(|_| std::array::from_fn(|_| VecDeque::new()))
             .collect();
         // Per router: round-robin priority pointer per output port.
         let mut rr: Vec<[usize; 5]> = vec![[0; 5]; n_routers];
-        // Injection queues per source tile.
+        // Injection queues per source router; banks map onto nodes here (the
+        // mapping is the identity except under concentration).
         let mut inject: Vec<VecDeque<Flit>> = vec![VecDeque::new(); n_routers];
         let mut in_flight_flits = 0u64;
         for p in packets {
+            let src_node = self.topo.node_of_bank(p.src);
+            let dst_node = self.topo.node_of_bank(p.dst);
             for k in 0..p.flits {
-                inject[p.src as usize].push_back(Flit {
-                    dst: p.dst,
+                inject[src_node as usize].push_back(Flit {
+                    dst: dst_node,
                     tail: k + 1 == p.flits,
                     ready_at: 0,
                 });
@@ -421,7 +418,7 @@ impl CycleNoc {
             let mut moves: Vec<(usize, usize, usize, usize)> = Vec::new(); // (router, in_port, next_router, next_in_port)
             let mut incoming: Vec<[usize; 5]> = vec![[0; 5]; n_routers];
             for r in 0..n_routers {
-                let here = self.topo.coord_of(r as u32);
+                let here = r as u32;
                 for out in PORTS {
                     if out == Port::Local {
                         continue; // ejection handled above
@@ -440,14 +437,22 @@ impl CycleNoc {
                         if f.ready_at > cycle || f.dst as usize == r {
                             continue;
                         }
-                        if self.out_port(active_router, here, self.topo.coord_of(f.dst)) != out {
+                        if self.out_port(active_router, here, f.dst) != out {
                             continue;
                         }
-                        let next_coord = self.neighbor(here, out);
+                        // Routing only ever selects ports with a neighbor
+                        // (edge ports on a mesh are simply never chosen).
+                        let next_node = self
+                            .topo
+                            .node_in_dir(here, out_i)
+                            .expect("routed toward a missing neighbor");
                         if let Some(fr) = active_router {
+                            // Build the link from node coords so parallel
+                            // torus links collapse onto the same canonical
+                            // index the fault tables are keyed by.
                             let idx = self.topo.link_index(Link {
-                                from: here,
-                                to: next_coord,
+                                from: self.topo.node_coord(here),
+                                to: self.topo.node_coord(next_node),
                             });
                             let cost = fr.link_cost(idx);
                             // A degraded link accepts at most one flit every
@@ -456,7 +461,7 @@ impl CycleNoc {
                                 break;
                             }
                         }
-                        let next = self.topo.bank_of(next_coord) as usize;
+                        let next = next_node as usize;
                         // The flit arrives at the input port facing back.
                         let next_in = port_index(match out {
                             Port::East => Port::West,
@@ -923,6 +928,66 @@ mod tests {
             rep.flit_hops,
             broken.flit_hops
         );
+    }
+
+    #[test]
+    fn torus_wraps_shorten_routes() {
+        // Corner-to-corner along a row: 3 mesh hops, 1 torus wrap hop.
+        let mesh = CycleNoc::new(Topology::new(4, 4), 2, 4);
+        let torus = CycleNoc::new(Topology::torus(4, 4), 2, 4);
+        let packets = [pkt(0, 3, 2)];
+        assert_eq!(sim(&mesh, &packets, 10_000).flit_hops, 6);
+        assert_eq!(sim(&torus, &packets, 10_000).flit_hops, 2);
+    }
+
+    #[test]
+    fn torus_drains_and_matches_geometry_hops() {
+        let topo = Topology::torus(4, 4);
+        let noc = CycleNoc::new(topo, 2, 4);
+        let mut packets = Vec::new();
+        for s in 0..16u32 {
+            packets.push(pkt(s, (s * 5 + 3) % 16, 3));
+        }
+        let rep = sim(&noc, &packets, 1_000_000);
+        assert_eq!(rep.delivered, packets.len() as u64);
+        let expect_hops: u64 = packets
+            .iter()
+            .map(|p| 3 * u64::from(topo.manhattan(p.src, p.dst)))
+            .sum();
+        assert_eq!(rep.flit_hops, expect_hops);
+    }
+
+    #[test]
+    fn torus_dead_link_detours_through_the_wrap() {
+        use aff_sim_core::fault::LinkRef;
+        // 4×1 ring with the 1→2 link dead: the only way around is the
+        // 3-hop wrap detour 1→0→3→2, which must cross both wrap links.
+        let topo = Topology::torus(4, 1);
+        let plan =
+            FaultPlan::none().fail_link(LinkRef::between(1, 0, 2, 0).expect("adjacent"));
+        let noc = CycleNoc::with_faults(topo, 2, 4, &plan);
+        let rep = sim(&noc, &[pkt(1, 2, 2)], 100_000);
+        assert_eq!(rep.delivered, 1);
+        assert_eq!(rep.flit_hops, 6);
+    }
+
+    #[test]
+    fn cmesh_same_router_packets_skip_the_network() {
+        // On a 4×4 concentrated mesh, banks 0 and 5 share router (0,0).
+        let noc = CycleNoc::new(Topology::cmesh(4, 4), 2, 4);
+        let rep = sim(&noc, &[pkt(0, 5, 3)], 100);
+        assert_eq!(rep.delivered, 1);
+        assert_eq!(rep.flit_hops, 0);
+    }
+
+    #[test]
+    fn cmesh_routes_on_the_router_grid() {
+        // Bank 0 (router 0) to bank 15 (router 3 on the 2×2 grid): 2 router
+        // hops instead of the 6 tile hops a flat 4×4 mesh would take.
+        let noc = CycleNoc::new(Topology::cmesh(4, 4), 2, 4);
+        let rep = sim(&noc, &[pkt(0, 15, 2)], 10_000);
+        assert_eq!(rep.delivered, 1);
+        assert_eq!(rep.flit_hops, 4);
     }
 
     #[test]

@@ -225,6 +225,11 @@ impl DesNoc {
                     .collect()
             }
         };
+        if hops.is_empty() {
+            // Same-router banks under a concentrated geometry: no link is
+            // crossed, delivery is router-local like a same-bank message.
+            return (start, start);
+        }
         let mut head_time = start;
         let mut last_cost = 1;
         for (idx, cost) in hops {

@@ -19,12 +19,20 @@
 //! Routes from the table are loop-free by construction (every hop strictly
 //! decreases the BFS distance to the destination), which is what lets the
 //! cycle-level router consume the same table hop by hop.
+//!
+//! Tables are indexed by **node** (router), not bank — identical on the
+//! paper's mesh where every bank has its own router, smaller under
+//! concentration. Fault descriptors stay in bank coordinates and are mapped
+//! through [`Topology::fault_link`]; descriptors that land inside one router
+//! (concentrated 2×2 blocks) are ignored, and torus wrap links — unnameable
+//! by a coordinate-adjacent [`aff_sim_core::fault::LinkRef`] — are always
+//! healthy.
 
 use std::collections::VecDeque;
 
-use aff_sim_core::fault::{FaultPlan, LinkRef};
+use aff_sim_core::fault::FaultPlan;
 
-use crate::topology::{BankId, Coord, Link, Topology};
+use crate::topology::{BankId, Link, Topology};
 
 /// Per-link cost multiplier charged when a message must limp through a dead
 /// link because no healthy path exists. Chosen heavy enough to dominate any
@@ -53,27 +61,27 @@ pub struct FaultRouter {
     failed: Vec<bool>,
     /// Per directed link: integer cost multiplier (1 = healthy).
     cost: Vec<u64>,
-    /// `next_hop[dst * banks + here]` = next bank toward `dst`, or
+    /// `next_hop[dst * nodes + here]` = next node toward `dst`, or
     /// `u32::MAX` when `here == dst` or no healthy path exists.
     next_hop: Vec<u32>,
 }
 
 impl FaultRouter {
     /// Build tables for `topo` under `plan`. Cheap for the paper's meshes
-    /// (one BFS per destination over ≤ 64 tiles).
+    /// (one BFS per destination over ≤ 64 routers).
     pub fn new(topo: Topology, plan: &FaultPlan) -> Self {
-        let n = topo.num_banks() as usize;
+        let n = topo.num_nodes() as usize;
         let mut failed = vec![false; topo.num_links()];
         let mut cost = vec![1u64; topo.num_links()];
-        let to_link = |l: &LinkRef| Link {
-            from: Coord { x: l.fx, y: l.fy },
-            to: Coord { x: l.tx, y: l.ty },
-        };
         for l in &plan.failed_links {
-            failed[topo.link_index(to_link(l))] = true;
+            if let Some(link) = topo.fault_link(l) {
+                failed[topo.link_index(link)] = true;
+            }
         }
         for (l, &m) in &plan.degraded_links {
-            cost[topo.link_index(to_link(l))] = u64::from(m);
+            if let Some(link) = topo.fault_link(l) {
+                cost[topo.link_index(link)] = u64::from(m);
+            }
         }
 
         let mut next_hop = vec![u32::MAX; n * n];
@@ -87,7 +95,7 @@ impl FaultRouter {
             queue.push_back(dst);
             while let Some(u) = queue.pop_front() {
                 let du = dist[u as usize];
-                for v in neighbors(topo, u) {
+                for v in topo.node_neighbors(u) {
                     let idx = topo.link_index(link_between(topo, v, u));
                     if failed[idx] || dist[v as usize] != u32::MAX {
                         continue;
@@ -101,8 +109,8 @@ impl FaultRouter {
                 if here == dst || dh == u32::MAX {
                     continue;
                 }
-                // First candidate (in X-Y-preferring order) that is one BFS
-                // step closer over a healthy link.
+                // First candidate (in dimension-order-preferring order) that
+                // is one BFS step closer over a healthy link.
                 for cand in ordered_candidates(topo, here, dst) {
                     let idx = topo.link_index(link_between(topo, here, cand));
                     if !failed[idx] && dist[cand as usize] == dh - 1 {
@@ -125,10 +133,11 @@ impl FaultRouter {
         self.topo
     }
 
-    /// The next bank on the healthy route `here → dst`, or `None` when
-    /// `here == dst` or no healthy path exists (the caller limps X-Y).
-    pub fn next_hop(&self, here: BankId, dst: BankId) -> Option<BankId> {
-        let n = self.topo.num_banks() as usize;
+    /// The next node on the healthy route `here → dst` (node ids — equal to
+    /// bank ids except under concentration), or `None` when `here == dst` or
+    /// no healthy path exists (the caller limps through the geometry route).
+    pub fn next_hop(&self, here: u32, dst: u32) -> Option<u32> {
+        let n = self.topo.num_nodes() as usize;
         let v = self.next_hop[dst as usize * n + here as usize];
         (v != u32::MAX).then_some(v)
     }
@@ -145,7 +154,8 @@ impl FaultRouter {
         self.cost[idx]
     }
 
-    /// Resolve the full route `src → dst`. Empty for `src == dst`.
+    /// Resolve the full route `src → dst` (bank ids). Empty when both banks
+    /// share a router (always true for `src == dst`).
     pub fn route(&self, src: BankId, dst: BankId) -> FaultRoute {
         let xy: Vec<u32> = self
             .topo
@@ -153,7 +163,8 @@ impl FaultRouter {
             .into_iter()
             .map(|l| self.topo.link_index(l) as u32)
             .collect();
-        if src == dst {
+        let (src_node, dst_node) = (self.topo.node_of_bank(src), self.topo.node_of_bank(dst));
+        if src_node == dst_node {
             return FaultRoute {
                 links: xy,
                 rerouted: false,
@@ -161,8 +172,8 @@ impl FaultRouter {
                 limped: false,
             };
         }
-        if self.next_hop(src, dst).is_none() {
-            // Unreachable on healthy links: limp through the X-Y route.
+        if self.next_hop(src_node, dst_node).is_none() {
+            // Unreachable on healthy links: limp through the geometry route.
             return FaultRoute {
                 links: xy,
                 rerouted: false,
@@ -171,12 +182,12 @@ impl FaultRouter {
             };
         }
         let mut links = Vec::with_capacity(xy.len());
-        let mut cur = src;
-        while cur != dst {
+        let mut cur = src_node;
+        while cur != dst_node {
             // Walk cannot dead-end: next_hop exists at src and every hop
             // strictly decreases the BFS distance to dst.
             let nh = self
-                .next_hop(cur, dst)
+                .next_hop(cur, dst_node)
                 .expect("next-hop table is closed under its own steps");
             links.push(self.topo.link_index(link_between(self.topo, cur, nh)) as u32);
             cur = nh;
@@ -192,51 +203,29 @@ impl FaultRouter {
     }
 }
 
-/// Mesh neighbors of a bank, in E, W, S, N order.
-fn neighbors(topo: Topology, b: BankId) -> Vec<BankId> {
-    let c = topo.coord_of(b);
-    let mut out = Vec::with_capacity(4);
-    if c.x + 1 < topo.mesh_x() {
-        out.push(topo.bank_of(Coord { x: c.x + 1, y: c.y }));
-    }
-    if c.x > 0 {
-        out.push(topo.bank_of(Coord { x: c.x - 1, y: c.y }));
-    }
-    if c.y + 1 < topo.mesh_y() {
-        out.push(topo.bank_of(Coord { x: c.x, y: c.y + 1 }));
-    }
-    if c.y > 0 {
-        out.push(topo.bank_of(Coord { x: c.x, y: c.y - 1 }));
-    }
-    out
-}
-
-/// The directed link between two adjacent banks.
-fn link_between(topo: Topology, from: BankId, to: BankId) -> Link {
+/// The directed link between two adjacent nodes.
+fn link_between(topo: Topology, from: u32, to: u32) -> Link {
     Link {
-        from: topo.coord_of(from),
-        to: topo.coord_of(to),
+        from: topo.node_coord(from),
+        to: topo.node_coord(to),
     }
 }
 
-/// Candidate next hops from `here` toward `dst`, ordered so the fault-free
-/// choice reproduces X-Y routing exactly: the X-toward neighbor first, then
-/// Y-toward, then the remaining directions (E, W, S, N order).
-fn ordered_candidates(topo: Topology, here: BankId, dst: BankId) -> Vec<BankId> {
-    let h = topo.coord_of(here);
-    let d = topo.coord_of(dst);
+/// Candidate next hops (nodes) from `here` toward `dst`, ordered so the
+/// fault-free choice reproduces dimension-ordered routing exactly: the
+/// preferred X-axis neighbor first, then the Y-axis one (both via the
+/// geometry's own tie-break, wrap-aware on a torus), then the remaining
+/// neighbors in E, W, S, N order.
+fn ordered_candidates(topo: Topology, here: u32, dst: u32) -> Vec<u32> {
     let mut out = Vec::with_capacity(4);
-    if d.x > h.x {
-        out.push(topo.bank_of(Coord { x: h.x + 1, y: h.y }));
-    } else if d.x < h.x {
-        out.push(topo.bank_of(Coord { x: h.x - 1, y: h.y }));
+    for dir in topo.preferred_dirs(here, dst) {
+        if let Some(n) = topo.node_in_dir(here, dir) {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
     }
-    if d.y > h.y {
-        out.push(topo.bank_of(Coord { x: h.x, y: h.y + 1 }));
-    } else if d.y < h.y {
-        out.push(topo.bank_of(Coord { x: h.x, y: h.y - 1 }));
-    }
-    for n in neighbors(topo, here) {
+    for n in topo.node_neighbors(here) {
         if !out.contains(&n) {
             out.push(n);
         }
@@ -247,6 +236,8 @@ fn ordered_candidates(topo: Topology, here: BankId, dst: BankId) -> Vec<BankId> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Coord;
+    use aff_sim_core::fault::LinkRef;
 
     fn topo() -> Topology {
         Topology::new(4, 4)
@@ -376,6 +367,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fault_free_torus_router_reproduces_geometry_routes_exactly() {
+        let t = Topology::torus(4, 4);
+        let r = FaultRouter::new(t, &FaultPlan::none());
+        for src in 0..16 {
+            for dst in 0..16 {
+                let got = r.route(src, dst);
+                let want: Vec<u32> = t
+                    .xy_route(src, dst)
+                    .into_iter()
+                    .map(|l| t.link_index(l) as u32)
+                    .collect();
+                assert_eq!(got.links, want, "{src}->{dst}");
+                assert!(!got.rerouted && !got.limped);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_detours_through_the_wrap() {
+        // Kill the only direct link 0 -> 1 on a 4-wide ring; the shortest
+        // healthy path goes the long way around (3 hops), not limp.
+        let t = Topology::torus(4, 1);
+        let plan = FaultPlan::none().fail_link(lr(0, 0, 1, 0));
+        let r = FaultRouter::new(t, &plan);
+        let route = r.route(0, 1);
+        assert!(route.rerouted);
+        assert!(!route.limped);
+        assert_eq!(route.links.len(), 3);
+        assert_eq!(route.detour_hops, 2);
+    }
+
+    #[test]
+    fn cmesh_ignores_router_internal_faults() {
+        let t = Topology::cmesh(4, 4);
+        // Banks (0,0)-(1,0) share a router: this fault is internal and the
+        // machine routes as if healthy.
+        let plan = FaultPlan::none().fail_link(lr(0, 0, 1, 0));
+        let r = FaultRouter::new(t, &plan);
+        for src in 0..16 {
+            for dst in 0..16 {
+                let got = r.route(src, dst);
+                assert!(!got.rerouted && !got.limped, "{src}->{dst}");
+            }
+        }
+        // A fault that straddles routers does take effect.
+        let plan = FaultPlan::none().fail_link(lr(1, 0, 2, 0));
+        let r = FaultRouter::new(t, &plan);
+        let src = t.bank_of(Coord { x: 1, y: 0 });
+        let dst = t.bank_of(Coord { x: 2, y: 0 });
+        let route = r.route(src, dst);
+        assert!(route.rerouted);
+        assert_eq!(route.detour_hops, 2);
     }
 
     #[test]

@@ -90,6 +90,21 @@ pub struct Packet {
 /// Arena offset marking a pair whose route has not been resolved yet.
 const UNRESOLVED: u32 = u32::MAX;
 
+/// Largest bank count that keeps the dense `src*n+dst` route table. The
+/// paper's 8×8 machine (64 banks) sits comfortably below it, so the default
+/// geometry keeps the PR-4 hot path — one indexed load per lookup —
+/// byte-identically. Above the threshold the dense table's O(n²) entry array
+/// (a 32×32 machine would pre-commit 16 MiB before the arena) gives way to
+/// on-demand per-source rows with LRU-ish eviction.
+pub const DENSE_ROUTE_TABLE_MAX_BANKS: usize = 128;
+
+/// Resident per-source rows the on-demand store keeps before evicting the
+/// least-recently-used one. Real kernels touch far fewer distinct sources
+/// than banks at any moment (streams issue from a working set of banks), so
+/// 64 rows hold the paper-scale working set of *any* geometry while memory
+/// stays O(rows · n) instead of O(n²).
+const ON_DEMAND_MAX_ROWS: usize = 64;
+
 /// One resolved route in the dense table: where its links live in the arena
 /// plus the degradation facts the accounting loop needs. 16 bytes, `Copy`,
 /// so the hot path reads it with one indexed load and no pointer chase.
@@ -115,6 +130,54 @@ impl RouteEntry {
         rerouted: false,
         limped: false,
     };
+}
+
+/// Resolve the route `src → dst`, append its links to `arena`, and return
+/// the entry describing them. The one route-construction path both stores
+/// share, so dense and on-demand lookups are equal by construction.
+#[cold]
+fn resolve_into(
+    arena: &mut Vec<u32>,
+    src: BankId,
+    dst: BankId,
+    topo: Topology,
+    router: Option<&FaultRouter>,
+) -> RouteEntry {
+    let start = arena.len() as u32;
+    match router {
+        None => {
+            arena.extend(topo.xy_route(src, dst).into_iter().map(|l| topo.link_index(l) as u32));
+            RouteEntry {
+                start,
+                len: arena.len() as u32 - start,
+                detour_hops: 0,
+                rerouted: false,
+                limped: false,
+            }
+        }
+        Some(r) => {
+            let fr = r.route(src, dst);
+            arena.extend_from_slice(&fr.links);
+            RouteEntry {
+                start,
+                len: fr.links.len() as u32,
+                detour_hops: fr.detour_hops,
+                rerouted: fr.rerouted,
+                limped: fr.limped,
+            }
+        }
+    }
+}
+
+/// Whether a resolved entry must be dropped when the links in
+/// `changed_links` change fault state: its cached links changed, or it was
+/// rerouted/limped (a repair elsewhere may now offer a better path).
+fn entry_hit(e: RouteEntry, arena: &[u32], changed_links: &[bool]) -> bool {
+    e.rerouted
+        || e.limped
+        || arena[e.start as usize..(e.start + e.len) as usize]
+            .iter()
+            .any(|&l| changed_links[l as usize])
 }
 
 /// Dense route table: pair `(src, dst)` lives at slot `src * n_banks + dst`,
@@ -160,43 +223,7 @@ impl RouteTable {
         if e.start != UNRESOLVED {
             return e;
         }
-        self.build(slot, src, dst, topo, router)
-    }
-
-    #[cold]
-    fn build(
-        &mut self,
-        slot: usize,
-        src: BankId,
-        dst: BankId,
-        topo: Topology,
-        router: Option<&FaultRouter>,
-    ) -> RouteEntry {
-        let start = self.arena.len() as u32;
-        let entry = match router {
-            None => {
-                self.arena
-                    .extend(topo.xy_route(src, dst).into_iter().map(|l| topo.link_index(l) as u32));
-                RouteEntry {
-                    start,
-                    len: self.arena.len() as u32 - start,
-                    detour_hops: 0,
-                    rerouted: false,
-                    limped: false,
-                }
-            }
-            Some(r) => {
-                let fr = r.route(src, dst);
-                self.arena.extend_from_slice(&fr.links);
-                RouteEntry {
-                    start,
-                    len: fr.links.len() as u32,
-                    detour_hops: fr.detour_hops,
-                    rerouted: fr.rerouted,
-                    limped: fr.limped,
-                }
-            }
-        };
+        let entry = resolve_into(&mut self.arena, src, dst, topo, router);
         self.entries[slot] = entry;
         entry
     }
@@ -220,14 +247,215 @@ impl RouteTable {
             if e.start == UNRESOLVED {
                 continue;
             }
-            let hit = e.rerouted
-                || e.limped
-                || self.arena[e.start as usize..(e.start + e.len) as usize]
-                    .iter()
-                    .any(|&l| changed_links[l as usize]);
-            if hit {
+            if entry_hit(e, &self.arena, changed_links) {
                 self.entries[slot] = RouteEntry::EMPTY;
             }
+        }
+    }
+
+    /// Resident heap bytes (entry array + link arena).
+    fn resident_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<RouteEntry>()
+            + self.arena.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// One materialized source row of the on-demand store: the routes out of
+/// `src` that have actually been used, with their own link arena so eviction
+/// reclaims everything at once.
+#[derive(Debug, Clone)]
+struct SrcRow {
+    /// Source bank this row serves.
+    src: BankId,
+    /// Last-touch clock for LRU-ish eviction.
+    stamp: u64,
+    /// Per-destination entries, `UNRESOLVED` until first use.
+    entries: Vec<RouteEntry>,
+    /// Link arena owned by this row.
+    arena: Vec<u32>,
+}
+
+/// On-demand per-source route materialization for big geometries: a bounded
+/// set of [`SrcRow`]s (LRU-ish, evicted by oldest touch) replaces the dense
+/// `n²` entry array. Correctness does not depend on what is resident —
+/// route resolution is a pure function of `(topo, router)`, so evicting and
+/// rebuilding a row can never change what gets charged, only when the
+/// (cold) resolution work happens.
+#[derive(Debug, Clone)]
+struct SourceRoutes {
+    /// Bank count (row width).
+    n_banks: usize,
+    /// Per source bank: resident row slot, or `u32::MAX`.
+    slot_of: Vec<u32>,
+    /// Resident rows, at most [`ON_DEMAND_MAX_ROWS`].
+    rows: Vec<SrcRow>,
+    /// Monotonic touch clock.
+    clock: u64,
+}
+
+impl SourceRoutes {
+    fn new(topo: Topology) -> Self {
+        let n = topo.num_banks() as usize;
+        Self {
+            n_banks: n,
+            slot_of: vec![u32::MAX; n],
+            rows: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// The resident row for `src`, materializing (possibly evicting the
+    /// least-recently-touched row — ties to the lowest slot, so eviction is
+    /// deterministic) when absent.
+    fn row_slot(&mut self, src: BankId) -> usize {
+        let slot = self.slot_of[src as usize];
+        if slot != u32::MAX {
+            return slot as usize;
+        }
+        let slot = if self.rows.len() < ON_DEMAND_MAX_ROWS {
+            self.rows.push(SrcRow {
+                src,
+                stamp: 0,
+                entries: vec![RouteEntry::EMPTY; self.n_banks],
+                arena: Vec::new(),
+            });
+            self.rows.len() - 1
+        } else {
+            let victim = self
+                .rows
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, r)| (r.stamp, *i))
+                .map(|(i, _)| i)
+                .expect("store is non-empty at capacity");
+            self.slot_of[self.rows[victim].src as usize] = u32::MAX;
+            let row = &mut self.rows[victim];
+            row.src = src;
+            row.entries.fill(RouteEntry::EMPTY);
+            row.arena.clear();
+            victim
+        };
+        self.slot_of[src as usize] = slot as u32;
+        slot
+    }
+
+    fn resolve(
+        &mut self,
+        src: BankId,
+        dst: BankId,
+        topo: Topology,
+        router: Option<&FaultRouter>,
+    ) -> ResolvedEntry {
+        let slot = self.row_slot(src);
+        self.clock += 1;
+        let row = &mut self.rows[slot];
+        row.stamp = self.clock;
+        let e = row.entries[dst as usize];
+        if e.start != UNRESOLVED {
+            return ResolvedEntry {
+                entry: e,
+                row: slot as u32,
+            };
+        }
+        let entry = resolve_into(&mut row.arena, src, dst, topo, router);
+        row.entries[dst as usize] = entry;
+        ResolvedEntry {
+            entry,
+            row: slot as u32,
+        }
+    }
+
+    fn invalidate(&mut self, changed_links: &[bool]) {
+        for row in &mut self.rows {
+            for e in &mut row.entries {
+                if e.start != UNRESOLVED && entry_hit(*e, &row.arena, changed_links) {
+                    *e = RouteEntry::EMPTY;
+                }
+            }
+        }
+    }
+
+    /// Resident heap bytes (slot map + rows + their arenas).
+    fn resident_bytes(&self) -> usize {
+        self.slot_of.len() * std::mem::size_of::<u32>()
+            + self
+                .rows
+                .iter()
+                .map(|r| {
+                    r.entries.len() * std::mem::size_of::<RouteEntry>()
+                        + r.arena.len() * std::mem::size_of::<u32>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// A resolved entry plus which store row its links live in — `Copy`, so the
+/// hot loop holds it across the two accumulation passes without borrowing
+/// the store.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedEntry {
+    entry: RouteEntry,
+    /// Row slot for the on-demand store; unused by the dense table.
+    row: u32,
+}
+
+/// The route cache behind [`TrafficMatrix`]: dense CSR table up to
+/// [`DENSE_ROUTE_TABLE_MAX_BANKS`] banks (the PR-4 hot path, byte-identical
+/// for the paper's 8×8), on-demand per-source rows beyond it.
+#[derive(Debug, Clone)]
+enum RouteStore {
+    Dense(RouteTable),
+    OnDemand(SourceRoutes),
+}
+
+impl RouteStore {
+    fn new(topo: Topology) -> Self {
+        if topo.num_banks() as usize <= DENSE_ROUTE_TABLE_MAX_BANKS {
+            RouteStore::Dense(RouteTable::new(topo))
+        } else {
+            RouteStore::OnDemand(SourceRoutes::new(topo))
+        }
+    }
+
+    #[inline]
+    fn resolve(
+        &mut self,
+        src: BankId,
+        dst: BankId,
+        topo: Topology,
+        router: Option<&FaultRouter>,
+    ) -> ResolvedEntry {
+        match self {
+            RouteStore::Dense(t) => ResolvedEntry {
+                entry: t.get_or_build(src, dst, topo, router),
+                row: 0,
+            },
+            RouteStore::OnDemand(s) => s.resolve(src, dst, topo, router),
+        }
+    }
+
+    #[inline]
+    fn links(&self, r: ResolvedEntry) -> &[u32] {
+        match self {
+            RouteStore::Dense(t) => t.links(r.entry),
+            RouteStore::OnDemand(s) => {
+                let row = &s.rows[r.row as usize];
+                &row.arena[r.entry.start as usize..(r.entry.start + r.entry.len) as usize]
+            }
+        }
+    }
+
+    fn invalidate(&mut self, changed_links: &[bool]) {
+        match self {
+            RouteStore::Dense(t) => t.invalidate(changed_links),
+            RouteStore::OnDemand(s) => s.invalidate(changed_links),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self {
+            RouteStore::Dense(t) => t.resident_bytes(),
+            RouteStore::OnDemand(s) => s.resident_bytes(),
         }
     }
 }
@@ -276,8 +504,9 @@ pub struct TrafficMatrix {
     limped_messages: u64,
     /// Optional packet log for DES replay.
     log: Option<Vec<Packet>>,
-    /// Dense lazily-built route table (offset array + flat link arena).
-    routes: RouteTable,
+    /// Lazily-built route cache: dense below
+    /// [`DENSE_ROUTE_TABLE_MAX_BANKS`] banks, on-demand per-source above.
+    routes: RouteStore,
 }
 
 impl TrafficMatrix {
@@ -299,7 +528,7 @@ impl TrafficMatrix {
             detour_hops: 0,
             limped_messages: 0,
             log: None,
-            routes: RouteTable::new(topo),
+            routes: RouteStore::new(topo),
         }
     }
 
@@ -415,15 +644,16 @@ impl TrafficMatrix {
             self.local_messages[class.idx()] += count;
             return;
         }
-        let route = self
+        let resolved = self
             .routes
-            .get_or_build(src, dst, self.topo, self.router.as_deref());
-        for &idx in self.routes.links(route) {
+            .resolve(src, dst, self.topo, self.router.as_deref());
+        let route = resolved.entry;
+        for &idx in self.routes.links(resolved) {
             self.link_flits[idx as usize] += flits * count;
         }
         if let Some(eff) = &mut self.effective_link_flits {
             let router = self.router.as_deref();
-            for &idx in self.routes.links(route) {
+            for &idx in self.routes.links(resolved) {
                 // A limped route pays the penalty on every crossing; healthy
                 // routes pay each link's own degradation multiplier. After a
                 // full repair the router is gone but the effective history is
@@ -462,15 +692,23 @@ impl TrafficMatrix {
     /// hot loop takes; exposed so tests can pin the table against
     /// [`Topology::xy_route`] and [`FaultRouter::route`].
     pub fn route_of(&mut self, src: BankId, dst: BankId) -> ResolvedRoute<'_> {
-        let e = self
+        let r = self
             .routes
-            .get_or_build(src, dst, self.topo, self.router.as_deref());
+            .resolve(src, dst, self.topo, self.router.as_deref());
         ResolvedRoute {
-            links: self.routes.links(e),
-            rerouted: e.rerouted,
-            detour_hops: e.detour_hops,
-            limped: e.limped,
+            links: self.routes.links(r),
+            rerouted: r.entry.rerouted,
+            detour_hops: r.entry.detour_hops,
+            limped: r.entry.limped,
         }
+    }
+
+    /// Resident heap bytes of the route cache: the dense table's entry
+    /// array + arena below [`DENSE_ROUTE_TABLE_MAX_BANKS`] banks, the
+    /// bounded per-source rows above it. The scaling benchmark pins this
+    /// sublinear in `n_banks²` at 1024 banks.
+    pub fn route_table_bytes(&self) -> usize {
+        self.routes.resident_bytes()
     }
 
     /// Total flit-hops across all classes.
@@ -862,6 +1100,74 @@ mod tests {
     }
 
     #[test]
+    fn big_geometries_use_the_on_demand_store() {
+        let topo = Topology::new(16, 16); // 256 banks > dense threshold
+        let m = TrafficMatrix::new(topo, 32, 8);
+        assert!(matches!(m.routes, RouteStore::OnDemand(_)));
+        let small = TrafficMatrix::new(Topology::new(8, 8), 32, 8);
+        assert!(matches!(small.routes, RouteStore::Dense(_)));
+    }
+
+    #[test]
+    fn on_demand_routes_match_geometry_routes() {
+        let topo = Topology::new(16, 16);
+        let mut m = TrafficMatrix::new(topo, 32, 8);
+        for (src, dst) in [(0u32, 255u32), (17, 203), (255, 0), (40, 40)] {
+            let want: Vec<u32> = topo
+                .xy_route(src, dst)
+                .into_iter()
+                .map(|l| topo.link_index(l) as u32)
+                .collect();
+            let got = m.route_of(src, dst);
+            assert_eq!(got.links, &want[..], "{src}->{dst}");
+        }
+    }
+
+    #[test]
+    fn on_demand_eviction_is_invisible_to_accounting() {
+        // Touch more sources than the store keeps resident, twice over, and
+        // compare against recording the same stream into a second matrix in
+        // one pass: eviction and re-materialization must not change a byte.
+        let topo = Topology::new(16, 16);
+        let n = topo.num_banks();
+        let mut a = TrafficMatrix::new(topo, 32, 8);
+        let mut b = TrafficMatrix::new(topo, 32, 8);
+        for round in 0..2u32 {
+            for src in 0..n {
+                let dst = (src * 37 + round * 11) % n;
+                a.record_n(src, dst, 64, TrafficClass::Data, 3);
+                b.record_n(src, dst, 64, TrafficClass::Data, 3);
+            }
+        }
+        assert_eq!(a.link_flits(), b.link_flits());
+        assert_eq!(a.total_hop_flits(), b.total_hop_flits());
+        // The store stayed bounded: far below the dense n² entry array.
+        let dense_bytes = n as usize * n as usize * std::mem::size_of::<RouteEntry>();
+        assert!(
+            a.route_table_bytes() < dense_bytes / 2,
+            "resident {} vs dense {}",
+            a.route_table_bytes(),
+            dense_bytes
+        );
+    }
+
+    #[test]
+    fn on_demand_store_survives_fault_epochs() {
+        use aff_sim_core::fault::LinkRef;
+        let topo = Topology::new(16, 16);
+        let dead = LinkRef::between(1, 0, 2, 0).expect("adjacent");
+        let mut m = TrafficMatrix::new(topo, 32, 8);
+        m.record(0, 3, 24, TrafficClass::Data); // plain X-Y: 3 hops
+        assert_eq!(m.total_hop_flits(), 3);
+        m.apply_fault_plan(&FaultPlan::none().fail_link(dead));
+        m.record(0, 3, 24, TrafficClass::Data); // detours: 5 hops
+        assert_eq!(m.total_hop_flits(), 8);
+        assert_eq!(m.routing_degradation().rerouted_messages, 1);
+        m.apply_fault_plan(&FaultPlan::none());
+        assert!(!m.route_of(0, 3).rerouted, "repair restores X-Y");
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = matrix();
         let mut b = matrix();
@@ -987,6 +1293,119 @@ mod proptests {
                         prop_assert_eq!(got.detour_hops, want.detour_hops);
                         prop_assert_eq!(got.limped, want.limped);
                     }
+                }
+            }
+        }
+
+        /// On-demand route materialization is byte-equivalent to the dense
+        /// CSR table, `Topology::xy_route`, and `FaultRouter::route` on
+        /// geometries past the dense threshold — up to 32×32, mesh and
+        /// torus — including LRU eviction pressure and mid-run fault-plan
+        /// rebuilds (`apply_fault_plan` install + repair).
+        #[test]
+        fn on_demand_routes_byte_match_dense_and_routers(
+            mesh_x in 12u32..33,
+            mesh_y in 12u32..33,
+            torus in proptest::arbitrary::any::<bool>(),
+            pairs in proptest::collection::vec(
+                (proptest::arbitrary::any::<u32>(), proptest::arbitrary::any::<u32>()),
+                1..48,
+            ),
+            kills in proptest::collection::vec(
+                (0u32..33, 0u32..33, 0usize..4),
+                0..6,
+            ),
+        ) {
+            use crate::fault_route::FaultRouter;
+            use aff_sim_core::config::{BankOrder, TopologyKind};
+            use aff_sim_core::fault::LinkRef;
+            let kind = if torus { TopologyKind::Torus } else { TopologyKind::Mesh };
+            let topo = Topology::with_kind(mesh_x, mesh_y, BankOrder::RowMajor, kind);
+            let n = topo.num_banks();
+            // 12×12 = 144 banks already exceeds the dense threshold: the
+            // matrix must be running the on-demand store.
+            let mut m = TrafficMatrix::new(topo, 32, 8);
+            prop_assert!(matches!(m.routes, RouteStore::OnDemand(_)));
+
+            // Phase 1 — fault-free: on-demand == directly-built dense CSR
+            // == geometry X-Y, byte for byte.
+            let mut dense = RouteTable::new(topo);
+            for &(s, d) in &pairs {
+                let (src, dst) = (s % n, d % n);
+                let want = dense.get_or_build(src, dst, topo, None);
+                let want_links = dense.links(want).to_vec();
+                let xy: Vec<u32> = topo
+                    .xy_route(src, dst)
+                    .into_iter()
+                    .map(|l| topo.link_index(l) as u32)
+                    .collect();
+                let got = m.route_of(src, dst);
+                prop_assert_eq!(got.links, &want_links[..], "dense {}->{}", src, dst);
+                prop_assert_eq!(got.links, &xy[..], "xy {}->{}", src, dst);
+                prop_assert!(!got.rerouted && !got.limped);
+            }
+            // Eviction pressure: touch more sources than the store keeps
+            // rows, then re-verify rebuilt rows against the geometry.
+            for src in 0..n.min(2 * ON_DEMAND_MAX_ROWS as u32) {
+                let _ = m.route_of(src, (src * 7 + 1) % n);
+            }
+            for src in 0..8u32.min(n) {
+                let dst = (src * 7 + 1) % n;
+                let xy_len = topo.xy_route(src, dst).len();
+                let got = m.route_of(src, dst);
+                prop_assert_eq!(got.links.len(), xy_len, "evicted row rebuilt {}->{}", src, dst);
+            }
+
+            // Phase 2 — mid-run fault epoch: install a plan on the warm
+            // store; rebuilt routes must match the fault router and a dense
+            // table built under the same router.
+            let dirs: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+            let mut plan = FaultPlan::none();
+            for &(x, y, d) in &kills {
+                let (dx, dy) = dirs[d];
+                let (tx, ty) = (i64::from(x) + dx, i64::from(y) + dy);
+                if x < mesh_x && y < mesh_y && tx >= 0 && ty >= 0
+                    && (tx as u32) < mesh_x && (ty as u32) < mesh_y
+                {
+                    if let Some(l) = LinkRef::between(x, y, tx as u32, ty as u32) {
+                        plan = plan.fail_link(l);
+                    }
+                }
+            }
+            // Fault-table construction is O(banks²) (one reverse BFS per
+            // destination) — unmeasurable per call, but 64 proptest cases at
+            // 1024 banks add up in debug builds. Cap the *faulted* phases at
+            // 20×20; the fault-free equivalence above still runs to 32×32.
+            if plan.has_link_faults() && n <= 400 {
+                m.apply_fault_plan(&plan);
+                let router = FaultRouter::new(topo, &plan);
+                let mut dense_f = RouteTable::new(topo);
+                for &(s, d) in &pairs {
+                    let (src, dst) = (s % n, d % n);
+                    let want = router.route(src, dst);
+                    let de = dense_f.get_or_build(src, dst, topo, Some(&router));
+                    let de_links = dense_f.links(de).to_vec();
+                    let got = m.route_of(src, dst);
+                    prop_assert_eq!(got.links, &want.links[..], "router {}->{}", src, dst);
+                    prop_assert_eq!(got.links, &de_links[..], "dense-faulted {}->{}", src, dst);
+                    prop_assert_eq!(got.rerouted, want.rerouted);
+                    prop_assert_eq!(got.detour_hops, want.detour_hops);
+                    prop_assert_eq!(got.limped, want.limped);
+                }
+
+                // Phase 3 — repair epoch: back to the empty plan, routes
+                // must return to plain geometry X-Y.
+                m.apply_fault_plan(&FaultPlan::none());
+                for &(s, d) in &pairs {
+                    let (src, dst) = (s % n, d % n);
+                    let xy: Vec<u32> = topo
+                        .xy_route(src, dst)
+                        .into_iter()
+                        .map(|l| topo.link_index(l) as u32)
+                        .collect();
+                    let got = m.route_of(src, dst);
+                    prop_assert_eq!(got.links, &xy[..], "repaired {}->{}", src, dst);
+                    prop_assert!(!got.rerouted && !got.limped);
                 }
             }
         }

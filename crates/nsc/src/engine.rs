@@ -228,7 +228,7 @@ pub struct SimEngine {
 
 impl SimEngine {
     /// Fresh engine for one kernel execution on `config`'s machine. The
-    /// machine's [`FaultPlan`](aff_sim_core::fault::FaultPlan) is honored
+    /// machine's [`FaultPlan`] is honored
     /// throughout: traffic routes around dead links, dead banks' residency
     /// and accesses remap to spares, dead SEL3s fall back to In-Core
     /// execution, and slowed banks/controllers stretch their service bounds.

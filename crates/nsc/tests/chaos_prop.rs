@@ -128,6 +128,48 @@ proptest! {
         prop_assert!(m.cycles >= 1);
     }
 
+    /// The sanitized-timeline robustness pin, replayed across the geometry
+    /// matrix: a 16×16 mesh (256 banks, the on-demand route store), a
+    /// non-square 8×4 mesh, and an 8×8 torus. Sanitized timelines must
+    /// validate, never panic the engine, and terminate under budget on
+    /// every geometry — the raw draws deliberately include coordinates and
+    /// links that only exist on *some* of them.
+    #[test]
+    fn sanitized_timelines_hold_across_geometries(
+        geometry in 0usize..3,
+        raw in proptest::collection::vec(
+            (0u64..1 << 14, 0u32..6, 0u32..300, 0u32..300, 0u32..70),
+            0..16,
+        ),
+        knob in 0u64..1 << 20,
+    ) {
+        use aff_sim_core::config::TopologyKind;
+        let base = match geometry {
+            0 => MachineConfig::builder().mesh(16, 16).build(),
+            1 => MachineConfig::builder().mesh(8, 4).build(),
+            _ => MachineConfig::builder().topology(TopologyKind::Torus).build(),
+        };
+        let mut unsafe_tl = FaultTimeline::none();
+        for &(cycle, tag, a, b, mult) in &raw {
+            unsafe_tl = unsafe_tl.at(cycle, raw_change(tag, a, b, mult));
+        }
+        let tl = unsafe_tl.sanitized_for(&base, &FaultPlan::none());
+        prop_assert!(tl.validate(&base, &FaultPlan::none()).is_ok());
+        let cfg = base
+            .with_fault_timeline(tl)
+            .with_budget(RunBudget::unlimited().with_max_cycles(1 << 32));
+        let mut e = SimEngine::new(cfg);
+        drive(&mut e, knob);
+        match e.try_finish() {
+            Ok(m) => prop_assert_eq!(
+                m.degradation.fault_epochs,
+                m.transitions.len() as u64
+            ),
+            Err(SimError::BudgetExhausted { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
     /// An empty timeline is not "a fault run with zero faults" — it is the
     /// golden fault-free run, bit for bit, whatever the workload.
     #[test]

@@ -32,6 +32,36 @@ pub enum BankOrder {
     Snake,
 }
 
+/// Which network geometry connects the tiles (the "machine model" axis the
+/// scaling experiments sweep). The paper evaluates only the 8×8 mesh; the
+/// other kinds exist so its results become one point on a geometry curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TopologyKind {
+    /// Plain W×H mesh with X-Y dimension-ordered routing. The paper baseline.
+    #[default]
+    Mesh,
+    /// W×H torus: every row and column wraps, halving worst-case distance.
+    /// Wrap links cannot be named by a [`crate::fault::LinkRef`] (which only
+    /// describes coordinate-adjacent wires), so fault plans on a torus always
+    /// leave the wrap links healthy.
+    Torus,
+    /// Concentrated mesh: 2×2 tile blocks share one router, so a W×H bank
+    /// grid routes over a (W/2)×(H/2) router grid. Requires even dimensions.
+    CMesh,
+}
+
+impl TopologyKind {
+    /// Short label used by sweep axes and figure notes (`mesh`, `torus`,
+    /// `cmesh`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+            TopologyKind::CMesh => "cmesh",
+        }
+    }
+}
+
 /// Static description of the simulated multicore (Table 2).
 ///
 /// Defaults come from [`MachineConfig::paper_default`]; tests frequently use
@@ -42,9 +72,9 @@ pub enum BankOrder {
 /// literal.
 ///
 /// Serde-default audit: every field added after the original Table 2 schema
-/// (`bank_order`, `allow_npot_interleave`, `faults`, `budget`,
+/// (`bank_order`, `topology`, `allow_npot_interleave`, `faults`, `budget`,
 /// `fault_timeline`) carries `#[serde(default)]`, and each of those defaults
-/// reproduces the paper-default value (`RowMajor`, `false`, no faults,
+/// reproduces the paper-default value (`RowMajor`, `Mesh`, `false`, no faults,
 /// unlimited budget, empty timeline) — so configs serialized before those
 /// knobs existed still load and mean the same machine. Core Table 2 fields
 /// are deliberately *not* defaulted: a config missing `mesh_x` is a bug, not
@@ -110,6 +140,11 @@ pub struct MachineConfig {
     /// paper baseline) so pre-`BankOrder` configs still load.
     #[serde(default)]
     pub bank_order: BankOrder,
+    /// Network geometry connecting the `mesh_x` × `mesh_y` tile grid.
+    /// Serde-defaulted (`Mesh`, the paper baseline) so pre-geometry configs
+    /// still load and mean the same machine.
+    #[serde(default)]
+    pub topology: TopologyKind,
     /// Accept interleave sizes that are any multiple of a cache line, not
     /// just powers of two (§4.1 future work: costs a division instead of a
     /// shift in the Eq 1 lookup, but removes padding-driven fallbacks —
@@ -167,6 +202,7 @@ impl MachineConfig {
             iot_entries: 16,
             bank_accesses_per_cycle: 1.0,
             bank_order: BankOrder::RowMajor,
+            topology: TopologyKind::Mesh,
             allow_npot_interleave: false,
             faults: FaultPlan::none(),
             budget: RunBudget::unlimited(),
@@ -446,6 +482,12 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Network geometry connecting the tile grid.
+    pub fn topology(mut self, kind: TopologyKind) -> Self {
+        self.cfg.topology = kind;
+        self
+    }
+
     /// Accept non-power-of-two (line-multiple) interleave sizes.
     pub fn allow_npot_interleave(mut self, allow: bool) -> Self {
         self.cfg.allow_npot_interleave = allow;
@@ -485,6 +527,13 @@ impl MachineConfigBuilder {
         assert!(
             self.cfg.mesh_x > 0 && self.cfg.mesh_y > 0,
             "machine mesh must be non-empty ({}x{})",
+            self.cfg.mesh_x,
+            self.cfg.mesh_y
+        );
+        assert!(
+            self.cfg.topology != TopologyKind::CMesh
+                || (self.cfg.mesh_x.is_multiple_of(2) && self.cfg.mesh_y.is_multiple_of(2)),
+            "concentrated mesh needs even dimensions, got {}x{}",
             self.cfg.mesh_x,
             self.cfg.mesh_y
         );
@@ -652,6 +701,7 @@ mod tests {
             .iot_entries(8)
             .bank_accesses_per_cycle(0.5)
             .bank_order(BankOrder::Snake)
+            .topology(TopologyKind::Torus)
             .allow_npot_interleave(true)
             .budget(RunBudget::unlimited())
             .build();
@@ -673,7 +723,27 @@ mod tests {
         assert_eq!(m.iot_entries, 8);
         assert!((m.bank_accesses_per_cycle - 0.5).abs() < 1e-12);
         assert_eq!(m.bank_order, BankOrder::Snake);
+        assert_eq!(m.topology, TopologyKind::Torus);
         assert!(m.allow_npot_interleave);
+    }
+
+    #[test]
+    fn topology_kind_serde_defaults_to_mesh() {
+        // `#[serde(default)]` fills a missing field with `Default::default()`,
+        // so a config serialized before the geometry knob existed loads as the
+        // paper-default mesh machine iff the Default impl says Mesh.
+        assert_eq!(TopologyKind::default(), TopologyKind::Mesh);
+        assert_eq!(MachineConfig::paper_default().topology, TopologyKind::Mesh);
+        assert_eq!(TopologyKind::Torus.label(), "torus");
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn builder_rejects_odd_cmesh() {
+        let _ = MachineConfig::builder()
+            .mesh(5, 4)
+            .topology(TopologyKind::CMesh)
+            .build();
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn simulate(noc: &CycleNoc, pkts: &[Packet], max_cycles: u64) -> CycleReport {
 
 fn machine_matrix(logging: bool) -> (MachineConfig, TrafficMatrix) {
     let cfg = MachineConfig::paper_default();
-    let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+    let topo = Topology::for_machine(&cfg);
     let mut m = TrafficMatrix::new(topo, cfg.link_bytes_per_cycle, cfg.packet_header_bytes);
     if logging {
         m.enable_log();
@@ -170,16 +170,23 @@ fn check_envelope(model: &str, finish: u64, analytic: u64) {
 }
 
 /// One seeded random traffic pattern: `msgs` messages with uniform
-/// endpoints and payloads in `[1, 256)` bytes. Streams come from
-/// `SimRng::split`, so each pattern is reproducible in isolation.
-fn random_pattern(m: &mut TrafficMatrix, seed: u64, pattern: u64, msgs: u64) {
+/// endpoints over `banks` tiles and payloads in `[1, 256)` bytes. Streams
+/// come from `SimRng::split`, so each pattern is reproducible in isolation.
+fn random_pattern_on(m: &mut TrafficMatrix, seed: u64, pattern: u64, msgs: u64, banks: u64) {
     let mut rng = SimRng::split(seed, pattern);
     for _ in 0..msgs {
-        let src = rng.below(64) as u32;
-        let dst = rng.below(64) as u32;
+        let src = rng.below(banks) as u32;
+        let dst = rng.below(banks) as u32;
         let bytes = 1 + rng.below(255);
         m.record(src, dst, bytes, TrafficClass::Data);
     }
+}
+
+/// [`random_pattern_on`] at the paper's 64 banks (the historical patterns —
+/// the rng call sequence, and therefore every golden value derived from it,
+/// is unchanged).
+fn random_pattern(m: &mut TrafficMatrix, seed: u64, pattern: u64, msgs: u64) {
+    random_pattern_on(m, seed, pattern, msgs, 64);
 }
 
 #[test]
@@ -237,7 +244,7 @@ fn seeded_random_sweep_under_fault_plans() {
         let plan = FaultPlan::seeded(0xFA11 + pattern, &cfg, spec);
         plan.validate(&cfg).expect("seeded plans are valid");
         assert!(!plan.is_empty(), "spec must produce a non-empty plan");
-        let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+        let topo = Topology::for_machine(&cfg);
         let mut m = TrafficMatrix::with_faults(
             topo,
             cfg.link_bytes_per_cycle,
@@ -323,7 +330,7 @@ fn shallow_buffer_fault_deadlock_is_a_typed_stall_not_a_hang() {
     let cfg = MachineConfig::small_mesh();
     let plan = FaultPlan::seeded(0xFA11, &cfg, spec);
     plan.validate(&cfg).expect("seeded plans are valid");
-    let topo = Topology::new(cfg.mesh_x, cfg.mesh_y);
+    let topo = Topology::for_machine(&cfg);
     // Saturating all-to-all-ish load: enough concurrent flits that every
     // cyclic buffer dependence actually fills.
     let mut pkts = Vec::new();
@@ -374,4 +381,119 @@ fn shallow_buffer_fault_deadlock_is_a_typed_stall_not_a_hang() {
         .try_simulate(&pkts, &budget)
         .expect("deep buffers drain the same load");
     assert_eq!(rep.delivered, pkts.len() as u64);
+}
+
+/// The cross-geometry machine matrix: the paper's 8×8 mesh plus the two
+/// geometries that exercise every generalized code path — a 16×16 mesh
+/// (256 banks, the on-demand route store) and an 8×8 torus (wrap links,
+/// wrap-aware tie-breaks).
+fn geometry_matrix() -> Vec<(&'static str, MachineConfig)> {
+    use affinity_alloc_repro::sim::config::TopologyKind;
+    vec![
+        ("8x8-mesh", MachineConfig::paper_default()),
+        ("16x16-mesh", MachineConfig::builder().mesh(16, 16).build()),
+        (
+            "8x8-torus",
+            MachineConfig::builder().topology(TopologyKind::Torus).build(),
+        ),
+    ]
+}
+
+#[test]
+fn cross_geometry_sweep_three_tiers_agree() {
+    // The differential sweep above, replayed across the geometry matrix and
+    // {healthy, faulted} machines: on every geometry the analytic matrix,
+    // the greedy DES, and the flit-level cycle sim must agree exactly on
+    // delivered flit-hops, deliver every packet, and land inside the
+    // documented latency envelope.
+    let spec = FaultSpec {
+        failed_links: 4,
+        degraded_links: 4,
+        max_slowdown: 4,
+        ..FaultSpec::uniform(0)
+    };
+    for (gi, (name, cfg)) in geometry_matrix().into_iter().enumerate() {
+        let banks = u64::from(cfg.num_banks());
+        for faulted in [false, true] {
+            let plan = if faulted {
+                let p = FaultPlan::seeded(0x6E0 + gi as u64, &cfg, spec);
+                p.validate(&cfg).expect("seeded plans are valid");
+                assert!(p.has_link_faults(), "{name}: spec must produce link faults");
+                p
+            } else {
+                FaultPlan::none()
+            };
+            let topo = Topology::for_machine(&cfg);
+            let mut m = TrafficMatrix::with_faults(
+                topo,
+                cfg.link_bytes_per_cycle,
+                cfg.packet_header_bytes,
+                &plan,
+            );
+            m.enable_log();
+            random_pattern_on(&mut m, 0x6E0, gi as u64, 600, banks);
+            let pkts = m.packets().expect("logging enabled").to_vec();
+            let mut des = DesNoc::with_faults(topo, cfg.hop_latency, &plan);
+            let des_rep = replay(&mut des, &pkts);
+            // Deep buffers across the whole matrix: BFS detour tables (the
+            // faulted cells) and torus wrap rings (which close a channel-
+            // dependence cycle that plain X-Y cannot break) both admit
+            // deadlock under backpressure — see the `CycleNoc` module docs.
+            // With every flit buffered, head flits always progress, letting
+            // this sweep pin flit conservation and the latency envelope
+            // rather than buffer-pressure pathologies (which the shallow
+            // 8×8 sweeps above cover).
+            let depth = pkts.iter().map(|p| p.flits).sum::<u64>().max(1) as usize;
+            let cyc = simulate(
+                &CycleNoc::with_faults(topo, cfg.hop_latency, depth, &plan),
+                &pkts,
+                100_000_000,
+            );
+            assert_eq!(
+                des_rep.hop_flits,
+                m.total_hop_flits(),
+                "{name} faulted={faulted}: DES flit-hops diverge from analytic"
+            );
+            assert_eq!(
+                cyc.flit_hops,
+                m.total_hop_flits(),
+                "{name} faulted={faulted}: cycle-sim flit-hops diverge from analytic"
+            );
+            assert_eq!(
+                cyc.delivered,
+                pkts.len() as u64,
+                "{name} faulted={faulted}: cycle-sim dropped packets"
+            );
+            // Routing never beats geometry distance, faulted or not.
+            let geometry_hops: u64 = pkts
+                .iter()
+                .map(|p| u64::from(topo.manhattan(p.src, p.dst)) * p.flits)
+                .sum();
+            assert!(
+                m.total_hop_flits() >= geometry_hops,
+                "{name} faulted={faulted}: a route beat the geometry distance"
+            );
+            let analytic = m.bottleneck_link_flits();
+            check_envelope("cycle-sim", cyc.finish_cycle, analytic);
+            if faulted {
+                // Limped routes make the greedy DES only raw-flit bounded
+                // (see the 8×8 fault sweep above).
+                let raw = m.link_flits().iter().copied().max().unwrap_or(0);
+                assert!(
+                    des_rep.finish_cycle >= raw,
+                    "{name}: DES {} beats raw bottleneck {raw}",
+                    des_rep.finish_cycle
+                );
+                assert!(
+                    des_rep.finish_cycle <= analytic * ENVELOPE_FACTOR + ENVELOPE_SLACK,
+                    "{name}: DES {} outside faulted envelope (analytic {analytic})",
+                    des_rep.finish_cycle
+                );
+            } else {
+                check_envelope("DES", des_rep.finish_cycle, analytic);
+                // Healthy runs carry exactly the geometry's flit-hop volume.
+                assert_eq!(m.total_hop_flits(), geometry_hops, "{name}: healthy volume");
+            }
+        }
+    }
 }

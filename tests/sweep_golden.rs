@@ -13,7 +13,7 @@
 //! UPDATE_GOLDEN=1 cargo test --test sweep_golden
 //! ```
 
-use aff_bench::figures::{plan_figure, HarnessOpts};
+use aff_bench::figures::{plan_figure, GeometrySpec, HarnessOpts};
 use aff_bench::sweep::run_plans;
 use aff_bench::SweepReport;
 
@@ -86,6 +86,79 @@ fn parallel_run_is_byte_identical_to_serial() {
             .collect()
     };
     assert_eq!(shape(&serial_report), shape(&parallel_report));
+    assert_eq!(parallel_report.jobs, 4);
+}
+
+/// The 16×16 sweep is release-speed work (49 fig13 cells × 256 banks, a
+/// couple of minutes optimized, tens of minutes under a debug build), so
+/// tier-1 `cargo test -q` skips it; CI's release-mode golden run
+/// (`cargo test --release --test sweep_golden`) covers it on every push.
+fn skip_geometry_in_debug(test: &str) -> bool {
+    if cfg!(debug_assertions) && std::env::var_os("GEOMETRY_GOLDEN").is_none() {
+        eprintln!("{test}: skipped under a debug build (set GEOMETRY_GOLDEN=1 to force)");
+        return true;
+    }
+    false
+}
+
+/// Run the fig13 policy-sensitivity sweep on a 16×16 mesh (256 banks — past
+/// the dense route-table threshold, so the on-demand store is live) and
+/// render it as JSON. This is the scaled-geometry counterpart of
+/// [`reports`]; it pins that the machine model is genuinely parameterized
+/// past 8×8 rather than merely accepting the flag.
+fn geometry_reports(jobs: usize) -> (String, SweepReport) {
+    let opts = HarnessOpts {
+        geometry: GeometrySpec::parse("16x16").expect("16x16 is a valid geometry"),
+        ..HarnessOpts::default()
+    };
+    let plans = vec![plan_figure("fig13", opts).expect("fig13 is a known figure")];
+    let (figures, report) = run_plans(plans, jobs, opts.seed);
+    let mut out = String::new();
+    for fig in &figures {
+        out.push_str(&fig.to_json());
+        out.push('\n');
+    }
+    (out, report)
+}
+
+#[test]
+fn geometry_sweep_matches_golden_snapshot() {
+    if skip_geometry_in_debug("geometry_sweep_matches_golden_snapshot") {
+        return;
+    }
+    let (got, report) = geometry_reports(1);
+    assert_eq!(report.failures().count(), 0, "16x16 cells must not fail");
+    let path = golden_dir().join("figures_geometry.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write geometry golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {path:?} ({e}); run UPDATE_GOLDEN=1 cargo test --test \
+             sweep_golden"
+        )
+    });
+    assert_eq!(
+        got, want,
+        "16x16 figure reports drifted from tests/golden/figures_geometry.json; if intentional, \
+         re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn geometry_sweep_is_byte_identical_across_jobs() {
+    if skip_geometry_in_debug("geometry_sweep_is_byte_identical_across_jobs") {
+        return;
+    }
+    let (serial, serial_report) = geometry_reports(1);
+    let (parallel, parallel_report) = geometry_reports(4);
+    assert_eq!(
+        serial, parallel,
+        "--jobs 4 changed 16x16 figure bytes vs --jobs 1: determinism must hold off the default \
+         geometry too"
+    );
+    assert_eq!(serial_report.failures().count(), 0);
     assert_eq!(parallel_report.jobs, 4);
 }
 
