@@ -39,7 +39,8 @@ use aff_bench::sweep::{run_plans_opts, RunOpts};
 
 fn usage() {
     eprintln!(
-        "usage: figures [--full] [--seed N] [--geometry WxH[:torus|:cmesh]] [--jobs N] [--json] \
+        "usage: figures [--full] [--seed N] [--geometry WxH[:torus|:cmesh]] [--tenants N] \
+         [--jobs N] [--json] \
          [--sweep-json PATH|none] [--journal PATH|none] [--resume] [--cell-timeout-ms N] \
          [--max-retries N] [--metrics] [--trace PATH] [--chaos SEED] [--chaos-intensity N] \
          (all | figN...)"
@@ -47,6 +48,8 @@ fn usage() {
     eprintln!("known figures: {ALL_FIGURES:?}");
     eprintln!("  --geometry SPEC   machine geometry, e.g. 16x16, 32x32, 8x8:torus, 8x8:cmesh");
     eprintln!("                    (default 8x8 — the paper's mesh; output stays byte-identical)");
+    eprintln!("  --tenants N    tenant count for the 'tenants' churn family (default 4;");
+    eprintln!("                 inert for every other figure)");
     eprintln!("  --metrics      record per-cell simulation metrics in the sweep report");
     eprintln!("  --trace PATH   additionally run one traced fig13 cell and write a");
     eprintln!("                 chrome://tracing-loadable JSON trace to PATH");
@@ -89,6 +92,13 @@ fn main() {
                 Some(Ok(v)) => opts.seed = v,
                 _ => {
                     eprintln!("--seed needs an integer value");
+                    std::process::exit(2);
+                }
+            },
+            "--tenants" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(v)) if v >= 1 => opts.tenants = v,
+                _ => {
+                    eprintln!("--tenants needs an integer value >= 1");
                     std::process::exit(2);
                 }
             },
@@ -190,6 +200,12 @@ fn main() {
     // 8×8 journals replayable.
     if !opts.geometry.is_default() {
         context_bytes.extend_from_slice(opts.geometry.label().as_bytes());
+    }
+    // Same for a non-default tenant count: it reshapes the `tenants` plan's
+    // cell list. Appending nothing at the default keeps old journals valid.
+    if opts.tenants != HarnessOpts::default().tenants {
+        context_bytes.extend_from_slice(b"tenants=");
+        context_bytes.extend_from_slice(&opts.tenants.to_le_bytes());
     }
     // Chaos runs journal different bits for the same cells, so the chaos
     // seed and intensity are part of the experiment identity too.

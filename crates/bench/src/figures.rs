@@ -113,6 +113,9 @@ pub struct HarnessOpts {
     pub full: bool,
     /// Machine geometry to run every figure on (`--geometry`).
     pub geometry: GeometrySpec,
+    /// Tenant count for the `tenants` churn family (`--tenants`). Only that
+    /// family reads it, so the default is inert for every other figure.
+    pub tenants: u32,
 }
 
 impl Default for HarnessOpts {
@@ -121,6 +124,7 @@ impl Default for HarnessOpts {
             seed: 2023,
             full: false,
             geometry: GeometrySpec::default(),
+            tenants: 4,
         }
     }
 }
@@ -1049,10 +1053,148 @@ pub fn table4(opts: HarnessOpts) -> Figure {
     run_single(table4_plan(opts), opts.seed)
 }
 
-/// All figure ids the harness knows, in paper order.
-pub const ALL_FIGURES: [&str; 13] = [
+/// The multi-tenant churn family (`figures --tenants N`) as a sweep plan:
+/// one steady-state churn cell per tenant count up to `opts.tenants`, an
+/// overload cell (tight admission window, deterministic retry/backoff), a
+/// quota cell (tiny byte quotas), and the isolation cell that *enforces*
+/// the tenant-containment invariant online — it runs tenant 2's churn both
+/// amid faulted neighbors and solo, and panics (→ soft cell failure, like
+/// the chaos invariants) if the two output digests differ.
+pub fn tenants_plan(opts: HarnessOpts) -> SweepPlan {
+    use crate::tenants::{churn_metrics, isolation_digests, run_churn, ChurnSpec};
+    use aff_sim_core::fault::FaultChange;
+
+    let machine = opts.machine();
+    let max_tenants = opts.tenants.clamp(1, machine.num_banks());
+    let ops: u64 = if opts.full { 4000 } else { 800 };
+    let seed = opts.seed;
+    let mut b = PlanBuilder::new("tenants");
+
+    let mut counts: Vec<u32> = [1u32, 2, 4, 8]
+        .into_iter()
+        .filter(|&c| c < max_tenants)
+        .collect();
+    counts.push(max_tenants);
+    let churn_cells: Vec<(u32, usize)> = counts
+        .iter()
+        .map(|&c| {
+            let m = machine.clone();
+            let idx = b.cell(format!("churn/{c}t"), move |_| {
+                let spec = ChurnSpec {
+                    machine: m.clone(),
+                    ..ChurnSpec::new(c, ops, seed)
+                };
+                let out = run_churn(&spec);
+                assert_eq!(
+                    out.resident_truth, out.resident_ledger,
+                    "residency conservation violated"
+                );
+                CellData::Metrics(Box::new(churn_metrics(&m, &out)))
+            });
+            (c, idx)
+        })
+        .collect();
+
+    let m = machine.clone();
+    let overload = b.cell("overload", move |_| {
+        let spec = ChurnSpec {
+            machine: m.clone(),
+            window: Some((64, 8, 8)),
+            retry: true,
+            ..ChurnSpec::new(4.min(max_tenants), ops, seed)
+        };
+        let out = run_churn(&spec);
+        CellData::Metrics(Box::new(churn_metrics(&m, &out)))
+    });
+
+    let m = machine.clone();
+    let quota = b.cell("quota", move |_| {
+        let spec = ChurnSpec {
+            machine: m.clone(),
+            quota_bytes: Some(64 << 10),
+            ..ChurnSpec::new(4.min(max_tenants), ops, seed)
+        };
+        let out = run_churn(&spec);
+        CellData::Metrics(Box::new(churn_metrics(&m, &out)))
+    });
+
+    let m = machine.clone();
+    let isolation = b.cell("isolation", move |_| {
+        let tenants = 4.min(max_tenants);
+        let mut spec = ChurnSpec {
+            machine: m.clone(),
+            ..ChurnSpec::new(tenants, ops, seed)
+        };
+        // Kill two of tenant 0's banks mid-run (partitions are carved
+        // contiguously, so tenant 0 owns the lowest bank numbers).
+        let victim_banks = m.num_banks() / tenants;
+        spec.faults = vec![
+            (ops / 3, FaultChange::BankFail(victim_banks / 2)),
+            (2 * ops / 3, FaultChange::BankFail(victim_banks - 1)),
+        ];
+        let observer = tenants - 1;
+        let (multi, solo) = isolation_digests(&spec, observer);
+        assert_eq!(
+            multi, solo,
+            "ISOLATION VIOLATED: faults in tenant 0's banks changed tenant \
+             {observer}'s output digest ({multi:#x} vs solo {solo:#x})"
+        );
+        let out = run_churn(&spec);
+        CellData::Metrics(Box::new(churn_metrics(&m, &out)))
+    });
+
+    b.merge(move |o| {
+        let mut fig = Figure::new(
+            "tenants",
+            "Multi-tenant churn: admission, quotas, isolation",
+            vec!["admitted", "shed", "quota_rejects", "evac_lines", "frag_ratio", "jain"],
+        );
+        let mut push = |label: &str, i: usize| {
+            let (mut admitted, mut shed, mut rejects, mut evac) = (0.0, 0.0, 0.0, 0.0);
+            let mut shares = Vec::new();
+            if let Some(m) = o.metrics(i) {
+                for u in &m.tenants {
+                    admitted += u.admitted as f64;
+                    shed += u.shed as f64;
+                    rejects += u.quota_rejects as f64;
+                    evac += u.evacuated_lines as f64;
+                    shares.push(u.admitted);
+                }
+            }
+            fig.push(
+                label,
+                vec![
+                    admitted,
+                    shed,
+                    rejects,
+                    evac,
+                    o.field(i, |m| m.fragmentation_ratio),
+                    aff_sim_core::tenant::jain_fairness(&shares),
+                ],
+            );
+        };
+        for (c, idx) in &churn_cells {
+            push(&format!("churn/{c}t"), *idx);
+        }
+        push("overload", overload);
+        push("quota", quota);
+        push("isolation", isolation);
+        fig.note("isolation cell fails soft if any neighbor fault leaks into another tenant's digest");
+        o.annotate_failures(&mut fig);
+        fig
+    })
+}
+
+/// The multi-tenant churn family (serial wrapper).
+pub fn tenants_figure(opts: HarnessOpts) -> Figure {
+    run_single(tenants_plan(opts), opts.seed)
+}
+
+/// All figure ids the harness knows, in paper order (plus the post-paper
+/// `tenants` multi-tenant churn family).
+pub const ALL_FIGURES: [&str; 14] = [
     "fig4", "fig6", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-    "fig20", "table2", "table4",
+    "fig20", "table2", "table4", "tenants",
 ];
 
 /// The sweep plan for one figure by id, or `None` for an unknown id.
@@ -1071,6 +1213,7 @@ pub fn plan_figure(id: &str, opts: HarnessOpts) -> Option<SweepPlan> {
         "fig20" => Some(fig20_plan(opts)),
         "table2" => Some(table2_plan(opts)),
         "table4" => Some(table4_plan(opts)),
+        "tenants" => Some(tenants_plan(opts)),
         _ => None,
     }
 }
@@ -1162,5 +1305,49 @@ mod tests {
         assert_eq!((m.mesh_x, m.mesh_y), (16, 16));
         assert_eq!(m.topology, TopologyKind::Torus);
         assert_eq!(m.num_banks(), 256);
+    }
+
+    #[test]
+    fn default_tenants_is_inert_outside_the_tenants_family() {
+        // `opts.tenants` must only shape the `tenants` plan: the machine and
+        // every paper figure's plan size are unaffected by the knob.
+        let base = HarnessOpts::default();
+        assert_eq!(base.tenants, 4);
+        let cranked = HarnessOpts { tenants: 16, ..base };
+        assert_eq!(base.machine(), cranked.machine());
+        for id in ALL_FIGURES.iter().filter(|&&id| id != "tenants") {
+            let a = plan_figure(id, base).expect("known figure");
+            let b = plan_figure(id, cranked).expect("known figure");
+            assert_eq!(a.num_cells(), b.num_cells(), "{id} saw the tenants knob");
+        }
+        // And the family itself does scale with it.
+        let t4 = tenants_plan(base);
+        let t16 = tenants_plan(cranked);
+        assert!(t16.num_cells() > t4.num_cells());
+    }
+
+    #[test]
+    fn tenants_family_runs_and_reports() {
+        let fig = tenants_figure(HarnessOpts {
+            tenants: 2,
+            ..HarnessOpts::default()
+        });
+        assert_eq!(fig.id, "tenants");
+        // churn/1t, churn/2t, overload, quota, isolation.
+        assert_eq!(fig.rows.len(), 5);
+        // Every cell succeeded: merge annotates failures as notes.
+        assert!(
+            fig.notes.iter().all(|n| !n.contains("FAILED")),
+            "tenant cells failed: {:?}",
+            fig.notes
+        );
+        let admitted = fig.column_values("admitted");
+        assert!(admitted.iter().all(|&a| a > 0.0));
+        let shed = fig.column_values("shed");
+        let over_row = fig.rows.iter().position(|r| r.label == "overload").expect("row");
+        assert!(shed[over_row] > 0.0, "tight window must shed");
+        let rejects = fig.column_values("quota_rejects");
+        let quota_row = fig.rows.iter().position(|r| r.label == "quota").expect("row");
+        assert!(rejects[quota_row] > 0.0, "tiny quota must reject");
     }
 }

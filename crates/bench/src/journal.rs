@@ -44,8 +44,9 @@ use aff_workloads::suite::SuiteRun;
 
 /// File magic: identifies the format *and* its version. Bump the trailing
 /// digit on any payload-layout change so old journals are refused, not
-/// misparsed. (v2: fault-epoch counters + the transition log in `Metrics`.)
-const MAGIC: &[u8; 8] = b"AFFJRNL2";
+/// misparsed. (v2: fault-epoch counters + the transition log in `Metrics`;
+/// v3: fragmentation ratio + the per-tenant usage records.)
+const MAGIC: &[u8; 8] = b"AFFJRNL3";
 
 /// Header length: magic + seed + context hash.
 const HEADER_LEN: u64 = 24;
@@ -299,6 +300,28 @@ fn put_metrics(out: &mut Vec<u8>, m: &Metrics) {
     for t in &m.transitions {
         put_fault_event(out, t);
     }
+    put_f64(out, m.fragmentation_ratio);
+    put_u32(out, m.tenants.len() as u32);
+    for t in &m.tenants {
+        put_u32(out, t.tenant);
+        put_str(out, &t.name);
+        for v in [
+            t.admitted,
+            t.quota_rejects,
+            t.shed,
+            t.retries,
+            t.backoff_ticks,
+            t.resident_bytes,
+            t.evacuated_lines,
+            t.migrated_bytes,
+            t.se_ops,
+            t.core_ops,
+            t.traffic_msgs,
+            t.dram_lines,
+        ] {
+            put_u64(out, v);
+        }
+    }
 }
 
 fn put_link(out: &mut Vec<u8>, l: &LinkRef) {
@@ -484,6 +507,27 @@ impl<'a> Dec<'a> {
         for _ in 0..n_transitions {
             transitions.push(self.fault_event()?);
         }
+        let fragmentation_ratio = self.f64()?;
+        let n_tenants = self.u32()? as usize;
+        let mut tenants = Vec::with_capacity(n_tenants.min(1 << 16));
+        for _ in 0..n_tenants {
+            let id = self.u32()?;
+            let name = self.string()?;
+            let mut u = aff_sim_core::tenant::TenantUsage::new(id, name);
+            u.admitted = self.u64()?;
+            u.quota_rejects = self.u64()?;
+            u.shed = self.u64()?;
+            u.retries = self.u64()?;
+            u.backoff_ticks = self.u64()?;
+            u.resident_bytes = self.u64()?;
+            u.evacuated_lines = self.u64()?;
+            u.migrated_bytes = self.u64()?;
+            u.se_ops = self.u64()?;
+            u.core_ops = self.u64()?;
+            u.traffic_msgs = self.u64()?;
+            u.dram_lines = self.u64()?;
+            tenants.push(u);
+        }
         Some(Metrics {
             cycles,
             breakdown,
@@ -498,6 +542,8 @@ impl<'a> Dec<'a> {
             occupancy,
             degradation,
             transitions,
+            fragmentation_ratio,
+            tenants,
         })
     }
 
@@ -663,6 +709,14 @@ mod tests {
                     },
                 },
             ],
+            fragmentation_ratio: 0.0625,
+            tenants: vec![{
+                let mut u = aff_sim_core::tenant::TenantUsage::new(1, "bob");
+                u.admitted = 99;
+                u.resident_bytes = 1 << 16;
+                u.dram_lines = 7;
+                u
+            }],
         }
     }
 

@@ -11,6 +11,7 @@ pub mod figures;
 pub mod journal;
 pub mod report;
 pub mod sweep;
+pub mod tenants;
 
 pub use report::{CellStat, Figure, Row, SweepReport};
 pub use sweep::{run_plans, run_plans_opts, RunOpts, SweepPlan};

@@ -188,7 +188,7 @@ impl Figure {
     }
 }
 
-/// Per-cell simulation metrics sidecar (schema `aff-bench/sweep-v4`).
+/// Per-cell simulation metrics sidecar (schema `aff-bench/sweep-v5`).
 ///
 /// A compact, plotting-oriented projection of
 /// [`Metrics`](aff_nsc::engine::Metrics): the handful of scalars the paper's
@@ -197,7 +197,10 @@ impl Figure {
 /// doubles the `BENCH_sweep.json` size and most CI runs only need the
 /// wall-time/throughput columns. v4 over v3: the fault-recovery triple
 /// (`fault_epochs`, `evacuated_lines`, `transitions`) — all zero/empty on
-/// plain runs, populated under a fault timeline or `--chaos`.
+/// plain runs, populated under a fault timeline or `--chaos`. v5 over v4:
+/// the multi-tenant pair (`fragmentation_ratio`, `tenants`) — zero/empty on
+/// single-tenant runs, populated by the `tenants` churn family. Every v4
+/// field is emitted unchanged, so v4 readers keep working.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellMetrics {
     /// Analytic cycle estimate.
@@ -224,6 +227,14 @@ pub struct CellMetrics {
     /// order the events landed.
     #[serde(default)]
     pub transitions: Vec<String>,
+    /// Free-listed fraction of claimed pool space at cell end (0 when the
+    /// cell does not churn an allocator).
+    #[serde(default)]
+    pub fragmentation_ratio: f64,
+    /// Per-tenant admission/quota/shed counters (empty on single-tenant
+    /// cells).
+    #[serde(default)]
+    pub tenants: Vec<aff_sim_core::tenant::TenantUsage>,
 }
 
 impl From<&aff_nsc::engine::Metrics> for CellMetrics {
@@ -239,6 +250,8 @@ impl From<&aff_nsc::engine::Metrics> for CellMetrics {
             fault_epochs: m.degradation.fault_epochs,
             evacuated_lines: m.degradation.evacuated_lines,
             transitions: m.transitions.iter().map(|t| t.to_string()).collect(),
+            fragmentation_ratio: m.fragmentation_ratio,
+            tenants: m.tenants.clone(),
         }
     }
 }
@@ -247,11 +260,39 @@ impl CellMetrics {
     /// JSON object for the sweep report (hand-rolled like the rest of the
     /// file; non-finite floats serialize as `null`).
     fn to_json(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{ \"tenant\": {}, \"name\": {}, \"admitted\": {}, \
+                     \"quota_rejects\": {}, \"shed\": {}, \"retries\": {}, \
+                     \"backoff_ticks\": {}, \"resident_bytes\": {}, \
+                     \"evacuated_lines\": {}, \"migrated_bytes\": {}, \
+                     \"se_ops\": {}, \"core_ops\": {}, \"traffic_msgs\": {}, \
+                     \"dram_lines\": {} }}",
+                    t.tenant,
+                    esc(&t.name),
+                    t.admitted,
+                    t.quota_rejects,
+                    t.shed,
+                    t.retries,
+                    t.backoff_ticks,
+                    t.resident_bytes,
+                    t.evacuated_lines,
+                    t.migrated_bytes,
+                    t.se_ops,
+                    t.core_ops,
+                    t.traffic_msgs,
+                    t.dram_lines,
+                )
+            })
+            .collect();
         format!(
             "{{ \"cycles\": {}, \"total_hop_flits\": {}, \"noc_utilization\": {}, \
              \"l3_miss_rate\": {}, \"dram_accesses\": {}, \"energy_pj\": {}, \
              \"bank_imbalance\": {}, \"fault_epochs\": {}, \"evacuated_lines\": {}, \
-             \"transitions\": {} }}",
+             \"transitions\": {}, \"fragmentation_ratio\": {}, \"tenants\": [{}] }}",
             self.cycles,
             self.total_hop_flits,
             num(self.noc_utilization),
@@ -262,6 +303,8 @@ impl CellMetrics {
             self.fault_epochs,
             self.evacuated_lines,
             str_list(&self.transitions),
+            num(self.fragmentation_ratio),
+            tenants.join(", "),
         )
     }
 }
@@ -370,10 +413,12 @@ impl SweepReport {
         (self.total_sim_cycles() as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
     }
 
-    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v4`).
+    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v5`).
     ///
     /// v3 over v2: every cell object carries a `"metrics"` key — the
     /// [`CellMetrics`] sidecar object when collected, `null` otherwise.
+    /// v5 over v4: the metrics object gains `fragmentation_ratio` and
+    /// `tenants`; all v4 keys are unchanged.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self
             .cells
@@ -405,7 +450,7 @@ impl SweepReport {
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"aff-bench/sweep-v4\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+            "{{\n  \"schema\": \"aff-bench/sweep-v5\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
              \"wall_ms\": {},\n  \"total_sim_cycles\": {},\n  \"total_cell_wall_ms\": {},\n  \
              \"mcycles_per_sec\": {},\n  \"parallelism\": {},\n  \"failed_cells\": {},\n  \
              \"budget_failed_cells\": {},\n  \"resumed_cells\": {},\n  \"journal_error\": {},\n  \
@@ -538,6 +583,15 @@ mod tests {
                             "bank-fail(9)@100".into(),
                             "bank-repair(9)@2000".into(),
                         ],
+                        fragmentation_ratio: 0.125,
+                        tenants: vec![{
+                            let mut u =
+                                aff_sim_core::tenant::TenantUsage::new(0, "alice");
+                            u.admitted = 42;
+                            u.shed = 3;
+                            u.resident_bytes = 4096;
+                            u
+                        }],
                     }),
                 },
                 CellStat {
@@ -571,7 +625,7 @@ mod tests {
     #[test]
     fn sweep_report_json_is_well_formed() {
         let j = sample_sweep().to_json();
-        assert!(j.contains("\"schema\": \"aff-bench/sweep-v4\""));
+        assert!(j.contains("\"schema\": \"aff-bench/sweep-v5\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"failed_cells\": 1"));
         assert!(j.contains("\"budget_failed_cells\": 0"));
@@ -591,6 +645,11 @@ mod tests {
         assert!(j.contains("\"fault_epochs\": 2"));
         assert!(j.contains("\"evacuated_lines\": 4096"));
         assert!(j.contains("\"transitions\": [\"bank-fail(9)@100\", \"bank-repair(9)@2000\"]"));
+        // v5 multi-tenant pair.
+        assert!(j.contains("\"fragmentation_ratio\": 0.125"));
+        assert!(j.contains("\"tenants\": [{ \"tenant\": 0, \"name\": \"alice\""));
+        assert!(j.contains("\"admitted\": 42"));
+        assert!(j.contains("\"shed\": 3"));
         assert_eq!(j.matches("\"figure\"").count(), 2);
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the dep tree).

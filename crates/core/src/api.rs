@@ -96,6 +96,41 @@ impl AffineArrayReq {
     pub fn total_bytes(&self) -> u64 {
         self.elem_size * self.num_elem
     }
+
+    /// Total payload bytes, or [`AllocError::Oversized`] on `u64` overflow —
+    /// the checked form every allocation path uses so an absurd
+    /// `elem_size × num_elem` surfaces as a typed rejection instead of a
+    /// debug-mode overflow panic.
+    pub fn checked_total_bytes(&self) -> Result<u64, AllocError> {
+        self.elem_size
+            .checked_mul(self.num_elem)
+            .ok_or(AllocError::Oversized {
+                elem_size: self.elem_size,
+                num_elem: self.num_elem,
+            })
+    }
+}
+
+/// Which quota axis an admission rejection hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuotaKind {
+    /// The tenant's resident-byte cap.
+    Bytes,
+    /// The tenant's bank-partition quota.
+    Banks,
+    /// The tenant's reserved-pool share (claimed bytes incl. fragmentation).
+    PoolReserve,
+}
+
+impl QuotaKind {
+    /// Stable lower-case label (error messages, metrics names).
+    pub fn label(self) -> &'static str {
+        match self {
+            QuotaKind::Bytes => "bytes",
+            QuotaKind::Banks => "banks",
+            QuotaKind::PoolReserve => "pool_reserve",
+        }
+    }
 }
 
 /// Errors from the affinity allocator.
@@ -126,6 +161,51 @@ pub enum AllocError {
     /// Intra-array request where `align_p/q ≠ 1` (§4.2 footnote: otherwise
     /// the alignment is no longer affine).
     NonUnitIntraRatio,
+    /// `elem_size × num_elem` overflows `u64` — no machine this simulator
+    /// models can hold it, and letting it wrap would corrupt quota and
+    /// residency accounting.
+    Oversized {
+        /// Requested element size.
+        elem_size: u64,
+        /// Requested element count.
+        num_elem: u64,
+    },
+    /// Admission control: the request would push the tenant past one of its
+    /// declared quotas. The shard is untouched; retrying without freeing
+    /// cannot succeed.
+    QuotaExceeded {
+        /// Rejected tenant.
+        tenant: u32,
+        /// Which quota axis was hit.
+        kind: QuotaKind,
+        /// What admitting the request would have brought usage to.
+        requested: u64,
+        /// The declared limit.
+        limit: u64,
+    },
+    /// Admission control: the service's current admission window is over
+    /// capacity and this tenant's priority lost the shedding decision.
+    /// Transient by construction — retry after `retry_in` admission ticks
+    /// (the deterministic backoff in `RetryPolicy` does this for you).
+    Overloaded {
+        /// Shed tenant.
+        tenant: u32,
+        /// Admission ticks until the current window rolls over.
+        retry_in: u64,
+    },
+    /// The tenant id does not name a registered tenant of this service.
+    UnknownTenant {
+        /// The unrecognized id.
+        tenant: u32,
+    },
+    /// Registration: the service's bank pool cannot satisfy the requested
+    /// bank partition.
+    BankPoolExhausted {
+        /// Banks requested.
+        requested: u32,
+        /// Unpartitioned healthy banks remaining.
+        available: u32,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -145,6 +225,42 @@ impl std::fmt::Display for AllocError {
             AllocError::Pool(e) => write!(f, "pool error: {e}"),
             AllocError::NonUnitIntraRatio => {
                 write!(f, "intra-array affinity requires align_p = align_q = 1")
+            }
+            AllocError::Oversized {
+                elem_size,
+                num_elem,
+            } => {
+                write!(f, "{elem_size} B × {num_elem} elements overflows u64")
+            }
+            AllocError::QuotaExceeded {
+                tenant,
+                kind,
+                requested,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} over {} quota: {requested} > {limit}",
+                    kind.label()
+                )
+            }
+            AllocError::Overloaded { tenant, retry_in } => {
+                write!(
+                    f,
+                    "service overloaded, tenant {tenant} shed; retry in {retry_in} ticks"
+                )
+            }
+            AllocError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not registered with this service")
+            }
+            AllocError::BankPoolExhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "bank partition of {requested} requested but only {available} banks remain"
+                )
             }
         }
     }

@@ -33,7 +33,9 @@
 pub mod api;
 pub mod policy;
 pub mod runtime;
+pub mod service;
 
-pub use api::{AffineArrayReq, AllocError, MAX_AFFINITY_ADDRS};
+pub use api::{AffineArrayReq, AllocError, QuotaKind, MAX_AFFINITY_ADDRS};
 pub use policy::BankSelectPolicy;
-pub use runtime::{AffinityAllocator, AllocStats, FragmentationReport};
+pub use runtime::{AffinityAllocator, AllocStats, FragmentationReport, MAX_ALLOC_BYTES};
+pub use service::{AllocService, ServiceConfig, TenantStats};

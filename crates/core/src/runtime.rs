@@ -109,8 +109,18 @@ pub struct AffinityAllocator {
     live_irregular: HashSet<VAddr>,
     stats: AllocStats,
     /// Banks eligible for placement — all banks on a healthy machine, the
-    /// non-failed ones under a fault plan.
+    /// non-failed ones under a fault plan, intersected with the tenant
+    /// partition when [`restrict_banks`](Self::restrict_banks) is in force.
     healthy: Vec<u32>,
+    /// Tenant bank partition (sorted, deduped): placement never leaves this
+    /// set, even under faults — isolation dominates availability. `None`
+    /// (the default) places on the whole machine.
+    allowed: Option<Vec<u32>>,
+    /// Whether `free_aff` coalesces: sorted free lists with lowest-address
+    /// reuse, whole free bank-cycles promoted to affine blocks, and adjacent
+    /// affine blocks merged. Off by default — the legacy LIFO reuse order is
+    /// pinned by golden figure bytes; the service layer turns it on.
+    coalesce: bool,
     /// The fault plan the Eq-4 load weighting currently reflects. Starts as
     /// the config's static plan; [`apply_fault_plan`](Self::apply_fault_plan)
     /// replaces it when a timeline epoch fires mid-run.
@@ -118,6 +128,11 @@ pub struct AffinityAllocator {
     /// Graceful-degradation counters (excluded banks, fallback chain use).
     report: DegradationReport,
 }
+
+/// Largest single allocation the runtime accepts (256 TiB — far past any
+/// modeled machine). Requests above it get [`AllocError::Oversized`] before
+/// interleave rounding or quota math can overflow.
+pub const MAX_ALLOC_BYTES: u64 = 1 << 48;
 
 /// One step of the affine degradation chain: the Eq-3-derived placement, a
 /// coarser-but-valid interleave preserving the start bank, or the baseline
@@ -172,6 +187,8 @@ impl AffinityAllocator {
             live_irregular: HashSet::new(),
             stats: AllocStats::default(),
             healthy,
+            allowed: None,
+            coalesce: false,
             active_faults,
             report,
         }
@@ -185,17 +202,88 @@ impl AffinityAllocator {
     /// see the new machine. An all-dead plan degrades to ignoring the
     /// exclusions, mirroring the constructor.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
-        let banks = self.space.config().num_banks();
-        let mut healthy: Vec<u32> =
-            (0..banks).filter(|b| !plan.failed_banks.contains(b)).collect();
-        if healthy.is_empty() {
-            healthy = (0..banks).collect();
-        }
-        self.report.excluded_banks = u64::from(banks) - healthy.len() as u64;
         // Round-robin state may point at a bank that just died; the Lnr arm
         // skips unhealthy banks, so only the candidate set needs refreshing.
-        self.healthy = healthy;
         self.active_faults = plan.clone();
+        self.recompute_healthy();
+    }
+
+    /// Rebuild the Eq-4 candidate set from the active fault plan and the
+    /// tenant partition. The partition is never widened: a partition whose
+    /// every bank failed degrades to ignoring the *fault* exclusions (like
+    /// the constructor), not to placing on other tenants' banks.
+    fn recompute_healthy(&mut self) {
+        let banks = self.space.config().num_banks();
+        let failed = &self.active_faults.failed_banks;
+        let mut healthy: Vec<u32> = match &self.allowed {
+            Some(m) => m.iter().copied().filter(|b| !failed.contains(b)).collect(),
+            None => (0..banks).filter(|b| !failed.contains(b)).collect(),
+        };
+        if healthy.is_empty() {
+            healthy = match &self.allowed {
+                Some(m) => m.clone(),
+                None => (0..banks).collect(),
+            };
+        }
+        let eligible = match &self.allowed {
+            Some(m) => m.len() as u64,
+            None => u64::from(banks),
+        };
+        self.report.excluded_banks = eligible - healthy.len() as u64;
+        self.healthy = healthy;
+    }
+
+    /// Restrict placement to `banks` — the tenant-partition hook the
+    /// multi-tenant service uses to make shards disjoint. Out-of-range banks
+    /// are dropped; duplicates are deduped. Irregular placement (Eq 4) and
+    /// every fallback stay inside the partition from here on; already-live
+    /// allocations are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BankPoolExhausted`] when no in-range bank remains.
+    pub fn restrict_banks(&mut self, banks: &[u32]) -> Result<(), AllocError> {
+        let n = self.space.config().num_banks();
+        let mut mask: Vec<u32> = banks.iter().copied().filter(|&b| b < n).collect();
+        mask.sort_unstable();
+        mask.dedup();
+        if mask.is_empty() {
+            return Err(AllocError::BankPoolExhausted {
+                requested: banks.len() as u32,
+                available: 0,
+            });
+        }
+        self.allowed = Some(mask);
+        self.recompute_healthy();
+        Ok(())
+    }
+
+    /// The tenant partition in force, if any (sorted).
+    pub fn allowed_banks(&self) -> Option<&[u32]> {
+        self.allowed.as_deref()
+    }
+
+    /// Toggle free-list coalescing (off by default). With coalescing on,
+    /// freed chunks keep their per-(interleave, bank) lists sorted and are
+    /// reused lowest-address-first, whole free bank-cycles are promoted to
+    /// affine blocks, adjacent affine blocks merge, and
+    /// [`reclaim_pool_tails`](Self::reclaim_pool_tails) can consume affine
+    /// blocks — the reclamation policy that keeps steady-state churn from
+    /// fragmentation collapse. Off, `free_aff` keeps the legacy LIFO reuse
+    /// order that the golden figure bytes pin.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+        if on {
+            for list in self.free_lists.values_mut() {
+                // Descending, so `pop()` yields the lowest chunk index.
+                list.sort_unstable_by(|a, b| b.cmp(a));
+            }
+        }
+    }
+
+    /// Whether free-list coalescing is on.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
     }
 
     /// The fault plan currently steering placement.
@@ -338,7 +426,13 @@ impl AffinityAllocator {
         if req.align_p == 0 || req.align_q == 0 {
             return Err(AllocError::BadRatio);
         }
-        let total = req.total_bytes();
+        let total = req.checked_total_bytes()?;
+        if total > MAX_ALLOC_BYTES {
+            return Err(AllocError::Oversized {
+                elem_size: req.elem_size,
+                num_elem: req.num_elem,
+            });
+        }
         let mut placement = self.derive_placement(req, total)?;
         loop {
             match placement {
@@ -581,15 +675,16 @@ impl AffinityAllocator {
         let mut c = *cursor;
         // Skip chunks until the bank matches, donating them to the irregular
         // free lists (they are perfectly reusable there).
+        let mut donated = Vec::new();
         while c % banks != u64::from(start_bank) {
-            self.free_lists
-                .entry((intrlv, (c % banks) as u32))
-                .or_default()
-                .push(c);
+            donated.push(c);
             c += 1;
         }
         *cursor = c + chunks;
-        let end = *cursor * intrlv;
+        for d in donated {
+            self.push_free_chunk(intrlv, (d % banks) as u32, d);
+        }
+        let end = (c + chunks) * intrlv;
         self.space.pool_expand(pool, end)?;
         Ok(c)
     }
@@ -617,6 +712,14 @@ impl AffinityAllocator {
     pub fn malloc_aff(&mut self, size: u64, aff_addrs: &[VAddr]) -> Result<VAddr, AllocError> {
         if size == 0 {
             return Err(AllocError::ZeroSize);
+        }
+        if size > MAX_ALLOC_BYTES {
+            // Interleave rounding (`div_ceil · PAGE_SIZE`) would overflow
+            // past this; surface a typed rejection instead.
+            return Err(AllocError::Oversized {
+                elem_size: size,
+                num_elem: 1,
+            });
         }
         if aff_addrs.len() > MAX_AFFINITY_ADDRS {
             return Err(AllocError::TooManyAffinityAddrs {
@@ -691,25 +794,164 @@ impl AffinityAllocator {
         bank: u32,
     ) -> Result<u64, AllocError> {
         if let Some(list) = self.free_lists.get_mut(&(intrlv, bank)) {
+            // Legacy LIFO when coalescing is off; with coalescing the list
+            // is kept descending, so `pop` is lowest-address-first — high
+            // chunks stay free for tail reclaim.
             if let Some(chunk) = list.pop() {
                 self.stats.freelist_hits += 1;
                 return Ok(chunk);
             }
         }
+        if let Some(chunk) = self.demote_affine_chunk(pool, bank) {
+            self.stats.freelist_hits += 1;
+            return Ok(chunk);
+        }
         let banks = u64::from(self.space.config().num_banks());
         let cursor = self.pool_cursor.entry(pool).or_insert(0);
         let mut c = *cursor;
+        let mut donated = Vec::new();
         while c % banks != u64::from(bank) {
-            self.free_lists
-                .entry((intrlv, (c % banks) as u32))
-                .or_default()
-                .push(c);
+            donated.push(c);
             c += 1;
         }
         *cursor = c + 1;
-        let end = *cursor * intrlv;
+        for d in donated {
+            self.push_free_chunk(intrlv, (d % banks) as u32, d);
+        }
+        let end = (c + 1) * intrlv;
         self.space.pool_expand(pool, end)?;
         Ok(c)
+    }
+
+    /// Add one chunk to its `(interleave, bank)` free list, preserving the
+    /// descending order coalescing relies on (plain push otherwise).
+    fn push_free_chunk(&mut self, intrlv: u64, bank: u32, chunk: u64) {
+        let coalesce = self.coalesce;
+        let list = self.free_lists.entry((intrlv, bank)).or_default();
+        if coalesce {
+            let pos = list.partition_point(|&c| c > chunk);
+            list.insert(pos, chunk);
+        } else {
+            list.push(chunk);
+        }
+    }
+
+    /// Insert a free affine block, merging it (when coalescing) with any
+    /// adjacent free block of the same pool — the affine half of
+    /// adjacent-chunk coalescing. Blocks are keyed by the bank of their
+    /// first chunk, so a merged block may change key.
+    fn insert_affine_block(&mut self, pool: PoolId, mut off: u64, mut chunks: u64) {
+        let banks = u64::from(self.space.config().num_banks());
+        if self.coalesce {
+            loop {
+                let mut merged = false;
+                let mut keys: Vec<(PoolId, u32)> = self
+                    .affine_free
+                    .keys()
+                    .copied()
+                    .filter(|&(p, _)| p == pool)
+                    .collect();
+                // HashMap key order is arbitrary; sort so which neighbor
+                // merges first is deterministic.
+                keys.sort_unstable();
+                'scan: for k in keys {
+                    let Some(blocks) = self.affine_free.get_mut(&k) else {
+                        continue;
+                    };
+                    for i in 0..blocks.len() {
+                        let (o, n) = blocks[i];
+                        if o + n == off {
+                            blocks.swap_remove(i);
+                            off = o;
+                            chunks += n;
+                            merged = true;
+                            break 'scan;
+                        }
+                        if off + chunks == o {
+                            blocks.swap_remove(i);
+                            chunks += n;
+                            merged = true;
+                            break 'scan;
+                        }
+                    }
+                }
+                if !merged {
+                    break;
+                }
+            }
+        }
+        let bank = (off % banks) as u32;
+        self.affine_free
+            .entry((pool, bank))
+            .or_default()
+            .push((off, chunks));
+    }
+
+    /// Promote the bank-cycle containing `chunk` to an affine block if every
+    /// chunk of the cycle is free — irregular frees coalescing up into
+    /// affine-reusable (and tail-reclaimable) space. Coalescing-only.
+    fn try_promote_cycle(&mut self, pool: PoolId, intrlv: u64, chunk: u64) {
+        let banks = u64::from(self.space.config().num_banks());
+        let base = (chunk / banks) * banks;
+        for b in 0..banks {
+            let free = self
+                .free_lists
+                .get(&(intrlv, b as u32))
+                .is_some_and(|l| l.binary_search_by(|c| (base + b).cmp(c)).is_ok());
+            if !free {
+                return;
+            }
+        }
+        for b in 0..banks {
+            if let Some(list) = self.free_lists.get_mut(&(intrlv, b as u32)) {
+                if let Ok(pos) = list.binary_search_by(|c| (base + b).cmp(c)) {
+                    list.remove(pos);
+                }
+            }
+        }
+        self.insert_affine_block(pool, base, banks);
+    }
+
+    /// Carve one chunk whose bank is `bank` out of a free affine block of
+    /// `pool` — the demotion that lets irregular churn reuse coalesced
+    /// space instead of growing the pool. Remainders re-enter the affine
+    /// free lists under their own start banks. Coalescing-only.
+    fn demote_affine_chunk(&mut self, pool: PoolId, bank: u32) -> Option<u64> {
+        if !self.coalesce {
+            return None;
+        }
+        let banks = u64::from(self.space.config().num_banks());
+        let mut keys: Vec<(PoolId, u32)> = self
+            .affine_free
+            .keys()
+            .copied()
+            .filter(|&(p, _)| p == pool)
+            .collect();
+        // Sorted scan: which block donates must not depend on HashMap order.
+        keys.sort_unstable();
+        for k in keys {
+            let Some(blocks) = self.affine_free.get_mut(&k) else {
+                continue;
+            };
+            for i in 0..blocks.len() {
+                let (off, n) = blocks[i];
+                // First chunk of the block with residue `bank`, if inside.
+                let first = off + ((u64::from(bank) + banks - off % banks) % banks);
+                if first < off + n {
+                    blocks.swap_remove(i);
+                    let left = first - off;
+                    let right = off + n - first - 1;
+                    if left > 0 {
+                        self.insert_affine_block(pool, off, left);
+                    }
+                    if right > 0 {
+                        self.insert_affine_block(pool, first + 1, right);
+                    }
+                    return Some(first);
+                }
+            }
+        }
+        None
     }
 
     // ---------- dynamic re-placement (§8 "Dynamic Data Structures") ----------
@@ -793,22 +1035,52 @@ impl AffinityAllocator {
     pub fn reclaim_pool_tails(&mut self) -> u64 {
         let banks = u64::from(self.space.config().num_banks());
         let mut reclaimed = 0u64;
-        let pools: Vec<(PoolId, u64)> =
+        let mut pools: Vec<(PoolId, u64)> =
             self.pool_cursor.iter().map(|(&p, &c)| (p, c)).collect();
+        pools.sort_unstable();
         for (pool, mut cursor) in pools {
             let intrlv = self.space.pools().interleave(pool);
-            while cursor > 0 {
+            'trim: while cursor > 0 {
                 let tail_chunk = cursor - 1;
                 let bank = (tail_chunk % banks) as u32;
-                let Some(list) = self.free_lists.get_mut(&(intrlv, bank)) else {
-                    break;
-                };
-                let Some(pos) = list.iter().position(|&c| c == tail_chunk) else {
-                    break;
-                };
-                list.swap_remove(pos);
-                cursor = tail_chunk;
-                reclaimed += intrlv;
+                if let Some(list) = self.free_lists.get_mut(&(intrlv, bank)) {
+                    if let Some(pos) = list.iter().position(|&c| c == tail_chunk) {
+                        if self.coalesce {
+                            // Order-preserving: the list stays descending.
+                            list.remove(pos);
+                        } else {
+                            list.swap_remove(pos);
+                        }
+                        cursor = tail_chunk;
+                        reclaimed += intrlv;
+                        continue 'trim;
+                    }
+                }
+                if self.coalesce {
+                    // A coalesced affine block ending exactly at the cursor
+                    // is a tail too — hand the whole block back.
+                    let mut hit = None;
+                    for (&(p, b), blocks) in &self.affine_free {
+                        if p != pool {
+                            continue;
+                        }
+                        if let Some(pos) =
+                            blocks.iter().position(|&(o, n)| o + n == cursor)
+                        {
+                            hit = Some(((p, b), pos));
+                            break;
+                        }
+                    }
+                    if let Some((key, pos)) = hit {
+                        if let Some(blocks) = self.affine_free.get_mut(&key) {
+                            let (o, n) = blocks.swap_remove(pos);
+                            cursor = o;
+                            reclaimed += n * intrlv;
+                            continue 'trim;
+                        }
+                    }
+                }
+                break;
             }
             self.pool_cursor.insert(pool, cursor);
         }
@@ -829,10 +1101,7 @@ impl AffinityAllocator {
     pub fn free_aff(&mut self, va: VAddr) -> Result<(), AllocError> {
         if let Some(meta) = self.affine_meta.remove(&va) {
             let chunks = meta.bytes.div_ceil(meta.intrlv);
-            self.affine_free
-                .entry((meta.pool, meta.start_bank))
-                .or_default()
-                .push((meta.offset, chunks));
+            self.insert_affine_block(meta.pool, meta.offset, chunks);
             let banks = self.resident.len() as u64;
             for c in 0..chunks {
                 let b = ((u64::from(meta.start_bank) + c) % banks) as usize;
@@ -849,10 +1118,10 @@ impl AffinityAllocator {
             let off = va.offset_from(self.space.pools().va_start(pool));
             let chunk = off / intrlv;
             let bank = self.space.pools().bank_of_offset(pool, off);
-            self.free_lists
-                .entry((intrlv, bank))
-                .or_default()
-                .push(chunk);
+            self.push_free_chunk(intrlv, bank, chunk);
+            if self.coalesce {
+                self.try_promote_cycle(pool, intrlv, chunk);
+            }
             self.loads[bank as usize] = self.loads[bank as usize].saturating_sub(1);
             self.resident[bank as usize] = self.resident[bank as usize].saturating_sub(intrlv);
             self.stats.freed += 1;
@@ -1149,6 +1418,35 @@ mod tests {
         let v2 = a.malloc_aff(64, &[head]).unwrap();
         assert_eq!(v2, v, "freed chunk must be reused");
         assert_eq!(a.stats().freelist_hits, 1);
+    }
+
+    #[test]
+    fn coalescing_reuses_lowest_address_first() {
+        let mut a = hybrid();
+        a.set_coalescing(true);
+        // One bank keeps every placement on a single (interleave, bank)
+        // free list, so the list's ordering is directly observable.
+        a.restrict_banks(&[3]).unwrap();
+        let x = a.malloc_aff(4096, &[]).unwrap();
+        let y = a.malloc_aff(4096, &[]).unwrap();
+        let z = a.malloc_aff(4096, &[]).unwrap();
+        a.free_aff(z).unwrap();
+        a.free_aff(x).unwrap();
+        a.free_aff(y).unwrap();
+        // Freeing x and y completes their bank cycles (every other chunk
+        // was donated-free), so both promote into one coalesced affine
+        // block. z's cycle never fully materialized, so z stays on the
+        // irregular list. Reuse order is therefore: the residual list
+        // chunk first, then demotion from the promoted span — and
+        // demotion hands chunks back lowest-address-first (legacy LIFO
+        // would replay the free order z, x, y with no promotion at all).
+        let r1 = a.malloc_aff(4096, &[]).unwrap();
+        assert_eq!(r1, z, "residual list chunk must be reused first");
+        let r2 = a.malloc_aff(4096, &[]).unwrap();
+        assert_eq!(r2, x, "demotion must start at the lowest address");
+        let r3 = a.malloc_aff(4096, &[]).unwrap();
+        assert_eq!(r3, y, "demotion must walk the span upward");
+        assert!(a.stats().freelist_hits >= 3);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use aff_sim_core::config::{MachineConfig, CACHE_LINE};
 use aff_sim_core::energy::{EnergyBreakdown, EnergyModel};
 use aff_sim_core::error::{BudgetKind, SimError};
 use aff_sim_core::fault::{self, DegradationReport, FaultEvent, FaultPlan, FaultTimeline};
+use aff_sim_core::tenant::{TenantId, TenantUsage};
 use aff_sim_core::trace::{self, Event, Recorder, TrafficKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -126,6 +127,17 @@ pub struct Metrics {
     /// existed, hence the serde default).
     #[serde(default)]
     pub transitions: Vec<FaultEvent>,
+    /// Allocator free-bytes / (live + free) ratio at the end of the run.
+    /// The engine itself has no allocator, so this is `0.0` unless the
+    /// harness fills it in from `AffinityAllocator::fragmentation()` (the
+    /// multi-tenant churn cells do); serde-defaulted for old recordings.
+    #[serde(default)]
+    pub fragmentation_ratio: f64,
+    /// Per-tenant offload attribution, present when the run installed tenant
+    /// contexts via [`SimEngine::set_tenant`]. Empty (and serde-defaulted)
+    /// for every single-tenant run.
+    #[serde(default)]
+    pub tenants: Vec<TenantUsage>,
 }
 
 impl Metrics {
@@ -224,6 +236,17 @@ pub struct SimEngine {
     /// Recorder present and enabled, hoisted like `healthy` so the disabled
     /// path costs one predicted branch per event.
     tracing: bool,
+    /// Current attribution context: charges land on this tenant's
+    /// [`TenantUsage`] record in addition to the global counters.
+    tenant: Option<u32>,
+    /// Whether *any* tenant context was ever installed. Hoisted like
+    /// `tracing`: single-tenant runs never set it, so their `record` path
+    /// stays one predicted branch (the `tracing || attributing` test folds
+    /// into one load-compare on two adjacent bools).
+    attributing: bool,
+    /// Per-tenant attributed work, keyed by dense tenant id (linear scan —
+    /// tenant counts are small). Becomes [`Metrics::tenants`].
+    tenant_usage: Vec<TenantUsage>,
 }
 
 impl SimEngine {
@@ -292,6 +315,9 @@ impl SimEngine {
             coalesce: true,
             tracing: recorder.is_some(),
             recorder: RecorderSlot(recorder),
+            tenant: None,
+            attributing: false,
+            tenant_usage: Vec::new(),
         };
         // Fire any cycle-0 fault events immediately: a timeline that kills a
         // bank "at birth" must behave exactly like a static `FaultPlan` that
@@ -431,6 +457,64 @@ impl SimEngine {
         self.recorder.0.take()
     }
 
+    /// Install (or clear, with `None`) the tenant every subsequent charge is
+    /// attributed to. Attribution is strictly additive — global counters,
+    /// timing and energy are byte-identical with or without tenant contexts
+    /// (pinned by the attribution-equivalence test) — so single-tenant runs
+    /// pay nothing and multi-tenant runs get a per-tenant ledger for free.
+    ///
+    /// An attached recorder sees an [`Event::TenantSwitch`] at each boundary
+    /// (`u32::MAX` encodes "no tenant"), so traces show who owned each span.
+    pub fn set_tenant(&mut self, tenant: Option<TenantId>) {
+        let id = tenant.map(|t| t.0);
+        if self.tenant == id {
+            return;
+        }
+        if self.tracing {
+            let marker = Event::TenantSwitch {
+                tenant: id.unwrap_or(u32::MAX),
+            };
+            if let Some(rec) = self.recorder.0.as_deref_mut() {
+                rec.record(&marker);
+            }
+        }
+        self.tenant = id;
+        // Once any tenant has been seen, stay on the attributing path even
+        // between contexts so TenantUsage lookups remain consistent; the
+        // `tenant == None` case inside attribute() is a cheap early-out.
+        self.attributing = self.attributing || id.is_some();
+    }
+
+    /// Per-tenant work attributed so far (dense insertion order).
+    pub fn tenant_usage(&self) -> &[TenantUsage] {
+        &self.tenant_usage
+    }
+
+    /// The attributed-usage record for `tenant`, created on first use.
+    fn tally(&mut self, tenant: u32) -> &mut TenantUsage {
+        if let Some(i) = self.tenant_usage.iter().position(|u| u.tenant == tenant) {
+            return &mut self.tenant_usage[i];
+        }
+        self.tenant_usage.push(TenantUsage::new(tenant, ""));
+        self.tenant_usage
+            .last_mut()
+            .expect("just pushed a usage record")
+    }
+
+    /// Attribute one event to the current tenant context, if any. Only the
+    /// work-shaped events carry attribution; structural events (residency,
+    /// phases, NoC-model samples) stay global.
+    fn attribute(&mut self, ev: &Event) {
+        let Some(t) = self.tenant else { return };
+        match *ev {
+            Event::Traffic { count, .. } => self.tally(t).traffic_msgs += count,
+            Event::SeOps { count, .. } => self.tally(t).se_ops += count,
+            Event::CoreOps { count } => self.tally(t).core_ops += count,
+            Event::DramAccess { lines, .. } => self.tally(t).dram_lines += lines,
+            _ => {}
+        }
+    }
+
     /// The typed choke point every charge primitive routes through: the
     /// attached recorder (if any) observes `ev`, then the accounting applies
     /// it. `record` is public — callers may feed events directly and get
@@ -438,24 +522,30 @@ impl SimEngine {
     /// sugar (events describe post-redirect reality).
     #[inline(always)]
     pub fn record(&mut self, ev: Event) {
-        if self.tracing {
-            return self.record_traced(ev);
+        if self.tracing || self.attributing {
+            return self.record_slow(ev);
         }
         self.apply(&ev);
     }
 
-    /// The tracing half of [`Self::record`], outlined — the recorder
-    /// observes, then the identical [`Self::apply`]. Keeping the *whole*
-    /// traced path out of line is load-bearing for the disabled path: the
-    /// inlined `record` then never takes the event's address, so the event
-    /// dissolves into registers, the match folds to its one matching arm,
-    /// and each charge primitive compiles down to the same direct counter
-    /// updates it was before the choke point existed (the `hotpath` bench in
-    /// `aff-bench` is the regression guard).
+    /// The tracing/attributing half of [`Self::record`], outlined — the
+    /// recorder observes, the tenant ledger attributes, then the identical
+    /// [`Self::apply`]. Keeping the *whole* slow path out of line is
+    /// load-bearing for the disabled path: the inlined `record` then never
+    /// takes the event's address, so the event dissolves into registers, the
+    /// match folds to its one matching arm, and each charge primitive
+    /// compiles down to the same direct counter updates it was before the
+    /// choke point existed (the `hotpath` bench in `aff-bench` is the
+    /// regression guard).
     #[inline(never)]
-    fn record_traced(&mut self, ev: Event) {
-        if let Some(rec) = self.recorder.0.as_deref_mut() {
-            rec.record(&ev);
+    fn record_slow(&mut self, ev: Event) {
+        if self.tracing {
+            if let Some(rec) = self.recorder.0.as_deref_mut() {
+                rec.record(&ev);
+            }
+        }
+        if self.attributing {
+            self.attribute(&ev);
         }
         self.apply(&ev);
     }
@@ -510,10 +600,12 @@ impl SimEngine {
                 }
             }
             // DRAM accesses are charged by the DramModel at its call sites;
-            // the NoC models' events carry no analytic accounting.
+            // the NoC models' events carry no analytic accounting, and
+            // tenant switches are handled before apply (attribution).
             Event::DramAccess { .. }
             | Event::RouterActive { .. }
-            | Event::MessageDelivered { .. } => {}
+            | Event::MessageDelivered { .. }
+            | Event::TenantSwitch { .. } => {}
         }
     }
 
@@ -695,6 +787,12 @@ impl SimEngine {
         self.dram
             .record_misses_rec(target, lines, &mut self.traffic, rec);
         self.explicit_dram_lines += lines;
+        if self.attributing {
+            // The DramModel charged past `record`, so attribute here.
+            if let Some(t) = self.tenant {
+                self.tally(t).dram_lines += lines;
+            }
+        }
         self.record(Event::BankAccess {
             bank: target,
             count: lines,
@@ -1170,6 +1268,8 @@ impl SimEngine {
             occupancy: self.timeline,
             degradation: report,
             transitions: self.transitions,
+            fragmentation_ratio: 0.0,
+            tenants: self.tenant_usage,
         }
     }
 

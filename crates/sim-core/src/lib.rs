@@ -29,6 +29,7 @@ pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod tenant;
 pub mod trace;
 
 pub use config::MachineConfig;
@@ -36,6 +37,7 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::{BudgetKind, RunBudget, SimError, StallSnapshot};
 pub use fault::{DegradationReport, FaultPlan, FaultPlanError, FaultSpec, LinkRef};
 pub use metrics::{Histogram, MetricsRecorder, MetricsRegistry, MetricsSnapshot};
+pub use tenant::{jain_fairness, RetryPolicy, TenantId, TenantSpec, TenantUsage};
 pub use trace::{Event, NullRecorder, Recorder, TraceRecorder, TrafficKind};
 
 /// A simulated cycle count.

@@ -377,6 +377,12 @@ impl Recorder for MetricsRecorder {
                 let n = r.counter("engine.phases");
                 r.snapshot(&format!("phase {n}"));
             }
+            Event::TenantSwitch { tenant } => {
+                r.inc("tenant.switches", 1);
+                if tenant != u32::MAX {
+                    r.inc(&format!("tenant.{tenant}.switches"), 1);
+                }
+            }
             Event::RouterActive { router, flits, .. } => {
                 r.inc("noc.router_flits", flits);
                 r.inc(&format!("noc.router.{router}.flits"), flits);
