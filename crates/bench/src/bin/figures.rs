@@ -35,17 +35,24 @@
 
 use aff_bench::figures::{plan_figure, traced_fig13_cell, GeometrySpec, HarnessOpts, ALL_FIGURES};
 use aff_bench::journal::fnv1a;
+use aff_bench::report::AggregateRow;
 use aff_bench::sweep::{run_plans_opts, RunOpts};
 
 fn usage() {
     eprintln!(
         "usage: figures [--full] [--seed N] [--geometry WxH[:torus|:cmesh]] [--tenants N] \
          [--jobs N] [--json] \
-         [--sweep-json PATH|none] [--journal PATH|none] [--resume] [--cell-timeout-ms N] \
+         [--sweep-json PATH|none] [--journal PATH|none] [--resume] [--memo PATH] \
+         [--aggregate-from PATH] [--cell-timeout-ms N] \
          [--max-retries N] [--metrics] [--trace PATH] [--chaos SEED] [--chaos-intensity N] \
          (all | figN...)"
     );
     eprintln!("known figures: {ALL_FIGURES:?}");
+    eprintln!("  --memo PATH    cross-run cell cache: completed cells are stored keyed by");
+    eprintln!("                 a content hash (code version, config, seed, figure, cell);");
+    eprintln!("                 later runs replay matching cells instead of re-running them");
+    eprintln!("  --aggregate-from PATH   merge the aggregate rows of a prior sweep report");
+    eprintln!("                 into this run's BENCH_sweep.json aggregates array");
     eprintln!("  --geometry SPEC   machine geometry, e.g. 16x16, 32x32, 8x8:torus, 8x8:cmesh");
     eprintln!("                    (default 8x8 — the paper's mesh; output stays byte-identical)");
     eprintln!("  --tenants N    tenant count for the 'tenants' churn family (default 4;");
@@ -68,6 +75,8 @@ fn main() {
     let mut sweep_json = Some("BENCH_sweep.json".to_string());
     let mut journal = Some("BENCH_sweep.journal".to_string());
     let mut resume = false;
+    let mut memo: Option<String> = None;
+    let mut aggregate_from: Option<String> = None;
     let mut cell_timeout_ms: Option<u64> = None;
     let mut max_retries: u32 = 0;
     let mut metrics = false;
@@ -164,6 +173,21 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--memo" => match args.next() {
+                Some(p) if p == "none" => memo = None,
+                Some(p) => memo = Some(p),
+                None => {
+                    eprintln!("--memo needs a path (or 'none')");
+                    std::process::exit(2);
+                }
+            },
+            "--aggregate-from" => match args.next() {
+                Some(p) => aggregate_from = Some(p),
+                None => {
+                    eprintln!("--aggregate-from needs a path");
+                    std::process::exit(2);
+                }
+            },
             "all" => ids.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 usage();
@@ -215,6 +239,16 @@ fn main() {
     }
     let context = fnv1a(&context_bytes);
 
+    // The memo config hash covers the knobs that reshape cell *inputs* —
+    // scale, geometry, tenant count — but deliberately NOT the figure-id
+    // list (a `figures fig13` run reuses cells a `figures all` run cached)
+    // and NOT seed/chaos (those are separate memo-key fields in the sweep).
+    let mut memo_bytes: Vec<u8> = Vec::new();
+    memo_bytes.push(u8::from(opts.full));
+    memo_bytes.extend_from_slice(opts.geometry.label().as_bytes());
+    memo_bytes.extend_from_slice(&opts.tenants.to_le_bytes());
+    let memo_config = fnv1a(&memo_bytes);
+
     let start = std::time::Instant::now();
     let plans: Vec<_> = ids
         .iter()
@@ -231,8 +265,16 @@ fn main() {
         collect_metrics: metrics,
         chaos,
         chaos_intensity,
+        memo: memo.as_ref().map(std::path::PathBuf::from),
+        memo_config,
     };
-    let (mut figures, report) = run_plans_opts(plans, &run_opts);
+    let (mut figures, mut report) = run_plans_opts(plans, &run_opts);
+    if let Some(path) = &aggregate_from {
+        match std::fs::read_to_string(path) {
+            Ok(text) => report.extra_aggregates = AggregateRow::parse_report(&text),
+            Err(e) => eprintln!("warning: --aggregate-from {path}: {e} (skipped)"),
+        }
+    }
     if !opts.geometry.is_default() {
         // Label off-default geometries in every figure; the default adds
         // nothing so 8×8 output bytes are untouched.
@@ -251,6 +293,9 @@ fn main() {
     eprintln!("  (total {:.1?}, --jobs {jobs})", start.elapsed());
     if report.resumed_cells > 0 {
         eprintln!("  resumed {} cell(s) from the journal", report.resumed_cells);
+    }
+    if let Some(m) = &memo {
+        eprintln!("  memo {m}: {} cell(s) replayed from cache", report.memo_hits);
     }
     if let Some(e) = &report.journal_error {
         eprintln!("  journal: {e}");

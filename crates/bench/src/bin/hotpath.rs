@@ -1,10 +1,12 @@
 //! Hot-path microbenchmark: times the per-message accounting layers in
 //! isolation — dense route table, heap translation, engine charge
-//! coalescing — each against the hash-map/write-through baseline it
-//! replaced, and writes `BENCH_hotpath.json` (schema `aff-bench/hotpath-v2`).
-//! The route layer runs at 8×8 (dense CSR) *and* 16×16 (on-demand rows),
-//! and a `route_memory` section records the resident route-store bytes at
-//! 1024 banks against the dense `n²` entry-array curve.
+//! coalescing, the Eq-4 argmin lanes, and the per-bank occupancy scans —
+//! each against the scalar/hash-map/write-through baseline it replaced, and
+//! writes `BENCH_hotpath.json` (schema `aff-bench/hotpath-v3`).
+//! The route layer runs at 8×8 *and* 16×16 (both dense CSR since the
+//! 256-bank threshold raise), and a `route_memory` section records the
+//! resident route-store bytes at 1024 banks against the dense `n²`
+//! entry-array curve.
 //!
 //! ```text
 //! cargo run --release -p aff-bench --bin hotpath -- [--ops N] [--out PATH]
@@ -207,8 +209,109 @@ fn bench_coalescing(ops: u64) -> Layer {
     }
 }
 
+/// Layer 4: the Eq-4 bank-select argmin — `score_lanes` +
+/// `argmin_score_lanes` over dense candidate slices (the `select_bank` hot
+/// path since the lane kernels landed) versus the old shape: an iterator
+/// `min_by` over lazily computed scalar scores with a `total_cmp`
+/// comparator closure.
+fn bench_argmin(ops: u64) -> Layer {
+    use affinity_alloc::lanes::{argmin_score_lanes, score_lanes};
+    use affinity_alloc::policy::{argmin_score, score};
+
+    const CANDIDATES: usize = 1024; // healthy banks on the largest geometry
+    let calls = (ops as usize / CANDIDATES).max(1);
+    let ops = (calls * CANDIDATES) as u64;
+    let mut rng = SimRng::new(0xE94);
+    let ids: Vec<u32> = (0..CANDIDATES as u32).collect();
+    let avg_hops: Vec<f64> = (0..CANDIDATES)
+        .map(|_| rng.below(32) as f64 + 0.5)
+        .collect();
+    let loads: Vec<u64> = (0..CANDIDATES).map(|_| rng.below(4096)).collect();
+    let avg_load = 17.25;
+    let h = 5.0;
+
+    let t0 = Instant::now();
+    let mut scores = vec![0.0f64; CANDIDATES];
+    let mut fast_sum = 0u64;
+    for call in 0..calls {
+        // Perturb the average like successive allocations do, so the score
+        // computation cannot be hoisted out of the loop.
+        let avg = avg_load + (call % 7) as f64;
+        score_lanes(&avg_hops, &loads, avg, h, &mut scores);
+        fast_sum += u64::from(argmin_score_lanes(&ids, &scores).expect("non-empty"));
+    }
+    let fast = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut base_sum = 0u64;
+    for call in 0..calls {
+        let avg = avg_load + (call % 7) as f64;
+        let best = argmin_score(
+            ids.iter()
+                .map(|&i| (i, score(avg_hops[i as usize], loads[i as usize], avg, h))),
+        );
+        base_sum += u64::from(best.expect("non-empty"));
+    }
+    let base = t0.elapsed().as_secs_f64();
+    assert_eq!(fast_sum, base_sum, "argmin layers must pick identical banks");
+
+    Layer {
+        name: "argmin_simd",
+        ops,
+        fast_mops: mops(ops, fast),
+        base_mops: mops(ops, base),
+        checksum: fast_sum,
+    }
+}
+
+/// Layer 5: the per-bank counter scans behind every metrics read —
+/// `aff_cache::lanes::{sum_u64, max_u64}` versus the scalar iterator
+/// `sum`/`max` they replaced.
+fn bench_occupancy_scan(ops: u64) -> Layer {
+    const BANKS: usize = 1024;
+    let rounds = (ops as usize / BANKS).max(1);
+    let ops = (rounds * BANKS) as u64;
+    let mut rng = SimRng::new(0x0CC);
+    let mut counters: Vec<Vec<u64>> = (0..64)
+        .map(|_| (0..BANKS).map(|_| rng.below(1 << 30)).collect())
+        .collect();
+    // Both passes mutate the rows; replay the baseline from the same
+    // starting state so the checksums are comparable.
+    let pristine = counters.clone();
+
+    let t0 = Instant::now();
+    let mut fast_sum = 0u64;
+    for r in 0..rounds {
+        let row = &mut counters[r % 64];
+        row[r % BANKS] = (r as u64) << 10; // keep rounds from folding away
+        fast_sum ^= aff_cache::lanes::sum_u64(row).wrapping_add(aff_cache::lanes::max_u64(row));
+    }
+    let fast = t0.elapsed().as_secs_f64();
+
+    counters = pristine;
+    let t0 = Instant::now();
+    let mut base_sum = 0u64;
+    for r in 0..rounds {
+        let row = &mut counters[r % 64];
+        row[r % BANKS] = (r as u64) << 10;
+        let sum: u64 = row.iter().sum();
+        let max = row.iter().copied().max().unwrap_or(0);
+        base_sum ^= sum.wrapping_add(max);
+    }
+    let base = t0.elapsed().as_secs_f64();
+    assert_eq!(fast_sum, base_sum, "occupancy scans must agree");
+
+    Layer {
+        name: "occupancy_scan",
+        ops,
+        fast_mops: mops(ops, fast),
+        base_mops: mops(ops, base),
+        checksum: fast_sum,
+    }
+}
+
 fn render_json(layers: &[Layer], mem: &RouteMemory) -> String {
-    let mut out = String::from("{\n  \"schema\": \"aff-bench/hotpath-v2\",\n  \"layers\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"aff-bench/hotpath-v3\",\n  \"layers\": [\n");
     for (i, l) in layers.iter().enumerate() {
         let speedup = l.fast_mops / l.base_mops.max(1e-12);
         out.push_str(&format!(
@@ -269,6 +372,8 @@ fn main() {
         bench_route_table(ops, "route_table_16x16", 16),
         bench_translation(ops),
         bench_coalescing(ops),
+        bench_argmin(ops),
+        bench_occupancy_scan(ops),
     ];
     for l in &layers {
         println!(

@@ -53,7 +53,8 @@ const HEADER_LEN: u64 = 24;
 
 /// Upper bound on one record's payload — far above any real cell outcome,
 /// low enough that a corrupt length prefix cannot trigger a huge allocation.
-const MAX_RECORD_LEN: u32 = 64 << 20;
+/// Shared with the [`crate::memo`] store, which frames records identically.
+pub(crate) const MAX_RECORD_LEN: u32 = 64 << 20;
 
 /// FNV-1a over `bytes` (the record checksum; also used for context hashes).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -165,6 +166,50 @@ impl JournalWriter {
         self.file.write_all(&rec)?;
         self.file.sync_data()
     }
+}
+
+/// Harvest per-cell wall times from whatever intact journal sits at `path`,
+/// keyed by `(figure, cell_idx)`. Unlike [`read_journal`] this deliberately
+/// ignores the seed/context header (only the magic must match): wall hints
+/// seed the work-stealing scheduler's longest-cell-first order and can never
+/// change output bytes, so a stale journal is still a fine predictor of
+/// which cells are big. Any read or decode problem degrades to an empty map.
+pub fn read_wall_hints(path: &Path) -> BTreeMap<(String, u64), u64> {
+    let mut buf = Vec::new();
+    let mut hints = BTreeMap::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            if f.read_to_end(&mut buf).is_err() {
+                return hints;
+            }
+        }
+        Err(_) => return hints,
+    }
+    if buf.len() < HEADER_LEN as usize || &buf[..8] != MAGIC {
+        return hints;
+    }
+    let mut pos = HEADER_LEN as usize;
+    while let Some(head) = buf.get(pos..pos + 12) {
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        let want_sum = u64::from_le_bytes([
+            head[4], head[5], head[6], head[7], head[8], head[9], head[10], head[11],
+        ]);
+        if len > MAX_RECORD_LEN as usize {
+            break;
+        }
+        let Some(payload) = buf.get(pos + 12..pos + 12 + len) else {
+            break;
+        };
+        if fnv1a(payload) != want_sum {
+            break;
+        }
+        let Some(entry) = decode_entry(payload) else {
+            break;
+        };
+        hints.insert((entry.figure, entry.cell_idx), entry.wall_ns);
+        pos += 12 + len;
+    }
+    hints
 }
 
 /// Replay the journal at `path`, trusting exactly its intact prefix.
@@ -398,7 +443,7 @@ fn put_cell_data(out: &mut Vec<u8>, data: &CellData) {
     }
 }
 
-fn encode_entry(e: &JournalEntry) -> Vec<u8> {
+pub(crate) fn encode_entry(e: &JournalEntry) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
     put_str(&mut out, &e.figure);
     put_u64(&mut out, e.cell_idx);
@@ -619,7 +664,7 @@ impl<'a> Dec<'a> {
     }
 }
 
-fn decode_entry(payload: &[u8]) -> Option<JournalEntry> {
+pub(crate) fn decode_entry(payload: &[u8]) -> Option<JournalEntry> {
     let mut d = Dec { buf: payload, pos: 0 };
     let figure = d.string()?;
     let cell_idx = d.u64()?;
@@ -871,6 +916,44 @@ mod tests {
         assert!(replay.records_read < 3);
         assert!(replay.entries.contains_key(&("fig4".to_string(), 0)));
         assert!(!replay.entries.contains_key(&("fig4".to_string(), 2)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wall_hints_ignore_the_header_but_stop_at_corruption() {
+        let path = tmp("hints");
+        let mut w = JournalWriter::create(&path, 7, 99).expect("create");
+        for (i, wall) in [(0u64, 11u64), (1, 22), (2, 33)] {
+            let mut e = entry("fig4", i, Err("x".into()));
+            e.wall_ns = wall;
+            w.append(&e).expect("append");
+        }
+        drop(w);
+        // Wrong seed/context would refuse a resume — hints still read.
+        assert!(matches!(
+            read_journal(&path, 8, 100),
+            Err(JournalError::HeaderMismatch)
+        ));
+        let hints = read_wall_hints(&path);
+        assert_eq!(hints.len(), 3);
+        assert_eq!(hints[&("fig4".to_string(), 1)], 22);
+        // A flipped bit in the second record drops it and its suffix.
+        let mut bytes = std::fs::read(&path).expect("read file");
+        let first = HEADER_LEN as usize;
+        let len1 = u32::from_le_bytes([
+            bytes[first],
+            bytes[first + 1],
+            bytes[first + 2],
+            bytes[first + 3],
+        ]) as usize;
+        bytes[first + 12 + len1 + 12 + 2] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let hints = read_wall_hints(&path);
+        assert_eq!(hints.len(), 1);
+        // Missing file and wrong magic degrade to empty.
+        assert!(read_wall_hints(&tmp("hints-nonexistent")).is_empty());
+        std::fs::write(&path, b"NOTAJOURNALFILE!").expect("clobber");
+        assert!(read_wall_hints(&path).is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -9,6 +9,7 @@
 
 pub mod figures;
 pub mod journal;
+pub mod memo;
 pub mod report;
 pub mod sweep;
 pub mod tenants;

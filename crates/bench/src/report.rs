@@ -359,6 +359,84 @@ impl CellStat {
     }
 }
 
+/// One run-level throughput aggregate: the headline numbers of a whole sweep
+/// at a given worker count. The current run always contributes the first
+/// row of the report's `aggregates` array; `figures --aggregate-from PATH`
+/// merges the rows of a prior report so one `BENCH_sweep.json` can record
+/// e.g. both the `--jobs 1` and `--jobs 4` baselines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateRow {
+    /// Worker count of the run this row measures.
+    pub jobs: usize,
+    /// End-to-end wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Total simulated cycles across cells.
+    pub total_sim_cycles: u64,
+    /// Aggregate simulated megacycles per wall-second.
+    pub mcycles_per_sec: f64,
+}
+
+/// Extract a JSON number following `"key": ` (first occurrence); `null` and
+/// missing keys read as `None`.
+fn json_num(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+impl AggregateRow {
+    /// JSON object (one line, matching the report's hand-rolled style).
+    fn to_json(&self) -> String {
+        format!(
+            "    {{ \"jobs\": {}, \"wall_ms\": {}, \"total_sim_cycles\": {}, \
+             \"mcycles_per_sec\": {} }}",
+            self.jobs,
+            num(self.wall_ms),
+            self.total_sim_cycles,
+            num(self.mcycles_per_sec),
+        )
+    }
+
+    /// Parse the aggregate rows out of a rendered sweep report (the format
+    /// this crate emits — not a general JSON parser). A v6+ report yields
+    /// its `aggregates` array; an older report (no array) degrades to one
+    /// row built from its top-level totals. Anything unparsable yields `[]`.
+    pub fn parse_report(text: &str) -> Vec<AggregateRow> {
+        let mut out = Vec::new();
+        if let Some(i) = text.find("\"aggregates\": [") {
+            let body = &text[i..];
+            let body = &body[..body.find(']').unwrap_or(body.len())];
+            for line in body.lines() {
+                if let Some(row) = Self::parse_obj(line) {
+                    out.push(row);
+                }
+            }
+        } else {
+            // Pre-v6 report: its run-level header fields are the one row.
+            let head = &text[..text.find("\"cells\"").unwrap_or(text.len())];
+            if let Some(row) = Self::parse_obj(head) {
+                out.push(row);
+            }
+        }
+        out
+    }
+
+    fn parse_obj(text: &str) -> Option<AggregateRow> {
+        Some(AggregateRow {
+            jobs: json_num(text, "jobs")? as usize,
+            wall_ms: json_num(text, "wall_ms")?,
+            total_sim_cycles: json_num(text, "total_sim_cycles")? as u64,
+            mcycles_per_sec: json_num(text, "mcycles_per_sec")?,
+        })
+    }
+}
+
 /// Machine-readable record of one sweep run (`BENCH_sweep.json`): per-cell
 /// wall time and simulated-cycle throughput, plus run-level totals. Unlike
 /// [`Figure`] output — which is byte-identical across `--jobs` settings —
@@ -376,10 +454,18 @@ pub struct SweepReport {
     /// Cells replayed from the resume journal instead of executed.
     #[serde(default)]
     pub resumed_cells: usize,
+    /// Cells replayed from the cross-run memo store instead of executed.
+    #[serde(default)]
+    pub memo_hits: usize,
     /// First error that disabled checkpoint journaling, if any (the sweep
     /// itself still completes; only durability is lost).
     #[serde(default)]
     pub journal_error: Option<String>,
+    /// Aggregate rows carried over from a prior report
+    /// (`--aggregate-from`); the current run's own row is always emitted
+    /// first and is not stored here.
+    #[serde(default)]
+    pub extra_aggregates: Vec<AggregateRow>,
 }
 
 impl SweepReport {
@@ -413,12 +499,25 @@ impl SweepReport {
         (self.total_sim_cycles() as f64 / 1e6) / (self.wall_ns as f64 / 1e9)
     }
 
-    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v5`).
+    /// This run's own aggregate row (the first entry of `aggregates`).
+    pub fn aggregate(&self) -> AggregateRow {
+        AggregateRow {
+            jobs: self.jobs,
+            wall_ms: self.wall_ns as f64 / 1e6,
+            total_sim_cycles: self.total_sim_cycles(),
+            mcycles_per_sec: self.mcycles_per_sec(),
+        }
+    }
+
+    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v6`).
     ///
     /// v3 over v2: every cell object carries a `"metrics"` key — the
     /// [`CellMetrics`] sidecar object when collected, `null` otherwise.
     /// v5 over v4: the metrics object gains `fragmentation_ratio` and
     /// `tenants`; all v4 keys are unchanged.
+    /// v6 over v5: run level gains `memo_hits` and an `aggregates` array —
+    /// this run's [`AggregateRow`] first, then any rows merged from a prior
+    /// report via `--aggregate-from`.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self
             .cells
@@ -449,11 +548,14 @@ impl SweepReport {
                 )
             })
             .collect();
+        let mut aggregates: Vec<String> = vec![self.aggregate().to_json()];
+        aggregates.extend(self.extra_aggregates.iter().map(AggregateRow::to_json));
         format!(
-            "{{\n  \"schema\": \"aff-bench/sweep-v5\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+            "{{\n  \"schema\": \"aff-bench/sweep-v6\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
              \"wall_ms\": {},\n  \"total_sim_cycles\": {},\n  \"total_cell_wall_ms\": {},\n  \
              \"mcycles_per_sec\": {},\n  \"parallelism\": {},\n  \"failed_cells\": {},\n  \
-             \"budget_failed_cells\": {},\n  \"resumed_cells\": {},\n  \"journal_error\": {},\n  \
+             \"budget_failed_cells\": {},\n  \"resumed_cells\": {},\n  \"memo_hits\": {},\n  \
+             \"journal_error\": {},\n  \"aggregates\": [\n{}\n  ],\n  \
              \"cells\": [\n{}\n  ]\n}}",
             self.jobs,
             self.seed,
@@ -469,10 +571,12 @@ impl SweepReport {
             self.failures().count(),
             self.budget_failures().count(),
             self.resumed_cells,
+            self.memo_hits,
             match &self.journal_error {
                 Some(e) => esc(e),
                 None => "null".into(),
             },
+            aggregates.join(",\n"),
             cells.join(",\n")
         )
     }
@@ -607,7 +711,14 @@ mod tests {
                 },
             ],
             resumed_cells: 1,
+            memo_hits: 1,
             journal_error: None,
+            extra_aggregates: vec![AggregateRow {
+                jobs: 1,
+                wall_ms: 8.5,
+                total_sim_cycles: 5_000_000,
+                mcycles_per_sec: 588.2,
+            }],
         }
     }
 
@@ -625,12 +736,18 @@ mod tests {
     #[test]
     fn sweep_report_json_is_well_formed() {
         let j = sample_sweep().to_json();
-        assert!(j.contains("\"schema\": \"aff-bench/sweep-v5\""));
+        assert!(j.contains("\"schema\": \"aff-bench/sweep-v6\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"failed_cells\": 1"));
         assert!(j.contains("\"budget_failed_cells\": 0"));
         assert!(j.contains("\"resumed_cells\": 1"));
+        assert!(j.contains("\"memo_hits\": 1"));
         assert!(j.contains("\"journal_error\": null"));
+        // v6 aggregates: the run's own row first, then the merged prior row.
+        assert!(j.contains("\"aggregates\": [\n"));
+        assert!(j.contains("{ \"jobs\": 4, \"wall_ms\": 2, \"total_sim_cycles\": 5000000"));
+        assert!(j.contains("{ \"jobs\": 1, \"wall_ms\": 8.5, \"total_sim_cycles\": 5000000, \
+                            \"mcycles_per_sec\": 588.2 }"));
         assert!(j.contains("\"attempts\": 2"));
         assert!(j.contains("\"cached\": true"));
         assert!(j.contains("boom \\\"quoted\\\""));
@@ -655,6 +772,32 @@ mod tests {
         // JSON parser in the dep tree).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn aggregate_rows_round_trip_through_the_rendered_report() {
+        let r = sample_sweep();
+        let rows = AggregateRow::parse_report(&r.to_json());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], r.aggregate());
+        assert_eq!(rows[1], r.extra_aggregates[0]);
+        // A pre-v6 report (no aggregates array) degrades to one row built
+        // from the run-level header fields.
+        let legacy = "{\n  \"schema\": \"aff-bench/sweep-v5\",\n  \"jobs\": 2,\n  \
+                      \"wall_ms\": 10.5,\n  \"total_sim_cycles\": 42,\n  \
+                      \"mcycles_per_sec\": 4,\n  \"cells\": [\n  ]\n}";
+        let rows = AggregateRow::parse_report(legacy);
+        assert_eq!(
+            rows,
+            vec![AggregateRow {
+                jobs: 2,
+                wall_ms: 10.5,
+                total_sim_cycles: 42,
+                mcycles_per_sec: 4.0,
+            }]
+        );
+        // Garbage parses to nothing, not a panic.
+        assert!(AggregateRow::parse_report("not json at all").is_empty());
     }
 
     #[test]

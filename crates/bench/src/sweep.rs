@@ -34,7 +34,6 @@
 //!   intact prefix is replayed and only missing or failed cells execute.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -307,6 +306,15 @@ pub struct RunOpts {
     /// Fault-event budget per sampled chaos timeline (0 means the default
     /// of 4; only read when `chaos` is set).
     pub chaos_intensity: u32,
+    /// Cross-run memo store path ([`crate::memo`]); `None` disables
+    /// memoization. Unlike the journal — which pins one experiment — the
+    /// memo caches cells across runs by content hash, so overlapping
+    /// experiments (figure subsets, repeated runs) reuse each other's cells.
+    pub memo: Option<std::path::PathBuf>,
+    /// Harness configuration hash folded into every memo key (scale,
+    /// geometry, tenant count — everything that reshapes cell inputs but is
+    /// not already in the key via seed/chaos/figure/cell).
+    pub memo_config: u64,
 }
 
 impl RunOpts {
@@ -529,6 +537,53 @@ impl JournalState {
     }
 }
 
+/// Memo key for one task under this run's options — the content hash of
+/// everything the cell's bytes depend on (see [`crate::memo`]).
+fn memo_key_for(task: &Task, opts: &RunOpts, salt: u64) -> u64 {
+    crate::memo::memo_key(&crate::memo::KeyParts {
+        salt,
+        config: opts.memo_config,
+        seed: opts.seed,
+        chaos: opts.chaos,
+        chaos_intensity: opts.chaos_intensity,
+        figure: task.figure,
+        cell_idx: task.cell_idx as u64,
+        label: &task.label,
+    })
+}
+
+/// Record one successfully executed cell in the memo store (when one is
+/// open). Failed cells are never memoized — they retry on the next run.
+fn memo_fill(
+    memo: &Mutex<Option<crate::memo::MemoStore>>,
+    key: Option<u64>,
+    figure: &str,
+    cell_idx: usize,
+    outcome: &CellOutcome,
+    stat: &CellStat,
+) {
+    let Some(key) = key else { return };
+    if outcome.result.is_err() {
+        return;
+    }
+    let mut m = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(store) = m.as_mut() {
+        store.insert(
+            key,
+            &JournalEntry {
+                figure: figure.to_string(),
+                cell_idx: cell_idx as u64,
+                label: outcome.label.clone(),
+                attempts: stat.attempts,
+                wall_ns: stat.wall_ns,
+                result: outcome.result.clone(),
+            },
+        );
+    }
+}
+
 /// Append one finished cell to the journal; an append failure (fsync/write —
 /// ENOSPC, EIO, ...) disables journaling for the rest of the run via
 /// [`JournalState::degrade`] rather than aborting the sweep.
@@ -596,6 +651,17 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
     }
     let n_tasks = tasks.len();
 
+    // Harvest longest-cell-first scheduling hints from whatever journal the
+    // previous run left, *before* the writer truncates it below. The lenient
+    // read ignores the seed/context header on purpose: a stale journal still
+    // predicts which cells are big, and hints only shape the work-stealing
+    // seed order — never output bytes.
+    let wall_hints: std::collections::BTreeMap<(String, u64), u64> = opts
+        .journal
+        .as_deref()
+        .map(crate::journal::read_wall_hints)
+        .unwrap_or_default();
+
     // Journal setup: resume replays the intact prefix (cached entries skip
     // execution below); a missing or mismatched journal re-runs everything
     // against a fresh file; I/O errors degrade to no journaling, recorded in
@@ -626,17 +692,77 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
         }
     }
 
+    // Cross-run memo store: unlike the journal above — scoped to one
+    // experiment and truncated by every fresh run — the memo persists cells
+    // across runs keyed by content hash. A stale store (salt from another
+    // code version) was already discarded by `open`.
+    let memo_salt = crate::memo::code_salt();
+    let mut memo_store = opts
+        .memo
+        .as_deref()
+        .map(|p| crate::memo::MemoStore::open(p, memo_salt));
+    if let Some(err) = memo_store.as_ref().and_then(|m| m.error.as_deref()) {
+        eprintln!("warning: memo store disabled: {err}");
+    }
+    if memo_store.as_ref().is_some_and(|m| m.invalidated) {
+        eprintln!("note: memo store was stale (different code version); starting fresh");
+    }
+
     // Split tasks into journal hits (successful outcome for the exact same
-    // figure/cell/label) and cells that still need to run. Failed journal
-    // entries are deliberately *not* reused: resume retries them.
+    // figure/cell/label), memo hits (successful outcome under the exact
+    // content hash), and cells that still need to run. Failed journal or
+    // memo entries are deliberately *not* reused: they retry.
     let mut done: Vec<(usize, usize, CellOutcome, CellStat)> = Vec::with_capacity(n_tasks);
     let mut to_run: Vec<Task> = Vec::with_capacity(tasks.len());
+    let mut memo_hits = 0usize;
     for t in tasks {
         let hit = cached
             .get(&(t.figure.to_string(), t.cell_idx as u64))
             .filter(|e| e.label == t.label && e.result.is_ok());
-        match hit {
+        if let Some(e) = hit {
+            let stat = CellStat {
+                figure: t.figure.to_string(),
+                label: t.label.clone(),
+                ok: true,
+                error: None,
+                wall_ns: e.wall_ns,
+                sim_cycles: e.result.as_ref().map_or(0, |d| d.sim_cycles()),
+                attempts: e.attempts,
+                cached: true,
+                metrics: sidecar(&e.result, opts),
+            };
+            // Warm the memo from the journal replay too: resumed cells are
+            // just as reusable by future runs as freshly executed ones.
+            if let Some(m) = memo_store.as_mut() {
+                let key = memo_key_for(&t, opts, memo_salt);
+                if m.get(key).is_none() {
+                    m.insert(key, e);
+                }
+            }
+            done.push((
+                t.plan_idx,
+                t.cell_idx,
+                CellOutcome {
+                    label: t.label,
+                    result: e.result.clone(),
+                },
+                stat,
+            ));
+            continue;
+        }
+        let memo_entry = memo_store.as_ref().and_then(|m| {
+            m.get(memo_key_for(&t, opts, memo_salt))
+                // The key already covers figure/cell/label, but a hash
+                // collision must degrade to a miss, never a wrong replay.
+                .filter(|e| {
+                    e.figure == t.figure && e.cell_idx == t.cell_idx as u64 && e.label == t.label
+                })
+                .filter(|e| e.result.is_ok())
+                .cloned()
+        });
+        match memo_entry {
             Some(e) => {
+                memo_hits += 1;
                 let stat = CellStat {
                     figure: t.figure.to_string(),
                     label: t.label.clone(),
@@ -648,12 +774,19 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
                     cached: true,
                     metrics: sidecar(&e.result, opts),
                 };
+                // Keep the journal complete: a replayed cell is appended so
+                // a later --resume of *this* experiment sees it.
+                if let Some(w) = journal.writer.as_mut() {
+                    if let Err(err) = w.append(&e) {
+                        journal.degrade("append", &err);
+                    }
+                }
                 done.push((
                     t.plan_idx,
                     t.cell_idx,
                     CellOutcome {
                         label: t.label,
-                        result: e.result.clone(),
+                        result: e.result,
                     },
                     stat,
                 ));
@@ -661,57 +794,100 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
             None => to_run.push(t),
         }
     }
-    let resumed_cells = done.len();
+    let resumed_cells = done.len() - memo_hits;
 
-    // Execute. Workers pull the next unclaimed index from an atomic counter;
-    // results carry their (plan, cell) coordinates so completion order is
-    // irrelevant. Each finished cell is journaled before the worker moves on,
-    // so a kill at any instant loses at most the cells then in flight.
+    // Execute. `--jobs 1` runs cells inline in declaration order. Parallel
+    // runs use a work-stealing pool: each worker owns a deque of task
+    // indices, seeded longest-cell-first from the journaled wall times of
+    // the previous run (cold runs fall back to declaration order) and dealt
+    // round-robin so every worker starts on a big cell instead of the old
+    // index-counter pool's failure mode — small cells queueing behind one
+    // straggler while finished workers idle. A worker pops its own front
+    // (its biggest remaining seed); when empty it steals a victim's *back*
+    // (the victim's smallest), which keeps the expensive cells with the
+    // workers that were seeded for them. Results carry their (plan, cell)
+    // coordinates and cell RNG streams split from order-insensitive ids, so
+    // neither seeding nor stealing can change output bytes. Each finished
+    // cell is journaled before the worker moves on, so a kill at any
+    // instant loses at most the cells then in flight.
     let journal = Mutex::new(journal);
+    let memo = Mutex::new(memo_store);
     let executed: Vec<(usize, usize, CellOutcome, CellStat)> = if jobs == 1 || to_run.len() <= 1 {
         to_run
             .into_iter()
             .map(|t| {
+                let key = opts.memo.is_some().then(|| memo_key_for(&t, opts, memo_salt));
                 let figure = t.figure;
                 let r = run_task(t, opts);
                 journal_append(&journal, figure, r.1, &r.2, &r.3);
+                memo_fill(&memo, key, figure, r.1, &r.2, &r.3);
                 r
             })
             .collect()
     } else {
-        let next = AtomicUsize::new(0);
         let n_run = to_run.len();
+        let workers = jobs.min(n_run);
+        let mut order: Vec<usize> = (0..n_run).collect();
+        order.sort_by_key(|&i| {
+            let t = &to_run[i];
+            let hint = wall_hints
+                .get(&(t.figure.to_string(), t.cell_idx as u64))
+                .copied()
+                .unwrap_or(0);
+            // Descending wall hint; unknown cells (hint 0) keep declaration
+            // order at the tail.
+            (std::cmp::Reverse(hint), i)
+        });
         let slots: Vec<std::sync::Mutex<Option<Task>>> = to_run
             .into_iter()
             .map(|t| std::sync::Mutex::new(Some(t)))
             .collect();
-        let workers = jobs.min(n_run);
+        let deques: Vec<std::sync::Mutex<std::collections::VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                std::sync::Mutex::new(order.iter().skip(w).step_by(workers).copied().collect())
+            })
+            .collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
+                .map(|w| {
                     let slots = &slots;
+                    let deques = &deques;
                     let journal = &journal;
+                    let memo = &memo;
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= slots.len() {
-                                break;
+                            // Own front first, then a cyclic victim scan.
+                            // Indices leave a deque exactly once (under its
+                            // mutex) and are never re-queued, so a worker
+                            // that sees every deque empty can safely exit.
+                            // Recover from poisoning rather than unwrap so
+                            // a panicking sibling worker (a harness bug,
+                            // cells themselves are caught) can't cascade.
+                            let mut claimed = None;
+                            for v in 0..workers {
+                                let mut q = deques[(w + v) % workers]
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                claimed = if v == 0 { q.pop_front() } else { q.pop_back() };
+                                if claimed.is_some() {
+                                    break;
+                                }
                             }
-                            // Each index is claimed exactly once, so the lock
-                            // is uncontended; recover from poisoning rather
-                            // than unwrap so a panicking sibling worker (a
-                            // harness bug, cells themselves are caught) can't
-                            // cascade.
+                            let Some(i) = claimed else { break };
                             let task = slots[i]
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .take();
                             if let Some(task) = task {
+                                let key = opts
+                                    .memo
+                                    .is_some()
+                                    .then(|| memo_key_for(&task, opts, memo_salt));
                                 let figure = task.figure;
                                 let r = run_task(task, opts);
                                 journal_append(journal, figure, r.1, &r.2, &r.3);
+                                memo_fill(memo, key, figure, r.1, &r.2, &r.3);
                                 out.push(r);
                             }
                         }
@@ -769,7 +945,9 @@ pub fn run_plans_opts(plans: Vec<SweepPlan>, opts: &RunOpts) -> (Vec<Figure>, Sw
         wall_ns: total_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
         cells: stats,
         resumed_cells,
+        memo_hits,
         journal_error,
+        extra_aggregates: Vec::new(),
     };
     (figures, report)
 }
@@ -808,6 +986,109 @@ mod tests {
         assert_eq!(s, p);
         // Different figures get different streams even at equal cell index.
         assert_ne!(serial[0].rows[0].values, serial[1].rows[0].values);
+    }
+
+    #[test]
+    fn stale_journal_wall_hints_seed_stealing_without_changing_bytes() {
+        // A journal from a *different* experiment (other seed/context) at the
+        // journal path: its wall times may seed the scheduler, but output
+        // bytes must match a hint-less serial run and every cell must run
+        // fresh (the stale journal is not resumed from).
+        let dir = std::env::temp_dir().join("aff-sweep-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("hints-{}.journal", std::process::id()));
+        let mut w = JournalWriter::create(&path, 777, 888).expect("create");
+        for (i, wall) in [(0u64, 5u64), (1, 500_000_000), (2, 10), (3, 7), (4, 100)] {
+            w.append(&JournalEntry {
+                figure: "a".into(),
+                cell_idx: i,
+                label: format!("cell{i}"),
+                attempts: 1,
+                wall_ns: wall,
+                result: Err("stale".into()),
+            })
+            .expect("append");
+        }
+        drop(w);
+        let (serial, _) = run_plans(vec![toy_plan("a"), toy_plan("b")], 1, 42);
+        let opts = RunOpts {
+            journal: Some(path.clone()),
+            ..RunOpts::new(3, 42)
+        };
+        let (hinted, report) = run_plans_opts(vec![toy_plan("a"), toy_plan("b")], &opts);
+        let s: Vec<String> = serial.iter().map(Figure::to_json).collect();
+        let h: Vec<String> = hinted.iter().map(Figure::to_json).collect();
+        assert_eq!(s, h);
+        assert_eq!(report.resumed_cells, 0, "stale journal must not resume");
+        assert!(report.cells.iter().all(|c| !c.cached));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memo_warm_run_replays_bytes_without_executing() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let dir = std::env::temp_dir().join("aff-sweep-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("memo-{}.memo", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let executions = Arc::new(AtomicU32::new(0));
+        let plan = |ex: &Arc<AtomicU32>| {
+            let mut b = PlanBuilder::new("m");
+            let mut ids = Vec::new();
+            for i in 0..4u64 {
+                let ex = Arc::clone(ex);
+                ids.push(b.cell(format!("cell{i}"), move |rng| {
+                    ex.fetch_add(1, Ordering::SeqCst);
+                    CellData::Rows {
+                        rows: vec![Row::new(format!("cell{i}"), vec![rng.next_u64() as f64])],
+                        sim_cycles: i + 1,
+                    }
+                }));
+            }
+            b.merge(move |o| {
+                let mut fig = Figure::new("m", "memo", vec!["v"]);
+                for &i in &ids {
+                    if let Some(rows) = o.rows(i) {
+                        fig.rows.extend(rows.iter().cloned());
+                    }
+                }
+                o.annotate_failures(&mut fig);
+                fig
+            })
+        };
+        let opts = RunOpts {
+            memo: Some(path.clone()),
+            memo_config: 77,
+            ..RunOpts::new(2, 42)
+        };
+        let (cold, cold_report) = run_plans_opts(vec![plan(&executions)], &opts);
+        assert_eq!(executions.load(Ordering::SeqCst), 4);
+        assert_eq!(cold_report.memo_hits, 0);
+        // Warm run: every cell replays from the store, byte-identically.
+        let (warm, warm_report) = run_plans_opts(vec![plan(&executions)], &opts);
+        assert_eq!(executions.load(Ordering::SeqCst), 4, "no cell re-ran");
+        assert_eq!(warm_report.memo_hits, 4);
+        assert!(warm_report.cells.iter().all(|c| c.cached && c.ok));
+        assert_eq!(cold[0].to_json(), warm[0].to_json());
+        // A different config (scale/geometry/tenants) or seed must miss.
+        for changed in [
+            RunOpts {
+                memo: Some(path.clone()),
+                memo_config: 78,
+                ..RunOpts::new(2, 42)
+            },
+            RunOpts {
+                memo: Some(path.clone()),
+                memo_config: 77,
+                ..RunOpts::new(2, 43)
+            },
+        ] {
+            let before = executions.load(Ordering::SeqCst);
+            let (_, r) = run_plans_opts(vec![plan(&executions)], &changed);
+            assert_eq!(r.memo_hits, 0);
+            assert_eq!(executions.load(Ordering::SeqCst), before + 4);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -878,7 +1159,7 @@ mod tests {
 
     #[test]
     fn retries_rerun_flaky_cells_on_reseeded_streams() {
-        use std::sync::atomic::AtomicU32;
+        use std::sync::atomic::{AtomicU32, Ordering};
         let calls = Arc::new(AtomicU32::new(0));
         let seen = Arc::new(Mutex::new(Vec::new()));
         let (c, s) = (Arc::clone(&calls), Arc::clone(&seen));

@@ -77,24 +77,25 @@ impl BankCounters {
         self.resident_bytes[bank as usize]
     }
 
-    /// Total accesses over all banks.
+    /// Total accesses over all banks (lane-chunked exact sum).
     pub fn total_accesses(&self) -> u64 {
-        self.accesses.iter().sum()
+        crate::lanes::sum_u64(&self.accesses)
     }
 
-    /// Accesses at the busiest bank — the service-time bottleneck.
+    /// Accesses at the busiest bank — the service-time bottleneck
+    /// (lane-chunked max).
     pub fn max_accesses(&self) -> u64 {
-        self.accesses.iter().copied().max().unwrap_or(0)
+        crate::lanes::max_u64(&self.accesses)
     }
 
-    /// Total bytes declared resident.
+    /// Total bytes declared resident (lane-chunked exact sum).
     pub fn total_resident(&self) -> u64 {
-        self.resident_bytes.iter().sum()
+        crate::lanes::sum_u64(&self.resident_bytes)
     }
 
-    /// Resident bytes at the fullest bank.
+    /// Resident bytes at the fullest bank (lane-chunked max).
     pub fn max_resident(&self) -> u64 {
-        self.resident_bytes.iter().copied().max().unwrap_or(0)
+        crate::lanes::max_u64(&self.resident_bytes)
     }
 
     /// Per-bank access slice (Fig 14 style distributions).

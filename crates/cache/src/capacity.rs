@@ -54,10 +54,17 @@ pub fn mixed_miss_rate(
 /// whole footprint on one bank and this is where the resulting capacity
 /// misses appear.
 pub fn per_bank_miss_rates(resident_per_bank: &[u64], bank_capacity: u64) -> Vec<f64> {
-    resident_per_bank
-        .iter()
-        .map(|&r| miss_rate(r, bank_capacity))
-        .collect()
+    // Branch-free form of `miss_rate`, value-identical for every input so
+    // the loop is a straight divide/select line the autovectorizer likes:
+    // r = 0 gives `1 − inf = −inf → max 0` (or `1 − NaN → max 0` when the
+    // capacity is 0 too), cap = 0 gives `1 − 0 = 1`. The equivalence is
+    // pinned by the `branchless_matches_miss_rate` proptest below.
+    let cap = bank_capacity as f64;
+    let mut out = vec![0.0f64; resident_per_bank.len()];
+    for (o, &r) in out.iter_mut().zip(resident_per_bank) {
+        *o = (1.0 - cap / r as f64).max(0.0);
+    }
+    out
 }
 
 /// Weighted overall miss rate given per-bank accesses and per-bank miss
@@ -66,16 +73,18 @@ pub fn weighted_miss_rate(accesses_per_bank: &[u64], miss_per_bank: &[f64]) -> f
     // invariant: both slices are per-bank vectors of the same machine; a
     // length mismatch is a caller bug, not a recoverable condition.
     assert_eq!(accesses_per_bank.len(), miss_per_bank.len());
-    let total: u64 = accesses_per_bank.iter().sum();
+    let total: u64 = crate::lanes::sum_u64(accesses_per_bank);
     if total == 0 {
         return 0.0;
     }
-    accesses_per_bank
-        .iter()
-        .zip(miss_per_bank)
-        .map(|(&a, &m)| a as f64 * m)
-        .sum::<f64>()
-        / total as f64
+    // The products are an elementwise (lane-friendly) map; the reduction
+    // stays a *sequential* in-order sum — float addition is not associative,
+    // and reassociating it would shift figure bytes that golden tests pin.
+    let mut weighted = 0.0f64;
+    for (&a, &m) in accesses_per_bank.iter().zip(miss_per_bank) {
+        weighted += a as f64 * m;
+    }
+    weighted / total as f64
 }
 
 #[cfg(test)]
@@ -152,6 +161,24 @@ mod proptests {
             prop_assert!((0.0..=1.0).contains(&m));
             prop_assert!(miss_rate(fp.saturating_add(d), cap) >= m);
             prop_assert!(miss_rate(fp, cap.saturating_add(d)) <= m);
+        }
+
+        /// The branch-free per-bank map is bit-identical to the scalar
+        /// `miss_rate`, including the r = 0 / cap = 0 corners.
+        #[test]
+        fn branchless_matches_miss_rate(
+            mut resident in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+            cap in 0u64..1u64 << 40,
+        ) {
+            // Make sure the r = 0 corner is exercised every case, and the
+            // cap = 0 corner against every footprint.
+            resident.push(0);
+            for &c in &[cap, 0] {
+                let lanes = per_bank_miss_rates(&resident, c);
+                for (&r, &m) in resident.iter().zip(&lanes) {
+                    prop_assert_eq!(m.to_bits(), miss_rate(r, c).to_bits());
+                }
+            }
         }
 
         /// Weighted miss rate is a convex combination of per-bank rates.

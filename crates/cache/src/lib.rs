@@ -15,6 +15,7 @@
 
 pub mod bank;
 pub mod capacity;
+pub mod lanes;
 pub mod dram;
 pub mod private;
 pub mod spare;

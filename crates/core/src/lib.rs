@@ -31,6 +31,7 @@
 //! ```
 
 pub mod api;
+pub mod lanes;
 pub mod policy;
 pub mod runtime;
 pub mod service;

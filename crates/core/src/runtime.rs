@@ -17,7 +17,8 @@
 //! bookkeeping the modeled hardware does not need.)
 
 use crate::api::{AffineArrayReq, AllocError, MAX_AFFINITY_ADDRS};
-use crate::policy::{argmin_score, score, BankSelectPolicy};
+use crate::lanes::{add_u16_column, argmin_score_lanes, score_lanes};
+use crate::policy::BankSelectPolicy;
 use aff_mem::addr::VAddr;
 use aff_mem::memory::SimMemory;
 use aff_mem::pool::PoolId;
@@ -125,6 +126,21 @@ pub struct AffinityAllocator {
     /// the config's static plan; [`apply_fault_plan`](Self::apply_fault_plan)
     /// replaces it when a timeline epoch fires mid-run.
     active_faults: FaultPlan,
+    /// Lazily built hop-distance columns for the lane-parallel Eq-4 path:
+    /// `dist_cols[a * banks + b] = topo.manhattan(b, a)`, so the column of
+    /// one affinity bank `a` is contiguous over every candidate `b`. Built
+    /// on the first affinity-driven `select_bank` (Rnd/Lnr never pay for
+    /// it); the topology is fixed at construction, so it never invalidates.
+    dist_cols: Vec<u16>,
+    /// Scratch (reused across calls): dense per-bank affinity hop sums.
+    scratch_hops: Vec<u32>,
+    /// Scratch: resolved affinity banks of the current `malloc_aff` call.
+    scratch_aff: Vec<u32>,
+    /// Scratch: per-candidate mean hops / effective loads / Eq-4 scores,
+    /// parallel to `healthy`.
+    scratch_cand_hops: Vec<f64>,
+    scratch_cand_loads: Vec<u64>,
+    scratch_scores: Vec<f64>,
     /// Graceful-degradation counters (excluded banks, fallback chain use).
     report: DegradationReport,
 }
@@ -133,6 +149,12 @@ pub struct AffinityAllocator {
 /// modeled machine). Requests above it get [`AllocError::Oversized`] before
 /// interleave rounding or quota math can overflow.
 pub const MAX_ALLOC_BYTES: u64 = 1 << 48;
+
+/// Largest bank count that gets precomputed Eq-4 distance columns (the
+/// table is `banks² × 2` bytes — 32 MiB at this cap, 2 MiB at the 32×32
+/// geometry the harness actually sweeps). Bigger machines recompute
+/// distances per `malloc_aff` instead of holding a quadratic table.
+pub const DIST_TABLE_MAX_BANKS: usize = 4096;
 
 /// One step of the affine degradation chain: the Eq-3-derived placement, a
 /// coarser-but-valid interleave preserving the start bank, or the baseline
@@ -191,6 +213,12 @@ impl AffinityAllocator {
             coalesce: false,
             active_faults,
             report,
+            dist_cols: Vec::new(),
+            scratch_hops: Vec::new(),
+            scratch_aff: Vec::new(),
+            scratch_cand_hops: Vec::new(),
+            scratch_cand_loads: Vec::new(),
+            scratch_scores: Vec::new(),
         }
     }
 
@@ -742,6 +770,27 @@ impl AffinityAllocator {
     /// excluded from every policy, and slowed banks see their load term
     /// multiplied by their fault slowdown (a 4×-slower bank looks 4× as
     /// loaded, so Eq 4 naturally steers allocations away from it).
+    /// Build the dense hop-distance columns for the lane-parallel Eq-4 path,
+    /// capped at [`DIST_TABLE_MAX_BANKS`] banks (16 MiB of `u16`s at the
+    /// cap). Geometries past the cap keep an empty table and recompute
+    /// distances per call — same math, just without the precomputed columns.
+    fn ensure_dist_cols(&mut self) {
+        let n = self.space.config().num_banks() as usize;
+        if !self.dist_cols.is_empty() || n == 0 || n > DIST_TABLE_MAX_BANKS {
+            return;
+        }
+        let mut cols = vec![0u16; n * n];
+        for a in 0..n {
+            let col = &mut cols[a * n..][..n];
+            for (b, slot) in col.iter_mut().enumerate() {
+                let d = self.topo.manhattan(b as u32, a as u32);
+                debug_assert!(d <= u32::from(u16::MAX));
+                *slot = d as u16;
+            }
+        }
+        self.dist_cols = cols;
+    }
+
     fn select_bank(&mut self, aff_addrs: &[VAddr]) -> u32 {
         let banks = self.space.config().num_banks();
         match self.policy {
@@ -762,27 +811,67 @@ impl AffinityAllocator {
                     BankSelectPolicy::Hybrid { h } => h,
                     _ => 0.0,
                 };
-                let aff_banks: Vec<u32> =
-                    aff_addrs.iter().map(|&a| self.space.bank_of(a)).collect();
-                let total_load: u64 = self.loads.iter().sum();
+                // Lane-parallel Eq 4 (see `crate::lanes`): the same argmin
+                // the scalar iterator computed, restated as dense straight-
+                // line passes. Bit-identical by construction — hop sums are
+                // exact integer adds, each candidate's score is evaluated by
+                // the same `score` arithmetic, and the argmin uses the same
+                // total order and lowest-id tie-break.
+                self.scratch_aff.clear();
+                for &a in aff_addrs {
+                    self.scratch_aff.push(self.space.bank_of(a));
+                }
+                let total_load: u64 = crate::lanes::sum_u64(&self.loads);
                 let avg_load = total_load as f64 / f64::from(banks);
-                let topo = self.topo;
-                let loads = &self.loads;
-                let faults = &self.active_faults;
-                argmin_score(self.healthy.iter().map(|&b| {
-                    let avg_hops = if aff_banks.is_empty() {
+                self.ensure_dist_cols();
+                let n = banks as usize;
+                // Dense hop sums: one contiguous u16 distance-column add per
+                // affinity address replaces per-candidate coordinate math.
+                self.scratch_hops.clear();
+                self.scratch_hops.resize(n, 0);
+                if self.dist_cols.is_empty() {
+                    // Geometry past the table cap: same exact integer sums,
+                    // recomputed per call.
+                    for &a in &self.scratch_aff {
+                        for (b, acc) in self.scratch_hops.iter_mut().enumerate() {
+                            *acc += self.topo.manhattan(b as u32, a);
+                        }
+                    }
+                } else {
+                    for &a in &self.scratch_aff {
+                        add_u16_column(
+                            &mut self.scratch_hops,
+                            &self.dist_cols[a as usize * n..][..n],
+                        );
+                    }
+                }
+                // Gather the healthy candidates' inputs, then score + argmin
+                // over the packed slices.
+                let aff_len = self.scratch_aff.len();
+                self.scratch_cand_hops.clear();
+                self.scratch_cand_loads.clear();
+                for i in 0..self.healthy.len() {
+                    let b = self.healthy[i];
+                    let avg_hops = if aff_len == 0 {
                         0.0
                     } else {
-                        aff_banks
-                            .iter()
-                            .map(|&a| f64::from(topo.manhattan(b, a)))
-                            .sum::<f64>()
-                            / aff_banks.len() as f64
+                        f64::from(self.scratch_hops[b as usize]) / aff_len as f64
                     };
-                    let load = loads[b as usize] * faults.bank_slowdown(b);
-                    (b, score(avg_hops, load, avg_load, h))
-                }))
-                .unwrap_or_else(|| self.healthy.first().copied().unwrap_or(0))
+                    self.scratch_cand_hops.push(avg_hops);
+                    self.scratch_cand_loads
+                        .push(self.loads[b as usize] * self.active_faults.bank_slowdown(b));
+                }
+                self.scratch_scores.clear();
+                self.scratch_scores.resize(self.healthy.len(), 0.0);
+                score_lanes(
+                    &self.scratch_cand_hops,
+                    &self.scratch_cand_loads,
+                    avg_load,
+                    h,
+                    &mut self.scratch_scores,
+                );
+                argmin_score_lanes(&self.healthy, &self.scratch_scores)
+                    .unwrap_or_else(|| self.healthy.first().copied().unwrap_or(0))
             }
         }
     }

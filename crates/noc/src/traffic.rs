@@ -93,10 +93,13 @@ const UNRESOLVED: u32 = u32::MAX;
 /// Largest bank count that keeps the dense `src*n+dst` route table. The
 /// paper's 8×8 machine (64 banks) sits comfortably below it, so the default
 /// geometry keeps the PR-4 hot path — one indexed load per lookup —
-/// byte-identically. Above the threshold the dense table's O(n²) entry array
-/// (a 32×32 machine would pre-commit 16 MiB before the arena) gives way to
-/// on-demand per-source rows with LRU-ish eviction.
-pub const DENSE_ROUTE_TABLE_MAX_BANKS: usize = 128;
+/// byte-identically, and so does a 16×16 machine (256 banks, a 1 MiB entry
+/// array): the earlier 128-bank cutoff pushed 16×16 onto the on-demand
+/// store and cost it half its route-lookup throughput for a memory saving
+/// nobody needed at that scale. Above the threshold the dense table's O(n²)
+/// entry array (a 32×32 machine would pre-commit 16 MiB before the arena)
+/// gives way to on-demand per-source rows with LRU-ish eviction.
+pub const DENSE_ROUTE_TABLE_MAX_BANKS: usize = 256;
 
 /// Resident per-source rows the on-demand store keeps before evicting the
 /// least-recently-used one. Real kernels touch far fewer distinct sources
@@ -1101,18 +1104,22 @@ mod tests {
 
     #[test]
     fn big_geometries_use_the_on_demand_store() {
-        let topo = Topology::new(16, 16); // 256 banks > dense threshold
+        let topo = Topology::new(20, 20); // 400 banks > dense threshold
         let m = TrafficMatrix::new(topo, 32, 8);
         assert!(matches!(m.routes, RouteStore::OnDemand(_)));
+        // 16×16 (256 banks) sits exactly at the threshold: dense, so the
+        // route-lookup hot path stays one indexed load on that geometry.
+        let at_threshold = TrafficMatrix::new(Topology::new(16, 16), 32, 8);
+        assert!(matches!(at_threshold.routes, RouteStore::Dense(_)));
         let small = TrafficMatrix::new(Topology::new(8, 8), 32, 8);
         assert!(matches!(small.routes, RouteStore::Dense(_)));
     }
 
     #[test]
     fn on_demand_routes_match_geometry_routes() {
-        let topo = Topology::new(16, 16);
+        let topo = Topology::new(20, 20);
         let mut m = TrafficMatrix::new(topo, 32, 8);
-        for (src, dst) in [(0u32, 255u32), (17, 203), (255, 0), (40, 40)] {
+        for (src, dst) in [(0u32, 399u32), (17, 203), (399, 0), (40, 40)] {
             let want: Vec<u32> = topo
                 .xy_route(src, dst)
                 .into_iter()
@@ -1128,7 +1135,7 @@ mod tests {
         // Touch more sources than the store keeps resident, twice over, and
         // compare against recording the same stream into a second matrix in
         // one pass: eviction and re-materialization must not change a byte.
-        let topo = Topology::new(16, 16);
+        let topo = Topology::new(20, 20);
         let n = topo.num_banks();
         let mut a = TrafficMatrix::new(topo, 32, 8);
         let mut b = TrafficMatrix::new(topo, 32, 8);
@@ -1154,7 +1161,7 @@ mod tests {
     #[test]
     fn on_demand_store_survives_fault_epochs() {
         use aff_sim_core::fault::LinkRef;
-        let topo = Topology::new(16, 16);
+        let topo = Topology::new(20, 20);
         let dead = LinkRef::between(1, 0, 2, 0).expect("adjacent");
         let mut m = TrafficMatrix::new(topo, 32, 8);
         m.record(0, 3, 24, TrafficClass::Data); // plain X-Y: 3 hops
@@ -1304,8 +1311,8 @@ mod proptests {
         /// rebuilds (`apply_fault_plan` install + repair).
         #[test]
         fn on_demand_routes_byte_match_dense_and_routers(
-            mesh_x in 12u32..33,
-            mesh_y in 12u32..33,
+            mesh_x in 17u32..33,
+            mesh_y in 17u32..33,
             torus in proptest::arbitrary::any::<bool>(),
             pairs in proptest::collection::vec(
                 (proptest::arbitrary::any::<u32>(), proptest::arbitrary::any::<u32>()),
@@ -1322,7 +1329,7 @@ mod proptests {
             let kind = if torus { TopologyKind::Torus } else { TopologyKind::Mesh };
             let topo = Topology::with_kind(mesh_x, mesh_y, BankOrder::RowMajor, kind);
             let n = topo.num_banks();
-            // 12×12 = 144 banks already exceeds the dense threshold: the
+            // 17×17 = 289 banks already exceeds the dense threshold: the
             // matrix must be running the on-demand store.
             let mut m = TrafficMatrix::new(topo, 32, 8);
             prop_assert!(matches!(m.routes, RouteStore::OnDemand(_)));

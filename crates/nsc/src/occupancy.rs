@@ -133,26 +133,31 @@ impl PhaseTracker {
     /// End the phase, producing a snapshot (or `None` if no atomics ran).
     pub fn end(&mut self, config: &MachineConfig) -> Option<OccupancySnapshot> {
         self.active = false;
-        let bottleneck = *self.atomics.iter().max().expect("at least one bank");
+        // Lane-chunked bottleneck max; the per-bank Little's-law pass below
+        // is a straight divide/fma/min line whose only branch is folded into
+        // a final select, so both scans autovectorize. Values (including the
+        // idle-bank zeros) are bit-identical to the scalar formulation — the
+        // conversions are hoisted but every float op keeps its order.
+        let bottleneck = aff_cache::lanes::max_u64(&self.atomics);
         if bottleneck == 0 {
             return None;
         }
         // Phase duration: the bottleneck bank serializes its atomics.
         let duration = bottleneck as f64 / config.bank_accesses_per_cycle;
         let cap = f64::from(config.sel3_streams_per_bank.max(1)) * 4.0 / 3.0;
-        let per_bank: Vec<f64> = (0..self.num_banks as usize)
-            .map(|b| {
-                let n = self.atomics[b] as f64;
-                if n == 0.0 {
-                    return 0.0;
-                }
-                let avg_hops = self.hop_sum[b] as f64 / n;
-                let latency =
-                    avg_hops * config.hop_latency as f64 * 2.0 + config.l3_latency as f64;
-                // Little's law: L = λ·W, capped by SE capacity.
-                (n / duration * latency).min(cap)
-            })
-            .collect();
+        let hop_latency = config.hop_latency as f64;
+        let l3_latency = config.l3_latency as f64;
+        let mut per_bank = vec![0.0f64; self.num_banks as usize];
+        for (b, out) in per_bank.iter_mut().enumerate() {
+            let n = self.atomics[b] as f64;
+            let avg_hops = self.hop_sum[b] as f64 / n;
+            let latency = avg_hops * hop_latency * 2.0 + l3_latency;
+            // Little's law: L = λ·W, capped by SE capacity. An idle bank
+            // divides 0/0 above; the select discards the NaN for the exact
+            // 0.0 the scalar early-return produced.
+            let occupancy = (n / duration * latency).min(cap);
+            *out = if n == 0.0 { 0.0 } else { occupancy };
+        }
         Some(OccupancySnapshot {
             per_bank,
             weight: bottleneck as f64,
