@@ -6,18 +6,32 @@
 //! affsim pr_push --system near --scale 2  # Near-L3, 2x input
 //! affsim bin_tree --system aff --policy min-hop
 //! affsim link_list --system incore --seed 7
+//! affsim bfs --hints none                 # annotation-free floor
+//! affsim bfs --profile-out bfs.profile.json   # mine an affinity profile
+//! affsim bfs --hints inferred --profile-in bfs.profile.json
+//! affsim bfs --hints inferred             # closed loop in one invocation
 //! ```
 
-use aff_workloads::config::{RunConfig, SystemConfig};
+use aff_bench::inference::{near_bank_ratio, profile_workload};
+use aff_workloads::config::{HintMode, RunConfig, SystemConfig};
 use aff_workloads::suite::{self, WorkloadName};
-use affinity_alloc::BankSelectPolicy;
+use affinity_alloc::{AffinityProfile, BankSelectPolicy};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: affsim <workload> [--system incore|near|aff] [--policy rnd|lnr|min-hop|hybrid-N]\n\
-         \x20             [--scale N] [--seed N]\n\
+         \x20             [--scale N] [--seed N] [--hints annotated|none|inferred]\n\
+         \x20             [--profile-out PATH] [--profile-in PATH]\n\
          workloads: pathfinder srad hotspot hotspot3d pr pr_push pr_pull bfs bfs_push\n\
-         \x20          bfs_pull sssp link_list hash_join bin_tree"
+         \x20          bfs_pull sssp link_list hash_join bin_tree\n\
+         --hints         where placement hints come from (default: the hand\n\
+         \x20             annotations; 'inferred' without --profile-in profiles\n\
+         \x20             annotation-free in-process first — the closed loop)\n\
+         --profile-out   run annotation-free with the co-access miner and write\n\
+         \x20             the inferred affinity profile as JSON\n\
+         --profile-in    with --hints inferred: replay a saved profile instead\n\
+         \x20             of re-profiling"
     );
     std::process::exit(2);
 }
@@ -65,6 +79,9 @@ fn main() {
     let mut policy = BankSelectPolicy::paper_default();
     let mut scale = 1u32;
     let mut seed = 2023u64;
+    let mut hints = "annotated".to_string();
+    let mut profile_out: Option<String> = None;
+    let mut profile_in: Option<String> = None;
     while let Some(a) = args.next() {
         let mut value = |name: &str| args.next().unwrap_or_else(|| {
             eprintln!("{name} needs a value");
@@ -81,6 +98,9 @@ fn main() {
             }
             "--scale" => scale = value("--scale").parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--hints" => hints = value("--hints"),
+            "--profile-out" => profile_out = Some(value("--profile-out")),
+            "--profile-in" => profile_in = Some(value("--profile-in")),
             _ => usage(),
         }
     }
@@ -95,6 +115,42 @@ fn main() {
     };
 
     let cfg = RunConfig::new(system).with_scale(scale).with_seed(seed);
+    if let Some(path) = &profile_out {
+        // Phase 1 standalone: annotation-free run with the miner installed,
+        // inferred profile serialized for a later --profile-in replay.
+        let profile = profile_workload(workload, &cfg);
+        if let Err(e) = std::fs::write(path, profile.to_json() + "\n") {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} ({} inferred hints)", profile.hint_count());
+    }
+    let hints = match hints.as_str() {
+        "annotated" => HintMode::Annotated,
+        "none" => HintMode::NoHints,
+        "inferred" => {
+            let profile = match &profile_in {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("could not read {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    AffinityProfile::from_json(&text).unwrap_or_else(|| {
+                        eprintln!("{path} is not an affinity profile");
+                        std::process::exit(1);
+                    })
+                }
+                // No saved profile: close the loop in-process.
+                None => profile_workload(workload, &cfg),
+            };
+            HintMode::Inferred(Arc::new(profile))
+        }
+        other => {
+            eprintln!("unknown hint mode {other:?}");
+            usage()
+        }
+    };
+    let cfg = cfg.with_hints(hints);
     let start = std::time::Instant::now();
     let run = suite::run(workload, &cfg);
     let m = &run.metrics;
@@ -120,6 +176,13 @@ fn main() {
     println!("dram accesses   {}", m.dram_accesses);
     println!("energy          {:.1} uJ", m.energy_pj / 1e6);
     println!("bank imbalance  {:.2}", m.bank_imbalance);
+    if !cfg.hints.is_annotated() {
+        // Provenance lines appear only off the default, so annotated output
+        // stays byte-identical to the pre-inference binary.
+        println!("hint source     {}", m.hint_source.as_deref().unwrap_or("annotated"));
+        println!("inferred hints  {}", m.inferred_hints);
+        println!("near-bank ratio {:.3}", near_bank_ratio(m));
+    }
     if !run.iters.is_empty() {
         println!("iterations      {}", run.iters.len());
         for (i, it) in run.iters.iter().enumerate() {

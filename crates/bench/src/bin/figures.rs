@@ -14,6 +14,9 @@
 //! figures --trace t.json fig13       # + one traced cell as Chrome JSON
 //! figures --chaos 7 fig13            # deterministic fault-timeline chaos
 //! figures --chaos 7 --chaos-intensity 12 all   # denser fault schedules
+//! figures inference                  # closed-loop affinity inference
+//!                                    # (annotated vs inferred vs none;
+//!                                    # opt-in — not part of `all`)
 //! ```
 //!
 //! Figure tables/JSON go to **stdout** and are byte-identical for any
@@ -48,6 +51,8 @@ fn usage() {
          (all | figN...)"
     );
     eprintln!("known figures: {ALL_FIGURES:?}");
+    eprintln!("  inference      opt-in figure id (not part of 'all'): every Table 3");
+    eprintln!("                 workload annotated vs closed-loop-inferred vs hint-free");
     eprintln!("  --memo PATH    cross-run cell cache: completed cells are stored keyed by");
     eprintln!("                 a content hash (code version, config, seed, figure, cell);");
     eprintln!("                 later runs replay matching cells instead of re-running them");
@@ -200,9 +205,11 @@ fn main() {
         usage();
         std::process::exit(2);
     }
+    // `inference` is dispatchable by id but deliberately absent from
+    // ALL_FIGURES (and thus from `all`): it re-runs the whole suite 3 ways.
     let unknown: Vec<&String> = ids
         .iter()
-        .filter(|id| !ALL_FIGURES.contains(&id.as_str()))
+        .filter(|id| !ALL_FIGURES.contains(&id.as_str()) && id.as_str() != "inference")
         .collect();
     if !unknown.is_empty() {
         eprintln!("unknown figure id(s): {unknown:?}");

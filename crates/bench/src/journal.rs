@@ -45,8 +45,9 @@ use aff_workloads::suite::SuiteRun;
 /// File magic: identifies the format *and* its version. Bump the trailing
 /// digit on any payload-layout change so old journals are refused, not
 /// misparsed. (v2: fault-epoch counters + the transition log in `Metrics`;
-/// v3: fragmentation ratio + the per-tenant usage records.)
-const MAGIC: &[u8; 8] = b"AFFJRNL3";
+/// v3: fragmentation ratio + the per-tenant usage records; v4: hint-source
+/// tag + inferred-hint count from the affinity-inference loop.)
+const MAGIC: &[u8; 8] = b"AFFJRNL4";
 
 /// Header length: magic + seed + context hash.
 const HEADER_LEN: u64 = 24;
@@ -346,6 +347,14 @@ fn put_metrics(out: &mut Vec<u8>, m: &Metrics) {
         put_fault_event(out, t);
     }
     put_f64(out, m.fragmentation_ratio);
+    match &m.hint_source {
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        None => out.push(0),
+    }
+    put_u64(out, m.inferred_hints);
     put_u32(out, m.tenants.len() as u32);
     for t in &m.tenants {
         put_u32(out, t.tenant);
@@ -553,6 +562,12 @@ impl<'a> Dec<'a> {
             transitions.push(self.fault_event()?);
         }
         let fragmentation_ratio = self.f64()?;
+        let hint_source = match self.u8()? {
+            0 => None,
+            1 => Some(self.string()?),
+            _ => return None,
+        };
+        let inferred_hints = self.u64()?;
         let n_tenants = self.u32()? as usize;
         let mut tenants = Vec::with_capacity(n_tenants.min(1 << 16));
         for _ in 0..n_tenants {
@@ -589,6 +604,8 @@ impl<'a> Dec<'a> {
             transitions,
             fragmentation_ratio,
             tenants,
+            hint_source,
+            inferred_hints,
         })
     }
 
@@ -755,6 +772,8 @@ mod tests {
                 },
             ],
             fragmentation_ratio: 0.0625,
+            hint_source: Some("inferred".to_string()),
+            inferred_hints: 5,
             tenants: vec![{
                 let mut u = aff_sim_core::tenant::TenantUsage::new(1, "bob");
                 u.admitted = 99;

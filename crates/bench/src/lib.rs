@@ -8,6 +8,7 @@
 //! aff-bench --bin figures -- all`.
 
 pub mod figures;
+pub mod inference;
 pub mod journal;
 pub mod memo;
 pub mod report;

@@ -49,7 +49,7 @@ const HEADER_LEN: usize = 16;
 /// Manual invalidation epoch. Bump this whenever cell semantics change in a
 /// way the crate version does not capture (e.g. a simulator fix on an
 /// unreleased tree): the salt changes, and every memoized cell is discarded.
-pub const MEMO_EPOCH: u32 = 1;
+pub const MEMO_EPOCH: u32 = 2;
 
 /// The code-version salt folded into every memo key *and* stamped in the
 /// store header: FNV-1a over the bench crate version and [`MEMO_EPOCH`].

@@ -188,7 +188,7 @@ impl Figure {
     }
 }
 
-/// Per-cell simulation metrics sidecar (schema `aff-bench/sweep-v5`).
+/// Per-cell simulation metrics sidecar (schema `aff-bench/sweep-v7`).
 ///
 /// A compact, plotting-oriented projection of
 /// [`Metrics`](aff_nsc::engine::Metrics): the handful of scalars the paper's
@@ -199,8 +199,11 @@ impl Figure {
 /// (`fault_epochs`, `evacuated_lines`, `transitions`) — all zero/empty on
 /// plain runs, populated under a fault timeline or `--chaos`. v5 over v4:
 /// the multi-tenant pair (`fragmentation_ratio`, `tenants`) — zero/empty on
-/// single-tenant runs, populated by the `tenants` churn family. Every v4
-/// field is emitted unchanged, so v4 readers keep working.
+/// single-tenant runs, populated by the `tenants` churn family. v7 over v5:
+/// the hint-provenance pair (`hint_source`, `inferred_hints`) —
+/// `null`/zero on ordinary annotated runs, populated by the `inference`
+/// closed-loop family. Every earlier field is emitted unchanged, so v4+
+/// readers keep working.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellMetrics {
     /// Analytic cycle estimate.
@@ -235,6 +238,14 @@ pub struct CellMetrics {
     /// cells).
     #[serde(default)]
     pub tenants: Vec<aff_sim_core::tenant::TenantUsage>,
+    /// Where the run's affinity hints came from (`"inferred"` / `"none"`);
+    /// `None` on ordinary annotated runs, so every pre-inference cell is
+    /// unchanged.
+    #[serde(default)]
+    pub hint_source: Option<String>,
+    /// Hints applied from a mined profile (0 outside inferred runs).
+    #[serde(default)]
+    pub inferred_hints: u64,
 }
 
 impl From<&aff_nsc::engine::Metrics> for CellMetrics {
@@ -252,6 +263,8 @@ impl From<&aff_nsc::engine::Metrics> for CellMetrics {
             transitions: m.transitions.iter().map(|t| t.to_string()).collect(),
             fragmentation_ratio: m.fragmentation_ratio,
             tenants: m.tenants.clone(),
+            hint_source: m.hint_source.clone(),
+            inferred_hints: m.inferred_hints,
         }
     }
 }
@@ -292,7 +305,8 @@ impl CellMetrics {
             "{{ \"cycles\": {}, \"total_hop_flits\": {}, \"noc_utilization\": {}, \
              \"l3_miss_rate\": {}, \"dram_accesses\": {}, \"energy_pj\": {}, \
              \"bank_imbalance\": {}, \"fault_epochs\": {}, \"evacuated_lines\": {}, \
-             \"transitions\": {}, \"fragmentation_ratio\": {}, \"tenants\": [{}] }}",
+             \"transitions\": {}, \"fragmentation_ratio\": {}, \"tenants\": [{}], \
+             \"hint_source\": {}, \"inferred_hints\": {} }}",
             self.cycles,
             self.total_hop_flits,
             num(self.noc_utilization),
@@ -305,6 +319,11 @@ impl CellMetrics {
             str_list(&self.transitions),
             num(self.fragmentation_ratio),
             tenants.join(", "),
+            match &self.hint_source {
+                Some(s) => esc(s),
+                None => "null".into(),
+            },
+            self.inferred_hints,
         )
     }
 }
@@ -509,7 +528,7 @@ impl SweepReport {
         }
     }
 
-    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v6`).
+    /// Render as JSON (`BENCH_sweep.json` schema `aff-bench/sweep-v7`).
     ///
     /// v3 over v2: every cell object carries a `"metrics"` key — the
     /// [`CellMetrics`] sidecar object when collected, `null` otherwise.
@@ -518,6 +537,9 @@ impl SweepReport {
     /// v6 over v5: run level gains `memo_hits` and an `aggregates` array —
     /// this run's [`AggregateRow`] first, then any rows merged from a prior
     /// report via `--aggregate-from`.
+    /// v7 over v6: the metrics object gains the hint-provenance pair
+    /// (`hint_source`, `inferred_hints`) stamped by the `inference` family;
+    /// `null`/0 everywhere else.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self
             .cells
@@ -551,7 +573,7 @@ impl SweepReport {
         let mut aggregates: Vec<String> = vec![self.aggregate().to_json()];
         aggregates.extend(self.extra_aggregates.iter().map(AggregateRow::to_json));
         format!(
-            "{{\n  \"schema\": \"aff-bench/sweep-v6\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+            "{{\n  \"schema\": \"aff-bench/sweep-v7\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
              \"wall_ms\": {},\n  \"total_sim_cycles\": {},\n  \"total_cell_wall_ms\": {},\n  \
              \"mcycles_per_sec\": {},\n  \"parallelism\": {},\n  \"failed_cells\": {},\n  \
              \"budget_failed_cells\": {},\n  \"resumed_cells\": {},\n  \"memo_hits\": {},\n  \
@@ -696,6 +718,8 @@ mod tests {
                             u.resident_bytes = 4096;
                             u
                         }],
+                        hint_source: Some("inferred".into()),
+                        inferred_hints: 12,
                     }),
                 },
                 CellStat {
@@ -736,7 +760,7 @@ mod tests {
     #[test]
     fn sweep_report_json_is_well_formed() {
         let j = sample_sweep().to_json();
-        assert!(j.contains("\"schema\": \"aff-bench/sweep-v6\""));
+        assert!(j.contains("\"schema\": \"aff-bench/sweep-v7\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"failed_cells\": 1"));
         assert!(j.contains("\"budget_failed_cells\": 0"));
@@ -758,6 +782,9 @@ mod tests {
         assert!(j.contains("\"total_hop_flits\": 1234"));
         assert!(j.contains("\"dram_accesses\": 77"));
         assert!(j.contains("\"bank_imbalance\": null"));
+        // v7 hint provenance: stamped on the inferred cell …
+        assert!(j.contains("\"hint_source\": \"inferred\""));
+        assert!(j.contains("\"inferred_hints\": 12"));
         // v4 fault-recovery triple.
         assert!(j.contains("\"fault_epochs\": 2"));
         assert!(j.contains("\"evacuated_lines\": 4096"));

@@ -43,6 +43,7 @@ use aff_nsc::engine::Metrics;
 use aff_sim_core::config::MachineConfig;
 use aff_sim_core::error::SimError;
 use aff_sim_core::fault::{self, FaultTimeline};
+use aff_sim_core::mine::{self, MinedTrace};
 use aff_sim_core::rng::SimRng;
 use aff_workloads::suite::SuiteRun;
 
@@ -210,6 +211,11 @@ impl SweepPlan {
     pub fn num_cells(&self) -> usize {
         self.cells.len()
     }
+
+    /// Cell labels, in declaration order.
+    pub fn cell_labels(&self) -> Vec<&str> {
+        self.cells.iter().map(|c| c.label.as_str()).collect()
+    }
 }
 
 /// Builder: declare cells (capturing their id for the merge), then attach
@@ -244,6 +250,37 @@ impl PlanBuilder {
             job: Arc::new(job),
         });
         self.cells.len() - 1
+    }
+
+    /// Declare a **closed-loop** cell: the annotate → profile → infer loop
+    /// as a single self-contained job.
+    ///
+    /// `profile` runs first with a fresh thread-local
+    /// [`CoAccessMiner`](aff_sim_core::mine::CoAccessMiner) installed — every
+    /// engine built on the worker thread streams its access events into it.
+    /// The mined summary is then handed to `replay`, whose output becomes
+    /// the cell's data. Because both phases live inside one cell, the loop
+    /// inherits every engine guarantee for free: byte-identical across
+    /// `--jobs`, memo/journal-cacheable as one outcome, retried as a unit.
+    ///
+    /// The miner is taken down even when `profile` panics, so a broken
+    /// profiling phase cannot leak a recorder into whatever cell the pooled
+    /// worker thread picks up next; the panic then propagates into the
+    /// engine's normal fail-soft path.
+    pub fn closed_loop_cell<P, R>(&mut self, label: impl Into<String>, profile: P, replay: R) -> usize
+    where
+        P: Fn(&mut SimRng) + Send + Sync + 'static,
+        R: Fn(&mut SimRng, MinedTrace) -> CellData + Send + Sync + 'static,
+    {
+        self.cell(label, move |rng| {
+            mine::install_thread_miner();
+            let profiled = catch_unwind(AssertUnwindSafe(|| profile(rng)));
+            let trace = mine::take_thread_miner().unwrap_or_default();
+            match profiled {
+                Ok(()) => replay(rng, trace),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })
     }
 
     /// Attach the merge function and finish the plan.
@@ -986,6 +1023,66 @@ mod tests {
         assert_eq!(s, p);
         // Different figures get different streams even at equal cell index.
         assert_ne!(serial[0].rows[0].values, serial[1].rows[0].values);
+    }
+
+    #[test]
+    fn closed_loop_cells_mine_then_replay_in_one_cell() {
+        use aff_sim_core::mine::RegionKind;
+        use aff_sim_core::trace::{Event, Recorder};
+        let mut b = PlanBuilder::new("loop");
+        let id = b.closed_loop_cell(
+            "cell",
+            |_rng| {
+                // The profiling phase sees a fresh thread-local miner.
+                assert!(mine::thread_miner_installed());
+                mine::register_region(0, RegionKind::Array, 4, 16);
+                let mut rec = mine::ThreadMinerRecorder;
+                for i in 0..8u64 {
+                    rec.record(&Event::ProfileTouch { region: 0, elem: i, step: i });
+                }
+            },
+            |_rng, trace| CellData::Rows {
+                rows: vec![Row::new("mined", vec![trace.touch_events as f64])],
+                sim_cycles: 0,
+            },
+        );
+        let plan = b.merge(move |o| {
+            let mut fig = Figure::new("loop", "closed loop", vec!["touches"]);
+            if let Some(rows) = o.rows(id) {
+                fig.rows.extend(rows.iter().cloned());
+            }
+            o.annotate_failures(&mut fig);
+            fig
+        });
+        let (figs, _) = run_plans(vec![plan], 1, 7);
+        assert_eq!(figs[0].rows[0].values, vec![8.0]);
+        // jobs = 1 ran the cell inline on this thread: the miner must be gone.
+        assert!(!mine::thread_miner_installed());
+    }
+
+    #[test]
+    fn closed_loop_profile_panic_fails_soft_and_uninstalls_the_miner() {
+        let mut b = PlanBuilder::new("loop-panic");
+        let id = b.closed_loop_cell(
+            "cell",
+            |_rng| panic!("profiling phase exploded"),
+            |_rng, _trace| CellData::Rows {
+                rows: vec![Row::new("unreached", vec![1.0])],
+                sim_cycles: 0,
+            },
+        );
+        let plan = b.merge(move |o| {
+            let mut fig = Figure::new("loop-panic", "closed loop", vec!["v"]);
+            assert!(o.rows(id).is_none(), "panicked cell must yield no data");
+            o.annotate_failures(&mut fig);
+            fig
+        });
+        let (figs, report) = run_plans(vec![plan], 1, 7);
+        // Fail-soft: the panic became a cell-level error, not an abort …
+        assert!(report.cells[0].error.as_deref().is_some_and(|e| e.contains("exploded")));
+        assert!(figs[0].notes.iter().any(|n| n.contains("exploded")));
+        // … and the miner did not leak onto the (reused) executing thread.
+        assert!(!mine::thread_miner_installed());
     }
 
     #[test]

@@ -8,6 +8,80 @@ use serde::{Deserialize, Serialize};
 /// application samples a subset when it has more).
 pub const MAX_AFFINITY_ADDRS: usize = 32;
 
+/// The unified affinity-hint vocabulary — the one type the allocator
+/// consumes whether a hint was **hand-annotated** (the paper's Fig 8/10
+/// API) or **inferred** from a profiling run by `crate::infer`.
+///
+/// [`AffineArrayReq`]'s builder methods and `malloc_aff`'s `aff_addrs`
+/// slice are thin constructors over this enum; `AffinityAllocator::
+/// malloc_hinted` and `AllocService::malloc_hinted` accept it directly.
+///
+/// # Example
+///
+/// ```
+/// use affinity_alloc::{AffineArrayReq, AffinityHint};
+/// use aff_mem::addr::VAddr;
+///
+/// let h = AffinityHint::AlignTo { partner: VAddr(0x40), p: 1, q: 2, x: 3 };
+/// let req = AffineArrayReq::with_hint(8, 100, &h);
+/// assert_eq!(req.hint(), h);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AffinityHint {
+    /// No affinity structure: the allocator picks freely (Eq 4 over an
+    /// empty affinity set).
+    #[default]
+    None,
+    /// Inter-array alignment (Eq 2): element `i` of this allocation aligns
+    /// with element `(p/q)·i + x` of `partner`.
+    AlignTo {
+        /// The partner array's base address.
+        partner: VAddr,
+        /// Ratio numerator.
+        p: u64,
+        /// Ratio denominator.
+        q: u64,
+        /// Offset in partner elements.
+        x: u64,
+    },
+    /// Intra-array affinity between elements `i` and `i + stride`
+    /// (Fig 8(c): row stride of a 2-D array accessed by column).
+    IntraStride {
+        /// The co-accessed element stride.
+        stride: u64,
+    },
+    /// Spread the allocation exactly once across all banks (Fig 9:
+    /// distributing graph partitions).
+    Partition,
+    /// Irregular affinity (Fig 10/11): co-locate with these previously
+    /// allocated addresses. More than [`MAX_AFFINITY_ADDRS`] entries are
+    /// legal here — `malloc_hinted` subsamples deterministically, unlike
+    /// the legacy `malloc_aff` path which rejects oversized sets.
+    Irregular {
+        /// Affinity addresses (allocation order preserved).
+        aff_addrs: Vec<VAddr>,
+    },
+}
+
+impl AffinityHint {
+    /// Stable lower-case label (profile serialization, metrics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AffinityHint::None => "none",
+            AffinityHint::AlignTo { .. } => "align_to",
+            AffinityHint::IntraStride { .. } => "intra_stride",
+            AffinityHint::Partition => "partition",
+            AffinityHint::Irregular { .. } => "irregular",
+        }
+    }
+
+    /// Whether this hint carries any affinity structure.
+    pub fn is_some(&self) -> bool {
+        !matches!(self, AffinityHint::None)
+            && !matches!(self, AffinityHint::Irregular { aff_addrs } if aff_addrs.is_empty())
+    }
+}
+
 /// The affine allocation request — the Rust rendering of the paper's
 /// `AffineArray` struct (Fig 8(a)).
 ///
@@ -17,7 +91,7 @@ pub const MAX_AFFINITY_ADDRS: usize = 32;
 /// # Example
 ///
 /// ```
-/// use affinity_alloc::AffineArrayReq;
+/// use affinity_alloc::{AffineArrayReq, AffinityHint};
 ///
 /// // float A[N] with default layout:
 /// let a = AffineArrayReq::new(4, 1024);
@@ -26,7 +100,11 @@ pub const MAX_AFFINITY_ADDRS: usize = 32;
 /// # use aff_sim_core::config::MachineConfig;
 /// # let mut alloc = AffinityAllocator::new(MachineConfig::paper_default(), BankSelectPolicy::Hybrid { h: 5.0 });
 /// # let a_addr = alloc.malloc_aff_affine(&a).unwrap();
-/// let c = AffineArrayReq::new(8, 1024).align_to(a_addr);
+/// let c = AffineArrayReq::with_hint(
+///     8,
+///     1024,
+///     &AffinityHint::AlignTo { partner: a_addr, p: 1, q: 1, x: 0 },
+/// );
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AffineArrayReq {
@@ -64,13 +142,64 @@ impl AffineArrayReq {
         }
     }
 
+    /// Request carrying `hint` — the unified constructor both annotation
+    /// sites and inferred profiles go through. [`AffinityHint::Irregular`]
+    /// and [`AffinityHint::None`] map to the default layout here (irregular
+    /// affinity addresses ride the `malloc_hinted` node path, not the
+    /// affine-array path).
+    pub fn with_hint(elem_size: u64, num_elem: u64, hint: &AffinityHint) -> Self {
+        let mut r = Self::new(elem_size, num_elem);
+        match *hint {
+            AffinityHint::None | AffinityHint::Irregular { .. } => {}
+            AffinityHint::AlignTo { partner, p, q, x } => {
+                r.align_to = Some(partner);
+                r.align_p = p;
+                r.align_q = q;
+                r.align_x = x;
+            }
+            AffinityHint::IntraStride { stride } => r.align_x = stride,
+            AffinityHint::Partition => r.partition = true,
+        }
+        r
+    }
+
+    /// The hint this request encodes, in the unified vocabulary. Partition
+    /// wins over the other axes (matching `derive_placement`'s precedence);
+    /// a nonzero `align_x` without a partner is intra-array affinity.
+    pub fn hint(&self) -> AffinityHint {
+        if self.partition {
+            AffinityHint::Partition
+        } else if let Some(partner) = self.align_to {
+            AffinityHint::AlignTo {
+                partner,
+                p: self.align_p,
+                q: self.align_q,
+                x: self.align_x,
+            }
+        } else if self.align_x != 0 {
+            AffinityHint::IntraStride {
+                stride: self.align_x,
+            }
+        } else {
+            AffinityHint::None
+        }
+    }
+
     /// Align element-for-element with `partner` (`B[i] ↔ A[i]`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `AffineArrayReq::with_hint` with `AffinityHint::AlignTo`"
+    )]
     pub fn align_to(mut self, partner: VAddr) -> Self {
         self.align_to = Some(partner);
         self
     }
 
     /// Align with ratio and offset: `B[i] ↔ A[(p/q)·i + x]`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `AffineArrayReq::with_hint` with `AffinityHint::AlignTo`"
+    )]
     pub fn align_ratio(mut self, p: u64, q: u64, x: u64) -> Self {
         self.align_p = p;
         self.align_q = q;
@@ -80,6 +209,10 @@ impl AffineArrayReq {
 
     /// Request intra-array affinity between elements `i` and `i + row_stride`
     /// (Fig 8(c)).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `AffineArrayReq::with_hint` with `AffinityHint::IntraStride`"
+    )]
     pub fn intra_stride(mut self, row_stride: u64) -> Self {
         self.align_to = None;
         self.align_x = row_stride;
@@ -87,6 +220,10 @@ impl AffineArrayReq {
     }
 
     /// Set the partition flag (Fig 9).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `AffineArrayReq::with_hint` with `AffinityHint::Partition`"
+    )]
     pub fn partitioned(mut self) -> Self {
         self.partition = true;
         self
@@ -297,6 +434,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn builder_chains() {
         let r = AffineArrayReq::new(4, 100)
             .align_to(VAddr(0x40))
@@ -308,6 +446,63 @@ mod tests {
         let i = AffineArrayReq::new(4, 100).intra_stride(32);
         assert_eq!(i.align_x, 32);
         assert!(i.align_to.is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_equal_hint_constructors() {
+        // The shim contract: every legacy builder chain produces the exact
+        // request `with_hint` produces for the corresponding hint.
+        let legacy = AffineArrayReq::new(4, 100).align_to(VAddr(0x40)).align_ratio(4, 1, 2);
+        let hinted = AffineArrayReq::with_hint(
+            4,
+            100,
+            &AffinityHint::AlignTo {
+                partner: VAddr(0x40),
+                p: 4,
+                q: 1,
+                x: 2,
+            },
+        );
+        assert_eq!(legacy, hinted);
+        assert_eq!(
+            AffineArrayReq::new(4, 100).partitioned(),
+            AffineArrayReq::with_hint(4, 100, &AffinityHint::Partition)
+        );
+        assert_eq!(
+            AffineArrayReq::new(4, 100).intra_stride(32),
+            AffineArrayReq::with_hint(4, 100, &AffinityHint::IntraStride { stride: 32 })
+        );
+        assert_eq!(
+            AffineArrayReq::new(4, 100),
+            AffineArrayReq::with_hint(4, 100, &AffinityHint::None)
+        );
+    }
+
+    #[test]
+    fn hint_round_trips() {
+        for h in [
+            AffinityHint::None,
+            AffinityHint::AlignTo {
+                partner: VAddr(0x80),
+                p: 2,
+                q: 3,
+                x: 5,
+            },
+            AffinityHint::IntraStride { stride: 128 },
+            AffinityHint::Partition,
+        ] {
+            assert_eq!(AffineArrayReq::with_hint(8, 64, &h).hint(), h, "{}", h.label());
+        }
+        // Irregular is not representable on the affine-array axis: it maps
+        // to the default layout and reads back as None.
+        let irr = AffinityHint::Irregular {
+            aff_addrs: vec![VAddr(0x40)],
+        };
+        assert_eq!(AffineArrayReq::with_hint(8, 64, &irr).hint(), AffinityHint::None);
+        assert!(irr.is_some());
+        assert!(!AffinityHint::Irregular { aff_addrs: vec![] }.is_some());
+        assert!(!AffinityHint::None.is_some());
     }
 
     #[test]

@@ -31,12 +31,14 @@
 //! ```
 
 pub mod api;
+pub mod infer;
 pub mod lanes;
 pub mod policy;
 pub mod runtime;
 pub mod service;
 
-pub use api::{AffineArrayReq, AllocError, QuotaKind, MAX_AFFINITY_ADDRS};
+pub use api::{AffineArrayReq, AffinityHint, AllocError, QuotaKind, MAX_AFFINITY_ADDRS};
+pub use infer::{AffinityProfile, InferredHint, RegionHint};
 pub use policy::BankSelectPolicy;
 pub use runtime::{AffinityAllocator, AllocStats, FragmentationReport, MAX_ALLOC_BYTES};
 pub use service::{AllocService, ServiceConfig, TenantStats};

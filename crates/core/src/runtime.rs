@@ -16,7 +16,7 @@
 //! runtime keeps a debug-only liveness set to catch double frees in tests —
 //! bookkeeping the modeled hardware does not need.)
 
-use crate::api::{AffineArrayReq, AllocError, MAX_AFFINITY_ADDRS};
+use crate::api::{AffineArrayReq, AffinityHint, AllocError, MAX_AFFINITY_ADDRS};
 use crate::lanes::{add_u16_column, argmin_score_lanes, score_lanes};
 use crate::policy::BankSelectPolicy;
 use aff_mem::addr::VAddr;
@@ -143,12 +143,26 @@ pub struct AffinityAllocator {
     scratch_scores: Vec<f64>,
     /// Graceful-degradation counters (excluded banks, fallback chain use).
     report: DegradationReport,
+    /// Seed for the deterministic affinity-address subsampling stream used
+    /// by [`malloc_hinted`](Self::malloc_hinted) when an
+    /// [`AffinityHint::Irregular`] carries more than [`MAX_AFFINITY_ADDRS`]
+    /// addresses. Split per draw, never shared with `rng` (the Eq-4 `Rnd`
+    /// policy stream), so enabling hints cannot perturb policy randomness.
+    hint_seed: u64,
+    /// Subsampling draws so far — the split-stream index, advanced only by
+    /// oversized irregular hints, so allocation order fully determines every
+    /// sample.
+    hint_draws: u64,
 }
 
 /// Largest single allocation the runtime accepts (256 TiB — far past any
 /// modeled machine). Requests above it get [`AllocError::Oversized`] before
 /// interleave rounding or quota math can overflow.
 pub const MAX_ALLOC_BYTES: u64 = 1 << 48;
+
+/// Salt folded into the allocator seed to derive the affinity-subsampling
+/// stream, keeping it decoupled from the Eq-4 `Rnd` policy stream.
+const HINT_SAMPLE_SALT: u64 = 0x5A3D_17E5_AFF1_0B57;
 
 /// Largest bank count that gets precomputed Eq-4 distance columns (the
 /// table is `banks² × 2` bytes — 32 MiB at this cap, 2 MiB at the 32×32
@@ -219,6 +233,8 @@ impl AffinityAllocator {
             scratch_cand_hops: Vec::new(),
             scratch_cand_loads: Vec::new(),
             scratch_scores: Vec::new(),
+            hint_seed: seed ^ HINT_SAMPLE_SALT,
+            hint_draws: 0,
         }
     }
 
@@ -766,6 +782,74 @@ impl AffinityAllocator {
         Ok(va)
     }
 
+    /// The unified hint-driven entry point: one call for every
+    /// [`AffinityHint`] variant, whether hand-annotated or emitted by an
+    /// inferred `AffinityProfile`.
+    ///
+    /// * Array-shaped hints (`AlignTo`, `IntraStride`, `Partition`) route to
+    ///   [`malloc_aff_affine`](Self::malloc_aff_affine) via
+    ///   [`AffineArrayReq::with_hint`].
+    /// * `Irregular` routes to [`malloc_aff`](Self::malloc_aff); a set past
+    ///   [`MAX_AFFINITY_ADDRS`] is **subsampled deterministically** (seeded
+    ///   split-RNG partial shuffle keyed by allocation order) instead of
+    ///   rejected — §5.1 says the *application* samples, and the inferred
+    ///   path has no application in the loop to do it.
+    /// * `None` is an unhinted irregular allocation (Eq 4 over an empty
+    ///   affinity set).
+    ///
+    /// # Errors
+    ///
+    /// As the underlying path; `TooManyAffinityAddrs` is impossible here.
+    pub fn malloc_hinted(
+        &mut self,
+        elem_size: u64,
+        num_elem: u64,
+        hint: &AffinityHint,
+    ) -> Result<VAddr, AllocError> {
+        match hint {
+            AffinityHint::None => {
+                let req = AffineArrayReq::new(elem_size, num_elem);
+                self.malloc_aff(req.checked_total_bytes()?.max(1), &[])
+            }
+            AffinityHint::Irregular { aff_addrs } => {
+                let req = AffineArrayReq::new(elem_size, num_elem);
+                let total = req.checked_total_bytes()?.max(1);
+                if aff_addrs.len() <= MAX_AFFINITY_ADDRS {
+                    self.malloc_aff(total, aff_addrs)
+                } else {
+                    let sampled = self.sample_aff_addrs(aff_addrs);
+                    self.malloc_aff(total, &sampled)
+                }
+            }
+            AffinityHint::AlignTo { .. } | AffinityHint::IntraStride { .. } | AffinityHint::Partition => {
+                self.malloc_aff_affine(&AffineArrayReq::with_hint(elem_size, num_elem, hint))
+            }
+        }
+    }
+
+    /// Subsample an oversized affinity set down to [`MAX_AFFINITY_ADDRS`]
+    /// entries: a partial Fisher–Yates shuffle over the index range, driven
+    /// by a split RNG stream keyed on `(hint_seed, hint_draws)`. Unlike the
+    /// old first-N truncation callers used to apply by hand, every address
+    /// has equal selection probability, yet the choice is a pure function of
+    /// the allocator seed and allocation order — byte-identical across runs
+    /// and `--jobs` schedules. The sample preserves original relative order
+    /// so `select_bank`'s hop accumulation stays order-independent of the
+    /// shuffle.
+    fn sample_aff_addrs(&mut self, aff_addrs: &[VAddr]) -> Vec<VAddr> {
+        let mut rng = SimRng::split(self.hint_seed, self.hint_draws);
+        self.hint_draws += 1;
+        let n = aff_addrs.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        for k in 0..MAX_AFFINITY_ADDRS {
+            let j = k as u64 + rng.below((n - k) as u64);
+            idx.swap(k, j as usize);
+        }
+        let mut keep = idx[..MAX_AFFINITY_ADDRS].to_vec();
+        keep.sort_unstable();
+        keep.iter().map(|&i| aff_addrs[i as usize]).collect()
+    }
+
     /// Eq 4 bank selection over the healthy banks only: failed banks are
     /// excluded from every policy, and slowed banks see their load term
     /// multiplied by their fault slowdown (a 4×-slower bank looks 4× as
@@ -1226,6 +1310,9 @@ impl AffinityAllocator {
 }
 
 #[cfg(test)]
+// The legacy builder chains stay under test on purpose: they are deprecated
+// shims whose allocation results must remain byte-identical to the hint API.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -1919,5 +2006,103 @@ mod tests {
             banks_used.insert(a.bank_of(c));
         }
         assert!(banks_used.len() > 1, "load balancing must engage");
+    }
+
+    #[test]
+    fn malloc_hinted_matches_legacy_paths() {
+        // Every hint variant must land exactly where the legacy entry point
+        // it wraps would have landed (the "thin constructor" contract).
+        let mut via_hint = hybrid();
+        let mut legacy = hybrid();
+        let anchor_h = via_hint.malloc_hinted(64, 1, &AffinityHint::None).unwrap();
+        let anchor_l = legacy.malloc_aff(64, &[]).unwrap();
+        assert_eq!(anchor_h, anchor_l);
+        let irr_h = via_hint
+            .malloc_hinted(64, 1, &AffinityHint::Irregular { aff_addrs: vec![anchor_h] })
+            .unwrap();
+        let irr_l = legacy.malloc_aff(64, &[anchor_l]).unwrap();
+        assert_eq!(irr_h, irr_l);
+        let part_h = via_hint.malloc_hinted(4, 64 * 1024, &AffinityHint::Partition).unwrap();
+        let part_l = legacy
+            .malloc_aff_affine(&AffineArrayReq::new(4, 64 * 1024).partitioned())
+            .unwrap();
+        assert_eq!(part_h, part_l);
+        let row = 4096u64;
+        let intra_h = via_hint
+            .malloc_hinted(4, 64 * row, &AffinityHint::IntraStride { stride: row })
+            .unwrap();
+        let intra_l = legacy
+            .malloc_aff_affine(&AffineArrayReq::new(4, 64 * row).intra_stride(row))
+            .unwrap();
+        assert_eq!(intra_h, intra_l);
+        let al_h = via_hint
+            .malloc_hinted(
+                4,
+                64 * row,
+                &AffinityHint::AlignTo { partner: intra_h, p: 1, q: 1, x: 0 },
+            )
+            .unwrap();
+        let al_l = legacy
+            .malloc_aff_affine(&AffineArrayReq::new(4, 64 * row).align_to(intra_l))
+            .unwrap();
+        assert_eq!(al_h, al_l);
+        assert_eq!(via_hint.stats(), legacy.stats());
+    }
+
+    #[test]
+    fn oversized_irregular_hint_subsamples_deterministically() {
+        // Build an anchor population bigger than MAX_AFFINITY_ADDRS, then
+        // allocate with the whole population as the hint: malloc_aff would
+        // reject it, malloc_hinted must subsample and succeed — identically
+        // across identically seeded allocators.
+        let build = |seed: u64| {
+            let mut a = AffinityAllocator::with_seed(
+                MachineConfig::paper_default(),
+                BankSelectPolicy::paper_default(),
+                seed,
+            );
+            let pop: Vec<VAddr> =
+                (0..3 * MAX_AFFINITY_ADDRS).map(|_| a.malloc_aff(64, &[]).unwrap()).collect();
+            assert!(matches!(
+                a.malloc_aff(64, &pop),
+                Err(AllocError::TooManyAffinityAddrs { .. })
+            ));
+            let hint = AffinityHint::Irregular { aff_addrs: pop };
+            let vas: Vec<VAddr> =
+                (0..8).map(|_| a.malloc_hinted(64, 1, &hint).unwrap()).collect();
+            let banks: Vec<u32> = vas.iter().map(|&v| a.bank_of(v)).collect();
+            (vas, banks)
+        };
+        let (vas_a, banks_a) = build(7);
+        let (vas_b, banks_b) = build(7);
+        assert_eq!(vas_a, vas_b, "same seed, same placements");
+        assert_eq!(banks_a, banks_b);
+        // Different seed ⇒ different subsample stream. The *placement* may
+        // coincide bank-wise, but across 8 draws at least one should differ;
+        // what we pin is that the sample is seed-keyed, not first-N.
+        let (vas_c, _) = build(8);
+        assert_ne!(vas_a, vas_c, "subsample must be seed-keyed");
+    }
+
+    #[test]
+    fn subsample_is_not_first_n_truncation() {
+        // Population where the first MAX addresses sit on one bank and the
+        // rest on far banks: first-N truncation would always pick bank 0's
+        // cluster; the seeded sample must (deterministically) reach past it.
+        let mut a = hybrid();
+        let mut pop = Vec::new();
+        for _ in 0..(4 * MAX_AFFINITY_ADDRS) {
+            pop.push(a.malloc_aff(64, &[]).unwrap());
+        }
+        let sampled = a.sample_aff_addrs(&pop);
+        assert_eq!(sampled.len(), MAX_AFFINITY_ADDRS);
+        assert!(
+            sampled.iter().any(|v| !pop[..MAX_AFFINITY_ADDRS].contains(v)),
+            "sample must reach beyond the first MAX_AFFINITY_ADDRS entries"
+        );
+        // Relative order is preserved (a pure subset, not a shuffle).
+        let positions: Vec<usize> =
+            sampled.iter().map(|v| pop.iter().position(|p| p == v).unwrap()).collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -50,6 +50,9 @@ impl HashChainTable {
             let b = Self::bucket_of_key(k, num_buckets);
             let va = match mode {
                 AllocMode::Baseline => alloc.heap_alloc_scattered(CACHE_LINE),
+                // Unhinted: through the runtime, but with the head affinity
+                // withheld — the annotation-free configuration.
+                AllocMode::Unhinted => alloc.malloc_aff(CACHE_LINE, &[])?,
                 AllocMode::Affinity => {
                     // Affinity to the bucket head: probes start there.
                     alloc.malloc_aff(CACHE_LINE, &[heads.addr_of(b)])?

@@ -1,7 +1,7 @@
 //! Shared layout plumbing: allocation modes and placed vertex arrays.
 
 use aff_mem::addr::VAddr;
-use affinity_alloc::{AffineArrayReq, AffinityAllocator, AllocError};
+use affinity_alloc::{AffineArrayReq, AffinityAllocator, AffinityHint, AllocError};
 
 /// How a structure is placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -11,6 +11,12 @@ pub enum AllocMode {
     Baseline,
     /// Placement through the affinity-alloc runtime.
     Affinity,
+    /// Placement through the affinity-alloc runtime with **no affinity
+    /// structure** — the annotation-free configuration profiling runs and
+    /// the `none` arm of the inference comparison execute on. Placement is
+    /// the baseline heap's; what differs from [`AllocMode::Baseline`] is
+    /// intent: the system under test is AffAlloc, minus its hints.
+    Unhinted,
 }
 
 /// A property array (`Parent[]`, `Dist[]`, `Rank[]`, …) with its per-element
@@ -28,7 +34,8 @@ impl VertexArray {
     ///
     /// Under [`AllocMode::Affinity`] the array is allocated with the
     /// `partition` flag (Fig 9): each bank owns one contiguous shard of
-    /// vertices. Under [`AllocMode::Baseline`] it lives on the heap.
+    /// vertices. Under [`AllocMode::Baseline`] and [`AllocMode::Unhinted`]
+    /// it lives on the heap.
     ///
     /// # Errors
     ///
@@ -39,19 +46,31 @@ impl VertexArray {
         elem_size: u64,
         mode: AllocMode,
     ) -> Result<Self, AllocError> {
-        let va = match mode {
-            AllocMode::Baseline => alloc.heap_alloc(n * elem_size),
-            AllocMode::Affinity => {
-                alloc.malloc_aff_affine(&AffineArrayReq::new(elem_size, n).partitioned())?
+        match mode {
+            AllocMode::Baseline | AllocMode::Unhinted => {
+                let va = alloc.heap_alloc(n * elem_size);
+                Ok(Self::resolve(alloc, va, n, elem_size, mode))
             }
-        };
-        let banks = (0..n).map(|i| alloc.bank_of(va + i * elem_size)).collect();
-        Ok(Self {
-            va,
-            elem_size,
-            banks,
-            mode,
-        })
+            AllocMode::Affinity => Self::with_hint(alloc, n, elem_size, &AffinityHint::Partition),
+        }
+    }
+
+    /// Allocate with an arbitrary [`AffinityHint`] — the unified entry the
+    /// inferred-profile replay path uses. Array-shaped hints go through the
+    /// affine runtime; `None`/`Irregular` degrade to the plain affine layout
+    /// (an un-partnered array, Eq-3 default interleave).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    pub fn with_hint(
+        alloc: &mut AffinityAllocator,
+        n: u64,
+        elem_size: u64,
+        hint: &AffinityHint,
+    ) -> Result<Self, AllocError> {
+        let va = alloc.malloc_aff_affine(&AffineArrayReq::with_hint(elem_size, n, hint))?;
+        Ok(Self::resolve(alloc, va, n, elem_size, AllocMode::Affinity))
     }
 
     /// Allocate aligned element-for-element with `partner` (Fig 8(b)); falls
@@ -66,16 +85,34 @@ impl VertexArray {
         n: u64,
         elem_size: u64,
     ) -> Result<Self, AllocError> {
-        let va = alloc.malloc_aff_affine(
-            &AffineArrayReq::new(elem_size, n).align_to(partner.va),
-        )?;
+        Self::with_hint(
+            alloc,
+            n,
+            elem_size,
+            &AffinityHint::AlignTo {
+                partner: partner.va,
+                p: 1,
+                q: 1,
+                x: 0,
+            },
+        )
+    }
+
+    /// Resolve per-element banks once, at build time.
+    fn resolve(
+        alloc: &mut AffinityAllocator,
+        va: VAddr,
+        n: u64,
+        elem_size: u64,
+        mode: AllocMode,
+    ) -> Self {
         let banks = (0..n).map(|i| alloc.bank_of(va + i * elem_size)).collect();
-        Ok(Self {
+        Self {
             va,
             elem_size,
             banks,
-            mode: AllocMode::Affinity,
-        })
+            mode,
+        }
     }
 
     /// Base virtual address.
@@ -153,6 +190,26 @@ mod tests {
         // 1 KiB default interleave = 256 4-byte elements per bank chunk.
         assert_eq!(v.bank_of(0), v.bank_of(255));
         assert_ne!(v.bank_of(0), v.bank_of(256));
+    }
+
+    #[test]
+    fn unhinted_array_places_like_baseline() {
+        let mut a = alloc();
+        let u = VertexArray::new(&mut a, 4096, 4, AllocMode::Unhinted).unwrap();
+        let mut b = alloc();
+        let base = VertexArray::new(&mut b, 4096, 4, AllocMode::Baseline).unwrap();
+        assert_eq!(u.mode(), AllocMode::Unhinted);
+        assert_eq!(u.banks(), base.banks(), "unhinted = baseline placement");
+    }
+
+    #[test]
+    fn hinted_partition_matches_affinity_mode() {
+        let mut a = alloc();
+        let v = VertexArray::new(&mut a, 64 * 1024, 4, AllocMode::Affinity).unwrap();
+        let mut b = alloc();
+        let h =
+            VertexArray::with_hint(&mut b, 64 * 1024, 4, &AffinityHint::Partition).unwrap();
+        assert_eq!(v.banks(), h.banks(), "hint path = legacy path");
     }
 
     #[test]

@@ -85,6 +85,31 @@ impl LinkedCsr {
         props: &VertexArray,
         capacity: usize,
     ) -> Result<Self, AllocError> {
+        Self::build_inner(alloc, graph, Some(props), capacity)
+    }
+
+    /// Build the linked CSR with **no affinity addresses** — every node goes
+    /// through `malloc_aff(64, &[])`. Same chain structure as [`Self::build`]
+    /// (so region ordinals and traversal order match the annotated build),
+    /// but placement carries no co-access knowledge: the annotation-free
+    /// configuration profiling runs execute on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    pub fn build_unhinted(
+        alloc: &mut AffinityAllocator,
+        graph: &Graph,
+    ) -> Result<Self, AllocError> {
+        Self::build_inner(alloc, graph, None, node_capacity(graph.is_weighted()))
+    }
+
+    fn build_inner(
+        alloc: &mut AffinityAllocator,
+        graph: &Graph,
+        props: Option<&VertexArray>,
+        capacity: usize,
+    ) -> Result<Self, AllocError> {
         assert!(capacity > 0, "nodes must hold at least one edge");
         let mut nodes = Vec::new();
         let mut chain_offsets = Vec::with_capacity(graph.num_vertices() as usize + 1);
@@ -97,21 +122,24 @@ impl LinkedCsr {
             while lo < neighbors.len() {
                 let hi = (lo + capacity).min(neighbors.len());
                 aff.clear();
-                // The predecessor node in the chain is an affinity address
-                // too: the scanning stream chases the next pointer, so short
-                // chain migrations matter as much as short indirect hops.
-                if let Some(p) = prev_node {
-                    aff.push(p);
-                }
-                let slice = &neighbors[lo..hi];
-                let budget = MAX_AFFINITY_ADDRS - aff.len();
-                if slice.len() <= budget {
-                    aff.extend(slice.iter().map(|&t| props.addr_of(u64::from(t))));
-                } else {
-                    let step = slice.len() as f64 / budget as f64;
-                    for k in 0..budget {
-                        let t = slice[(k as f64 * step) as usize];
-                        aff.push(props.addr_of(u64::from(t)));
+                if let Some(props) = props {
+                    // The predecessor node in the chain is an affinity address
+                    // too: the scanning stream chases the next pointer, so
+                    // short chain migrations matter as much as short indirect
+                    // hops.
+                    if let Some(p) = prev_node {
+                        aff.push(p);
+                    }
+                    let slice = &neighbors[lo..hi];
+                    let budget = MAX_AFFINITY_ADDRS - aff.len();
+                    if slice.len() <= budget {
+                        aff.extend(slice.iter().map(|&t| props.addr_of(u64::from(t))));
+                    } else {
+                        let step = slice.len() as f64 / budget as f64;
+                        for k in 0..budget {
+                            let t = slice[(k as f64 * step) as usize];
+                            aff.push(props.addr_of(u64::from(t)));
+                        }
                     }
                 }
                 let va = alloc.malloc_aff(CACHE_LINE, &aff)?;
@@ -259,6 +287,24 @@ mod tests {
         assert_eq!(l.num_nodes(), 4096);
         assert_eq!(l.bytes(), 4096 * 64);
         assert_eq!(l.capacity(), 14);
+    }
+
+    #[test]
+    fn unhinted_build_keeps_structure_but_drops_affinity() {
+        let (mut a, g, props) = setup(BankSelectPolicy::MinHop);
+        let hinted = LinkedCsr::build(&mut a, &g, &props).unwrap();
+        let (mut b, g2, pb) = setup(BankSelectPolicy::MinHop);
+        let un = LinkedCsr::build_unhinted(&mut b, &g2).unwrap();
+        // Identical chain structure: same node count and edge ranges.
+        assert_eq!(un.num_nodes(), hinted.num_nodes());
+        for (h, u) in hinted.nodes().iter().zip(un.nodes()) {
+            assert_eq!((h.vertex, h.lo, h.hi), (u.vertex, u.lo, u.hi));
+        }
+        // But worse placement: no affinity knowledge to exploit.
+        let topo = a.topo();
+        let hh = hinted.mean_indirect_hops(topo, &g, &props);
+        let hu = un.mean_indirect_hops(topo, &g2, &pb);
+        assert!(hh < hu, "hinted ({hh:.2}) must beat unhinted ({hu:.2})");
     }
 
     #[test]

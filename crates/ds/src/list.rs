@@ -43,7 +43,11 @@ impl AffLinkedList {
         for _ in 0..len {
             let va = match (mode, prev) {
                 (AllocMode::Baseline, _) => alloc.heap_alloc_scattered(CACHE_LINE),
-                (AllocMode::Affinity, None) => alloc.malloc_aff(CACHE_LINE, &[])?,
+                // Unhinted: through the runtime, but with the predecessor
+                // affinity withheld — the annotation-free configuration.
+                (AllocMode::Affinity, None) | (AllocMode::Unhinted, _) => {
+                    alloc.malloc_aff(CACHE_LINE, &[])?
+                }
                 (AllocMode::Affinity, Some(p)) => alloc.malloc_aff(CACHE_LINE, &[p])?,
             };
             let bank = alloc.bank_of(va);

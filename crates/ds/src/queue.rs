@@ -121,6 +121,40 @@ impl SpatialQueue {
         })
     }
 
+    /// [`Self::build`] with the affinity annotations withheld: same
+    /// sub-queue structure, but data and tails allocate through the runtime
+    /// with no affinity addresses — the annotation-free configuration, for
+    /// property arrays that are not affine-registered (unhinted layouts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero or exceeds the vertex count.
+    pub fn build_unhinted(
+        alloc: &mut AffinityAllocator,
+        n: u64,
+        elem_size: u64,
+        partitions: u32,
+    ) -> Result<Self, AllocError> {
+        assert!(partitions > 0 && u64::from(partitions) <= n, "bad partition count");
+        let data = VertexArray::new(alloc, n, elem_size, AllocMode::Unhinted)?;
+        let mut tails = Vec::with_capacity(partitions as usize);
+        for _ in 0..partitions {
+            let va = alloc.malloc_aff(CACHE_LINE, &[])?;
+            let bank = alloc.bank_of(va);
+            tails.push((va, bank));
+        }
+        Ok(Self {
+            data,
+            tails,
+            lens: vec![0; partitions as usize],
+            num_vertices: n,
+        })
+    }
+
     /// Number of partitions `P`.
     pub fn partitions(&self) -> u32 {
         self.tails.len() as u32

@@ -67,7 +67,11 @@ impl AffBinaryTree {
         let parent = self.locate_parent(key);
         let va = match (mode, parent) {
             (AllocMode::Baseline, _) => alloc.heap_alloc_scattered(CACHE_LINE),
-            (AllocMode::Affinity, None) => alloc.malloc_aff(CACHE_LINE, &[])?,
+            // Unhinted: through the runtime, but with the parent affinity
+            // withheld — the annotation-free configuration.
+            (AllocMode::Affinity, None) | (AllocMode::Unhinted, _) => {
+                alloc.malloc_aff(CACHE_LINE, &[])?
+            }
             (AllocMode::Affinity, Some(p)) => {
                 let pv = self.nodes[p as usize].va;
                 alloc.malloc_aff(CACHE_LINE, &[pv])?

@@ -29,6 +29,7 @@ use aff_sim_core::energy::{EnergyBreakdown, EnergyModel};
 use aff_sim_core::error::{BudgetKind, SimError};
 use aff_sim_core::fault::{self, DegradationReport, FaultEvent, FaultPlan, FaultTimeline};
 use aff_sim_core::tenant::{TenantId, TenantUsage};
+use aff_sim_core::mine;
 use aff_sim_core::trace::{self, Event, Recorder, TrafficKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -138,6 +139,15 @@ pub struct Metrics {
     /// for every single-tenant run.
     #[serde(default)]
     pub tenants: Vec<TenantUsage>,
+    /// Where the run's affinity hints came from: `None` for ordinary
+    /// (annotated) runs, else `"annotated"`, `"inferred"`, or `"none"` as
+    /// stamped by the inference harness. Serde-defaulted for old recordings.
+    #[serde(default)]
+    pub hint_source: Option<String>,
+    /// Number of hints applied from an inferred `AffinityProfile`
+    /// (harness-stamped; 0 everywhere else). Serde-defaulted likewise.
+    #[serde(default)]
+    pub inferred_hints: u64,
 }
 
 impl Metrics {
@@ -270,10 +280,22 @@ impl SimEngine {
         let spare = (!config.faults.failed_banks.is_empty())
             .then(|| SpareMap::new(topo, &config.faults));
         // A thread-local trace capture (installed by e.g. `figures --trace`)
-        // attaches automatically, so a recorder reaches engines constructed
-        // deep inside workload executors without signature plumbing.
-        let recorder: Option<Box<dyn Recorder>> = trace::thread_trace_installed()
-            .then(|| Box::new(trace::ThreadTraceRecorder) as Box<dyn Recorder>);
+        // or co-access miner (installed by a profiling run) attaches
+        // automatically, so a recorder reaches engines constructed deep
+        // inside workload executors without signature plumbing. Both at once
+        // fan out through a MultiRecorder.
+        let recorder: Option<Box<dyn Recorder>> =
+            match (trace::thread_trace_installed(), mine::thread_miner_installed()) {
+                (true, false) => Some(Box::new(trace::ThreadTraceRecorder)),
+                (false, true) => Some(Box::new(mine::ThreadMinerRecorder)),
+                (true, true) => {
+                    let mut fan = trace::MultiRecorder::new();
+                    fan.push(Box::new(trace::ThreadTraceRecorder));
+                    fan.push(Box::new(mine::ThreadMinerRecorder));
+                    Some(Box::new(fan))
+                }
+                (false, false) => None,
+            };
         // A config-carried timeline wins; otherwise a thread-installed chaos
         // timeline (set by `figures --chaos`) attaches the same way the
         // thread trace does — without signature plumbing. Both empty leaves
@@ -600,12 +622,14 @@ impl SimEngine {
                 }
             }
             // DRAM accesses are charged by the DramModel at its call sites;
-            // the NoC models' events carry no analytic accounting, and
-            // tenant switches are handled before apply (attribution).
+            // the NoC models' events carry no analytic accounting, tenant
+            // switches are handled before apply (attribution), and profile
+            // touches exist only for the co-access miner.
             Event::DramAccess { .. }
             | Event::RouterActive { .. }
             | Event::MessageDelivered { .. }
-            | Event::TenantSwitch { .. } => {}
+            | Event::TenantSwitch { .. }
+            | Event::ProfileTouch { .. } => {}
         }
     }
 
@@ -1270,6 +1294,8 @@ impl SimEngine {
             transitions: self.transitions,
             fragmentation_ratio: 0.0,
             tenants: self.tenant_usage,
+            hint_source: None,
+            inferred_hints: 0,
         }
     }
 

@@ -27,6 +27,7 @@ pub mod energy;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod mine;
 pub mod rng;
 pub mod stats;
 pub mod tenant;

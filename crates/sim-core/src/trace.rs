@@ -178,6 +178,21 @@ pub enum Event {
         /// Message length in flits.
         flits: u64,
     },
+    /// Profiling only: the executor touched element `elem` of profiled
+    /// region `region` during logical profile step `step`. Emitted by
+    /// annotation-free workload runs when a [`crate::mine::CoAccessMiner`]
+    /// is installed; carries no accounting — the affinity-inference miner is
+    /// its only consumer. Touches sharing a `step` were co-accessed by one
+    /// logical unit of work (one stencil segment, one vertex sweep, one
+    /// chain traversal).
+    ProfileTouch {
+        /// Region ordinal (allocation order within the profiled run).
+        region: u32,
+        /// Element index (or address ordinal for node-granular regions).
+        elem: u64,
+        /// Logical co-access step.
+        step: u64,
+    },
 }
 
 /// A sink for [`Event`]s.
@@ -486,6 +501,14 @@ impl TraceRecorder {
                         "{{\"ph\":\"X\",\"name\":\"message\",\"cat\":\"noc\",\
                          \"pid\":{PID_ROUTERS},\"tid\":{dst},\"ts\":{depart},\"dur\":{dur},\
                          \"args\":{{\"src\":{src},\"dst\":{dst},\"flits\":{flits}}}}}"
+                    );
+                }
+                Event::ProfileTouch { region, elem, step } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"name\":\"profile_touch\",\"cat\":\"profile\",\
+                         \"pid\":{PID_ENGINE},\"tid\":0,\"ts\":{ts},\"s\":\"t\",\
+                         \"args\":{{\"region\":{region},\"elem\":{elem},\"step\":{step}}}}}"
                     );
                 }
             }

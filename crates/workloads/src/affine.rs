@@ -17,13 +17,15 @@
 //! * `Aff-Alloc`: the first input allocated with intra-array row affinity
 //!   (Fig 8(c)) where 2-D, everything else aligned to it (Fig 8(b)).
 
-use crate::config::{RunConfig, SystemConfig};
+use crate::config::{HintMode, RunConfig, SystemConfig};
 use aff_cache::private::PrivateFilter;
 use aff_mem::addr::VAddr;
 use aff_nsc::engine::{Metrics, SimEngine};
 use aff_sim_core::config::CACHE_LINE;
+use aff_sim_core::mine::{self, RegionKind};
 use aff_sim_core::rng::SimRng;
-use affinity_alloc::{AffineArrayReq, AffinityAllocator};
+use aff_sim_core::trace::Event;
+use affinity_alloc::{AffineArrayReq, AffinityAllocator, AffinityHint};
 
 /// SIMD lanes both the cores (AVX-512) and the near-stream compute threads
 /// (§2.2: "SIMD ops on a spare thread") process per op.
@@ -149,40 +151,83 @@ fn allocate(
     s: &Stencil,
     system: SystemConfig,
     seed: u64,
+    hints: &HintMode,
 ) -> Arrays {
     let bytes = s.elems * s.elem_size;
-    if system.uses_affinity_alloc() {
-        let mut req = AffineArrayReq::new(s.elem_size, s.elems);
-        if s.row > 0 {
-            req = req.intra_stride(s.row);
+    match (hints, system.uses_affinity_alloc()) {
+        (HintMode::Annotated, true) => {
+            // Hand annotations, spelled in the unified hint vocabulary: the
+            // main array gets row affinity where 2-D (Fig 8(c)), everything
+            // else is aligned to it element-for-element (Fig 8(b)).
+            let main_hint = if s.row > 0 {
+                AffinityHint::IntraStride { stride: s.row }
+            } else {
+                AffinityHint::None
+            };
+            let main = alloc
+                .malloc_aff_affine(&AffineArrayReq::with_hint(s.elem_size, s.elems, &main_hint))
+                .expect("main array");
+            let align = AffinityHint::AlignTo { partner: main, p: 1, q: 1, x: 0 };
+            let extras = (0..s.extra_inputs)
+                .map(|_| {
+                    alloc
+                        .malloc_aff_affine(&AffineArrayReq::with_hint(s.elem_size, s.elems, &align))
+                        .expect("extra array")
+                })
+                .collect();
+            let out = alloc
+                .malloc_aff_affine(&AffineArrayReq::with_hint(s.elem_size, s.elems, &align))
+                .expect("output array");
+            Arrays { main, extras, out }
         }
-        let main = alloc.malloc_aff_affine(&req).expect("main array");
-        let extras = (0..s.extra_inputs)
-            .map(|_| {
-                alloc
-                    .malloc_aff_affine(&AffineArrayReq::new(s.elem_size, s.elems).align_to(main))
-                    .expect("extra array")
-            })
-            .collect();
-        let out = alloc
-            .malloc_aff_affine(&AffineArrayReq::new(s.elem_size, s.elems).align_to(main))
-            .expect("output array");
-        Arrays { main, extras, out }
-    } else {
-        // Arbitrary heap placement: skip a seed-derived number of default
-        // chunks before each array, as a long-lived heap would.
-        let mut rng = SimRng::new(seed ^ 0xA11A);
-        let intrlv = alloc.config().default_interleave;
-        let banks = u64::from(alloc.config().num_banks());
-        let mut scattered = |alloc: &mut AffinityAllocator| {
-            let skip = rng.below(banks) * intrlv;
-            let _pad = alloc.space_mut().heap_alloc(skip, CACHE_LINE);
-            alloc.heap_alloc(bytes)
-        };
-        let main = scattered(alloc);
-        let extras = (0..s.extra_inputs).map(|_| scattered(alloc)).collect();
-        let out = scattered(alloc);
-        Arrays { main, extras, out }
+        (HintMode::Inferred(profile), true) => {
+            // Replay mined hints region by region in allocation order (the
+            // ordinals the profiling run assigned: main = 0, extras next,
+            // output last). `hint_for` resolves partner ordinals against the
+            // regions already placed.
+            let num_regions = 2 + s.extra_inputs;
+            let mut vas: Vec<VAddr> = Vec::with_capacity(num_regions as usize);
+            for r in 0..num_regions {
+                let hint = profile.hint_for(r, |ord| vas.get(ord as usize).copied(), &[]);
+                let va = alloc
+                    .malloc_aff_affine(&AffineArrayReq::with_hint(s.elem_size, s.elems, &hint))
+                    .expect("inferred array");
+                vas.push(va);
+            }
+            let out = vas.pop().expect("output array");
+            let main = vas.remove(0);
+            Arrays { main, extras: vas, out }
+        }
+        // `NoHints` (any system) and non-affinity systems: arbitrary heap
+        // placement — skip a seed-derived number of default chunks before
+        // each array, as a long-lived heap would. The annotation-free run
+        // must not inherit the affine pool's accidental alignment, or the
+        // floor of the comparison (and the profiling run) would be placed
+        // as well as the annotated ceiling.
+        _ => {
+            let mut rng = SimRng::new(seed ^ 0xA11A);
+            let intrlv = alloc.config().default_interleave;
+            let banks = u64::from(alloc.config().num_banks());
+            let mut scattered = |alloc: &mut AffinityAllocator| {
+                let skip = rng.below(banks) * intrlv;
+                let _pad = alloc.space_mut().heap_alloc(skip, CACHE_LINE);
+                alloc.heap_alloc(bytes)
+            };
+            let main = scattered(alloc);
+            let extras = (0..s.extra_inputs).map(|_| scattered(alloc)).collect();
+            let out = scattered(alloc);
+            Arrays { main, extras, out }
+        }
+    }
+}
+
+/// Register the stencil's regions with an installed thread miner (no-op
+/// otherwise): main = 0, extras = 1.., output last — allocation order, the
+/// ordinals inferred profiles are keyed by.
+fn register_regions(s: &Stencil) {
+    let num_regions = 2 + s.extra_inputs;
+    for r in 0..num_regions {
+        mine::register_region(r, RegionKind::Array, s.elem_size, s.elems);
     }
 }
 
@@ -196,7 +241,8 @@ pub fn run_stencil(s: &Stencil, cfg: &RunConfig) -> Metrics {
 /// its L1/L2.
 pub fn run_stencil_opts(s: &Stencil, cfg: &RunConfig, private_filter: bool) -> Metrics {
     let mut alloc = AffinityAllocator::with_seed(cfg.machine.clone(), cfg.system.policy(), cfg.seed);
-    let arrays = allocate(&mut alloc, s, cfg.system, cfg.seed);
+    let arrays = allocate(&mut alloc, s, cfg.system, cfg.seed, &cfg.hints);
+    register_regions(s);
     let mut engine = SimEngine::new(cfg.machine.clone());
     engine.import_residency(alloc.resident_per_bank());
     match cfg.system {
@@ -214,6 +260,7 @@ pub fn run_stencil_opts(s: &Stencil, cfg: &RunConfig, private_filter: bool) -> M
     }
     let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
+    cfg.hints.stamp(&mut m);
     m
 }
 
@@ -298,6 +345,15 @@ fn run_near_l3(s: &Stencil, a: &Arrays, alloc: &mut AffinityAllocator, engine: &
     let first_bank = alloc.bank_of(a.main);
     engine.credits(0, first_bank, n * iters / 64 + 1);
 
+    // Profiling: when a co-access miner is installed on this thread, emit
+    // sampled ProfileTouch events — which elements of which region one
+    // logical step touches. ~1k sampled steps per run keeps mining cheap;
+    // with no miner, not a single event is built.
+    let mining = mine::thread_miner_installed();
+    let emit_stride = (n / 1024).max(1);
+    let mut next_emit = 0u64;
+    let out_region = 1 + a.extras.len() as u32;
+
     let mut i = 0u64;
     let mut banks_scratch: Vec<u32> = Vec::with_capacity(s.offsets.len() + 1);
     // Bank service is accumulated in bytes and charged as lines once per
@@ -325,6 +381,32 @@ fn run_near_l3(s: &Stencil, a: &Arrays, alloc: &mut AffinityAllocator, engine: &
             seg = seg.min(elems_to_boundary(alloc, x, s.elem_size, i));
         }
         let seg = seg.max(1);
+
+        if mining && i >= next_emit {
+            next_emit = i + emit_stride;
+            for &off in &s.offsets {
+                let j = i as i64 + off;
+                if j >= 0 && (j as u64) < n {
+                    engine.record(Event::ProfileTouch {
+                        region: 0,
+                        elem: j as u64,
+                        step: i,
+                    });
+                }
+            }
+            for r in 0..a.extras.len() as u32 {
+                engine.record(Event::ProfileTouch {
+                    region: 1 + r,
+                    elem: i,
+                    step: i,
+                });
+            }
+            engine.record(Event::ProfileTouch {
+                region: out_region,
+                elem: i,
+                step: i,
+            });
+        }
 
         let out_bank = alloc.bank_of(a.out + i * s.elem_size);
         let seg_lines = (seg * s.elem_size).div_ceil(CACHE_LINE);
@@ -496,5 +578,61 @@ mod tests {
     fn footprint_math() {
         let s = Stencil::vecadd(1000);
         assert_eq!(s.footprint(), 3 * 4 * 1000);
+    }
+
+    #[test]
+    fn closed_loop_recovers_stencil_annotations() {
+        use affinity_alloc::{AffinityProfile, InferredHint};
+        use std::sync::Arc;
+
+        // Phase 1: profile an annotation-free run with the miner installed.
+        let s = Stencil::hotspot(128, 256);
+        let base = cfg(SystemConfig::aff_alloc_default());
+        mine::install_thread_miner();
+        let none = run_stencil(&s, &base.clone().with_hints(HintMode::NoHints));
+        let mined = mine::take_thread_miner().expect("miner was installed");
+        let profile = AffinityProfile::infer(&mined);
+
+        // The mined hints are exactly the hand annotations: main = row
+        // stride, extras and output aligned 1:1 to main.
+        assert_eq!(
+            profile.region_hint(0).map(|h| &h.hint),
+            Some(&InferredHint::IntraStride { stride: 256 }),
+            "main array must recover the row stride"
+        );
+        for r in [1u32, 2] {
+            match profile.region_hint(r).map(|h| &h.hint) {
+                Some(&InferredHint::AlignTo { partner: 0, p: 1, q: 1, x: 0 }) => {}
+                other => panic!("region {r}: expected 1:1 alignment to main, got {other:?}"),
+            }
+        }
+
+        // Phase 2: replay. Inferred placement must match annotated placement
+        // in performance, and both beat the unhinted floor.
+        let annotated = run_stencil(&s, &base);
+        let inferred =
+            run_stencil(&s, &base.clone().with_hints(HintMode::Inferred(Arc::new(profile))));
+        assert_eq!(
+            inferred.cycles, annotated.cycles,
+            "inferred hints must reproduce the annotated run"
+        );
+        assert!(inferred.cycles < none.cycles, "hints must beat no hints");
+        assert_eq!(inferred.hint_source.as_deref(), Some("inferred"));
+        assert!(inferred.inferred_hints >= 3);
+        assert_eq!(annotated.hint_source, None, "annotated runs stay unstamped");
+        assert_eq!(none.hint_source.as_deref(), Some("none"));
+    }
+
+    #[test]
+    fn no_hints_matches_near_l3_placement() {
+        // The annotation-free configuration under Aff-Alloc uses the same
+        // scattered-heap layout as Near-L3 — profiling sees honest placement.
+        let s = Stencil::hotspot(64, 128);
+        let none = run_stencil(
+            &s,
+            &cfg(SystemConfig::aff_alloc_default()).with_hints(HintMode::NoHints),
+        );
+        let near = run_stencil(&s, &cfg(SystemConfig::NearL3));
+        assert_eq!(none.cycles, near.cycles);
     }
 }

@@ -2,7 +2,8 @@
 
 use aff_nsc::ExecMode;
 use aff_sim_core::config::MachineConfig;
-use affinity_alloc::BankSelectPolicy;
+use affinity_alloc::{AffinityProfile, BankSelectPolicy};
+use std::sync::Arc;
 
 /// The three system configurations of Fig 12.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +55,59 @@ impl SystemConfig {
     }
 }
 
+/// Where placement hints come from — the axis the `inference` figure
+/// family sweeps.
+#[derive(Debug, Clone, Default)]
+pub enum HintMode {
+    /// Hand annotations as written into each workload (the paper's API use;
+    /// every pre-existing figure runs here).
+    #[default]
+    Annotated,
+    /// No hints at all: structures still allocate through the runtime (where
+    /// the system config says so) but carry no affinity knowledge. This is
+    /// the profiling configuration — and the floor of the comparison.
+    NoHints,
+    /// Hints replayed from a mined [`AffinityProfile`] instead of hand
+    /// annotations — the closed loop's second phase.
+    Inferred(Arc<AffinityProfile>),
+}
+
+impl HintMode {
+    /// Label used in figures and sidecars.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HintMode::Annotated => "annotated",
+            HintMode::NoHints => "none",
+            HintMode::Inferred(_) => "inferred",
+        }
+    }
+
+    /// Whether this is the default (hand-annotated) mode.
+    pub fn is_annotated(&self) -> bool {
+        matches!(self, HintMode::Annotated)
+    }
+
+    /// The profile, when inferred.
+    pub fn profile(&self) -> Option<&AffinityProfile> {
+        match self {
+            HintMode::Inferred(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Stamp the hint provenance onto run metrics. Annotated runs are left
+    /// untouched (fields stay at their defaults), so every pre-existing
+    /// figure's bytes are unchanged.
+    pub fn stamp(&self, m: &mut aff_nsc::engine::Metrics) {
+        if !self.is_annotated() {
+            m.hint_source = Some(self.label().to_string());
+        }
+        if let HintMode::Inferred(p) = self {
+            m.inferred_hints = p.hint_count();
+        }
+    }
+}
+
 /// A complete run configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -66,6 +120,8 @@ pub struct RunConfig {
     pub scale: u32,
     /// Experiment seed (inputs and any randomized layout derive from it).
     pub seed: u64,
+    /// Where placement hints come from (default: hand annotations).
+    pub hints: HintMode,
 }
 
 impl RunConfig {
@@ -76,7 +132,14 @@ impl RunConfig {
             system,
             scale: 1,
             seed: 2023,
+            hints: HintMode::default(),
         }
+    }
+
+    /// Builder: set the hint source.
+    pub fn with_hints(mut self, hints: HintMode) -> Self {
+        self.hints = hints;
+        self
     }
 
     /// Builder: set the input scale.

@@ -13,7 +13,7 @@
 //! charging every memory event to the [`SimEngine`]; Fig 17/18's
 //! per-iteration statistics fall out of the traversal itself.
 
-use crate::config::{RunConfig, SystemConfig};
+use crate::config::{HintMode, RunConfig, SystemConfig};
 use aff_ds::csr::{ChunkedCsr, CsrLayout};
 use aff_ds::graph::Graph;
 use aff_ds::layout::{AllocMode, VertexArray};
@@ -22,7 +22,9 @@ use aff_ds::pqueue::SpatialPriorityQueue;
 use aff_ds::queue::{GlobalQueue, SpatialQueue};
 use aff_nsc::engine::{Metrics, SimEngine};
 use aff_sim_core::config::CACHE_LINE;
-use affinity_alloc::AffinityAllocator;
+use aff_sim_core::mine::{self, RegionKind};
+use aff_sim_core::trace::Event;
+use affinity_alloc::{AffinityAllocator, InferredHint};
 use serde::{Deserialize, Serialize};
 
 /// Probes already in flight when a pull-scan's dynamic break resolves.
@@ -155,29 +157,71 @@ pub struct GraphInstance {
     edge_scratch: Vec<(u32, u32)>,
     /// Same for the per-vertex weight expansion in the SSSP kernels.
     weight_scratch: Vec<u32>,
+    /// Where this instance's hints came from (stamped onto the metrics).
+    hints: HintMode,
+    /// A thread miner is installed: emit sampled ProfileTouch events.
+    mining: bool,
+    /// Sample every `mine_stride`-th vertex's edge scan when mining.
+    mine_stride: u32,
 }
 
 impl GraphInstance {
     /// Lay out `graph` per `cfg` and prepare an engine.
+    ///
+    /// Region ordinals under the affinity system are stable across hint
+    /// modes — 0 = the property array, 1 = the linked-CSR edge nodes — so a
+    /// profile mined from an unhinted run keys the annotated structures.
     pub fn new(graph: Graph, cfg: &RunConfig) -> Self {
         let mut alloc =
             AffinityAllocator::with_seed(cfg.machine.clone(), cfg.system.policy(), cfg.seed);
         let n = u64::from(graph.num_vertices());
-        let prop_mode = if cfg.system.uses_affinity_alloc() {
-            AllocMode::Affinity
-        } else {
-            AllocMode::Baseline
-        };
-        let props = VertexArray::new(&mut alloc, n, 8, prop_mode).expect("prop array");
-        let (edges, queue) = if cfg.system.uses_affinity_alloc() {
-            let linked = LinkedCsr::build(&mut alloc, &graph, &props).expect("linked CSR");
+        let (edges, queue, props) = if cfg.system.uses_affinity_alloc() {
+            let props = match &cfg.hints {
+                HintMode::Annotated => {
+                    VertexArray::new(&mut alloc, n, 8, AllocMode::Affinity).expect("prop array")
+                }
+                HintMode::NoHints => {
+                    VertexArray::new(&mut alloc, n, 8, AllocMode::Unhinted).expect("prop array")
+                }
+                HintMode::Inferred(p) => {
+                    let hint = p.hint_for(0, |_| None, &[]);
+                    VertexArray::with_hint(&mut alloc, n, 8, &hint).expect("prop array")
+                }
+            };
+            // Chain nodes keep the linked-CSR *structure* in every hint mode
+            // (the ordinals and traversal order must match); what the hints
+            // decide is whether nodes carry affinity addresses.
+            let chained = match &cfg.hints {
+                HintMode::Annotated => true,
+                HintMode::NoHints => false,
+                HintMode::Inferred(p) => matches!(
+                    p.region_hint(1).map(|h| &h.hint),
+                    Some(InferredHint::Chain)
+                ),
+            };
+            let linked = if chained {
+                LinkedCsr::build(&mut alloc, &graph, &props).expect("linked CSR")
+            } else {
+                LinkedCsr::build_unhinted(&mut alloc, &graph).expect("linked CSR")
+            };
+            mine::register_region(0, RegionKind::Array, 8, n);
+            mine::register_region(1, RegionKind::Nodes, CACHE_LINE, linked.num_nodes() as u64);
             let parts = cfg.machine.num_banks().min(graph.num_vertices());
-            let q = SpatialQueue::build(&mut alloc, &props, parts).expect("spatial queue");
-            (EdgeLayout::Linked(linked), QueueKind::Spatial(q))
+            // The queue aligns to props only when props is an affine-
+            // registered array; unhinted layouts get the same structure with
+            // the alignment annotations withheld.
+            let q = if props.mode() == AllocMode::Affinity {
+                SpatialQueue::build(&mut alloc, &props, parts).expect("spatial queue")
+            } else {
+                SpatialQueue::build_unhinted(&mut alloc, n, props.elem_size(), parts)
+                    .expect("spatial queue")
+            };
+            (EdgeLayout::Linked(linked), QueueKind::Spatial(q), props)
         } else {
+            let props = VertexArray::new(&mut alloc, n, 8, AllocMode::Baseline).expect("props");
             let csr = CsrLayout::build(&mut alloc, &graph, AllocMode::Baseline).expect("CSR");
             let q = GlobalQueue::new(&mut alloc, n).expect("global queue");
-            (EdgeLayout::Csr(csr), QueueKind::Global(q))
+            (EdgeLayout::Csr(csr), QueueKind::Global(q), props)
         };
         let mut engine = SimEngine::new(cfg.machine.clone());
         engine.import_residency(alloc.resident_per_bank());
@@ -191,6 +235,9 @@ impl GraphInstance {
             alloc,
             edge_scratch: Vec::new(),
             weight_scratch: Vec::new(),
+            hints: cfg.hints.clone(),
+            mining: mine::thread_miner_installed(),
+            mine_stride: (n as u32 / 1024).max(1),
         }
     }
 
@@ -222,6 +269,9 @@ impl GraphInstance {
             alloc,
             edge_scratch: Vec::new(),
             weight_scratch: Vec::new(),
+            hints: cfg.hints.clone(),
+            mining: false,
+            mine_stride: 1,
         }
     }
 
@@ -311,11 +361,30 @@ impl GraphInstance {
             }
             EdgeLayout::Linked(linked) => {
                 let mut prev_bank = None;
+                // Profiling: one sampled step per scanned vertex — the chain
+                // nodes it walks (line-granular elements) and the property
+                // elements its edges point at.
+                let emit = self.mining && u.is_multiple_of(self.mine_stride);
                 for node in linked.chain_of(u) {
                     if (node.lo as usize) >= limit {
                         break;
                     }
                     let bank = node.bank;
+                    if emit {
+                        engine.record(Event::ProfileTouch {
+                            region: 1,
+                            elem: node.va.raw() / CACHE_LINE,
+                            step: u64::from(u),
+                        });
+                        let hi = (node.hi as usize).min(limit);
+                        for &v in &graph.neighbors(u)[node.lo as usize..hi] {
+                            engine.record(Event::ProfileTouch {
+                                region: 0,
+                                elem: u64::from(v),
+                                step: u64::from(u),
+                            });
+                        }
+                    }
                     if in_core {
                         engine.core_read_lines(core, bank, 1);
                         // Pointer chasing from the core is serialized: a full
@@ -411,6 +480,7 @@ impl GraphInstance {
     pub fn finish(self) -> Metrics {
         let mut m = self.engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
         m.degradation.merge(&self.alloc.degradation());
+        self.hints.stamp(&mut m);
         m
     }
 
@@ -651,7 +721,11 @@ impl GraphInstance {
 
         // The queue layout: spatial per-partition heaps for Aff-Alloc, one
         // global heap (at the bank of a heap-allocated anchor) otherwise.
-        let spatial_pq = if self.system.uses_affinity_alloc() {
+        // The spatial heaps align to props — an annotation; unhinted layouts
+        // fall back to the global heap like the baselines.
+        let spatial_pq = if self.system.uses_affinity_alloc()
+            && self.props.mode() == AllocMode::Affinity
+        {
             let parts = self.engine.config().num_banks().min(n);
             Some(
                 SpatialPriorityQueue::build(&mut self.alloc, &self.props, parts, 11)
@@ -881,6 +955,48 @@ mod tests {
         });
         assert!(!r.metrics.occupancy.is_empty());
         assert!(r.metrics.occupancy.len() <= r.iters.len());
+    }
+
+    #[test]
+    fn closed_loop_recovers_graph_annotations() {
+        use affinity_alloc::AffinityProfile;
+        use std::sync::Arc;
+
+        // Phase 1: profile an unhinted pr_push with the miner installed.
+        let cfg = RunConfig::new(SystemConfig::aff_alloc_default()).with_seed(1);
+        mine::install_thread_miner();
+        let none = GraphInstance::new(kron(), &cfg.clone().with_hints(HintMode::NoHints))
+            .run_pr_push();
+        let mined = mine::take_thread_miner().expect("miner was installed");
+        let profile = AffinityProfile::infer(&mined);
+
+        // The mined structure matches the hand annotations: partitioned
+        // properties, chained edge nodes.
+        assert_eq!(
+            profile.region_hint(0).map(|h| &h.hint),
+            Some(&InferredHint::Partition),
+            "scattered indirect targets must infer a partitioned prop array"
+        );
+        assert_eq!(
+            profile.region_hint(1).map(|h| &h.hint),
+            Some(&InferredHint::Chain),
+            "edge-node traversal must infer a chain"
+        );
+
+        // Phase 2: replay — inferred matches annotated, both beat unhinted.
+        let annotated = GraphInstance::new(kron(), &cfg).run_pr_push();
+        let inferred = GraphInstance::new(
+            kron(),
+            &cfg.clone().with_hints(HintMode::Inferred(Arc::new(profile))),
+        )
+        .run_pr_push();
+        assert_eq!(
+            inferred.metrics.cycles, annotated.metrics.cycles,
+            "inferred hints must reproduce the annotated layout"
+        );
+        assert!(inferred.metrics.cycles < none.metrics.cycles);
+        assert_eq!(inferred.metrics.hint_source.as_deref(), Some("inferred"));
+        assert_eq!(annotated.metrics.hint_source, None);
     }
 
     #[test]

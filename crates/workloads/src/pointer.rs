@@ -16,14 +16,17 @@
 //! hops — at the cost, for Min-Hop, of collapsing all parallelism onto one
 //! bank, which is the Fig 13 `bin_tree` pathology this module reproduces.
 
-use crate::config::{RunConfig, SystemConfig};
+use crate::config::{HintMode, RunConfig, SystemConfig};
 use aff_ds::hash::HashChainTable;
 use aff_ds::layout::AllocMode;
 use aff_ds::list::AffLinkedList;
 use aff_ds::tree::AffBinaryTree;
 use aff_nsc::engine::{Metrics, SimEngine};
+use aff_sim_core::config::CACHE_LINE;
+use aff_sim_core::mine::{self, RegionKind};
 use aff_sim_core::rng::SimRng;
-use affinity_alloc::AffinityAllocator;
+use aff_sim_core::trace::Event;
+use affinity_alloc::{AffinityAllocator, InferredHint};
 
 /// Independent queries an OOO core overlaps (memory-level parallelism
 /// across — never within — chains).
@@ -95,10 +98,31 @@ fn alloc_for(cfg: &RunConfig) -> AffinityAllocator {
 }
 
 fn node_mode(cfg: &RunConfig) -> AllocMode {
-    if cfg.system.uses_affinity_alloc() {
-        AllocMode::Affinity
-    } else {
-        AllocMode::Baseline
+    if !cfg.system.uses_affinity_alloc() {
+        return AllocMode::Baseline;
+    }
+    match &cfg.hints {
+        HintMode::Annotated => AllocMode::Affinity,
+        HintMode::NoHints => AllocMode::Unhinted,
+        // A mined Chain hint re-enables the per-node affinity addresses —
+        // predecessor, parent, or bucket head, realized by the structure's
+        // own builder (the aff_addrs of Fig 10/11).
+        HintMode::Inferred(p) => match p.region_hint(0).map(|h| &h.hint) {
+            Some(InferredHint::Chain) => AllocMode::Affinity,
+            _ => AllocMode::Unhinted,
+        },
+    }
+}
+
+/// Profiling: one ProfileTouch per dereference of a sampled chain — region 0
+/// is the node pool, elements are line-granular node identities.
+fn emit_chain_touches(engine: &mut SimEngine, banks: &[u32], step: u64) {
+    for &b in banks {
+        engine.record(Event::ProfileTouch {
+            region: 0,
+            elem: u64::from(b),
+            step,
+        });
     }
 }
 
@@ -153,12 +177,23 @@ pub fn run_link_list(params: LinkListParams, cfg: &RunConfig) -> Metrics {
         .collect();
     engine.import_residency(alloc.resident_per_bank());
     engine.offload_config_multicast(0, 1);
+    mine::register_region(
+        0,
+        RegionKind::Nodes,
+        CACHE_LINE,
+        (params.lists * params.nodes_per_list) as u64,
+    );
+    let mining = mine::thread_miner_installed();
+    let stride = (params.lists / 1024).max(1);
 
     let mut serials = Vec::with_capacity(params.lists);
     let mut banks: Vec<u32> = Vec::new();
     for (i, list) in lists.iter().enumerate() {
         banks.clear();
         banks.extend(list.nodes().iter().map(|n| n.bank));
+        if mining && i % stride == 0 {
+            emit_chain_touches(&mut engine, &banks, i as u64);
+        }
         let core = (i % cfg.machine.num_banks() as usize) as u32;
         let entry = if banks.is_empty() { core } else { banks[0] };
         serials.push(charge_chain(&mut engine, &banks, entry, in_core, core));
@@ -171,6 +206,7 @@ pub fn run_link_list(params: LinkListParams, cfg: &RunConfig) -> Metrics {
     fold_serial(&mut engine, &serials, concurrency);
     let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
+    cfg.hints.stamp(&mut m);
     m
 }
 
@@ -186,6 +222,9 @@ pub fn run_hash_join(params: HashJoinParams, cfg: &RunConfig) -> Metrics {
     let in_core = matches!(cfg.system, SystemConfig::InCore);
     engine.import_residency(alloc.resident_per_bank());
     engine.offload_config_multicast(0, 2);
+    mine::register_region(0, RegionKind::Nodes, CACHE_LINE, table.len() as u64);
+    let mining = mine::thread_miner_installed();
+    let stride = (params.probe_keys / 1024).max(1);
 
     let mut serials = Vec::with_capacity(params.probe_keys);
     let mut banks: Vec<u32> = Vec::new();
@@ -200,6 +239,9 @@ pub fn run_hash_join(params: HashJoinParams, cfg: &RunConfig) -> Metrics {
         let core = (i % cfg.machine.num_banks() as usize) as u32;
         // Probe = read head, then walk the chain.
         banks.insert(0, head_bank);
+        if mining && i % stride == 0 {
+            emit_chain_touches(&mut engine, &banks, i as u64);
+        }
         serials.push(charge_chain(&mut engine, &banks, head_bank, in_core, core));
     }
     let concurrency = if in_core {
@@ -210,6 +252,7 @@ pub fn run_hash_join(params: HashJoinParams, cfg: &RunConfig) -> Metrics {
     fold_serial(&mut engine, &serials, concurrency);
     let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
+    cfg.hints.stamp(&mut m);
     m
 }
 
@@ -224,12 +267,18 @@ pub fn run_bin_tree(params: BinTreeParams, cfg: &RunConfig) -> Metrics {
     let in_core = matches!(cfg.system, SystemConfig::InCore);
     engine.import_residency(alloc.resident_per_bank());
     engine.offload_config_multicast(0, 1);
+    mine::register_region(0, RegionKind::Nodes, CACHE_LINE, params.nodes as u64);
+    let mining = mine::thread_miner_installed();
+    let stride = (params.lookups / 1024).max(1);
 
     let mut serials = Vec::with_capacity(params.lookups);
     let mut banks: Vec<u32> = Vec::new();
     for i in 0..params.lookups {
         let key = keys[rng.index(keys.len())];
         tree.lookup_path_banks_into(key, &mut banks);
+        if mining && i % stride == 0 {
+            emit_chain_touches(&mut engine, &banks, i as u64);
+        }
         let core = (i % cfg.machine.num_banks() as usize) as u32;
         let entry = banks.first().copied().unwrap_or(core);
         serials.push(charge_chain(&mut engine, &banks, entry, in_core, core));
@@ -242,6 +291,7 @@ pub fn run_bin_tree(params: BinTreeParams, cfg: &RunConfig) -> Metrics {
     fold_serial(&mut engine, &serials, concurrency);
     let mut m = engine.try_finish().unwrap_or_else(|e| panic!("{e}"));
     m.degradation.merge(&alloc.degradation());
+    cfg.hints.stamp(&mut m);
     m
 }
 
@@ -330,6 +380,34 @@ mod tests {
         let near = run_hash_join(p, &RunConfig::new(SystemConfig::NearL3));
         let aff = run_hash_join(p, &RunConfig::new(SystemConfig::aff_alloc_default()));
         assert!(aff.total_hop_flits < near.total_hop_flits);
+    }
+
+    #[test]
+    fn closed_loop_recovers_chain_hints() {
+        use affinity_alloc::AffinityProfile;
+        use std::sync::Arc;
+
+        // Phase 1: profile an unhinted link_list run.
+        let p = small_list();
+        let cfg = RunConfig::new(SystemConfig::aff_alloc_default());
+        mine::install_thread_miner();
+        let none = run_link_list(p, &cfg.clone().with_hints(HintMode::NoHints));
+        let mined = mine::take_thread_miner().expect("miner was installed");
+        let profile = AffinityProfile::infer(&mined);
+        assert_eq!(
+            profile.region_hint(0).map(|h| &h.hint),
+            Some(&InferredHint::Chain),
+            "a 128-deref traversal per step must infer a chain"
+        );
+
+        // Phase 2: the Chain hint restores the predecessor affinity and the
+        // annotated performance.
+        let annotated = run_link_list(p, &cfg);
+        let inferred =
+            run_link_list(p, &cfg.clone().with_hints(HintMode::Inferred(Arc::new(profile))));
+        assert_eq!(inferred.cycles, annotated.cycles);
+        assert!(inferred.cycles < none.cycles, "chain hint must beat no hints");
+        assert_eq!(inferred.hint_source.as_deref(), Some("inferred"));
     }
 
     #[test]

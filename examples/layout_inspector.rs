@@ -6,7 +6,9 @@
 //! cargo run --release --example layout_inspector
 //! ```
 
-use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, BankSelectPolicy};
+use affinity_alloc_repro::alloc::{
+    AffineArrayReq, AffinityAllocator, AffinityHint, BankSelectPolicy,
+};
 use affinity_alloc_repro::sim::config::MachineConfig;
 
 fn main() {
@@ -20,11 +22,12 @@ fn main() {
     let a = alloc
         .malloc_aff_affine(&AffineArrayReq::new(4, 1 << 16))
         .expect("A");
+    let aligned = |partner| AffinityHint::AlignTo { partner, p: 1, q: 1, x: 0 };
     let b = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(4, 1 << 16).align_to(a))
+        .malloc_aff_affine(&AffineArrayReq::with_hint(4, 1 << 16, &aligned(a)))
         .expect("B");
     let c = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(8, 1 << 16).align_to(a))
+        .malloc_aff_affine(&AffineArrayReq::with_hint(8, 1 << 16, &aligned(a)))
         .expect("C");
     for (name, va) in [("A (4B)", a), ("B (4B aligned)", b), ("C (8B aligned)", c)] {
         let (intrlv, bank) = alloc.affine_layout(va).expect("affine");
@@ -33,14 +36,18 @@ fn main() {
 
     // Fig 8(c): intra-array row affinity for a 2-D grid.
     let grid = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(4, 1024 * 1024).intra_stride(1024))
+        .malloc_aff_affine(&AffineArrayReq::with_hint(
+            4,
+            1024 * 1024,
+            &AffinityHint::IntraStride { stride: 1024 },
+        ))
         .expect("grid");
     let (intrlv, _) = alloc.affine_layout(grid).expect("affine");
     println!("  2-D grid, row=1024 -> interleave {intrlv} B (minimizes i <-> i+row distance)");
 
     // Fig 9: partitioned vertex array.
     let verts = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(4, 1 << 16).partitioned())
+        .malloc_aff_affine(&AffineArrayReq::with_hint(4, 1 << 16, &AffinityHint::Partition))
         .expect("verts");
     let (intrlv, _) = alloc.affine_layout(verts).expect("affine");
     println!("  partitioned V[65536] -> interleave {intrlv} B (one shard per bank)");
@@ -48,11 +55,12 @@ fn main() {
     // A request Eq 3 cannot realize exactly: transparent fallback.
     let before = alloc.stats().fallback;
     let _odd = alloc
-        .malloc_aff_affine(
-            &AffineArrayReq::new(4, 1000)
-                .align_to(a)
-                .align_ratio(1, 1, 3), // 12-byte offset: not a chunk multiple
-        )
+        .malloc_aff_affine(&AffineArrayReq::with_hint(
+            4,
+            1000,
+            // 12-byte offset: not a chunk multiple.
+            &AffinityHint::AlignTo { partner: a, p: 1, q: 1, x: 3 },
+        ))
         .expect("fallback still returns memory");
     println!(
         "  imperfect alignment (x=3 elements) -> heap fallback ({} total)",

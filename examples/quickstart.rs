@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, BankSelectPolicy};
+use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, AffinityHint, BankSelectPolicy};
 use affinity_alloc_repro::sim::config::MachineConfig;
 use affinity_alloc_repro::workloads::affine::{run_stencil, Stencil};
 use affinity_alloc_repro::workloads::config::{RunConfig, SystemConfig};
@@ -19,7 +19,11 @@ fn main() {
         .malloc_aff_affine(&AffineArrayReq::new(4, 4096))
         .expect("allocate A");
     let c = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(8, 4096).align_to(a))
+        .malloc_aff_affine(&AffineArrayReq::with_hint(
+            8,
+            4096,
+            &AffinityHint::AlignTo { partner: a, p: 1, q: 1, x: 0 },
+        ))
         .expect("allocate C");
     println!("A[100] lives on bank {}", alloc.bank_of(a + 100 * 4));
     println!("C[100] lives on bank {}", alloc.bank_of(c + 100 * 8));

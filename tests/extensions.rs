@@ -62,7 +62,7 @@ fn churn_rebalance_recovers_placement_quality() {
 
 #[test]
 fn npot_machine_runs_the_allocator_end_to_end() {
-    use affinity_alloc_repro::alloc::AffineArrayReq;
+    use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityHint};
     let mut cfg = MachineConfig::paper_default();
     cfg.allow_npot_interleave = true;
     let mut alloc = AffinityAllocator::new(cfg, BankSelectPolicy::paper_default());
@@ -72,9 +72,11 @@ fn npot_machine_runs_the_allocator_end_to_end() {
         .malloc_aff_affine(&AffineArrayReq::new(8, 3 * 4096))
         .unwrap();
     let b = alloc
-        .malloc_aff_affine(
-            &AffineArrayReq::new(8, 3 * 4096).align_to(a).align_ratio(1, 3, 0),
-        )
+        .malloc_aff_affine(&AffineArrayReq::with_hint(
+            8,
+            3 * 4096,
+            &AffinityHint::AlignTo { partner: a, p: 1, q: 3, x: 0 },
+        ))
         .unwrap();
     assert_eq!(alloc.stats().fallback, 0);
     for i in (0..3 * 4096u64).step_by(311) {

@@ -1,7 +1,7 @@
 //! End-to-end checks of the paper's worked examples and explanatory figures
 //! (Figs 3, 5, 7–11) against this implementation.
 
-use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, BankSelectPolicy};
+use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, AffinityHint, BankSelectPolicy};
 use affinity_alloc_repro::ds::graph::Graph;
 use affinity_alloc_repro::ds::layout::{AllocMode, VertexArray};
 use affinity_alloc_repro::ds::linked_csr::{node_capacity, LinkedCsr};
@@ -103,11 +103,12 @@ fn fig8b_inter_array_alignment() {
     let mut alloc = aff_alloc();
     let n = 1u64 << 14;
     let a = alloc.malloc_aff_affine(&AffineArrayReq::new(4, n)).unwrap();
+    let aligned = AffinityHint::AlignTo { partner: a, p: 1, q: 1, x: 0 };
     let b = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(4, n).align_to(a))
+        .malloc_aff_affine(&AffineArrayReq::with_hint(4, n, &aligned))
         .unwrap();
     let c = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(8, n).align_to(a))
+        .malloc_aff_affine(&AffineArrayReq::with_hint(8, n, &aligned))
         .unwrap();
     for i in (0..n).step_by(997) {
         let ba = alloc.bank_of(a + i * 4);
@@ -124,7 +125,11 @@ fn fig8c_intra_array_row_affinity() {
     let topo = alloc.topo();
     let n_cols = 1024u64;
     let grid = alloc
-        .malloc_aff_affine(&AffineArrayReq::new(4, 256 * n_cols).intra_stride(n_cols))
+        .malloc_aff_affine(&AffineArrayReq::with_hint(
+            4,
+            256 * n_cols,
+            &AffinityHint::IntraStride { stride: n_cols },
+        ))
         .unwrap();
     let mut total_hops = 0u64;
     let mut samples = 0u64;
@@ -207,7 +212,7 @@ fn table1_iot_behaviour() {
     // A large page-multiple interleave adds exactly one entry.
     let before = alloc.space().pools().iot().len();
     alloc
-        .malloc_aff_affine(&AffineArrayReq::new(4, 1 << 20).partitioned())
+        .malloc_aff_affine(&AffineArrayReq::with_hint(4, 1 << 20, &AffinityHint::Partition))
         .unwrap();
     assert!(alloc.space().pools().iot().len() <= before + 1);
 }

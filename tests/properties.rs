@@ -2,7 +2,7 @@
 //! math, topology routing, allocator alignment and free-list reuse,
 //! simulated memory, and graph construction.
 
-use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, BankSelectPolicy};
+use affinity_alloc_repro::alloc::{AffineArrayReq, AffinityAllocator, AffinityHint, BankSelectPolicy};
 use affinity_alloc_repro::ds::graph::Graph;
 use affinity_alloc_repro::mem::space::AddressSpace;
 use affinity_alloc_repro::noc::topology::Topology;
@@ -64,7 +64,11 @@ proptest! {
         );
         let a = alloc.malloc_aff_affine(&AffineArrayReq::new(ea, n)).unwrap();
         let b = alloc
-            .malloc_aff_affine(&AffineArrayReq::new(eb, n).align_to(a))
+            .malloc_aff_affine(&AffineArrayReq::with_hint(
+                eb,
+                n,
+                &AffinityHint::AlignTo { partner: a, p: 1, q: 1, x: 0 },
+            ))
             .unwrap();
         if alloc.affine_layout(b).is_some() {
             // Realized (no fallback): element i of both must share a bank.
